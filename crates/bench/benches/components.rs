@@ -1,0 +1,110 @@
+//! Microbenchmarks of the simulator substrates: how fast is the host-side
+//! model itself (cache, TLB, predictor, TRT, tag datapath, codec)?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tarch_core::{BranchConfig, BranchPredictor, SprState, TaggedValue, TypeRuleTable};
+use tarch_isa::{Instruction, TrtClass, TrtRule};
+use tarch_mem::{Cache, CacheConfig, DramConfig, DramModel, Tlb};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_hit_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1());
+        cache.access(0x1000, false);
+        b.iter(|| black_box(cache.access(black_box(0x1000), false).hit))
+    });
+    c.bench_function("cache_miss_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            black_box(cache.access(black_box(addr), false).hit)
+        })
+    });
+}
+
+fn bench_tlb_dram(c: &mut Criterion) {
+    c.bench_function("tlb_hit", |b| {
+        let mut tlb = Tlb::new(8);
+        tlb.access(0x1000);
+        b.iter(|| black_box(tlb.access(black_box(0x1234))))
+    });
+    c.bench_function("dram_row_hit", |b| {
+        let mut dram = DramModel::new(DramConfig::paper());
+        dram.access(0x4000);
+        b.iter(|| black_box(dram.access(black_box(0x4040))))
+    });
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("gshare_predict_update", |b| {
+        let mut p = BranchPredictor::new(BranchConfig::paper());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(p.predict_branch(0x1000, i % 3 != 0, 0x2000))
+        })
+    });
+}
+
+fn bench_trt(c: &mut Criterion) {
+    c.bench_function("trt_lookup_hit", |b| {
+        let mut trt = TypeRuleTable::new(8);
+        for rule in luart::layout::trt_rules() {
+            trt.push(rule);
+        }
+        b.iter(|| black_box(trt.lookup(TrtClass::Xadd, black_box(0x13), 0x13)))
+    });
+    c.bench_function("trt_lookup_miss", |b| {
+        let mut trt = TypeRuleTable::new(8);
+        trt.push(TrtRule::new(TrtClass::Xadd, 1, 1, 1));
+        b.iter(|| black_box(trt.lookup(TrtClass::Xmul, black_box(9), 9)))
+    });
+}
+
+fn bench_tagio(c: &mut Criterion) {
+    c.bench_function("tag_extract_lua", |b| {
+        let spr = SprState::lua();
+        b.iter(|| black_box(spr.extract(black_box(42), black_box(0x13))))
+    });
+    c.bench_function("tag_extract_nanbox", |b| {
+        let spr = SprState::spidermonkey();
+        let boxed = jsrt::layout::box_int(12345);
+        b.iter(|| black_box(spr.extract(black_box(boxed), 0)))
+    });
+    c.bench_function("tag_insert_nanbox", |b| {
+        let spr = SprState::spidermonkey();
+        let v = TaggedValue { v: 12345, t: 1, f: false };
+        b.iter(|| black_box(spr.insert(black_box(v), 0)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let forms = tarch_isa::samples::all_forms();
+    let words: Vec<u32> = forms.iter().map(|i| i.encode().unwrap()).collect();
+    c.bench_function("isa_encode_all_forms", |b| {
+        b.iter(|| {
+            for i in &forms {
+                black_box(i.encode().unwrap());
+            }
+        })
+    });
+    c.bench_function("isa_decode_all_forms", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(Instruction::decode(*w).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    components,
+    bench_cache,
+    bench_tlb_dram,
+    bench_bpred,
+    bench_trt,
+    bench_tagio,
+    bench_codec
+);
+criterion_main!(components);

@@ -1,0 +1,120 @@
+//! One Criterion bench group per evaluation figure/table: each group runs
+//! the simulations that regenerate the corresponding result at test scale,
+//! so `cargo bench` exercises every experiment end-to-end. For the actual
+//! paper-shaped numbers use the `repro` binary (`repro all`), which runs
+//! at the default (larger) scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tarch_bench::harness::{run_cell, EngineKind};
+use tarch_bench::workloads::{by_name, Scale};
+use tarch_core::IsaLevel;
+
+fn cell(name: &str, engine: EngineKind, level: IsaLevel) -> u64 {
+    let w = by_name(name).expect("workload");
+    let r = run_cell(&w, engine, level, Scale::Test, false).expect("run");
+    r.counters.cycles
+}
+
+/// Figure 5 (speedups): baseline vs typed cycles on a register-VM and a
+/// stack-VM workload.
+fn fig5_speedups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_speedup");
+    g.sample_size(10);
+    for level in IsaLevel::ALL {
+        g.bench_function(format!("lua_fibo_{level}"), |b| {
+            b.iter(|| black_box(cell("fibo", EngineKind::Lua, level)))
+        });
+        g.bench_function(format!("js_fibo_{level}"), |b| {
+            b.iter(|| black_box(cell("fibo", EngineKind::Js, level)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6 (instruction reduction): the table-heavy sieve.
+fn fig6_instructions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_instruction_reduction");
+    g.sample_size(10);
+    for level in [IsaLevel::Baseline, IsaLevel::Typed] {
+        g.bench_function(format!("lua_nsieve_{level}"), |b| {
+            b.iter(|| black_box(cell("n-sieve", EngineKind::Lua, level)))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 7/8 (branch and I-cache MPKI): the branchy fannkuch kernel.
+fn fig78_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_frontend_pressure");
+    g.sample_size(10);
+    for level in [IsaLevel::Baseline, IsaLevel::Typed] {
+        g.bench_function(format!("lua_fannkuch_{level}"), |b| {
+            b.iter(|| black_box(cell("fannkuch-redux", EngineKind::Lua, level)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9 (type hit/miss): profiled typed runs on hit-heavy and
+/// miss-heavy workloads.
+fn fig9_type_rates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_type_rates");
+    g.sample_size(10);
+    for name in ["fibo", "k-nucleotide"] {
+        g.bench_function(format!("lua_{name}_typed_profiled"), |b| {
+            let w = by_name(name).unwrap();
+            b.iter(|| {
+                let r = run_cell(&w, EngineKind::Lua, IsaLevel::Typed, Scale::Test, true)
+                    .expect("run");
+                black_box((r.counters.type_hits, r.counters.type_misses))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 2 (bytecode mix / instructions per bytecode): host-side counted
+/// run plus a profiled simulated run.
+fn fig2_bytecodes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_bytecode_profiles");
+    g.sample_size(10);
+    g.bench_function("fig2a_host_counted_fannkuch", |b| {
+        let src = by_name("fannkuch-redux").unwrap().source(Scale::Test);
+        let module = luart::compile(&miniscript::parse(&src).unwrap()).unwrap();
+        b.iter(|| black_box(luart::host_run_counted(&module, u64::MAX).unwrap().1.len()))
+    });
+    g.bench_function("fig2b_profiled_add_mix", |b| {
+        let w = by_name("fibo").unwrap();
+        b.iter(|| {
+            let r = run_cell(&w, EngineKind::Lua, IsaLevel::Baseline, Scale::Test, true)
+                .expect("run");
+            black_box(r.bytecodes)
+        })
+    });
+    g.finish();
+}
+
+/// Table 8 (area/power/EDP): the analytical model.
+fn table8_energy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_energy_model");
+    g.bench_function("breakdown_and_edp", |b| {
+        b.iter(|| {
+            let hw = tarch_energy::TypedHardware::paper_40nm();
+            let br = tarch_energy::breakdown(&hw);
+            black_box(tarch_energy::edp_improvement(&br, 1_000_000, 900_000))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig5_speedups,
+    fig6_instructions,
+    fig78_frontend,
+    fig9_type_rates,
+    fig2_bytecodes,
+    table8_energy
+);
+criterion_main!(figures);

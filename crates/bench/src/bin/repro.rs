@@ -1,0 +1,120 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <subcommand> [--full | --test-scale] [--verbose]
+//!
+//! subcommands:
+//!   table1..table8   configuration tables / hardware overhead
+//!   fig1             baseline vs typed ADD handler disassembly (Figs 1c/3)
+//!   fig2a fig2b      bytecode breakdown / instructions per bytecode
+//!   fig5 fig6 fig7 fig8 fig9
+//!   all              everything (shares one simulation matrix)
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+use tarch_bench::figures;
+use tarch_bench::harness::Matrix;
+use tarch_bench::paper_tables as tables;
+use tarch_bench::workloads::{self, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut verbose = false;
+    let mut command = None;
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--test-scale" => scale = Scale::Test,
+            "--verbose" | "-v" => verbose = true,
+            c if command.is_none() => command = Some(c.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(command) = command else {
+        eprintln!("usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all> [--full] [--verbose]");
+        return ExitCode::FAILURE;
+    };
+
+    match run(&command, scale, verbose) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn matrix(scale: Scale, verbose: bool) -> Result<Matrix, String> {
+    if verbose {
+        eprintln!("running the 11 x 2 x 3 simulation matrix (this is a cycle simulator)...");
+    }
+    Matrix::run(&workloads::all(), scale, verbose)
+}
+
+fn run(command: &str, scale: Scale, verbose: bool) -> Result<(), String> {
+    match command {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" => print!("{}", tables::table3()),
+        "table4" => print!("{}", tables::table4()),
+        "table5" => print!("{}", tables::table5()),
+        "table6" => print!("{}", tables::table6()),
+        "table7" => print!("{}", tables::table7()),
+        "fig1" | "fig3" => print!("{}", figures::fig1()?),
+        "fig2a" => print!("{}", figures::fig2a(scale)?),
+        "fig2b" => print!("{}", figures::fig2b()?),
+        "fig9" => print!("{}", figures::fig9(scale)?),
+        "fig5" | "fig6" | "fig7" | "fig8" | "table8" => {
+            let m = matrix(scale, verbose)?;
+            let s = match command {
+                "fig5" => figures::fig5(&m),
+                "fig6" => figures::fig6(&m),
+                "fig7" => figures::fig7(&m),
+                "fig8" => figures::fig8(&m),
+                _ => figures::table8(&m),
+            };
+            print!("{s}");
+        }
+        "all" => {
+            print!("{}", tables::table1());
+            println!();
+            print!("{}", tables::table2());
+            println!();
+            print!("{}", tables::table3());
+            println!();
+            print!("{}", tables::table4());
+            println!();
+            print!("{}", tables::table5());
+            println!();
+            print!("{}", tables::table6());
+            println!();
+            print!("{}", tables::table7());
+            println!();
+            print!("{}", figures::fig1()?);
+            println!();
+            print!("{}", figures::fig2a(scale)?);
+            println!();
+            print!("{}", figures::fig2b()?);
+            println!();
+            let m = matrix(scale, verbose)?;
+            print!("{}", figures::fig5(&m));
+            println!();
+            print!("{}", figures::fig6(&m));
+            println!();
+            print!("{}", figures::fig7(&m));
+            println!();
+            print!("{}", figures::fig8(&m));
+            println!();
+            print!("{}", figures::fig9(scale)?);
+            println!();
+            print!("{}", figures::table8(&m));
+        }
+        other => return Err(format!("unknown subcommand `{other}`")),
+    }
+    Ok(())
+}

@@ -1,0 +1,298 @@
+//! Renderers: one function per paper figure/table, producing the same
+//! rows/series the paper reports.
+
+use crate::harness::{geomean, run_cell, CellResult, EngineKind, Matrix, MAX_STEPS};
+use crate::workloads::{self, Scale};
+use std::fmt::Write as _;
+use tarch_core::{CoreConfig, IsaLevel};
+
+/// Figure 5: overall speedups (baseline / Checked Load / Typed), per
+/// engine, with geomean.
+pub fn fig5(m: &Matrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5: overall speedups over baseline (higher is better)");
+    for engine in EngineKind::ALL {
+        let _ = writeln!(out, "\n[{engine}]");
+        let _ = writeln!(out, "{:<16} {:>12} {:>12}", "benchmark", "checked-load", "typed");
+        for w in m.workloads() {
+            let cl = m.speedup(&w, engine, IsaLevel::CheckedLoad);
+            let ty = m.speedup(&w, engine, IsaLevel::Typed);
+            let _ = writeln!(out, "{w:<16} {:>11.1}% {:>11.1}%", (cl - 1.0) * 100.0, (ty - 1.0) * 100.0);
+        }
+        let cl = m.geomean_speedup(engine, IsaLevel::CheckedLoad);
+        let ty = m.geomean_speedup(engine, IsaLevel::Typed);
+        let _ = writeln!(out, "{:<16} {:>11.1}% {:>11.1}%", "geomean", (cl - 1.0) * 100.0, (ty - 1.0) * 100.0);
+    }
+    out
+}
+
+/// Figure 6: reduction of dynamic instruction count (higher is better).
+pub fn fig6(m: &Matrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6: reduction of dynamic instruction count vs baseline");
+    for engine in EngineKind::ALL {
+        let _ = writeln!(out, "\n[{engine}]");
+        let _ = writeln!(out, "{:<16} {:>12} {:>12}", "benchmark", "checked-load", "typed");
+        let mut cls = Vec::new();
+        let mut tys = Vec::new();
+        for w in m.workloads() {
+            let cl = m.instr_reduction(&w, engine, IsaLevel::CheckedLoad);
+            let ty = m.instr_reduction(&w, engine, IsaLevel::Typed);
+            cls.push(1.0 - cl);
+            tys.push(1.0 - ty);
+            let _ = writeln!(out, "{w:<16} {:>11.1}% {:>11.1}%", cl * 100.0, ty * 100.0);
+        }
+        let cl = 1.0 - geomean(cls.into_iter());
+        let ty = 1.0 - geomean(tys.into_iter());
+        let _ = writeln!(out, "{:<16} {:>11.1}% {:>11.1}%", "geomean", cl * 100.0, ty * 100.0);
+    }
+    out
+}
+
+/// Figure 7: branch miss rates in MPKI (lower is better).
+pub fn fig7(m: &Matrix) -> String {
+    per_level_metric(
+        m,
+        "Figure 7: branch miss rates in misses per kilo-instruction (lower is better)",
+        |c| c.branch_mpki(),
+    )
+}
+
+/// Figure 8: instruction-cache miss rates in MPKI (lower is better).
+pub fn fig8(m: &Matrix) -> String {
+    per_level_metric(
+        m,
+        "Figure 8: I-cache miss rates in misses per kilo-instruction (lower is better)",
+        |c| c.counters.icache_mpki(),
+    )
+}
+
+fn per_level_metric(m: &Matrix, title: &str, f: impl Fn(&CellResult) -> f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for engine in EngineKind::ALL {
+        let _ = writeln!(out, "\n[{engine}]");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>13} {:>10}",
+            "benchmark", "baseline", "checked-load", "typed"
+        );
+        for w in m.workloads() {
+            let vals: Vec<f64> =
+                IsaLevel::ALL.iter().map(|l| f(m.cell(&w, engine, *l))).collect();
+            let _ = writeln!(
+                out,
+                "{w:<16} {:>10.2} {:>13.2} {:>10.2}",
+                vals[0], vals[1], vals[2]
+            );
+        }
+    }
+    out
+}
+
+/// Figure 9: type hit/miss rates normalized to dynamic bytecode count
+/// (Typed configuration; overflow-triggered misses reported separately, as
+/// the paper excludes them from this figure).
+///
+/// Uses profiled runs, so it re-executes the Typed configuration.
+///
+/// # Errors
+///
+/// Returns a descriptive string on engine failure.
+pub fn fig9(scale: Scale) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 9: type hits/misses per dynamic bytecode (typed configuration)"
+    );
+    for engine in EngineKind::ALL {
+        let _ = writeln!(out, "\n[{engine}]");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>10} {:>12}",
+            "benchmark", "checks/bc", "hits/bc", "misses/bc", "overflows/bc"
+        );
+        for w in workloads::all() {
+            let cell = run_cell(&w, engine, IsaLevel::Typed, scale, true)?;
+            let bc = cell.bytecodes.unwrap_or(1).max(1) as f64;
+            let c = cell.counters;
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>12.4}",
+                w.name,
+                c.type_checks as f64 / bc,
+                c.type_hits as f64 / bc,
+                c.type_misses as f64 / bc,
+                c.overflow_misses as f64 / bc,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 2(a): breakdown of dynamic bytecodes for the Lua-like engine.
+///
+/// # Errors
+///
+/// Returns a descriptive string on engine failure.
+pub fn fig2a(scale: Scale) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2(a): dynamic bytecode breakdown (Lua-like engine)");
+    let _ = writeln!(out, "{:<16} {:>10}  top bytecodes", "benchmark", "dyn bc");
+    for w in workloads::all() {
+        let src = w.source(scale);
+        let chunk = miniscript::parse(&src).map_err(|e| format!("{}: {e}", w.name))?;
+        let module = luart::compile(&chunk).map_err(|e| format!("{}: {e}", w.name))?;
+        let (_, counts) = luart::host_run_counted(&module, MAX_STEPS)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        let total: u64 = counts.iter().map(|(_, n)| n).sum();
+        let mut line = String::new();
+        for (op, n) in counts.iter().take(6) {
+            let _ = write!(line, "{op} {:.1}%  ", *n as f64 * 100.0 / total as f64);
+        }
+        let _ = writeln!(out, "{:<16} {total:>10}  {line}", w.name);
+    }
+    Ok(out)
+}
+
+/// Figure 2(b): native instructions per bytecode for the five hot
+/// bytecodes, per operand type pair (measured with type-pair
+/// microworkloads on the baseline engine).
+///
+/// # Errors
+///
+/// Returns a descriptive string on engine failure.
+pub fn fig2b() -> Result<String, String> {
+    let cases: [(&str, &str); 5] = [
+        ("ADD/SUB/MUL (Int,Int)", "local s = 0 for i = 1, 400 do s = s + i s = s - 1 s = s * 1 end print(s)"),
+        ("ADD/SUB/MUL (Flt,Flt)", "local s = 0.5 for i = 1, 400 do s = s + 0.5 s = s - 0.25 s = s * 1.0 end print(s)"),
+        ("ADD (Int,Flt) mixed", "local s = 0.5 for i = 1, 400 do s = s + 1 end print(s)"),
+        ("GETTABLE/SETTABLE (Tbl,Int)", "local t = {1} local s = 0 for i = 1, 400 do t[1] = i s = s + t[1] end print(s)"),
+        ("GETTABLE/SETTABLE (Tbl,Str)", "local t = {} t.k = 0 local s = 0 for i = 1, 400 do t.k = i s = s + t.k end print(s)"),
+    ];
+    let hot =
+        [luart::Op::Add, luart::Op::Sub, luart::Op::Mul, luart::Op::GetTable, luart::Op::SetTable];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2(b): native instructions per hot bytecode, by operand type pair"
+    );
+    let _ = writeln!(out, "(baseline Lua-like engine; helper-charged instructions included)");
+    let _ = writeln!(
+        out,
+        "\n{:<30} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "type pair", "ADD", "SUB", "MUL", "GETTABLE", "SETTABLE"
+    );
+    for (label, src) in cases {
+        let mut vm =
+            luart::LuaVm::from_source(src, IsaLevel::Baseline, CoreConfig::paper())
+                .map_err(|e| format!("{label}: {e}"))?;
+        let r = vm.run_profiled(MAX_STEPS).map_err(|e| format!("{label}: {e}"))?;
+        let profile = r.profile.expect("profiled");
+        let mut cols = String::new();
+        for op in hot {
+            let v = profile.instr_per_bytecode(op);
+            if v == 0.0 {
+                let _ = write!(cols, "{:>9}", "-");
+            } else {
+                let _ = write!(cols, "{v:>9.1}");
+            }
+        }
+        let _ = writeln!(out, "{label:<30} {cols}");
+    }
+    Ok(out)
+}
+
+/// Figure 1/3: the bytecode ADD handler, disassembled, baseline vs typed
+/// (compare the paper's Figure 1(c) and Figure 3).
+///
+/// # Errors
+///
+/// Returns a descriptive string on build failure.
+pub fn fig1() -> Result<String, String> {
+    let chunk = miniscript::parse("print(1 + 2)").map_err(|e| e.to_string())?;
+    let module = luart::compile(&chunk).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for level in [IsaLevel::Baseline, IsaLevel::Typed] {
+        let image = luart::build_image(&module, level).map_err(|e| e.to_string())?;
+        let entries = &image.handler_entries;
+        let add_pos = entries.iter().position(|(op, _)| *op == luart::Op::Add).unwrap();
+        let start = entries[add_pos].1;
+        let end = entries.get(add_pos + 1).map(|(_, pc)| *pc).unwrap_or(start + 4 * 64);
+        let _ = writeln!(out, "\n=== bytecode ADD handler, {level} ===");
+        for (pc, instr) in image.program.disassemble() {
+            if pc >= start && pc < end {
+                let _ = writeln!(out, "  {pc:#08x}: {instr}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Table 8: hardware overhead breakdown plus measured EDP improvements.
+pub fn table8(m: &Matrix) -> String {
+    let hw = tarch_energy::TypedHardware::paper_40nm();
+    let b = tarch_energy::breakdown(&hw);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 8: hardware overhead breakdown (analytical model)");
+    let _ = writeln!(out, "{b}");
+    let _ = writeln!(
+        out,
+        "area overhead: {:+.1}%   power overhead: {:+.1}%",
+        b.area_overhead() * 100.0,
+        b.power_overhead() * 100.0
+    );
+    for engine in EngineKind::ALL {
+        let base = m.geomean_cycles(engine, IsaLevel::Baseline);
+        let typed = m.geomean_cycles(engine, IsaLevel::Typed);
+        let imp = tarch_energy::edp_improvement(&b, base.round() as u64, typed.round() as u64);
+        let _ = writeln!(out, "EDP improvement ({engine}): {:.1}%", imp * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Matrix;
+
+    fn tiny_matrix() -> Matrix {
+        let ws: Vec<_> = ["fibo", "n-sieve"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        Matrix::run(&ws, Scale::Test, false).unwrap()
+    }
+
+    #[test]
+    fn figures_render() {
+        let m = tiny_matrix();
+        let f5 = fig5(&m);
+        assert!(f5.contains("geomean"));
+        assert!(f5.contains("fibo"));
+        let f6 = fig6(&m);
+        assert!(f6.contains("typed"));
+        let f7 = fig7(&m);
+        assert!(f7.contains("baseline"));
+        let f8 = fig8(&m);
+        assert!(f8.contains("I-cache"));
+        let t8 = table8(&m);
+        assert!(t8.contains("EDP improvement"));
+    }
+
+    #[test]
+    fn fig1_disassembles_both_variants() {
+        let s = fig1().unwrap();
+        assert!(s.contains("baseline"));
+        assert!(s.contains("typed"));
+        assert!(s.contains("xadd"));
+        assert!(s.contains("tld"));
+    }
+
+    #[test]
+    fn fig2b_measures_hot_ops() {
+        let s = fig2b().unwrap();
+        assert!(s.contains("GETTABLE"));
+        assert!(s.contains("(Int,Int)"));
+    }
+}

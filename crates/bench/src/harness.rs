@@ -1,0 +1,252 @@
+//! Experiment harness: runs the workload × engine × ISA-level matrix and
+//! derives every quantity the paper's evaluation figures report.
+
+use crate::workloads::{Scale, Workload};
+use std::collections::BTreeMap;
+use std::fmt;
+use tarch_core::{BranchStats, CoreConfig, IsaLevel, PerfCounters};
+
+/// Which scripting engine ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EngineKind {
+    /// `luart`, the register-based Lua-like engine.
+    Lua,
+    /// `jsrt`, the stack-based NaN-boxing engine (SpiderMonkey stand-in).
+    Js,
+}
+
+impl EngineKind {
+    /// Both engines, Lua first (the paper's figure order).
+    pub const ALL: [EngineKind; 2] = [EngineKind::Lua, EngineKind::Js];
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Lua => "Lua",
+            EngineKind::Js => "SpiderMonkey-like (JS)",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Hardware counters.
+    pub counters: PerfCounters,
+    /// Branch statistics.
+    pub branch: BranchStats,
+    /// Printed output (checked for cross-config equality).
+    pub output: String,
+    /// Dynamic bytecode count (only present for profiled runs).
+    pub bytecodes: Option<u64>,
+}
+
+impl CellResult {
+    /// Branch misses per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        self.counters.per_kilo_instr(self.branch.total_misses())
+    }
+}
+
+/// Step budget per run (generous; `Scale::Full` workloads are large).
+pub const MAX_STEPS: u64 = 20_000_000_000;
+
+/// Runs one workload on one engine at one ISA level.
+///
+/// # Errors
+///
+/// Returns a descriptive string on any engine failure.
+pub fn run_cell(
+    w: &Workload,
+    engine: EngineKind,
+    level: IsaLevel,
+    scale: Scale,
+    profiled: bool,
+) -> Result<CellResult, String> {
+    let src = w.source(scale);
+    let core = CoreConfig::paper();
+    let err = |e: &dyn fmt::Display| format!("{} / {engine:?} / {level}: {e}", w.name);
+    match engine {
+        EngineKind::Lua => {
+            let mut vm =
+                luart::LuaVm::from_source(&src, level, core).map_err(|e| err(&e))?;
+            let r = if profiled {
+                vm.run_profiled(MAX_STEPS).map_err(|e| err(&e))?
+            } else {
+                vm.run(MAX_STEPS).map_err(|e| err(&e))?
+            };
+            Ok(CellResult {
+                counters: r.counters,
+                branch: r.branch,
+                output: r.output,
+                bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
+            })
+        }
+        EngineKind::Js => {
+            let mut vm = jsrt::JsVm::from_source(&src, level, core).map_err(|e| err(&e))?;
+            let r = if profiled {
+                vm.run_profiled(MAX_STEPS).map_err(|e| err(&e))?
+            } else {
+                vm.run(MAX_STEPS).map_err(|e| err(&e))?
+            };
+            Ok(CellResult {
+                counters: r.counters,
+                branch: r.branch,
+                output: r.output,
+                bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
+            })
+        }
+    }
+}
+
+/// The full experiment matrix: results keyed by `(workload, engine, level)`.
+#[derive(Debug, Default)]
+pub struct Matrix {
+    results: BTreeMap<(String, EngineKind, IsaLevel), CellResult>,
+}
+
+impl Matrix {
+    /// Runs the whole matrix for the given workloads.
+    ///
+    /// Cross-checks that every (workload, engine) prints identical output
+    /// across ISA levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on the first failing run or output
+    /// mismatch.
+    pub fn run(workloads: &[Workload], scale: Scale, verbose: bool) -> Result<Matrix, String> {
+        let mut m = Matrix::default();
+        for w in workloads {
+            for engine in EngineKind::ALL {
+                let mut reference: Option<String> = None;
+                for level in IsaLevel::ALL {
+                    if verbose {
+                        eprintln!("  running {} / {engine:?} / {level} ...", w.name);
+                    }
+                    let cell = run_cell(w, engine, level, scale, false)?;
+                    match &reference {
+                        None => reference = Some(cell.output.clone()),
+                        Some(expected) => {
+                            if *expected != cell.output {
+                                return Err(format!(
+                                    "{} / {engine:?}: output diverges at {level}",
+                                    w.name
+                                ));
+                            }
+                        }
+                    }
+                    m.results.insert((w.name.to_string(), engine, level), cell);
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Looks up a cell.
+    pub fn cell(&self, workload: &str, engine: EngineKind, level: IsaLevel) -> &CellResult {
+        self.results
+            .get(&(workload.to_string(), engine, level))
+            .unwrap_or_else(|| panic!("missing cell {workload}/{engine:?}/{level}"))
+    }
+
+    /// Workload names present in the matrix, sorted.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.results.keys().map(|(w, _, _)| w.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Speedup of `level` over baseline for one cell (cycles ratio).
+    pub fn speedup(&self, workload: &str, engine: EngineKind, level: IsaLevel) -> f64 {
+        let base = self.cell(workload, engine, IsaLevel::Baseline).counters.cycles;
+        let this = self.cell(workload, engine, level).counters.cycles;
+        base as f64 / this as f64
+    }
+
+    /// Dynamic-instruction reduction of `level` vs baseline (Figure 6).
+    pub fn instr_reduction(&self, workload: &str, engine: EngineKind, level: IsaLevel) -> f64 {
+        let base = self.cell(workload, engine, IsaLevel::Baseline).counters.instructions;
+        let this = self.cell(workload, engine, level).counters.instructions;
+        1.0 - this as f64 / base as f64
+    }
+
+    /// Geometric-mean speedup across all workloads (Figure 5's geomean).
+    pub fn geomean_speedup(&self, engine: EngineKind, level: IsaLevel) -> f64 {
+        geomean(self.workloads().iter().map(|w| self.speedup(w, engine, level)))
+    }
+
+    /// Geometric mean of per-benchmark cycle counts for one configuration
+    /// (used by the Table 8 EDP computation).
+    pub fn geomean_cycles(&self, engine: EngineKind, level: IsaLevel) -> f64 {
+        geomean(
+            self.workloads()
+                .iter()
+                .map(|w| self.cell(w, engine, level).counters.cycles as f64),
+        )
+    }
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn single_cell_runs_and_counts() {
+        let w = workloads::by_name("fibo").unwrap();
+        let cell = run_cell(&w, EngineKind::Lua, IsaLevel::Typed, Scale::Test, false).unwrap();
+        assert_eq!(cell.output, "144\n");
+        assert!(cell.counters.type_hits > 0);
+        let profiled =
+            run_cell(&w, EngineKind::Lua, IsaLevel::Typed, Scale::Test, true).unwrap();
+        assert!(profiled.bytecodes.unwrap() > 100);
+    }
+
+    #[test]
+    fn mini_matrix_is_consistent() {
+        let ws: Vec<_> = ["fibo", "n-sieve"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        let m = Matrix::run(&ws, Scale::Test, false).unwrap();
+        assert_eq!(m.workloads().len(), 2);
+        for engine in EngineKind::ALL {
+            let s = m.speedup("fibo", engine, IsaLevel::Typed);
+            assert!(s > 0.8 && s < 2.0, "{engine:?} fibo speedup {s}");
+        }
+        // Typed must not execute more instructions than baseline on sieve
+        // (table-heavy → clear win).
+        let red = m.instr_reduction("n-sieve", EngineKind::Lua, IsaLevel::Typed);
+        assert!(red > 0.0, "typed reduction {red}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # tarch-bench — workloads and experiment harness
+//!
+//! Everything needed to regenerate the paper's evaluation:
+//!
+//! * [`workloads`] — the 11 benchmarks of Table 7, written in MiniScript,
+//!   at three input scales;
+//! * [`harness`] — the workload × engine × ISA-level experiment matrix
+//!   with derived metrics (speedups, instruction reduction, MPKI,
+//!   geomeans);
+//! * [`figures`] — one renderer per evaluation figure (2a, 2b, 5–9) and
+//!   Table 8;
+//! * [`paper_tables`] — printable versions of configuration Tables 1–7,
+//!   generated from the actual code.
+//!
+//! The `repro` binary exposes all of it:
+//!
+//! ```text
+//! cargo run -p tarch-bench --release --bin repro -- all
+//! cargo run -p tarch-bench --release --bin repro -- fig5 --full
+//! ```
+
+pub mod figures;
+pub mod harness;
+pub mod paper_tables;
+pub mod workloads;
+
+pub use harness::{geomean, run_cell, CellResult, EngineKind, Matrix};
+pub use workloads::{Scale, Workload};

@@ -1,0 +1,696 @@
+//! The paper's 11 benchmarks (Table 7), written in MiniScript.
+//!
+//! Each program is written once and runs on the reference interpreter and
+//! on both engines at every ISA level. The paper's inputs (Table 7) are
+//! available as [`Scale::Full`]; [`Scale::Default`] uses scaled-down
+//! inputs sized for simulator wall-clock, and [`Scale::Test`] uses tiny
+//! inputs for the test suite. Scaling inputs changes absolute counts, not
+//! the bytecode *mix* or type behaviour the figures depend on.
+
+/// Input scale for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests.
+    Test,
+    /// Simulator-friendly defaults used by `repro`.
+    Default,
+    /// The paper's Table 7 inputs.
+    Full,
+}
+
+/// One benchmark of Table 7.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Benchmark name (Table 7 spelling).
+    pub name: &'static str,
+    /// Table 7 description.
+    pub description: &'static str,
+    /// The paper's input parameter.
+    pub paper_input: &'static str,
+    source: fn(Scale) -> String,
+}
+
+impl Workload {
+    /// MiniScript source at the given scale.
+    pub fn source(&self, scale: Scale) -> String {
+        (self.source)(scale)
+    }
+}
+
+/// All 11 workloads, in Table 7 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "ackermann",
+            description: "Use of the Ackermann function to provide a benchmark",
+            paper_input: "7",
+            source: ackermann,
+        },
+        Workload {
+            name: "binary-trees",
+            description: "Allocate and deallocate many binary trees",
+            paper_input: "12",
+            source: binary_trees,
+        },
+        Workload {
+            name: "fannkuch-redux",
+            description: "Indexed-access to tiny integer-sequence",
+            paper_input: "9",
+            source: fannkuch,
+        },
+        Workload {
+            name: "fibo",
+            description: "Calculate fibonacci number",
+            paper_input: "32",
+            source: fibo,
+        },
+        Workload {
+            name: "k-nucleotide",
+            description: "Hash table update and k-nucleotide strings",
+            paper_input: "250,000",
+            source: knucleotide,
+        },
+        Workload {
+            name: "mandelbrot",
+            description: "Generate Mandelbrot set portable bitmap file",
+            paper_input: "250",
+            source: mandelbrot,
+        },
+        Workload {
+            name: "n-body",
+            description: "Double-precision N-body simulation",
+            paper_input: "500,000",
+            source: nbody,
+        },
+        Workload {
+            name: "n-sieve",
+            description: "Count the primes from 2 to M (Sieve of Eratosthenes)",
+            paper_input: "7",
+            source: nsieve,
+        },
+        Workload {
+            name: "pidigits",
+            description: "Streaming arbitrary-precision arithmetic",
+            paper_input: "500",
+            source: pidigits,
+        },
+        Workload {
+            name: "random",
+            description: "Generate random number",
+            paper_input: "300,000",
+            source: random,
+        },
+        Workload {
+            name: "spectral-norm",
+            description: "Eigenvalue using the power method",
+            paper_input: "500",
+            source: spectral_norm,
+        },
+    ]
+}
+
+/// Finds a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+fn ackermann(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 3,
+        Scale::Default => 4,
+        Scale::Full => 7,
+    };
+    format!(
+        "
+        function ack(m, n)
+            if m == 0 then return n + 1 end
+            if n == 0 then return ack(m - 1, 1) end
+            return ack(m - 1, ack(m, n - 1))
+        end
+        print(ack(3, {n}))
+        "
+    )
+}
+
+fn binary_trees(scale: Scale) -> String {
+    let max_depth = match scale {
+        Scale::Test => 4,
+        Scale::Default => 7,
+        Scale::Full => 12,
+    };
+    // Nodes are 3-element arrays: {item, left, right}; leaves use 0 as the
+    // null child (integer sentinel keeps element reads monomorphic).
+    format!(
+        "
+        function bottom_up(item, depth)
+            if depth > 0 then
+                local i2 = item + item
+                local node = {{item, 0, 0}}
+                node[2] = bottom_up(i2 - 1, depth - 1)
+                node[3] = bottom_up(i2, depth - 1)
+                return node
+            end
+            return {{item, 0, 0}}
+        end
+        function check(node)
+            local left = node[2]
+            if left == 0 then return node[1] end
+            return node[1] + check(left) - check(node[3])
+        end
+        local max_depth = {max_depth}
+        local stretch = max_depth + 1
+        print(\"stretch tree of depth \" .. stretch .. \"\\t check: \" .. check(bottom_up(0, stretch)))
+        local long_lived = bottom_up(0, max_depth)
+        local depth = 4
+        while depth <= max_depth do
+            local iterations = 1
+            local shift = max_depth - depth
+            local j = 0
+            while j < shift do
+                iterations = iterations * 2
+                j = j + 1
+            end
+            local chk = 0
+            for i = 1, iterations do
+                chk = chk + check(bottom_up(i, depth)) + check(bottom_up(-i, depth))
+            end
+            print(iterations * 2 .. \"\\t trees of depth \" .. depth .. \"\\t check: \" .. chk)
+            depth = depth + 2
+        end
+        print(\"long lived tree of depth \" .. max_depth .. \"\\t check: \" .. check(long_lived))
+        "
+    )
+}
+
+fn fannkuch(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 5,
+        Scale::Default => 7,
+        Scale::Full => 9,
+    };
+    format!(
+        "
+        local n = {n}
+        local p = {{}}
+        local q = {{}}
+        local s = {{}}
+        for i = 1, n do p[i] = i q[i] = i s[i] = i end
+        local maxflips = 0
+        local checksum = 0
+        local sign = 1
+        local done = false
+        while not done do
+            local q1 = p[1]
+            if q1 ~= 1 then
+                for i = 2, n do q[i] = p[i] end
+                local flips = 1
+                while true do
+                    local qq = q[q1]
+                    if qq == 1 then break end
+                    q[q1] = q1
+                    if q1 >= 4 then
+                        local i = 2
+                        local j = q1 - 1
+                        while i < j do
+                            local t = q[i]
+                            q[i] = q[j]
+                            q[j] = t
+                            i = i + 1
+                            j = j - 1
+                        end
+                    end
+                    q1 = qq
+                    flips = flips + 1
+                end
+                if flips > maxflips then maxflips = flips end
+                checksum = checksum + sign * flips
+            end
+            -- next permutation (with sign)
+            if sign == 1 then
+                local t = p[2]
+                p[2] = p[1]
+                p[1] = t
+                sign = -1
+            else
+                local t = p[2]
+                p[2] = p[3]
+                p[3] = t
+                sign = 1
+                local broke = false
+                local i = 3
+                while i <= n and not broke do
+                    local sx = s[i]
+                    if sx ~= 1 then
+                        s[i] = sx - 1
+                        broke = true
+                    else
+                        if i == n then
+                            done = true
+                            broke = true
+                        else
+                            s[i] = i
+                            local t1 = p[1]
+                            for j = 1, i do p[j] = p[j + 1] end
+                            p[i + 1] = t1
+                        end
+                    end
+                    i = i + 1
+                end
+            end
+        end
+        print(checksum)
+        print(\"Pfannkuchen(\" .. n .. \") = \" .. maxflips)
+        "
+    )
+}
+
+fn fibo(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 12,
+        Scale::Default => 21,
+        Scale::Full => 32,
+    };
+    format!(
+        "
+        function fib(n)
+            if n < 2 then return n end
+            return fib(n - 1) + fib(n - 2)
+        end
+        print(fib({n}))
+        "
+    )
+}
+
+fn knucleotide(scale: Scale) -> String {
+    let len = match scale {
+        Scale::Test => 120,
+        Scale::Default => 1500,
+        Scale::Full => 250_000,
+    };
+    // Deterministic pseudo-DNA (LCG), then 1- and 2-nucleotide frequency
+    // counting in a string-keyed table — the paper's hash-heavy workload.
+    format!(
+        "
+        local acgt = {{\"a\", \"c\", \"g\", \"t\"}}
+        local seed = 42
+        seq = {{}}   -- global: shared with report()
+        for i = 1, {len} do
+            seed = (seed * 3877 + 29573) % 139968
+            seq[i] = acgt[1 + seed % 4]
+        end
+        function report(k)
+            local counts = {{}}
+            local n = #seq
+            local total = n - k + 1
+            for i = 1, total do
+                local kmer = seq[i]
+                local j = 1
+                while j < k do
+                    kmer = kmer .. seq[i + j]
+                    j = j + 1
+                end
+                local c = counts[kmer]
+                if c == nil then counts[kmer] = 1 else counts[kmer] = c + 1 end
+            end
+            -- Report in a fixed key order for determinism.
+            local syms = {{\"a\", \"c\", \"g\", \"t\"}}
+            if k == 1 then
+                for i = 1, 4 do
+                    local c = counts[syms[i]]
+                    if c == nil then c = 0 end
+                    print(syms[i] .. \" \" .. floor(c * 100000 / total))
+                end
+            else
+                for i = 1, 4 do
+                    for j = 1, 4 do
+                        local key = syms[i] .. syms[j]
+                        local c = counts[key]
+                        if c == nil then c = 0 end
+                        print(key .. \" \" .. floor(c * 100000 / total))
+                    end
+                end
+            end
+        end
+        report(1)
+        report(2)
+        "
+    )
+}
+
+fn mandelbrot(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 12,
+        Scale::Default => 32,
+        Scale::Full => 250,
+    };
+    format!(
+        "
+        local n = {n}
+        local inside = 0
+        for yi = 0, n - 1 do
+            local ci = 2.0 * yi / n - 1.0
+            for xi = 0, n - 1 do
+                local cr = 2.0 * xi / n - 1.5
+                local zr = 0.0
+                local zi = 0.0
+                local iter = 0
+                local escaped = false
+                while iter < 50 and not escaped do
+                    local zr2 = zr * zr
+                    local zi2 = zi * zi
+                    if zr2 + zi2 > 4.0 then
+                        escaped = true
+                    else
+                        zi = 2.0 * zr * zi + ci
+                        zr = zr2 - zi2 + cr
+                        iter = iter + 1
+                    end
+                end
+                if not escaped then inside = inside + 1 end
+            end
+        end
+        print(\"P4\")
+        print(n .. \" \" .. n)
+        print(inside)
+        "
+    )
+}
+
+fn nbody(scale: Scale) -> String {
+    let steps = match scale {
+        Scale::Test => 40,
+        Scale::Default => 300,
+        Scale::Full => 500_000,
+    };
+    // Bodies are string-keyed tables, like the benchmarks-game Lua
+    // version: the paper notes these string-key lookups force the table
+    // slow path (Section 7.1).
+    format!(
+        "
+        PI = 3.141592653589793
+        SOLAR_MASS = 4.0 * PI * PI
+        DAYS_PER_YEAR = 365.24
+        function body(x, y, z, vx, vy, vz, mass)
+            local b = {{}}
+            b.x = x b.y = y b.z = z
+            b.vx = vx b.vy = vy b.vz = vz
+            b.mass = mass
+            return b
+        end
+        bodies = {{}}
+        bodies[1] = body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, SOLAR_MASS)
+        bodies[2] = body(4.84143144246472090, -1.16032004402742839, -0.103622044471123109,
+            0.00166007664274403694 * DAYS_PER_YEAR, 0.00769901118419740425 * DAYS_PER_YEAR,
+            -0.0000690460016972063023 * DAYS_PER_YEAR, 0.000954791938424326609 * SOLAR_MASS)
+        bodies[3] = body(8.34336671824457987, 4.12479856412430479, -0.403523417114321381,
+            -0.00276742510726862411 * DAYS_PER_YEAR, 0.00499852801234917238 * DAYS_PER_YEAR,
+            0.0000230417297573763929 * DAYS_PER_YEAR, 0.000285885980666130812 * SOLAR_MASS)
+        bodies[4] = body(12.8943695621391310, -15.1111514016986312, -0.223307578892655734,
+            0.00296460137564761618 * DAYS_PER_YEAR, 0.00237847173959480950 * DAYS_PER_YEAR,
+            -0.0000296589568540237556 * DAYS_PER_YEAR, 0.0000436624404335156298 * SOLAR_MASS)
+        bodies[5] = body(15.3796971148509165, -25.9193146099879641, 0.179258772950371181,
+            0.00268067772490389322 * DAYS_PER_YEAR, 0.00162824170038242295 * DAYS_PER_YEAR,
+            -0.0000951592254519715870 * DAYS_PER_YEAR, 0.0000515138902046611451 * SOLAR_MASS)
+        n = #bodies
+        -- offset momentum
+        local px = 0.0
+        local py = 0.0
+        local pz = 0.0
+        for i = 1, n do
+            local b = bodies[i]
+            px = px + b.vx * b.mass
+            py = py + b.vy * b.mass
+            pz = pz + b.vz * b.mass
+        end
+        bodies[1].vx = -px / SOLAR_MASS
+        bodies[1].vy = -py / SOLAR_MASS
+        bodies[1].vz = -pz / SOLAR_MASS
+        function energy()
+            local e = 0.0
+            for i = 1, n do
+                local b = bodies[i]
+                e = e + 0.5 * b.mass * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz)
+                for j = i + 1, n do
+                    local b2 = bodies[j]
+                    local dx = b.x - b2.x
+                    local dy = b.y - b2.y
+                    local dz = b.z - b2.z
+                    e = e - b.mass * b2.mass / sqrt(dx * dx + dy * dy + dz * dz)
+                end
+            end
+            return e
+        end
+        function advance(dt)
+            for i = 1, n do
+                local b = bodies[i]
+                for j = i + 1, n do
+                    local b2 = bodies[j]
+                    local dx = b.x - b2.x
+                    local dy = b.y - b2.y
+                    local dz = b.z - b2.z
+                    local d2 = dx * dx + dy * dy + dz * dz
+                    local mag = dt / (d2 * sqrt(d2))
+                    local bm = b2.mass * mag
+                    b.vx = b.vx - dx * bm
+                    b.vy = b.vy - dy * bm
+                    b.vz = b.vz - dz * bm
+                    bm = b.mass * mag
+                    b2.vx = b2.vx + dx * bm
+                    b2.vy = b2.vy + dy * bm
+                    b2.vz = b2.vz + dz * bm
+                end
+            end
+            for i = 1, n do
+                local b = bodies[i]
+                b.x = b.x + dt * b.vx
+                b.y = b.y + dt * b.vy
+                b.z = b.z + dt * b.vz
+            end
+        end
+        local e0 = energy()
+        print(floor(e0 * 1000000000))
+        for step = 1, {steps} do advance(0.01) end
+        local e1 = energy()
+        print(floor(e1 * 1000000000))
+        "
+    )
+}
+
+fn nsieve(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 0,
+        Scale::Default => 1,
+        Scale::Full => 7,
+    };
+    // Three sieves at m, m/2, m/4 like the benchmarks-game original.
+    format!(
+        "
+        function nsieve(m)
+            local flags = {{}}
+            for i = 2, m do flags[i] = true end
+            local count = 0
+            for i = 2, m do
+                if flags[i] then
+                    count = count + 1
+                    local k = i + i
+                    while k <= m do
+                        flags[k] = false
+                        k = k + i
+                    end
+                end
+            end
+            return count
+        end
+        local n = {n}
+        for i = 0, 2 do
+            local p = n - i
+            if p < 0 then p = 0 end
+            local m = 10000
+            local j = 0
+            while j < p do
+                m = m * 2
+                j = j + 1
+            end
+            print(\"Primes up to \" .. m .. \" \" .. nsieve(m))
+        end
+        "
+    )
+}
+
+fn pidigits(scale: Scale) -> String {
+    let digits = match scale {
+        Scale::Test => 12,
+        Scale::Default => 40,
+        Scale::Full => 500,
+    };
+    // Rabinowitz–Wagon spigot over an array of small integers: streaming
+    // "arbitrary-precision" arithmetic built from tables, like the
+    // benchmark's role in the paper.
+    format!(
+        "
+        local ndigits = {digits}
+        local len = ndigits * 10 // 3 + 2
+        local a = {{}}
+        for i = 1, len do a[i] = 2 end
+        local out = \"\"
+        local printed = 0
+        local nines = 0
+        local predigit = 0
+        local started = false
+        for d = 1, ndigits + 2 do
+            local q = 0
+            for i = len, 1, -1 do
+                local x = 10 * a[i] + q * i
+                a[i] = x % (2 * i - 1)
+                q = x // (2 * i - 1)
+            end
+            a[1] = q % 10
+            q = q // 10
+            if q == 9 then
+                nines = nines + 1
+            elseif q == 10 then
+                out = out .. (predigit + 1)
+                for k = 1, nines do out = out .. 0 end
+                predigit = 0
+                nines = 0
+                printed = printed + 1
+            else
+                if started then
+                    out = out .. predigit
+                    printed = printed + 1
+                end
+                started = true
+                predigit = q
+                for k = 1, nines do
+                    out = out .. 9
+                    printed = printed + 1
+                end
+                nines = 0
+            end
+            if printed >= ndigits then break end
+        end
+        print(sub(out, 1, ndigits))
+        "
+    )
+}
+
+fn random(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 400,
+        Scale::Default => 6_000,
+        Scale::Full => 300_000,
+    };
+    format!(
+        "
+        IM = 139968
+        IA = 3877
+        IC = 29573
+        seed = 42
+        function gen_random(max)
+            seed = (seed * IA + IC) % IM
+            return max * seed / IM
+        end
+        local r = 0.0
+        for i = 1, {n} do
+            r = gen_random(100.0)
+        end
+        print(floor(r * 1000000000))
+        "
+    )
+}
+
+fn spectral_norm(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 6,
+        Scale::Default => 16,
+        Scale::Full => 500,
+    };
+    format!(
+        "
+        n = {n}
+        function A(i, j)
+            return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+        end
+        function Av(x, y)
+            for i = 0, n - 1 do
+                local s = 0.0
+                for j = 0, n - 1 do
+                    s = s + A(i, j) * x[j + 1]
+                end
+                y[i + 1] = s
+            end
+        end
+        function Atv(x, y)
+            for i = 0, n - 1 do
+                local s = 0.0
+                for j = 0, n - 1 do
+                    s = s + A(j, i) * x[j + 1]
+                end
+                y[i + 1] = s
+            end
+        end
+        function AtAv(x, y, t)
+            Av(x, t)
+            Atv(t, y)
+        end
+        local u = {{}}
+        local v = {{}}
+        local t = {{}}
+        for i = 1, n do u[i] = 1.0 v[i] = 0.0 t[i] = 0.0 end
+        for i = 1, 10 do
+            AtAv(u, v, t)
+            AtAv(v, u, t)
+        end
+        local vBv = 0.0
+        local vv = 0.0
+        for i = 1, n do
+            vBv = vBv + u[i] * v[i]
+            vv = vv + v[i] * v[i]
+        end
+        print(floor(sqrt(vBv / vv) * 1000000000))
+        "
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniscript::{parse, Interp};
+
+    #[test]
+    fn eleven_workloads_matching_table7() {
+        let w = all();
+        assert_eq!(w.len(), 11);
+        assert_eq!(w[0].name, "ackermann");
+        assert_eq!(w[10].name, "spectral-norm");
+        assert!(by_name("fibo").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_sources_parse_and_run_at_test_scale() {
+        for w in all() {
+            let src = w.source(Scale::Test);
+            let chunk = parse(&src).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let mut interp = Interp::new();
+            interp.run(&chunk).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(!interp.output().is_empty(), "{} printed nothing", w.name);
+        }
+    }
+
+    #[test]
+    fn known_outputs_at_test_scale() {
+        let run = |name: &str| {
+            let src = by_name(name).unwrap().source(Scale::Test);
+            let chunk = parse(&src).unwrap();
+            let mut i = Interp::new();
+            i.run(&chunk).unwrap();
+            i.output().to_string()
+        };
+        assert_eq!(run("fibo"), "144\n");
+        assert_eq!(run("ackermann"), "61\n"); // ack(3,3)
+        assert!(run("n-sieve").contains("Primes up to 10000 1229"));
+        assert!(run("pidigits").starts_with("314159265358"));
+        assert!(run("fannkuch-redux").contains("Pfannkuchen(5) = 7"));
+    }
+}

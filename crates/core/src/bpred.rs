@@ -1,0 +1,295 @@
+//! Branch prediction: gshare + BTB + return address stack.
+//!
+//! Matches the paper's front end (Table 6): a 32 B gshare predictor
+//! (128 two-bit counters, 7-bit global history), a 62-entry fully
+//! associative BTB, and a 2-entry RAS, with a 2-cycle mispredict penalty.
+//!
+//! The model is queried once per control-flow instruction and reports
+//! whether the front end would have fetched the correct path; the timing
+//! model charges the penalty for mispredictions.
+
+use crate::config::BranchConfig;
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches mispredicted (direction or target).
+    pub branch_misses: u64,
+    /// Unconditional jumps/calls/returns executed.
+    pub jumps: u64,
+    /// Jumps whose target the front end missed.
+    pub jump_misses: u64,
+}
+
+impl BranchStats {
+    /// Total control-flow mispredictions.
+    pub fn total_misses(&self) -> u64 {
+        self.branch_misses + self.jump_misses
+    }
+}
+
+/// The combined branch predictor.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_core::{BranchConfig, BranchPredictor};
+/// let mut bp = BranchPredictor::new(BranchConfig::paper());
+/// // A loop branch taken many times becomes well predicted.
+/// let mut last_miss = true;
+/// for _ in 0..16 {
+///     last_miss = !bp.predict_branch(0x1000, true, 0x0f00);
+/// }
+/// assert!(!last_miss);
+/// ```
+#[derive(Debug)]
+pub struct BranchPredictor {
+    config: BranchConfig,
+    counters: Vec<u8>,
+    history: u64,
+    btb: Vec<(u64, u64, u64)>, // (pc, target, last_use)
+    ras: Vec<u64>,
+    tick: u64,
+    stats: BranchStats,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-not-taken counters and empty BTB/RAS.
+    pub fn new(config: BranchConfig) -> BranchPredictor {
+        BranchPredictor {
+            config,
+            counters: vec![1; config.gshare_entries],
+            history: 0,
+            btb: Vec::with_capacity(config.btb_entries),
+            ras: Vec::with_capacity(config.ras_entries),
+            tick: 0,
+            stats: BranchStats::default(),
+        }
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) % self.config.gshare_entries as u64) as usize
+    }
+
+    fn btb_lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        if let Some(e) = self.btb.iter_mut().find(|(p, _, _)| *p == pc) {
+            e.2 = self.tick;
+            Some(e.1)
+        } else {
+            None
+        }
+    }
+
+    fn btb_install(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        if let Some(e) = self.btb.iter_mut().find(|(p, _, _)| *p == pc) {
+            e.1 = target;
+            e.2 = self.tick;
+            return;
+        }
+        if self.btb.len() == self.config.btb_entries {
+            let lru = self
+                .btb
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.btb.swap_remove(lru);
+        }
+        self.btb.push((pc, target, self.tick));
+    }
+
+    /// Processes a conditional branch; returns whether the front end
+    /// predicted correctly.
+    pub fn predict_branch(&mut self, pc: u64, taken: bool, target: u64) -> bool {
+        self.stats.branches += 1;
+        let idx = self.gshare_index(pc);
+        let predicted_taken = self.counters[idx] >= 2;
+
+        // Direction prediction; a predicted-taken branch also needs the
+        // target from the BTB.
+        let correct = if predicted_taken == taken {
+            if taken {
+                self.btb_lookup(pc) == Some(target)
+            } else {
+                true
+            }
+        } else {
+            false
+        };
+
+        // Update state.
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.config.history_bits) - 1);
+        if taken {
+            self.btb_install(pc, target);
+        }
+
+        if !correct {
+            self.stats.branch_misses += 1;
+        }
+        correct
+    }
+
+    /// Processes a direct jump (`jal`); returns whether the front end had
+    /// the target. Pushes the return address for calls.
+    pub fn predict_jump(&mut self, pc: u64, target: u64, is_call: bool) -> bool {
+        self.stats.jumps += 1;
+        let correct = self.btb_lookup(pc) == Some(target);
+        self.btb_install(pc, target);
+        if is_call {
+            self.ras_push(pc + 4);
+        }
+        if !correct {
+            self.stats.jump_misses += 1;
+        }
+        correct
+    }
+
+    /// Processes an indirect jump (`jalr`); `is_return`/`is_call` classify
+    /// `ret` and indirect calls for RAS handling.
+    pub fn predict_indirect(&mut self, pc: u64, target: u64, is_call: bool, is_return: bool) -> bool {
+        self.stats.jumps += 1;
+        let predicted = if is_return {
+            self.ras_pop()
+        } else {
+            self.btb_lookup(pc)
+        };
+        let correct = predicted == Some(target);
+        if !is_return {
+            self.btb_install(pc, target);
+        }
+        if is_call {
+            self.ras_push(pc + 4);
+        }
+        if !correct {
+            self.stats.jump_misses += 1;
+        }
+        correct
+    }
+
+    fn ras_push(&mut self, addr: u64) {
+        if self.ras.len() == self.config.ras_entries {
+            self.ras.remove(0);
+        }
+        self.ras.push(addr);
+    }
+
+    fn ras_pop(&mut self) -> Option<u64> {
+        self.ras.pop()
+    }
+
+    /// Mispredict penalty in cycles.
+    pub fn miss_penalty(&self) -> u64 {
+        self.config.miss_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(BranchConfig::paper())
+    }
+
+    #[test]
+    fn loop_branch_trains_to_steady_state() {
+        let mut p = bp();
+        // Warm-up needs up to history_bits+2 misses (each shifted history
+        // pattern indexes a fresh counter); steady state must be perfect.
+        let mut late_misses = 0;
+        for i in 0..100 {
+            if !p.predict_branch(0x1000, true, 0x0f00) && i >= 20 {
+                late_misses += 1;
+            }
+        }
+        assert_eq!(late_misses, 0, "steady-state loop branch must be predicted");
+    }
+
+    #[test]
+    fn alternating_pattern_learned_by_history() {
+        let mut p = bp();
+        let mut last_20_misses = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            let ok = p.predict_branch(0x2000, taken, 0x2100);
+            if i >= 180 && !ok {
+                last_20_misses += 1;
+            }
+        }
+        assert_eq!(last_20_misses, 0, "gshare should learn a period-2 pattern");
+    }
+
+    #[test]
+    fn never_taken_branch_is_free() {
+        let mut p = bp();
+        for _ in 0..50 {
+            assert!(p.predict_branch(0x3000, false, 0x3100));
+        }
+        assert_eq!(p.stats().branch_misses, 0);
+    }
+
+    #[test]
+    fn direct_jump_hits_after_install() {
+        let mut p = bp();
+        assert!(!p.predict_jump(0x4000, 0x5000, false));
+        assert!(p.predict_jump(0x4000, 0x5000, false));
+    }
+
+    #[test]
+    fn ras_predicts_matched_call_return() {
+        let mut p = bp();
+        p.predict_jump(0x1000, 0x2000, true); // call from 0x1000
+        // Return to 0x1004 predicted by RAS.
+        assert!(p.predict_indirect(0x2010, 0x1004, false, true));
+        // Unmatched return: RAS empty now.
+        assert!(!p.predict_indirect(0x2010, 0x1004, false, true));
+    }
+
+    #[test]
+    fn ras_depth_two_overflows() {
+        let mut p = bp();
+        p.predict_jump(0x1000, 0xa000, true); // ra 0x1004
+        p.predict_jump(0x2000, 0xb000, true); // ra 0x2004
+        p.predict_jump(0x3000, 0xc000, true); // ra 0x3004 — evicts 0x1004
+        assert!(p.predict_indirect(0xc000, 0x3004, false, true));
+        assert!(p.predict_indirect(0xb000, 0x2004, false, true));
+        assert!(!p.predict_indirect(0xa000, 0x1004, false, true), "deepest frame was evicted");
+    }
+
+    #[test]
+    fn indirect_jump_learns_stable_target_and_misses_on_change() {
+        let mut p = bp();
+        assert!(!p.predict_indirect(0x6000, 0x7000, false, false));
+        assert!(p.predict_indirect(0x6000, 0x7000, false, false));
+        // Dispatch-loop behaviour: target changes → miss, then relearns.
+        assert!(!p.predict_indirect(0x6000, 0x8000, false, false));
+        assert!(p.predict_indirect(0x6000, 0x8000, false, false));
+    }
+
+    #[test]
+    fn btb_capacity_eviction() {
+        let mut p = BranchPredictor::new(BranchConfig { btb_entries: 2, ..BranchConfig::paper() });
+        p.predict_jump(0x100, 0x1, false);
+        p.predict_jump(0x200, 0x2, false);
+        p.predict_jump(0x100, 0x1, false); // touch
+        p.predict_jump(0x300, 0x3, false); // evict 0x200
+        assert!(p.predict_jump(0x100, 0x1, false));
+        assert!(!p.predict_jump(0x200, 0x2, false));
+    }
+}

@@ -1,0 +1,177 @@
+//! Performance counters.
+//!
+//! The paper integrates custom performance counters into the Rocket RTL for
+//! its analysis (Section 6); this is their software model. Everything the
+//! evaluation figures need — cycles, instructions, branch and cache MPKI,
+//! and type hit/miss rates (Figures 5–9) — is derived from these.
+
+/// All architectural event counters maintained by the core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Retired instructions (including native-helper charges).
+    pub instructions: u64,
+    /// Instructions charged by native helpers (subset of `instructions`).
+    pub helper_instructions: u64,
+    /// Cycles charged by native helpers (subset of `cycles`).
+    pub helper_cycles: u64,
+
+    /// I-cache accesses (one per fetched instruction).
+    pub icache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache accesses.
+    pub dcache_accesses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// I-TLB misses.
+    pub itlb_misses: u64,
+    /// D-TLB misses.
+    pub dtlb_misses: u64,
+
+    /// Type checks performed in hardware (`xadd`/`xsub`/`xmul`/`tchk`).
+    pub type_checks: u64,
+    /// Type Rule Table hits.
+    pub type_hits: u64,
+    /// Type mispredictions from TRT misses.
+    pub type_misses: u64,
+    /// Type mispredictions from overflow detection (counted separately;
+    /// the paper notes overflows are not included in Figure 9).
+    pub overflow_misses: u64,
+    /// Checked Load `chklb` checks.
+    pub chklb_checks: u64,
+    /// Checked Load `chklb` mismatches (redirects).
+    pub chklb_misses: u64,
+
+    /// Loads retired (all flavours).
+    pub loads: u64,
+    /// Stores retired (all flavours).
+    pub stores: u64,
+    /// Tagged memory instructions retired (`tld` + `tsd`).
+    pub tagged_mem: u64,
+    /// Polymorphic ALU instructions retired.
+    pub typed_alu: u64,
+    /// FP operations retired (baseline FP file ops).
+    pub fp_ops: u64,
+    /// Native host calls.
+    pub ecalls: u64,
+}
+
+impl PerfCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> PerfCounters {
+        PerfCounters::default()
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Events per kilo-instruction.
+    pub fn per_kilo_instr(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// I-cache misses per kilo-instruction (Figure 8's metric).
+    pub fn icache_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.icache_misses)
+    }
+
+    /// D-cache misses per kilo-instruction.
+    pub fn dcache_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.dcache_misses)
+    }
+
+    /// Fraction of hardware type checks that hit the TRT.
+    pub fn type_hit_rate(&self) -> f64 {
+        if self.type_checks == 0 {
+            0.0
+        } else {
+            self.type_hits as f64 / self.type_checks as f64
+        }
+    }
+
+    /// Subtracts a baseline snapshot, yielding counters for a region of
+    /// interest (the paper reports from the beginning to the end of the
+    /// main interpreter loop).
+    pub fn since(&self, start: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles - start.cycles,
+            instructions: self.instructions - start.instructions,
+            helper_instructions: self.helper_instructions - start.helper_instructions,
+            helper_cycles: self.helper_cycles - start.helper_cycles,
+            icache_accesses: self.icache_accesses - start.icache_accesses,
+            icache_misses: self.icache_misses - start.icache_misses,
+            dcache_accesses: self.dcache_accesses - start.dcache_accesses,
+            dcache_misses: self.dcache_misses - start.dcache_misses,
+            itlb_misses: self.itlb_misses - start.itlb_misses,
+            dtlb_misses: self.dtlb_misses - start.dtlb_misses,
+            type_checks: self.type_checks - start.type_checks,
+            type_hits: self.type_hits - start.type_hits,
+            type_misses: self.type_misses - start.type_misses,
+            overflow_misses: self.overflow_misses - start.overflow_misses,
+            chklb_checks: self.chklb_checks - start.chklb_checks,
+            chklb_misses: self.chklb_misses - start.chklb_misses,
+            loads: self.loads - start.loads,
+            stores: self.stores - start.stores,
+            tagged_mem: self.tagged_mem - start.tagged_mem,
+            typed_alu: self.typed_alu - start.typed_alu,
+            fp_ops: self.fp_ops - start.fp_ops,
+            ecalls: self.ecalls - start.ecalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = PerfCounters {
+            cycles: 1500,
+            instructions: 1000,
+            icache_misses: 5,
+            type_checks: 10,
+            type_hits: 9,
+            ..PerfCounters::default()
+        };
+        assert!((c.cpi() - 1.5).abs() < 1e-12);
+        assert!((c.icache_mpki() - 5.0).abs() < 1e-12);
+        assert!((c.type_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instruction_guards() {
+        let c = PerfCounters::default();
+        assert_eq!(c.cpi(), 0.0);
+        assert_eq!(c.icache_mpki(), 0.0);
+        assert_eq!(c.type_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let mut a = PerfCounters::default();
+        a.cycles = 100;
+        a.instructions = 80;
+        a.loads = 10;
+        let mut b = a;
+        b.cycles = 180;
+        b.instructions = 140;
+        b.loads = 17;
+        let d = b.since(&a);
+        assert_eq!(d.cycles, 80);
+        assert_eq!(d.instructions, 60);
+        assert_eq!(d.loads, 7);
+    }
+}

@@ -1,0 +1,926 @@
+//! The Typed Architecture core: functional execution + cycle-approximate
+//! timing of a single-issue, in-order, 5-stage pipeline (Figure 4).
+//!
+//! ## Timing model
+//!
+//! The simulator is *functional-first*: each [`Cpu::step`] executes one
+//! instruction architecturally and advances a timing scoreboard that models
+//! the paper's pipeline (Table 6):
+//!
+//! * one instruction issued per cycle, full forwarding;
+//! * per-register ready times produce load-use and FP-latency interlocks;
+//! * a pipelined multiplier/FPU and blocking integer/FP dividers;
+//! * 2-cycle redirect penalty on branch *and type* mispredictions;
+//! * I-cache/D-cache/TLB misses charge DRAM/page-walk latencies.
+//!
+//! This reproduces everything the paper measures — dynamic instruction
+//! count, CPI, branch and I-cache MPKI, and type hit rates — without
+//! stage-latch RTL simulation (see DESIGN.md for the substitution
+//! rationale).
+
+use crate::bpred::BranchPredictor;
+use crate::config::CoreConfig;
+use crate::counters::PerfCounters;
+use crate::regfile::{RegFile, TaggedValue};
+use crate::tagio::{Inserted, SprState};
+use crate::trt::TypeRuleTable;
+use std::error::Error;
+use std::fmt;
+use tarch_isa::asm::Program;
+use tarch_isa::{
+    AluImmOp, AluOp, Csr, FpCmpOp, FpuOp, Instruction, MemWidth, Reg, Spr, TrtClass, TrtRule,
+};
+use tarch_mem::{Cache, DramModel, MainMemory, Tlb};
+
+/// Outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// An ordinary instruction retired.
+    Retired,
+    /// An `ecall` retired; the host should service it (helper id and
+    /// arguments in the argument registers) and may modify machine state.
+    Ecall,
+    /// A `halt` retired; the core is stopped.
+    Halted,
+}
+
+/// Architectural trap: the simulated program did something invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Instruction word failed to decode.
+    InvalidInstruction {
+        /// Faulting pc.
+        pc: u64,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A data access was not naturally aligned.
+    MisalignedAccess {
+        /// Faulting pc.
+        pc: u64,
+        /// Faulting data address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+    /// The pc itself is misaligned.
+    MisalignedPc {
+        /// The bad pc.
+        pc: u64,
+    },
+    /// `set_trt` was given an invalid packed rule.
+    InvalidTrtRule {
+        /// Faulting pc.
+        pc: u64,
+        /// The packed value.
+        packed: u64,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::InvalidInstruction { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#x}")
+            }
+            Trap::MisalignedAccess { pc, addr, align } => {
+                write!(f, "misaligned {align}-byte access to {addr:#x} at pc {pc:#x}")
+            }
+            Trap::MisalignedPc { pc } => write!(f, "misaligned pc {pc:#x}"),
+            Trap::InvalidTrtRule { pc, packed } => {
+                write!(f, "invalid TRT rule {packed:#x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// The simulated core plus its memory system.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_core::{CoreConfig, Cpu, StepEvent};
+/// use tarch_isa::text::assemble;
+///
+/// let program = assemble("li a0, 6\n li a1, 7\n mul a0, a0, a1\n halt\n", 0x1000, 0x20000)?;
+/// let mut cpu = Cpu::new(CoreConfig::paper());
+/// cpu.load_program(&program);
+/// while cpu.step()? != StepEvent::Halted {}
+/// assert_eq!(cpu.regs().read(tarch_isa::Reg::A0).v, 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    config: CoreConfig,
+    regs: RegFile,
+    pc: u64,
+    spr: SprState,
+    trt: TypeRuleTable,
+    bpred: BranchPredictor,
+    icache: Cache,
+    dcache: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    dram: DramModel,
+    mem: MainMemory,
+    counters: PerfCounters,
+    now: u64,
+    ready: [u64; 32],
+    ready_f: [u64; 32],
+    halted: bool,
+}
+
+impl Cpu {
+    /// Creates a core with zeroed state.
+    pub fn new(config: CoreConfig) -> Cpu {
+        Cpu {
+            config,
+            regs: RegFile::new(),
+            pc: 0,
+            spr: SprState::default(),
+            trt: TypeRuleTable::new(config.trt_entries),
+            bpred: BranchPredictor::new(config.branch),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            itlb: Tlb::new(config.itlb_entries),
+            dtlb: Tlb::new(config.dtlb_entries),
+            dram: DramModel::new(config.dram),
+            mem: MainMemory::new(),
+            counters: PerfCounters::new(),
+            now: 0,
+            ready: [0; 32],
+            ready_f: [0; 32],
+            halted: false,
+        }
+    }
+
+    /// Copies a program image into memory and points the pc at its entry.
+    pub fn load_program(&mut self, program: &Program) {
+        for (i, word) in program.text.iter().enumerate() {
+            self.mem.write_u32(program.text_base + 4 * i as u64, *word);
+        }
+        self.mem.write_bytes(program.data_base, &program.data);
+        self.pc = program.entry;
+        self.halted = false;
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Redirects the pc (used by hosts and tests).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+        self.halted = false;
+    }
+
+    /// The register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// The register file, mutably (native helpers write results here).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// Simulated memory.
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Simulated memory, mutably (loaders and native helpers).
+    pub fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Performance counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Branch predictor statistics.
+    pub fn branch_stats(&self) -> crate::bpred::BranchStats {
+        self.bpred.stats()
+    }
+
+    /// The special-purpose registers.
+    pub fn spr(&self) -> SprState {
+        self.spr
+    }
+
+    /// The special-purpose registers, mutably (context-switch restore).
+    pub fn spr_mut(&mut self) -> &mut SprState {
+        &mut self.spr
+    }
+
+    /// The Type Rule Table.
+    pub fn trt(&self) -> &TypeRuleTable {
+        &self.trt
+    }
+
+    /// The Type Rule Table, mutably (context-switch restore).
+    pub fn trt_mut(&mut self) -> &mut TypeRuleTable {
+        &mut self.trt
+    }
+
+    /// Whether the core has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Charges `instructions`/`cycles` consumed by a native helper
+    /// (`ecall` service). Costs are identical across ISA levels, modelling
+    /// runtime/libc work the paper leaves in software.
+    pub fn charge(&mut self, instructions: u64, cycles: u64) {
+        self.counters.instructions += instructions;
+        self.counters.helper_instructions += instructions;
+        self.now += cycles;
+        self.counters.helper_cycles += cycles;
+        self.counters.cycles = self.now;
+    }
+
+    fn dmem_access(&mut self, addr: u64, is_write: bool) -> u64 {
+        self.counters.dcache_accesses += 1;
+        let mut extra = 0;
+        if !self.dtlb.access(addr) {
+            self.counters.dtlb_misses += 1;
+            extra += self.config.latency.tlb_miss;
+        }
+        let res = self.dcache.access(addr, is_write);
+        if !res.hit {
+            self.counters.dcache_misses += 1;
+            extra += self.dram.access(addr);
+        }
+        // Dirty writebacks drain through a write buffer: they generate DRAM
+        // traffic but do not stall the pipeline.
+        if let Some(victim) = res.writeback {
+            self.dram.access(victim);
+        }
+        extra
+    }
+
+    fn check_align(&self, pc: u64, addr: u64, align: u64) -> Result<(), Trap> {
+        if addr % align != 0 {
+            Err(Trap::MisalignedAccess { pc, addr, align })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on architectural errors (bad instruction,
+    /// misaligned access); the core state is left at the faulting
+    /// instruction.
+    pub fn step(&mut self) -> Result<StepEvent, Trap> {
+        if self.halted {
+            return Ok(StepEvent::Halted);
+        }
+        let pc = self.pc;
+        if pc % 4 != 0 {
+            return Err(Trap::MisalignedPc { pc });
+        }
+
+        // Fetch.
+        self.counters.icache_accesses += 1;
+        if !self.itlb.access(pc) {
+            self.counters.itlb_misses += 1;
+            self.now += self.config.latency.tlb_miss;
+        }
+        if !self.icache.access(pc, false).hit {
+            self.counters.icache_misses += 1;
+            self.now += self.dram.access(pc);
+        }
+        let word = self.mem.read_u32(pc);
+        let instr = Instruction::decode(word)
+            .map_err(|_| Trap::InvalidInstruction { pc, word })?;
+
+        self.counters.instructions += 1;
+        let event = self.execute(pc, instr)?;
+        self.counters.cycles = self.now;
+        Ok(event)
+    }
+
+    /// Runs until `halt`, an `ecall`, or `max_steps` instructions.
+    ///
+    /// Returns the event that stopped execution ([`StepEvent::Retired`]
+    /// means the step budget ran out).
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from [`Cpu::step`].
+    pub fn run(&mut self, max_steps: u64) -> Result<StepEvent, Trap> {
+        for _ in 0..max_steps {
+            match self.step()? {
+                StepEvent::Retired => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(StepEvent::Retired)
+    }
+
+    fn stall2(&self, rs1: Reg, rs2: Reg) -> u64 {
+        self.now
+            .max(self.ready[rs1.number() as usize])
+            .max(self.ready[rs2.number() as usize])
+    }
+
+    fn stall1(&self, rs1: Reg) -> u64 {
+        self.now.max(self.ready[rs1.number() as usize])
+    }
+
+    fn set_ready(&mut self, rd: Reg, at: u64) {
+        if !rd.is_zero() {
+            self.ready[rd.number() as usize] = at;
+        }
+    }
+
+    fn execute(&mut self, pc: u64, instr: Instruction) -> Result<StepEvent, Trap> {
+        let lat = self.config.latency;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut event = StepEvent::Retired;
+
+        match instr {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let t = self.stall2(rs1, rs2);
+                let a = self.regs.read(rs1).v;
+                let b = self.regs.read(rs2).v;
+                let v = alu_op(op, a, b);
+                self.regs.write_untyped(rd, v);
+                match op {
+                    AluOp::Mul | AluOp::Mulh | AluOp::Mulw => {
+                        self.now = t + 1;
+                        self.set_ready(rd, t + lat.mul);
+                    }
+                    AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu | AluOp::Divw
+                    | AluOp::Remw => {
+                        self.now = t + lat.div;
+                        self.set_ready(rd, self.now);
+                    }
+                    _ => {
+                        self.now = t + 1;
+                        self.set_ready(rd, t + 1);
+                    }
+                }
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let t = self.stall1(rs1);
+                let a = self.regs.read(rs1).v;
+                let v = alu_imm_op(op, a, imm);
+                self.regs.write_untyped(rd, v);
+                self.now = t + 1;
+                self.set_ready(rd, t + 1);
+            }
+            Instruction::Lui { rd, imm } => {
+                let t = self.now;
+                self.regs.write_untyped(rd, ((imm as i64) << 12) as u64);
+                self.now = t + 1;
+                self.set_ready(rd, t + 1);
+            }
+            Instruction::Load { width, signed, rd, rs1, imm } => {
+                let t = self.stall1(rs1);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                self.check_align(pc, addr, width.bytes())?;
+                let raw = match width {
+                    MemWidth::Byte => self.mem.read_u8(addr) as u64,
+                    MemWidth::Half => self.mem.read_u16(addr) as u64,
+                    MemWidth::Word => self.mem.read_u32(addr) as u64,
+                    MemWidth::Double => self.mem.read_u64(addr),
+                };
+                let v = if signed { sign_extend(raw, width) } else { raw };
+                self.regs.write_untyped(rd, v);
+                self.counters.loads += 1;
+                let extra = self.dmem_access(addr, false);
+                if extra == 0 {
+                    self.now = t + 1;
+                    self.set_ready(rd, t + 1 + lat.load_use);
+                } else {
+                    self.now = t + 1 + extra;
+                    self.set_ready(rd, self.now);
+                }
+            }
+            Instruction::Store { width, rs2, rs1, imm } => {
+                let t = self.stall2(rs1, rs2);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                self.check_align(pc, addr, width.bytes())?;
+                let v = self.regs.read(rs2).v;
+                match width {
+                    MemWidth::Byte => self.mem.write_u8(addr, v as u8),
+                    MemWidth::Half => self.mem.write_u16(addr, v as u16),
+                    MemWidth::Word => self.mem.write_u32(addr, v as u32),
+                    MemWidth::Double => self.mem.write_u64(addr, v),
+                }
+                self.counters.stores += 1;
+                let extra = self.dmem_access(addr, true);
+                self.now = t + 1 + extra;
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                let t = self.stall2(rs1, rs2);
+                let a = self.regs.read(rs1).v;
+                let b = self.regs.read(rs2).v;
+                let taken = cond.eval(a, b);
+                let target = pc.wrapping_add(offset as i64 as u64);
+                if taken {
+                    next_pc = target;
+                }
+                let correct = self.bpred.predict_branch(pc, taken, target);
+                self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+            }
+            Instruction::Jal { rd, offset } => {
+                let t = self.now;
+                let target = pc.wrapping_add(offset as i64 as u64);
+                self.regs.write_untyped(rd, pc + 4);
+                self.set_ready(rd, t + 1);
+                next_pc = target;
+                let correct = self.bpred.predict_jump(pc, target, rd == Reg::RA);
+                self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+            }
+            Instruction::Jalr { rd, rs1, imm } => {
+                let t = self.stall1(rs1);
+                let target = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64) & !1;
+                let is_return = rd.is_zero() && rs1 == Reg::RA;
+                let is_call = rd == Reg::RA;
+                self.regs.write_untyped(rd, pc + 4);
+                self.set_ready(rd, t + 1);
+                next_pc = target;
+                let correct = self.bpred.predict_indirect(pc, target, is_call, is_return);
+                self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+            }
+            Instruction::Fpu { op, rd, rs1, rs2 } => {
+                let t = self
+                    .now
+                    .max(self.ready_f[rs1.number() as usize])
+                    .max(self.ready_f[rs2.number() as usize]);
+                let a = self.regs.read_f64(rs1);
+                let b = self.regs.read_f64(rs2);
+                let v = fpu_op(op, a, b, self.regs.read_f(rs1), self.regs.read_f(rs2));
+                self.regs.write_f(rd, v);
+                self.counters.fp_ops += 1;
+                match op {
+                    FpuOp::Fdiv | FpuOp::Fsqrt => {
+                        self.now = t + lat.fp_div;
+                        self.ready_f[rd.number() as usize] = self.now;
+                    }
+                    _ => {
+                        self.now = t + 1;
+                        self.ready_f[rd.number() as usize] = t + lat.fp;
+                    }
+                }
+            }
+            Instruction::FpCmp { op, rd, rs1, rs2 } => {
+                let t = self
+                    .now
+                    .max(self.ready_f[rs1.number() as usize])
+                    .max(self.ready_f[rs2.number() as usize]);
+                let a = self.regs.read_f64(rs1);
+                let b = self.regs.read_f64(rs2);
+                let v = match op {
+                    FpCmpOp::Feq => a == b,
+                    FpCmpOp::Flt => a < b,
+                    FpCmpOp::Fle => a <= b,
+                } as u64;
+                self.regs.write_untyped(rd, v);
+                self.counters.fp_ops += 1;
+                self.now = t + 1;
+                self.set_ready(rd, t + lat.fp_mv);
+            }
+            Instruction::FpLoad { rd, rs1, imm } => {
+                let t = self.stall1(rs1);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                self.check_align(pc, addr, 8)?;
+                let v = self.mem.read_u64(addr);
+                self.regs.write_f(rd, v);
+                self.counters.loads += 1;
+                let extra = self.dmem_access(addr, false);
+                if extra == 0 {
+                    self.now = t + 1;
+                    self.ready_f[rd.number() as usize] = t + 1 + lat.load_use;
+                } else {
+                    self.now = t + 1 + extra;
+                    self.ready_f[rd.number() as usize] = self.now;
+                }
+            }
+            Instruction::FpStore { rs2, rs1, imm } => {
+                let t = self.stall1(rs1).max(self.ready_f[rs2.number() as usize]);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                self.check_align(pc, addr, 8)?;
+                self.mem.write_u64(addr, self.regs.read_f(rs2));
+                self.counters.stores += 1;
+                let extra = self.dmem_access(addr, true);
+                self.now = t + 1 + extra;
+            }
+            Instruction::FcvtDL { rd, rs1 } => {
+                let t = self.stall1(rs1);
+                let v = self.regs.read(rs1).v as i64 as f64;
+                self.regs.write_f64(rd, v);
+                self.counters.fp_ops += 1;
+                self.now = t + 1;
+                self.ready_f[rd.number() as usize] = t + lat.fp_mv;
+            }
+            Instruction::FcvtLD { rd, rs1 } => {
+                let t = self.now.max(self.ready_f[rs1.number() as usize]);
+                let f = self.regs.read_f64(rs1);
+                self.regs.write_untyped(rd, f64_to_i64_rtz(f) as u64);
+                self.counters.fp_ops += 1;
+                self.now = t + 1;
+                self.set_ready(rd, t + lat.fp_mv);
+            }
+            Instruction::FmvXD { rd, rs1 } => {
+                let t = self.now.max(self.ready_f[rs1.number() as usize]);
+                self.regs.write_untyped(rd, self.regs.read_f(rs1));
+                self.now = t + 1;
+                self.set_ready(rd, t + lat.fp_mv);
+            }
+            Instruction::FmvDX { rd, rs1 } => {
+                let t = self.stall1(rs1);
+                self.regs.write_f(rd, self.regs.read(rs1).v);
+                self.now = t + 1;
+                self.ready_f[rd.number() as usize] = t + lat.fp_mv;
+            }
+            Instruction::Tld { rd, rs1, imm } => {
+                let t = self.stall1(rs1);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                self.check_align(pc, addr, 8)?;
+                let value_dword = self.mem.read_u64(addr);
+                let tag_dword = if self.spr.nan_detect() {
+                    0
+                } else {
+                    let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
+                    self.mem.read_u64(tag_addr)
+                };
+                let entry = self.spr.extract(value_dword, tag_dword);
+                self.regs.write(rd, entry);
+                self.counters.loads += 1;
+                self.counters.tagged_mem += 1;
+                let mut extra = self.dmem_access(addr, false);
+                extra += self.tag_line_cost(addr, false);
+                if extra == 0 {
+                    self.now = t + 1;
+                    self.set_ready(rd, t + 1 + lat.load_use);
+                } else {
+                    self.now = t + 1 + extra;
+                    self.set_ready(rd, self.now);
+                }
+            }
+            Instruction::Tsd { rs2, rs1, imm } => {
+                let t = self.stall2(rs1, rs2);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                self.check_align(pc, addr, 8)?;
+                let entry = self.regs.read(rs2);
+                let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
+                let old_tag_dword =
+                    if self.spr.nan_detect() { 0 } else { self.mem.read_u64(tag_addr) };
+                match self.spr.insert(entry, old_tag_dword) {
+                    Inserted::ValueOnly { value } => self.mem.write_u64(addr, value),
+                    Inserted::WithTagDword { value, tag_dword } => {
+                        self.mem.write_u64(addr, value);
+                        self.mem.write_u64(tag_addr, tag_dword);
+                    }
+                }
+                self.counters.stores += 1;
+                self.counters.tagged_mem += 1;
+                let mut extra = self.dmem_access(addr, true);
+                extra += self.tag_line_cost(addr, true);
+                self.now = t + 1 + extra;
+            }
+            Instruction::Typed { op, rd, rs1, rs2 } => {
+                let t = self.stall2(rs1, rs2);
+                let a = self.regs.read(rs1);
+                let b = self.regs.read(rs2);
+                self.counters.typed_alu += 1;
+                self.counters.type_checks += 1;
+                let rule = self.trt.lookup(op.trt_class(), a.t, b.t);
+                match rule {
+                    Some(out) if a.f == b.f => {
+                        if a.f {
+                            // Bound to the FP ALU.
+                            let r = match op {
+                                tarch_isa::TypedAluOp::Xadd => a.as_f64() + b.as_f64(),
+                                tarch_isa::TypedAluOp::Xsub => a.as_f64() - b.as_f64(),
+                                tarch_isa::TypedAluOp::Xmul => a.as_f64() * b.as_f64(),
+                            };
+                            self.counters.type_hits += 1;
+                            self.regs.write(
+                                rd,
+                                TaggedValue { v: canonical_f64_bits(r), t: out, f: true },
+                            );
+                            self.now = t + 1;
+                            self.set_ready(rd, t + lat.fp);
+                        } else {
+                            // Bound to the integer ALU.
+                            let (av, bv) = (a.v as i64, b.v as i64);
+                            let r = match op {
+                                tarch_isa::TypedAluOp::Xadd => av.wrapping_add(bv),
+                                tarch_isa::TypedAluOp::Xsub => av.wrapping_sub(bv),
+                                tarch_isa::TypedAluOp::Xmul => av.wrapping_mul(bv),
+                            };
+                            let overflow = self.spr.overflow_detect()
+                                && (r != (r as i32) as i64
+                                    || mul_overflows_i64(op, av, bv));
+                            if overflow {
+                                // Section 7.1: overflow would corrupt a
+                                // co-located tag, so redirect to the slow
+                                // path. The destination is not written.
+                                self.counters.overflow_misses += 1;
+                                next_pc = self.spr.hdl;
+                                self.now = t + 1 + lat.type_miss_penalty;
+                            } else {
+                                self.counters.type_hits += 1;
+                                self.regs.write(
+                                    rd,
+                                    TaggedValue { v: r as u64, t: out, f: false },
+                                );
+                                let is_mul = op == tarch_isa::TypedAluOp::Xmul;
+                                self.now = t + 1;
+                                self.set_ready(rd, if is_mul { t + lat.mul } else { t + 1 });
+                            }
+                        }
+                    }
+                    _ => {
+                        // Type misprediction: redirect to R_hdl; no
+                        // architectural writeback, no retry (Section 3.2).
+                        self.counters.type_misses += 1;
+                        next_pc = self.spr.hdl;
+                        self.now = t + 1 + lat.type_miss_penalty;
+                    }
+                }
+            }
+            Instruction::SetSpr { spr, rs1 } => {
+                let t = self.stall1(rs1);
+                let v = self.regs.read(rs1).v;
+                match spr {
+                    Spr::Offset => self.spr.offset = (v & 0xf) as u8,
+                    Spr::Mask => self.spr.mask = v as u8,
+                    Spr::Shift => self.spr.shift = (v & 0x3f) as u8,
+                    Spr::TrtPush => {
+                        let rule = TrtRule::unpack(v)
+                            .ok_or(Trap::InvalidTrtRule { pc, packed: v })?;
+                        self.trt.push(rule);
+                    }
+                    Spr::ExpType => self.spr.exptype = v as u8,
+                }
+                self.now = t + 1;
+            }
+            Instruction::FlushTrt => {
+                self.trt.flush();
+                self.now += 1;
+            }
+            Instruction::Thdl { offset } => {
+                self.spr.hdl = pc.wrapping_add(4).wrapping_add(offset as i64 as u64);
+                self.now += 1;
+            }
+            Instruction::Tchk { rs1, rs2 } => {
+                let t = self.stall2(rs1, rs2);
+                let a = self.regs.read(rs1);
+                let b = self.regs.read(rs2);
+                self.counters.type_checks += 1;
+                if self.trt.lookup(TrtClass::Tchk, a.t, b.t).is_some() {
+                    self.counters.type_hits += 1;
+                    self.now = t + 1;
+                } else {
+                    self.counters.type_misses += 1;
+                    next_pc = self.spr.hdl;
+                    self.now = t + 1 + lat.type_miss_penalty;
+                }
+            }
+            Instruction::Tget { rd, rs1 } => {
+                let t = self.stall1(rs1);
+                let tag = self.regs.read(rs1).t;
+                self.regs.write_untyped(rd, tag as u64);
+                self.now = t + 1;
+                self.set_ready(rd, t + 1);
+            }
+            Instruction::Tset { rs1, rd } => {
+                let t = self.stall2(rs1, rd);
+                let tag = self.regs.read(rs1).v as u8;
+                self.regs.write_tag(rd, tag);
+                self.now = t + 1;
+                self.set_ready(rd, t + 1);
+            }
+            Instruction::Chklb { rd, rs1, imm } => {
+                let t = self.stall1(rs1);
+                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+                let byte = self.mem.read_u8(addr);
+                self.regs.write_untyped(rd, byte as u64);
+                self.counters.loads += 1;
+                self.counters.chklb_checks += 1;
+                let extra = self.dmem_access(addr, false);
+                if byte != self.spr.exptype {
+                    self.counters.chklb_misses += 1;
+                    next_pc = self.spr.hdl;
+                    self.now = t + 1 + extra + lat.type_miss_penalty;
+                } else if extra == 0 {
+                    self.now = t + 1;
+                    self.set_ready(rd, t + 1 + lat.load_use);
+                } else {
+                    self.now = t + 1 + extra;
+                    self.set_ready(rd, self.now);
+                }
+            }
+            Instruction::Csrr { rd, csr } => {
+                let t = self.now;
+                let v = match csr {
+                    Csr::Cycle => self.now,
+                    Csr::Instret => self.counters.instructions,
+                    Csr::TypeHit => self.counters.type_hits,
+                    Csr::TypeMiss => self.counters.type_misses + self.counters.overflow_misses,
+                    Csr::BranchMiss => self.bpred.stats().total_misses(),
+                    Csr::ICacheMiss => self.counters.icache_misses,
+                    Csr::DCacheMiss => self.counters.dcache_misses,
+                };
+                self.regs.write_untyped(rd, v);
+                self.now = t + 1;
+                self.set_ready(rd, t + 1);
+            }
+            Instruction::Ecall => {
+                self.counters.ecalls += 1;
+                self.now += 1;
+                event = StepEvent::Ecall;
+            }
+            Instruction::Halt => {
+                self.now += 1;
+                self.halted = true;
+                event = StepEvent::Halted;
+            }
+        }
+
+        self.pc = next_pc;
+        Ok(event)
+    }
+
+    /// Charges the extra D-cache access when a tagged access's tag
+    /// double-word lives on a different cache line than its value (rare:
+    /// only for unaligned tag-value pairs straddling a line).
+    fn tag_line_cost(&mut self, addr: u64, is_write: bool) -> u64 {
+        if self.spr.nan_detect() {
+            return 0;
+        }
+        let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
+        let line = self.config.dcache.line_bytes;
+        if tag_addr / line != addr / line {
+            1 + self.dmem_access(tag_addr, is_write)
+        } else {
+            0
+        }
+    }
+}
+
+fn mul_overflows_i64(op: tarch_isa::TypedAluOp, a: i64, b: i64) -> bool {
+    op == tarch_isa::TypedAluOp::Xmul && a.checked_mul(b).is_none()
+}
+
+fn sign_extend(raw: u64, width: MemWidth) -> u64 {
+    match width {
+        MemWidth::Byte => raw as u8 as i8 as i64 as u64,
+        MemWidth::Half => raw as u16 as i16 as i64 as u64,
+        MemWidth::Word => raw as u32 as i32 as i64 as u64,
+        MemWidth::Double => raw,
+    }
+}
+
+fn f64_to_i64_rtz(f: f64) -> i64 {
+    if f.is_nan() {
+        i64::MAX
+    } else if f >= i64::MAX as f64 {
+        i64::MAX
+    } else if f <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        f.trunc() as i64
+    }
+}
+
+fn alu_op(op: AluOp, a: u64, b: u64) -> u64 {
+    let (ai, bi) = (a as i64, b as i64);
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => ((ai as i128 * bi as i128) >> 64) as u64,
+        AluOp::Div => {
+            if bi == 0 {
+                u64::MAX
+            } else if ai == i64::MIN && bi == -1 {
+                ai as u64
+            } else {
+                (ai / bi) as u64
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if bi == 0 {
+                a
+            } else if ai == i64::MIN && bi == -1 {
+                0
+            } else {
+                (ai % bi) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+        AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+        AluOp::Sra => (ai >> (b & 63)) as u64,
+        AluOp::Slt => (ai < bi) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Addw => ((a as i32).wrapping_add(b as i32)) as i64 as u64,
+        AluOp::Subw => ((a as i32).wrapping_sub(b as i32)) as i64 as u64,
+        AluOp::Mulw => ((a as i32).wrapping_mul(b as i32)) as i64 as u64,
+        AluOp::Divw => {
+            let (ai, bi) = (a as i32, b as i32);
+            let r = if bi == 0 {
+                -1
+            } else if ai == i32::MIN && bi == -1 {
+                ai
+            } else {
+                ai / bi
+            };
+            r as i64 as u64
+        }
+        AluOp::Remw => {
+            let (ai, bi) = (a as i32, b as i32);
+            let r = if bi == 0 {
+                ai
+            } else if ai == i32::MIN && bi == -1 {
+                0
+            } else {
+                ai % bi
+            };
+            r as i64 as u64
+        }
+        AluOp::Sllw => ((a as i32).wrapping_shl((b & 31) as u32)) as i64 as u64,
+        AluOp::Srlw => (((a as u32).wrapping_shr((b & 31) as u32)) as i32) as i64 as u64,
+        AluOp::Sraw => ((a as i32).wrapping_shr((b & 31) as u32)) as i64 as u64,
+    }
+}
+
+fn alu_imm_op(op: AluImmOp, a: u64, imm: i32) -> u64 {
+    let b = imm as i64 as u64;
+    match op {
+        AluImmOp::Addi => alu_op(AluOp::Add, a, b),
+        AluImmOp::Andi => a & b,
+        AluImmOp::Ori => a | b,
+        AluImmOp::Xori => a ^ b,
+        AluImmOp::Slti => alu_op(AluOp::Slt, a, b),
+        AluImmOp::Sltiu => alu_op(AluOp::Sltu, a, b),
+        AluImmOp::Slli => alu_op(AluOp::Sll, a, b),
+        AluImmOp::Srli => alu_op(AluOp::Srl, a, b),
+        AluImmOp::Srai => alu_op(AluOp::Sra, a, b),
+        AluImmOp::Addiw => alu_op(AluOp::Addw, a, b),
+        AluImmOp::Slliw => alu_op(AluOp::Sllw, a, b),
+        AluImmOp::Srliw => alu_op(AluOp::Srlw, a, b),
+        AluImmOp::Sraiw => alu_op(AluOp::Sraw, a, b),
+    }
+}
+
+/// Bit pattern of an FP result with RISC-V NaN canonicalization: every
+/// generated NaN is the positive quiet NaN `0x7ff8_0000_0000_0000`. This
+/// matters on a Typed Architecture — an uncanonicalized negative NaN would
+/// alias a NaN-boxed value (Section 4.2).
+pub fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        f.to_bits()
+    }
+}
+
+fn fpu_op(op: FpuOp, a: f64, b: f64, abits: u64, bbits: u64) -> u64 {
+    const SIGN: u64 = 1 << 63;
+    match op {
+        FpuOp::Fadd => canonical_f64_bits(a + b),
+        FpuOp::Fsub => canonical_f64_bits(a - b),
+        FpuOp::Fmul => canonical_f64_bits(a * b),
+        FpuOp::Fdiv => canonical_f64_bits(a / b),
+        FpuOp::Fsqrt => canonical_f64_bits(a.sqrt()),
+        FpuOp::Fmin => canonical_f64_bits(a.min(b)),
+        FpuOp::Fmax => canonical_f64_bits(a.max(b)),
+        FpuOp::Fsgnj => (abits & !SIGN) | (bbits & SIGN),
+        FpuOp::Fsgnjn => (abits & !SIGN) | (!bbits & SIGN),
+    }
+}

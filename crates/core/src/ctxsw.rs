@@ -1,0 +1,104 @@
+//! Context-switch support for the typed state (paper Section 5,
+//! "OS interactions").
+//!
+//! The F/I̅ bits and tag fields of the unified register file, the
+//! special-purpose registers (`R_offset`, `R_shift`, `R_mask`, `R_hdl`)
+//! and the Type Rule Table contents are architectural state that must be
+//! preserved across context switches. [`TypedState`] captures exactly that
+//! state and restores it onto a core.
+
+use crate::cpu::Cpu;
+use crate::tagio::SprState;
+use tarch_isa::TrtRule;
+
+/// Snapshot of the Typed Architecture extension's architectural state.
+///
+/// Register *values* and the pc are saved by the ordinary OS trap path;
+/// this structure covers only the state the extension adds.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_core::{CoreConfig, Cpu, TypedState};
+///
+/// let mut cpu = Cpu::new(CoreConfig::paper());
+/// cpu.spr_mut().mask = 0x0f;
+/// let saved = TypedState::save(&cpu);
+///
+/// let mut other = Cpu::new(CoreConfig::paper());
+/// saved.restore(&mut other);
+/// assert_eq!(other.spr().mask, 0x0f);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedState {
+    /// Tags and F/I̅ bits of all 32 unified registers.
+    pub tags: [(u8, bool); 32],
+    /// Special-purpose registers (including `R_hdl`).
+    pub spr: SprState,
+    /// Type Rule Table rules, oldest first.
+    pub trt_rules: Vec<TrtRule>,
+}
+
+impl TypedState {
+    /// Captures the typed state from a core.
+    pub fn save(cpu: &Cpu) -> TypedState {
+        TypedState {
+            tags: cpu.regs().tag_state(),
+            spr: cpu.spr(),
+            trt_rules: cpu.trt().rules().to_vec(),
+        }
+    }
+
+    /// Restores the typed state onto a core (flushing its current TRT).
+    pub fn restore(&self, cpu: &mut Cpu) {
+        cpu.regs_mut().restore_tag_state(&self.tags);
+        *cpu.spr_mut() = self.spr;
+        cpu.trt_mut().flush();
+        for rule in &self.trt_rules {
+            cpu.trt_mut().push(*rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::regfile::TaggedValue;
+    use tarch_isa::{Reg, TrtClass};
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut a = Cpu::new(CoreConfig::paper());
+        a.regs_mut().write(Reg::A3, TaggedValue::tagged(77, 0x83));
+        a.spr_mut().offset = 0b001;
+        a.spr_mut().shift = 47;
+        a.spr_mut().hdl = 0xbeef0;
+        a.trt_mut().push(TrtRule::new(TrtClass::Xadd, 0x13, 0x13, 0x13));
+        a.trt_mut().push(TrtRule::new(TrtClass::Tchk, 5, 0x13, 5));
+
+        let state = TypedState::save(&a);
+        let mut b = Cpu::new(CoreConfig::paper());
+        state.restore(&mut b);
+
+        assert_eq!(b.regs().read(Reg::A3).t, 0x83);
+        assert!(b.regs().read(Reg::A3).f);
+        assert_eq!(b.spr().shift, 47);
+        assert_eq!(b.spr().hdl, 0xbeef0);
+        assert_eq!(b.trt().lookup(TrtClass::Tchk, 5, 0x13), Some(5));
+        assert_eq!(b.trt().len(), 2);
+    }
+
+    #[test]
+    fn restore_replaces_existing_trt() {
+        let mut a = Cpu::new(CoreConfig::paper());
+        a.trt_mut().push(TrtRule::new(TrtClass::Xmul, 1, 1, 1));
+        let state = TypedState::save(&a);
+
+        let mut b = Cpu::new(CoreConfig::paper());
+        b.trt_mut().push(TrtRule::new(TrtClass::Xadd, 9, 9, 9));
+        state.restore(&mut b);
+        assert_eq!(b.trt().lookup(TrtClass::Xadd, 9, 9), None);
+        assert_eq!(b.trt().lookup(TrtClass::Xmul, 1, 1), Some(1));
+    }
+}

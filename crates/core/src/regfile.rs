@@ -1,0 +1,194 @@
+//! The unified typed register file.
+//!
+//! Section 3.1: each general-purpose register entry carries three fields —
+//! the 64-bit value `R.v`, an 8-bit type tag `R.t`, and the F/I̅ bit `R.f`
+//! that selects the FP or integer ALU for polymorphic instructions. The
+//! file is *unified*: it holds both integer and FP values. Untyped
+//! instructions write the reserved [`UNTYPED_TAG`], so legacy code bypasses
+//! type checking entirely.
+//!
+//! A separate classic FP register file is kept for baseline code compiled
+//! against the split-file ABI (Figure 1(c) uses `f2`/`f5`).
+
+use tarch_isa::{FReg, Reg};
+
+/// Tag written by untyped instructions; never matches an engine rule.
+pub const UNTYPED_TAG: u8 = 0xff;
+
+/// One unified register entry: value, type tag, F/I̅ bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaggedValue {
+    /// The 64-bit value (integer, pointer, or raw f64 bits when `f`).
+    pub v: u64,
+    /// The 8-bit type tag.
+    pub t: u8,
+    /// F/I̅: `true` when the value is a floating-point subtype.
+    pub f: bool,
+}
+
+impl TaggedValue {
+    /// An untyped integer value.
+    pub fn untyped(v: u64) -> TaggedValue {
+        TaggedValue { v, t: UNTYPED_TAG, f: false }
+    }
+
+    /// A tagged value; the F/I̅ bit is taken from the tag's MSB
+    /// (the software convention the paper uses for Lua: "extend the original
+    /// type tag by one bit to use its MSB as F/I̅").
+    pub fn tagged(v: u64, t: u8) -> TaggedValue {
+        TaggedValue { v, t, f: t & 0x80 != 0 }
+    }
+
+    /// The value reinterpreted as a double.
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.v)
+    }
+}
+
+/// The unified (typed) general-purpose register file plus the baseline FP
+/// file.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_core::{RegFile, TaggedValue};
+/// use tarch_isa::Reg;
+///
+/// let mut rf = RegFile::new();
+/// rf.write(Reg::A0, TaggedValue::tagged(7, 0x13));
+/// assert_eq!(rf.read(Reg::A0).t, 0x13);
+/// rf.write(Reg::ZERO, TaggedValue::untyped(5)); // dropped
+/// assert_eq!(rf.read(Reg::ZERO).v, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    x: [TaggedValue; 32],
+    f: [u64; 32],
+}
+
+impl RegFile {
+    /// Creates a zeroed register file (all entries untyped).
+    pub fn new() -> RegFile {
+        RegFile { x: [TaggedValue::untyped(0); 32], f: [0; 32] }
+    }
+
+    /// Reads a unified register (x0 reads as untyped zero).
+    pub fn read(&self, r: Reg) -> TaggedValue {
+        self.x[r.number() as usize]
+    }
+
+    /// Writes a unified register; writes to x0 are dropped.
+    pub fn write(&mut self, r: Reg, value: TaggedValue) {
+        if !r.is_zero() {
+            self.x[r.number() as usize] = value;
+        }
+    }
+
+    /// Writes only the value field, marking the register untyped.
+    pub fn write_untyped(&mut self, r: Reg, v: u64) {
+        self.write(r, TaggedValue::untyped(v));
+    }
+
+    /// Writes only the tag (and derived F/I̅ bit), preserving the value —
+    /// the `tset` datapath.
+    pub fn write_tag(&mut self, r: Reg, t: u8) {
+        if !r.is_zero() {
+            let e = &mut self.x[r.number() as usize];
+            e.t = t;
+            e.f = t & 0x80 != 0;
+        }
+    }
+
+    /// Reads an FP register's raw bits.
+    pub fn read_f(&self, r: FReg) -> u64 {
+        self.f[r.number() as usize]
+    }
+
+    /// Reads an FP register as a double.
+    pub fn read_f64(&self, r: FReg) -> f64 {
+        f64::from_bits(self.f[r.number() as usize])
+    }
+
+    /// Writes an FP register's raw bits.
+    pub fn write_f(&mut self, r: FReg, bits: u64) {
+        self.f[r.number() as usize] = bits;
+    }
+
+    /// Writes an FP register from a double.
+    pub fn write_f64(&mut self, r: FReg, value: f64) {
+        self.f[r.number() as usize] = value.to_bits();
+    }
+
+    /// Snapshot of all tags and F/I̅ bits (context-switch support).
+    pub fn tag_state(&self) -> [(u8, bool); 32] {
+        let mut out = [(UNTYPED_TAG, false); 32];
+        for (i, e) in self.x.iter().enumerate() {
+            out[i] = (e.t, e.f);
+        }
+        out
+    }
+
+    /// Restores tags and F/I̅ bits from a snapshot.
+    pub fn restore_tag_state(&mut self, tags: &[(u8, bool); 32]) {
+        for (e, (t, f)) in self.x.iter_mut().zip(tags) {
+            e.t = *t;
+            e.f = *f;
+        }
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::ZERO, TaggedValue::tagged(99, 0x13));
+        assert_eq!(rf.read(Reg::ZERO), TaggedValue::untyped(0));
+        rf.write_tag(Reg::ZERO, 0x42);
+        assert_eq!(rf.read(Reg::ZERO).t, UNTYPED_TAG);
+    }
+
+    #[test]
+    fn tagged_derives_f_from_msb() {
+        assert!(!TaggedValue::tagged(0, 0x13).f); // Lua Int
+        assert!(TaggedValue::tagged(0, 0x83).f); // Lua Float (MSB set)
+    }
+
+    #[test]
+    fn write_tag_preserves_value() {
+        let mut rf = RegFile::new();
+        rf.write_untyped(Reg::A0, 1234);
+        rf.write_tag(Reg::A0, 0x83);
+        let e = rf.read(Reg::A0);
+        assert_eq!(e.v, 1234);
+        assert_eq!(e.t, 0x83);
+        assert!(e.f);
+    }
+
+    #[test]
+    fn fp_file_roundtrip() {
+        let mut rf = RegFile::new();
+        rf.write_f64(FReg::F3, 2.5);
+        assert_eq!(rf.read_f64(FReg::F3), 2.5);
+        assert_eq!(rf.read_f(FReg::F3), 2.5f64.to_bits());
+    }
+
+    #[test]
+    fn tag_state_roundtrip() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::A3, TaggedValue::tagged(5, 0x83));
+        let snap = rf.tag_state();
+        let mut other = RegFile::new();
+        other.restore_tag_state(&snap);
+        assert_eq!(other.read(Reg::A3).t, 0x83);
+        assert!(other.read(Reg::A3).f);
+    }
+}

@@ -1,0 +1,306 @@
+//! Tag extraction/insertion datapath and special-purpose registers.
+//!
+//! Section 3.3: `tld` extracts a type tag from either an adjacent
+//! double-word or the value's own double-word (NaN boxing), controlled by
+//! three special-purpose registers:
+//!
+//! * `R_offset` — 2 LSBs select the tag double-word (`00` same, `01` next,
+//!   `11` previous); the MSB of the paper's 3-bit field enables NaN
+//!   detection. *This implementation adds bit 3 as the overflow-detection
+//!   enable* (the paper describes turning overflow detection on/off but
+//!   leaves the mechanism open; see DESIGN.md).
+//! * `R_shift` — 6-bit starting bit of the tag field.
+//! * `R_mask` — 8-bit extraction mask.
+//!
+//! `tsd` runs the inverse insertion. In NaN-boxing mode an FP value
+//! (F/I̅ = 1) is stored raw, and a non-FP value is reconstructed as
+//! 13 one bits, the 4-bit tag at `R_shift`, and the payload
+//! (SpiderMonkey layout, Section 4.2).
+
+use crate::regfile::TaggedValue;
+
+/// Tag produced by NaN-detecting extraction for an unboxed (real double)
+/// value: F/I̅ set, type field zero. Engines using NaN boxing use this as
+/// their canonical "Double" tag in TRT rules.
+pub const NANBOX_FP_TAG: u8 = 0x80;
+
+/// Which double-word holds the tag, relative to the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagDword {
+    /// Tag shares the value's double-word (NaN boxing or packed layouts).
+    Same,
+    /// Tag lives in the next higher double-word (Lua's 8-byte value,
+    /// 1-byte tag struct).
+    Next,
+    /// Tag lives in the previous double-word.
+    Prev,
+}
+
+impl TagDword {
+    /// Byte offset from the value's address to the tag double-word.
+    pub fn byte_offset(self) -> i64 {
+        match self {
+            TagDword::Same => 0,
+            TagDword::Next => 8,
+            TagDword::Prev => -8,
+        }
+    }
+}
+
+/// The special-purpose register file of the Typed Architecture extension,
+/// plus the Checked Load expected-type register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SprState {
+    /// `R_offset` (see module docs for the bit assignment).
+    pub offset: u8,
+    /// `R_shift`: starting bit of the tag field (6 bits).
+    pub shift: u8,
+    /// `R_mask`: 8-bit tag mask.
+    pub mask: u8,
+    /// `R_hdl`: type-miss handler address.
+    pub hdl: u64,
+    /// `R_exptype`: expected tag for `chklb` (Checked Load extension).
+    pub exptype: u8,
+}
+
+impl Default for SprState {
+    fn default() -> SprState {
+        SprState { offset: 0, shift: 0, mask: 0xff, hdl: 0, exptype: 0 }
+    }
+}
+
+impl SprState {
+    /// The paper's Lua settings (Table 4): tag in the next double-word,
+    /// no shift, full-byte mask.
+    pub fn lua() -> SprState {
+        SprState { offset: 0b001, shift: 0, mask: 0xff, hdl: 0, exptype: 0 }
+    }
+
+    /// The paper's SpiderMonkey settings (Table 4): NaN detection enabled,
+    /// 4-bit tag at bit 47. Overflow detection (bit 3) is also enabled, as
+    /// Section 7.1 requires for a co-located tag-value pair.
+    pub fn spidermonkey() -> SprState {
+        SprState { offset: 0b1100, shift: 47, mask: 0x0f, hdl: 0, exptype: 0 }
+    }
+
+    /// Tag double-word selection from the two LSBs of `R_offset`.
+    pub fn tag_dword(self) -> TagDword {
+        match self.offset & 0b11 {
+            0b01 => TagDword::Next,
+            0b11 => TagDword::Prev,
+            _ => TagDword::Same,
+        }
+    }
+
+    /// Whether NaN detection is enabled (`R_offset` bit 2).
+    pub fn nan_detect(self) -> bool {
+        self.offset & 0b100 != 0
+    }
+
+    /// Whether overflow detection for polymorphic instructions is enabled
+    /// (`R_offset` bit 3; implementation extension).
+    pub fn overflow_detect(self) -> bool {
+        self.offset & 0b1000 != 0
+    }
+
+    /// Extracts a register entry from memory double-words — the `tld`
+    /// datapath.
+    ///
+    /// `value_dword` is `Mem[addr]`; `tag_dword` is the double-word selected
+    /// by `R_offset` (ignored in NaN-detection mode).
+    pub fn extract(self, value_dword: u64, tag_dword: u64) -> TaggedValue {
+        if self.nan_detect() {
+            if is_nan_boxed(value_dword) {
+                let t = ((value_dword >> self.shift) as u8) & self.mask;
+                TaggedValue { v: sign_extend_payload(value_dword, self.shift), t, f: false }
+            } else {
+                TaggedValue { v: value_dword, t: NANBOX_FP_TAG, f: true }
+            }
+        } else {
+            let t = ((tag_dword >> self.shift) as u8) & self.mask;
+            TaggedValue { v: value_dword, t, f: t & 0x80 != 0 }
+        }
+    }
+
+    /// Inserts a register entry back into memory form — the `tsd` datapath.
+    pub fn insert(self, entry: TaggedValue, old_tag_dword: u64) -> Inserted {
+        if self.nan_detect() {
+            if entry.f {
+                Inserted::ValueOnly { value: entry.v }
+            } else {
+                let payload_mask = payload_mask(self.shift);
+                let value = (0x1fffu64 << 51)
+                    | (((entry.t & self.mask) as u64) << self.shift)
+                    | (entry.v & payload_mask);
+                Inserted::ValueOnly { value }
+            }
+        } else {
+            let field = (self.mask as u64) << self.shift;
+            let tag_dword =
+                (old_tag_dword & !field) | ((((entry.t & self.mask) as u64) << self.shift) & field);
+            Inserted::WithTagDword { value: entry.v, tag_dword }
+        }
+    }
+}
+
+/// Result of the `tsd` insertion datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inserted {
+    /// Only the value double-word is written (NaN-boxing layouts).
+    ValueOnly {
+        /// The double-word to store at the value address.
+        value: u64,
+    },
+    /// Both the value double-word and the (read-modify-written) tag
+    /// double-word are stored.
+    WithTagDword {
+        /// The double-word to store at the value address.
+        value: u64,
+        /// The updated tag double-word.
+        tag_dword: u64,
+    },
+}
+
+/// Whether a double-word is a NaN-boxed (non-FP) value: its 13 MSBs are all
+/// ones (Section 4.2). Real doubles — including the canonical quiet NaN
+/// `0x7ff8…` — never have this pattern.
+pub fn is_nan_boxed(value: u64) -> bool {
+    value >> 51 == 0x1fff
+}
+
+fn payload_mask(shift: u8) -> u64 {
+    if shift == 0 {
+        0
+    } else {
+        (1u64 << shift) - 1
+    }
+}
+
+/// Sign-extends the payload below the tag field (bits `shift-1..0`).
+fn sign_extend_payload(value: u64, shift: u8) -> u64 {
+    if shift == 0 {
+        return 0;
+    }
+    let width = shift as u32;
+    let masked = value & payload_mask(shift);
+    let sign = 1u64 << (width - 1);
+    if masked & sign != 0 {
+        masked | !payload_mask(shift)
+    } else {
+        masked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lua_layout_extract_insert() {
+        let spr = SprState::lua();
+        assert_eq!(spr.tag_dword(), TagDword::Next);
+        assert!(!spr.nan_detect());
+
+        // Lua: value dword, tag in LSB of next dword.
+        let entry = spr.extract(42, 0x13);
+        assert_eq!(entry, TaggedValue { v: 42, t: 0x13, f: false });
+
+        let float = spr.extract(2.5f64.to_bits(), 0x83);
+        assert!(float.f);
+        assert_eq!(float.as_f64(), 2.5);
+
+        // Insert preserves the other bytes of the tag dword.
+        let old = 0xaabb_ccdd_0011_2200u64;
+        match spr.insert(entry, old) {
+            Inserted::WithTagDword { value, tag_dword } => {
+                assert_eq!(value, 42);
+                assert_eq!(tag_dword, 0xaabb_ccdd_0011_2213);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spidermonkey_nanbox_roundtrip_int() {
+        let spr = SprState::spidermonkey();
+        assert!(spr.nan_detect());
+        assert!(spr.overflow_detect());
+
+        // Pack an Int (tag 1) with value -5.
+        let entry = TaggedValue { v: (-5i64) as u64, t: 1, f: false };
+        let boxed = match spr.insert(entry, 0) {
+            Inserted::ValueOnly { value } => value,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(is_nan_boxed(boxed));
+        let back = spr.extract(boxed, 0);
+        assert_eq!(back.t, 1);
+        assert_eq!(back.v as i64, -5);
+        assert!(!back.f);
+    }
+
+    #[test]
+    fn spidermonkey_doubles_pass_through() {
+        let spr = SprState::spidermonkey();
+        let bits = 3.25f64.to_bits();
+        let entry = spr.extract(bits, 0);
+        assert!(entry.f);
+        assert_eq!(entry.t, NANBOX_FP_TAG);
+        assert_eq!(entry.v, bits);
+        match spr.insert(entry, 0) {
+            Inserted::ValueOnly { value } => assert_eq!(value, bits),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_nan_is_a_double() {
+        assert!(!is_nan_boxed(f64::NAN.to_bits()));
+        assert!(is_nan_boxed(0xffff_ffff_ffff_ffff));
+        assert!(!is_nan_boxed(0.0f64.to_bits()));
+        assert!(!is_nan_boxed((-1.0f64).to_bits()));
+    }
+
+    #[test]
+    fn offset_reserved_encoding_falls_back_to_same() {
+        let spr = SprState { offset: 0b10, ..SprState::default() };
+        assert_eq!(spr.tag_dword(), TagDword::Same);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lua_insert_extract_identity(v: u64, t: u8, junk: u64) {
+            let spr = SprState::lua();
+            let entry = TaggedValue { v, t, f: t & 0x80 != 0 };
+            let ins = spr.insert(entry, junk);
+            if let Inserted::WithTagDword { value, tag_dword } = ins {
+                prop_assert_eq!(spr.extract(value, tag_dword), entry);
+            } else {
+                prop_assert!(false, "expected WithTagDword");
+            }
+        }
+
+        #[test]
+        fn prop_nanbox_insert_extract_identity(payload in -(1i64 << 46)..(1i64 << 46), t in 0u8..16) {
+            let spr = SprState::spidermonkey();
+            let entry = TaggedValue { v: payload as u64, t, f: false };
+            let boxed = match spr.insert(entry, 0) {
+                Inserted::ValueOnly { value } => value,
+                _ => unreachable!(),
+            };
+            prop_assert!(is_nan_boxed(boxed));
+            let back = spr.extract(boxed, 0);
+            prop_assert_eq!(back.t, t);
+            prop_assert_eq!(back.v as i64, payload);
+        }
+
+        #[test]
+        fn prop_doubles_never_look_boxed(x: f64) {
+            // Only payload-carrying NaNs with the top 13 bits all set are
+            // boxed; arithmetic results never produce them.
+            let canonical = if x.is_nan() { f64::NAN } else { x };
+            prop_assert!(!is_nan_boxed(canonical.to_bits()));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The Type Rule Table (TRT).
+//!
+//! A small content-addressable memory looked up with
+//! `(opcode class, type_in1, type_in2)` and producing the output type tag
+//! (Section 3.2). The engine preloads it once at launch with `set_trt`
+//! (Table 5 shows the Lua/SpiderMonkey contents); `flush_trt` clears it on
+//! script exit.
+
+use tarch_isa::{TrtClass, TrtRule};
+
+/// The Type Rule Table: an 8-entry CAM in the paper's synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_core::TypeRuleTable;
+/// use tarch_isa::{TrtClass, TrtRule};
+///
+/// let mut trt = TypeRuleTable::new(8);
+/// trt.push(TrtRule::new(TrtClass::Xadd, 0x13, 0x13, 0x13));
+/// assert_eq!(trt.lookup(TrtClass::Xadd, 0x13, 0x13), Some(0x13));
+/// assert_eq!(trt.lookup(TrtClass::Xadd, 0x13, 0x83), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypeRuleTable {
+    entries: Vec<TrtRule>,
+    capacity: usize,
+    /// Next slot overwritten when the table is full (FIFO).
+    cursor: usize,
+}
+
+impl TypeRuleTable {
+    /// Creates an empty table with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> TypeRuleTable {
+        assert!(capacity > 0, "TRT needs at least one entry");
+        TypeRuleTable { entries: Vec::with_capacity(capacity), capacity, cursor: 0 }
+    }
+
+    /// Installs a rule (`set_trt`). When the table is full the oldest entry
+    /// is overwritten.
+    pub fn push(&mut self, rule: TrtRule) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(rule);
+        } else {
+            self.entries[self.cursor] = rule;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    /// Looks up the output tag for `(class, t1, t2)`.
+    pub fn lookup(&self, class: TrtClass, t1: u8, t2: u8) -> Option<u8> {
+        self.entries
+            .iter()
+            .find(|r| r.class == class && r.in1 == t1 && r.in2 == t2)
+            .map(|r| r.out)
+    }
+
+    /// Removes all rules (`flush_trt`).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.cursor = 0;
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The installed rules, oldest first (context-switch save/restore).
+    pub fn rules(&self) -> &[TrtRule] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_distinguishes_class_and_operand_order() {
+        let mut t = TypeRuleTable::new(8);
+        t.push(TrtRule::new(TrtClass::Xadd, 1, 2, 3));
+        assert_eq!(t.lookup(TrtClass::Xadd, 1, 2), Some(3));
+        assert_eq!(t.lookup(TrtClass::Xadd, 2, 1), None);
+        assert_eq!(t.lookup(TrtClass::Xsub, 1, 2), None);
+    }
+
+    #[test]
+    fn fifo_replacement_when_full() {
+        let mut t = TypeRuleTable::new(2);
+        t.push(TrtRule::new(TrtClass::Xadd, 1, 1, 1));
+        t.push(TrtRule::new(TrtClass::Xadd, 2, 2, 2));
+        t.push(TrtRule::new(TrtClass::Xadd, 3, 3, 3)); // evicts (1,1,1)
+        assert_eq!(t.lookup(TrtClass::Xadd, 1, 1), None);
+        assert_eq!(t.lookup(TrtClass::Xadd, 2, 2), Some(2));
+        assert_eq!(t.lookup(TrtClass::Xadd, 3, 3), Some(3));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = TypeRuleTable::new(4);
+        t.push(TrtRule::new(TrtClass::Tchk, 5, 0x13, 5));
+        t.flush();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(TrtClass::Tchk, 5, 0x13), None);
+    }
+}

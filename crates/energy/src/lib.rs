@@ -1,0 +1,288 @@
+//! # tarch-energy — area / power / EDP model (paper Table 8)
+//!
+//! The paper synthesises its RTL with a TSMC 40 nm library and reports a
+//! per-module area/power breakdown (Table 8), a 1.6 % total area overhead
+//! and EDP improvements of 16.5 % (Lua) / 19.3 % (JavaScript). We cannot
+//! run Design Compiler, so this crate provides an *analytical* model:
+//!
+//! * the **baseline** per-module area/power values are model constants
+//!   calibrated to the paper's reported baseline breakdown (a Rocket-class
+//!   core at 40 nm, 50 MHz);
+//! * the **Typed Architecture deltas** are computed structurally from the
+//!   hardware the extension adds — 9 extra bits per unified-register-file
+//!   entry (8-bit tag + F/I̅), the 8-entry TRT CAM, the shift/mask
+//!   extractor-inserter datapath, four SPRs, and tag datapath wiring —
+//!   using per-bit/per-entry area and power coefficients representative of
+//!   a 40 nm standard-cell flow;
+//! * **EDP** combines the modelled power with *measured* cycle counts from
+//!   the simulator, exactly as the paper combines synthesis power with
+//!   FPGA cycle counts.
+
+use std::fmt;
+
+/// One module row of the area/power breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleRow {
+    /// Module name (hierarchical).
+    pub name: &'static str,
+    /// Indentation depth for display (0 = Top).
+    pub depth: usize,
+    /// Baseline area in mm².
+    pub base_area_mm2: f64,
+    /// Baseline power in mW.
+    pub base_power_mw: f64,
+    /// Typed Architecture area in mm².
+    pub ta_area_mm2: f64,
+    /// Typed Architecture power in mW.
+    pub ta_power_mw: f64,
+}
+
+/// The full hardware-overhead breakdown (Table 8's structure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Per-module rows, Top first.
+    pub rows: Vec<ModuleRow>,
+}
+
+/// Structural cost coefficients for the Typed Architecture additions at a
+/// 40 nm-class node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypedHardware {
+    /// Register file entries (32 unified registers).
+    pub rf_entries: u32,
+    /// Extra bits per entry (8-bit tag + F/I̅).
+    pub tag_bits_per_entry: u32,
+    /// TRT entries (8 in the paper's synthesis).
+    pub trt_entries: u32,
+    /// Area per register-file bit, mm² (flop + mux at 40 nm).
+    pub area_per_rf_bit_mm2: f64,
+    /// Area per TRT CAM entry, mm² (3-field match + output byte).
+    pub area_per_trt_entry_mm2: f64,
+    /// Extractor/inserter datapath area (64-bit shifter + mask network),
+    /// mm².
+    pub area_tagio_mm2: f64,
+    /// SPR + control area, mm².
+    pub area_sprs_mm2: f64,
+    /// Dynamic+leakage power per added mm² of core logic at 50 MHz, mW
+    /// (power density of the active core region).
+    pub power_per_mm2_mw: f64,
+    /// Extra clock/tag-propagation power in the core, mW.
+    pub power_wiring_mw: f64,
+}
+
+impl TypedHardware {
+    /// Coefficients representative of the paper's 40 nm flow.
+    pub fn paper_40nm() -> TypedHardware {
+        TypedHardware {
+            rf_entries: 32,
+            tag_bits_per_entry: 9,
+            trt_entries: 8,
+            area_per_rf_bit_mm2: 8.0e-6,
+            area_per_trt_entry_mm2: 2.2e-4,
+            area_tagio_mm2: 2.6e-3,
+            area_sprs_mm2: 8.0e-4,
+            power_per_mm2_mw: 55.0,
+            power_wiring_mw: 0.16,
+        }
+    }
+
+    /// Total added area in mm².
+    pub fn added_area_mm2(&self) -> f64 {
+        let rf = self.rf_entries as f64 * self.tag_bits_per_entry as f64 * self.area_per_rf_bit_mm2;
+        let trt = self.trt_entries as f64 * self.area_per_trt_entry_mm2;
+        rf + trt + self.area_tagio_mm2 + self.area_sprs_mm2
+    }
+
+    /// Total added power in mW.
+    pub fn added_power_mw(&self) -> f64 {
+        self.added_area_mm2() * self.power_per_mm2_mw + self.power_wiring_mw
+    }
+}
+
+/// Builds the Table 8 breakdown: baseline constants calibrated to the
+/// paper's Rocket-class baseline, Typed deltas from [`TypedHardware`].
+///
+/// The Typed additions land in the *core* module (plus a small CSR and
+/// D-cache interface delta), matching the paper's observation that only
+/// the core grows.
+pub fn breakdown(hw: &TypedHardware) -> Breakdown {
+    let d_area = hw.added_area_mm2();
+    let d_power = hw.added_power_mw();
+    // Baseline values: the paper's Table 8 baseline column.
+    let rows = vec![
+        row("Top", 0, 0.684, 18.72, d_area + 0.002, d_power + 0.18),
+        row("Tile", 1, 0.627, 12.60, d_area + 0.002, d_power + 0.18),
+        row("Core", 2, 0.038, 2.22, d_area, d_power),
+        row("CSR", 2, 0.008, 0.57, 0.001, 0.03),
+        row("Div", 2, 0.006, 0.17, 0.0, 0.01),
+        row("FPU", 2, 0.089, 3.18, 0.0, 0.05),
+        row("ICache", 2, 0.251, 3.49, 0.0, 0.01),
+        row("DCache", 2, 0.249, 3.71, 0.001, 0.11),
+        row("Uncore", 1, 0.046, 4.75, 0.0, -0.01),
+        row("Wrapping", 1, 0.011, 1.38, 0.0, 0.0),
+    ];
+    Breakdown { rows }
+}
+
+fn row(
+    name: &'static str,
+    depth: usize,
+    base_area: f64,
+    base_power: f64,
+    d_area: f64,
+    d_power: f64,
+) -> ModuleRow {
+    ModuleRow {
+        name,
+        depth,
+        base_area_mm2: base_area,
+        base_power_mw: base_power,
+        ta_area_mm2: base_area + d_area,
+        ta_power_mw: base_power + d_power,
+    }
+}
+
+impl Breakdown {
+    /// Total baseline area (the Top row).
+    pub fn base_area(&self) -> f64 {
+        self.rows[0].base_area_mm2
+    }
+
+    /// Total Typed Architecture area.
+    pub fn ta_area(&self) -> f64 {
+        self.rows[0].ta_area_mm2
+    }
+
+    /// Total baseline power.
+    pub fn base_power(&self) -> f64 {
+        self.rows[0].base_power_mw
+    }
+
+    /// Total Typed Architecture power.
+    pub fn ta_power(&self) -> f64 {
+        self.rows[0].ta_power_mw
+    }
+
+    /// Relative area overhead (the paper reports 1.6 %).
+    pub fn area_overhead(&self) -> f64 {
+        self.ta_area() / self.base_area() - 1.0
+    }
+
+    /// Relative power overhead (the paper reports 3.7 %).
+    pub fn power_overhead(&self) -> f64 {
+        self.ta_power() / self.base_power() - 1.0
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>7} {:>9} {:>7} | {:>10} {:>7} {:>9} {:>7}",
+            "Module", "base mm2", "%", "base mW", "%", "TA mm2", "%", "TA mW", "%"
+        )?;
+        for r in &self.rows {
+            let pad = "  ".repeat(r.depth);
+            writeln!(
+                f,
+                "{:<12} {:>10.3} {:>6.1}% {:>9.2} {:>6.1}% | {:>10.3} {:>6.1}% {:>9.2} {:>6.1}%",
+                format!("{pad}{}", r.name),
+                r.base_area_mm2,
+                100.0 * r.base_area_mm2 / self.base_area(),
+                r.base_power_mw,
+                100.0 * r.base_power_mw / self.base_power(),
+                r.ta_area_mm2,
+                100.0 * r.ta_area_mm2 / self.ta_area(),
+                r.ta_power_mw,
+                100.0 * r.ta_power_mw / self.ta_power(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Energy-delay product of a run: `power × time²` up to constant factors —
+/// we use `power × cycles²` since the clock is fixed at 50 MHz.
+pub fn edp(power_mw: f64, cycles: u64) -> f64 {
+    power_mw * (cycles as f64) * (cycles as f64)
+}
+
+/// EDP improvement of the Typed configuration over baseline given measured
+/// cycle counts (the paper's 16.5 % / 19.3 % metric).
+///
+/// # Examples
+///
+/// ```
+/// use tarch_energy::{breakdown, edp_improvement, TypedHardware};
+/// let b = breakdown(&TypedHardware::paper_40nm());
+/// // A 10% speedup comfortably amortizes the ~4% power overhead.
+/// let improvement = edp_improvement(&b, 1_000_000, 900_000);
+/// assert!(improvement > 0.1 && improvement < 0.25);
+/// ```
+pub fn edp_improvement(b: &Breakdown, base_cycles: u64, ta_cycles: u64) -> f64 {
+    let base = edp(b.base_power(), base_cycles);
+    let ta = edp(b.ta_power(), ta_cycles);
+    1.0 - ta / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_paper_band() {
+        let b = breakdown(&TypedHardware::paper_40nm());
+        let area = b.area_overhead();
+        let power = b.power_overhead();
+        assert!((0.010..=0.025).contains(&area), "area overhead {area}");
+        assert!((0.025..=0.050).contains(&power), "power overhead {power}");
+    }
+
+    #[test]
+    fn only_core_adjacent_modules_grow() {
+        let b = breakdown(&TypedHardware::paper_40nm());
+        let core = b.rows.iter().find(|r| r.name == "Core").unwrap();
+        assert!(core.ta_area_mm2 > core.base_area_mm2);
+        let fpu = b.rows.iter().find(|r| r.name == "FPU").unwrap();
+        assert_eq!(fpu.ta_area_mm2, fpu.base_area_mm2);
+        let icache = b.rows.iter().find(|r| r.name == "ICache").unwrap();
+        assert_eq!(icache.ta_area_mm2, icache.base_area_mm2);
+    }
+
+    #[test]
+    fn core_share_grows_like_table8() {
+        // Paper: core is 5.5% of baseline area, 6.7% with TA.
+        let b = breakdown(&TypedHardware::paper_40nm());
+        let core = b.rows.iter().find(|r| r.name == "Core").unwrap();
+        let base_share = core.base_area_mm2 / b.base_area();
+        let ta_share = core.ta_area_mm2 / b.ta_area();
+        assert!((0.05..0.06).contains(&base_share), "base share {base_share}");
+        assert!((0.06..0.08).contains(&ta_share), "ta share {ta_share}");
+    }
+
+    #[test]
+    fn edp_formula() {
+        let b = breakdown(&TypedHardware::paper_40nm());
+        // No speedup → EDP strictly worse (power overhead only).
+        assert!(edp_improvement(&b, 1000, 1000) < 0.0);
+        // Equal-power sanity: 10% fewer cycles → ~19% EDP gain.
+        let imp = 1.0 - edp(1.0, 900) / edp(1.0, 1000);
+        assert!((imp - 0.19).abs() < 0.001);
+    }
+
+    #[test]
+    fn baseline_totals_match_paper() {
+        let b = breakdown(&TypedHardware::paper_40nm());
+        assert!((b.base_area() - 0.684).abs() < 1e-9);
+        assert!((b.base_power() - 18.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let b = breakdown(&TypedHardware::paper_40nm());
+        let s = b.to_string();
+        for name in ["Top", "Core", "FPU", "ICache", "Uncore"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

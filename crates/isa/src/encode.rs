@@ -1,0 +1,539 @@
+//! Fixed 32-bit binary encoding of TRV64 instructions.
+//!
+//! The paper stresses that its extension fits a RISC-style fixed-width
+//! encoding (unlike Checked Load's original x86-64 host, Section 7.1). TRV64
+//! uses its own clean 32-bit layout:
+//!
+//! ```text
+//! [31:25] major opcode (7 bits)
+//! [24:20] rd           [19:15] rs1          [14:10] rs2
+//! [9:0]   sub-opcode   (register-register groups: ALU, FPU, typed ALU, ...)
+//! [14:0]  imm15        (I-type: signed 15-bit immediate, overlaps rs2)
+//! [24:20]++[9:0] off15 (branches: signed 15-bit word offset)
+//! [19:0]  imm20        (lui / jal / thdl: signed 20-bit value or word offset)
+//! ```
+//!
+//! Branch offsets span ±64 KiB and `jal`/`thdl` offsets ±2 MiB, comfortably
+//! covering the scripting-engine interpreters built on top.
+
+use crate::instr::*;
+use crate::{Csr, FReg, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when an [`Instruction`] cannot be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit its field.
+    ImmOutOfRange {
+        /// Instruction mnemonic.
+        mnemonic: &'static str,
+        /// Offending value.
+        value: i64,
+        /// Field width in bits (signed unless it is a shift amount).
+        bits: u32,
+    },
+    /// A branch or jump offset is not a multiple of 4.
+    MisalignedOffset {
+        /// Instruction mnemonic.
+        mnemonic: &'static str,
+        /// Offending offset.
+        offset: i32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { mnemonic, value, bits } => {
+                write!(f, "immediate {value} of `{mnemonic}` does not fit in {bits} bits")
+            }
+            EncodeError::MisalignedOffset { mnemonic, offset } => {
+                write!(f, "offset {offset} of `{mnemonic}` is not a multiple of 4")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error produced when a 32-bit word is not a valid TRV64 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+// Major opcodes.
+const OP_ALU: u32 = 0x00;
+const OP_ALUIMM_BASE: u32 = 0x01; // 13 consecutive opcodes
+const OP_LUI: u32 = 0x0e;
+const OP_LB: u32 = 0x10;
+const OP_LBU: u32 = 0x11;
+const OP_LH: u32 = 0x12;
+const OP_LHU: u32 = 0x13;
+const OP_LW: u32 = 0x14;
+const OP_LWU: u32 = 0x15;
+const OP_LD: u32 = 0x16;
+const OP_SB: u32 = 0x18;
+const OP_SH: u32 = 0x19;
+const OP_SW: u32 = 0x1a;
+const OP_SD: u32 = 0x1b;
+const OP_BRANCH_BASE: u32 = 0x20; // 6 consecutive opcodes
+const OP_JAL: u32 = 0x26;
+const OP_JALR: u32 = 0x27;
+const OP_FLD: u32 = 0x28;
+const OP_FSD: u32 = 0x29;
+const OP_FPU: u32 = 0x2a;
+const OP_FPCMP: u32 = 0x2b;
+const OP_FCVT_D_L: u32 = 0x2c;
+const OP_FCVT_L_D: u32 = 0x2d;
+const OP_FMV_X_D: u32 = 0x2e;
+const OP_FMV_D_X: u32 = 0x2f;
+const OP_TLD: u32 = 0x30;
+const OP_TSD: u32 = 0x31;
+const OP_TYPED: u32 = 0x32;
+const OP_SETSPR: u32 = 0x33;
+const OP_FLUSH_TRT: u32 = 0x34;
+const OP_THDL: u32 = 0x35;
+const OP_TCHK: u32 = 0x36;
+const OP_TGET: u32 = 0x37;
+const OP_TSET: u32 = 0x38;
+const OP_CHKLB: u32 = 0x39;
+const OP_CSRR: u32 = 0x3a;
+const OP_ECALL: u32 = 0x3e;
+const OP_HALT: u32 = 0x3f;
+
+fn fits_signed(value: i64, bits: u32) -> bool {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&value)
+}
+
+fn check_imm(mnemonic: &'static str, value: i64, bits: u32) -> Result<(), EncodeError> {
+    if fits_signed(value, bits) {
+        Ok(())
+    } else {
+        Err(EncodeError::ImmOutOfRange { mnemonic, value, bits })
+    }
+}
+
+fn check_word_offset(mnemonic: &'static str, offset: i32, bits: u32) -> Result<i64, EncodeError> {
+    if offset % 4 != 0 {
+        return Err(EncodeError::MisalignedOffset { mnemonic, offset });
+    }
+    let words = (offset / 4) as i64;
+    check_imm(mnemonic, words, bits)?;
+    Ok(words)
+}
+
+fn field(value: u32, lo: u32, bits: u32) -> u32 {
+    (value & ((1 << bits) - 1)) << lo
+}
+
+fn extract(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+fn extract_signed(word: u32, lo: u32, bits: u32) -> i32 {
+    let raw = extract(word, lo, bits);
+    let shift = 32 - bits;
+    ((raw << shift) as i32) >> shift
+}
+
+fn enc_major(op: u32) -> u32 {
+    field(op, 25, 7)
+}
+
+fn enc_rd(r: Reg) -> u32 {
+    field(r.number() as u32, 20, 5)
+}
+
+fn enc_rs1(r: Reg) -> u32 {
+    field(r.number() as u32, 15, 5)
+}
+
+fn enc_rs2(r: Reg) -> u32 {
+    field(r.number() as u32, 10, 5)
+}
+
+fn enc_frd(r: FReg) -> u32 {
+    field(r.number() as u32, 20, 5)
+}
+
+fn enc_frs1(r: FReg) -> u32 {
+    field(r.number() as u32, 15, 5)
+}
+
+fn enc_frs2(r: FReg) -> u32 {
+    field(r.number() as u32, 10, 5)
+}
+
+fn enc_imm15(imm: i32) -> u32 {
+    field(imm as u32, 0, 15)
+}
+
+fn enc_imm20(imm: i32) -> u32 {
+    field(imm as u32, 0, 20)
+}
+
+/// Encodes a branch word-offset into the split `[24:20]++[9:0]` field.
+fn enc_branch_off(words: i64) -> u32 {
+    let w = words as u32;
+    field(w >> 10, 20, 5) | field(w, 0, 10)
+}
+
+fn dec_branch_off(word: u32) -> i32 {
+    let raw = (extract(word, 20, 5) << 10) | extract(word, 0, 10);
+    let shift = 32 - 15;
+    let words = ((raw << shift) as i32) >> shift;
+    words * 4
+}
+
+fn load_op(width: MemWidth, signed: bool) -> u32 {
+    match (width, signed) {
+        (MemWidth::Byte, true) => OP_LB,
+        (MemWidth::Byte, false) => OP_LBU,
+        (MemWidth::Half, true) => OP_LH,
+        (MemWidth::Half, false) => OP_LHU,
+        (MemWidth::Word, true) => OP_LW,
+        (MemWidth::Word, false) => OP_LWU,
+        (MemWidth::Double, _) => OP_LD,
+    }
+}
+
+fn store_op(width: MemWidth) -> u32 {
+    match width {
+        MemWidth::Byte => OP_SB,
+        MemWidth::Half => OP_SH,
+        MemWidth::Word => OP_SW,
+        MemWidth::Double => OP_SD,
+    }
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when an immediate or offset does not fit its
+    /// field or a control-flow offset is misaligned.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tarch_isa::{AluImmOp, Instruction, Reg};
+    /// let i = Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A1, imm: 42 };
+    /// let word = i.encode()?;
+    /// assert_eq!(Instruction::decode(word)?, i);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        let m = self.mnemonic();
+        let word = match *self {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let sub = AluOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+                enc_major(OP_ALU) | enc_rd(rd) | enc_rs1(rs1) | enc_rs2(rs2) | field(sub, 0, 10)
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                if op.is_shift() {
+                    if !(0..64).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange {
+                            mnemonic: m,
+                            value: imm as i64,
+                            bits: 6,
+                        });
+                    }
+                } else {
+                    check_imm(m, imm as i64, 15)?;
+                }
+                let idx = AluImmOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+                enc_major(OP_ALUIMM_BASE + idx) | enc_rd(rd) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Lui { rd, imm } => {
+                check_imm(m, imm as i64, 20)?;
+                enc_major(OP_LUI) | enc_rd(rd) | enc_imm20(imm)
+            }
+            Instruction::Load { width, signed, rd, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(load_op(width, signed)) | enc_rd(rd) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Store { width, rs2, rs1, imm } => {
+                // Stores use the rd field for rs2 so the 15-bit immediate
+                // field stays contiguous.
+                check_imm(m, imm as i64, 15)?;
+                enc_major(store_op(width)) | enc_rd(rs2) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                let words = check_word_offset(m, offset, 15)?;
+                let idx = BranchCond::ALL.iter().position(|c| *c == cond).unwrap() as u32;
+                enc_major(OP_BRANCH_BASE + idx)
+                    | enc_rs1(rs1)
+                    | enc_rs2(rs2)
+                    | enc_branch_off(words)
+            }
+            Instruction::Jal { rd, offset } => {
+                let words = check_word_offset(m, offset, 20)?;
+                enc_major(OP_JAL) | enc_rd(rd) | enc_imm20(words as i32)
+            }
+            Instruction::Jalr { rd, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(OP_JALR) | enc_rd(rd) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Fpu { op, rd, rs1, rs2 } => {
+                let sub = FpuOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+                enc_major(OP_FPU) | enc_frd(rd) | enc_frs1(rs1) | enc_frs2(rs2) | field(sub, 0, 10)
+            }
+            Instruction::FpCmp { op, rd, rs1, rs2 } => {
+                let sub = FpCmpOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+                enc_major(OP_FPCMP)
+                    | enc_rd(rd)
+                    | enc_frs1(rs1)
+                    | enc_frs2(rs2)
+                    | field(sub, 0, 10)
+            }
+            Instruction::FpLoad { rd, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(OP_FLD) | enc_frd(rd) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::FpStore { rs2, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(OP_FSD) | enc_frd(rs2) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::FcvtDL { rd, rs1 } => enc_major(OP_FCVT_D_L) | enc_frd(rd) | enc_rs1(rs1),
+            Instruction::FcvtLD { rd, rs1 } => enc_major(OP_FCVT_L_D) | enc_rd(rd) | enc_frs1(rs1),
+            Instruction::FmvXD { rd, rs1 } => enc_major(OP_FMV_X_D) | enc_rd(rd) | enc_frs1(rs1),
+            Instruction::FmvDX { rd, rs1 } => enc_major(OP_FMV_D_X) | enc_frd(rd) | enc_rs1(rs1),
+            Instruction::Tld { rd, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(OP_TLD) | enc_rd(rd) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Tsd { rs2, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(OP_TSD) | enc_rd(rs2) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Typed { op, rd, rs1, rs2 } => {
+                let sub = TypedAluOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+                enc_major(OP_TYPED) | enc_rd(rd) | enc_rs1(rs1) | enc_rs2(rs2) | field(sub, 0, 10)
+            }
+            Instruction::SetSpr { spr, rs1 } => {
+                let sub = Spr::ALL.iter().position(|s| *s == spr).unwrap() as u32;
+                enc_major(OP_SETSPR) | enc_rs1(rs1) | field(sub, 0, 10)
+            }
+            Instruction::FlushTrt => enc_major(OP_FLUSH_TRT),
+            Instruction::Thdl { offset } => {
+                let words = check_word_offset(m, offset, 20)?;
+                enc_major(OP_THDL) | enc_imm20(words as i32)
+            }
+            Instruction::Tchk { rs1, rs2 } => enc_major(OP_TCHK) | enc_rs1(rs1) | enc_rs2(rs2),
+            Instruction::Tget { rd, rs1 } => enc_major(OP_TGET) | enc_rd(rd) | enc_rs1(rs1),
+            Instruction::Tset { rs1, rd } => enc_major(OP_TSET) | enc_rd(rd) | enc_rs1(rs1),
+            Instruction::Chklb { rd, rs1, imm } => {
+                check_imm(m, imm as i64, 15)?;
+                enc_major(OP_CHKLB) | enc_rd(rd) | enc_rs1(rs1) | enc_imm15(imm)
+            }
+            Instruction::Csrr { rd, csr } => {
+                let sub = Csr::ALL.iter().position(|c| *c == csr).unwrap() as u32;
+                enc_major(OP_CSRR) | enc_rd(rd) | field(sub, 0, 10)
+            }
+            Instruction::Ecall => enc_major(OP_ECALL),
+            Instruction::Halt => enc_major(OP_HALT),
+        };
+        Ok(word)
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the major opcode or a sub-opcode field is
+    /// invalid.
+    pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+        let major = extract(word, 25, 7);
+        let rd = Reg::from_field(extract(word, 20, 5));
+        let rs1 = Reg::from_field(extract(word, 15, 5));
+        let rs2 = Reg::from_field(extract(word, 10, 5));
+        let frd = FReg::from_field(extract(word, 20, 5));
+        let frs1 = FReg::from_field(extract(word, 15, 5));
+        let frs2 = FReg::from_field(extract(word, 10, 5));
+        let imm15 = extract_signed(word, 0, 15);
+        let imm20 = extract_signed(word, 0, 20);
+        let sub = extract(word, 0, 10) as usize;
+        let bad = || DecodeError { word };
+
+        let instr = match major {
+            OP_ALU => {
+                let op = *AluOp::ALL.get(sub).ok_or_else(bad)?;
+                Instruction::Alu { op, rd, rs1, rs2 }
+            }
+            op if (OP_ALUIMM_BASE..OP_ALUIMM_BASE + 13).contains(&op) => {
+                let aop = AluImmOp::ALL[(op - OP_ALUIMM_BASE) as usize];
+                let imm = if aop.is_shift() { extract(word, 0, 6) as i32 } else { imm15 };
+                Instruction::AluImm { op: aop, rd, rs1, imm }
+            }
+            OP_LUI => Instruction::Lui { rd, imm: imm20 },
+            OP_LB | OP_LBU | OP_LH | OP_LHU | OP_LW | OP_LWU | OP_LD => {
+                let (width, signed) = match major {
+                    OP_LB => (MemWidth::Byte, true),
+                    OP_LBU => (MemWidth::Byte, false),
+                    OP_LH => (MemWidth::Half, true),
+                    OP_LHU => (MemWidth::Half, false),
+                    OP_LW => (MemWidth::Word, true),
+                    OP_LWU => (MemWidth::Word, false),
+                    _ => (MemWidth::Double, true),
+                };
+                Instruction::Load { width, signed, rd, rs1, imm: imm15 }
+            }
+            OP_SB | OP_SH | OP_SW | OP_SD => {
+                let width = match major {
+                    OP_SB => MemWidth::Byte,
+                    OP_SH => MemWidth::Half,
+                    OP_SW => MemWidth::Word,
+                    _ => MemWidth::Double,
+                };
+                Instruction::Store { width, rs2: rd, rs1, imm: imm15 }
+            }
+            op if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&op) => {
+                let cond = BranchCond::ALL[(op - OP_BRANCH_BASE) as usize];
+                Instruction::Branch { cond, rs1, rs2, offset: dec_branch_off(word) }
+            }
+            OP_JAL => Instruction::Jal { rd, offset: imm20 * 4 },
+            OP_JALR => Instruction::Jalr { rd, rs1, imm: imm15 },
+            OP_FLD => Instruction::FpLoad { rd: frd, rs1, imm: imm15 },
+            OP_FSD => Instruction::FpStore { rs2: frd, rs1, imm: imm15 },
+            OP_FPU => {
+                let op = *FpuOp::ALL.get(sub).ok_or_else(bad)?;
+                Instruction::Fpu { op, rd: frd, rs1: frs1, rs2: frs2 }
+            }
+            OP_FPCMP => {
+                let op = *FpCmpOp::ALL.get(sub).ok_or_else(bad)?;
+                Instruction::FpCmp { op, rd, rs1: frs1, rs2: frs2 }
+            }
+            OP_FCVT_D_L => Instruction::FcvtDL { rd: frd, rs1 },
+            OP_FCVT_L_D => Instruction::FcvtLD { rd, rs1: frs1 },
+            OP_FMV_X_D => Instruction::FmvXD { rd, rs1: frs1 },
+            OP_FMV_D_X => Instruction::FmvDX { rd: frd, rs1 },
+            OP_TLD => Instruction::Tld { rd, rs1, imm: imm15 },
+            OP_TSD => Instruction::Tsd { rs2: rd, rs1, imm: imm15 },
+            OP_TYPED => {
+                let op = *TypedAluOp::ALL.get(sub).ok_or_else(bad)?;
+                Instruction::Typed { op, rd, rs1, rs2 }
+            }
+            OP_SETSPR => {
+                let spr = *Spr::ALL.get(sub).ok_or_else(bad)?;
+                Instruction::SetSpr { spr, rs1 }
+            }
+            OP_FLUSH_TRT => Instruction::FlushTrt,
+            OP_THDL => Instruction::Thdl { offset: imm20 * 4 },
+            OP_TCHK => Instruction::Tchk { rs1, rs2 },
+            OP_TGET => Instruction::Tget { rd, rs1 },
+            OP_TSET => Instruction::Tset { rs1, rd },
+            OP_CHKLB => Instruction::Chklb { rd, rs1, imm: imm15 },
+            OP_CSRR => {
+                let csr = *Csr::ALL.get(sub).ok_or_else(bad)?;
+                Instruction::Csrr { rd, csr }
+            }
+            OP_ECALL => Instruction::Ecall,
+            OP_HALT => Instruction::Halt,
+            _ => return Err(bad()),
+        };
+        Ok(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_sample_forms() {
+        for i in samples::all_forms() {
+            let word = i.encode().unwrap_or_else(|e| panic!("encode {i}: {e}"));
+            let back = Instruction::decode(word).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+            assert_eq!(back, i, "roundtrip mismatch for {i} ({word:#010x})");
+        }
+    }
+
+    #[test]
+    fn imm_range_errors() {
+        let i = Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1 << 14,
+        };
+        assert!(matches!(i.encode(), Err(EncodeError::ImmOutOfRange { .. })));
+        let i = Instruction::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 64 };
+        assert!(matches!(i.encode(), Err(EncodeError::ImmOutOfRange { .. })));
+        let i = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 2,
+        };
+        assert!(matches!(i.encode(), Err(EncodeError::MisalignedOffset { .. })));
+        let i = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 1 << 17,
+        };
+        assert!(matches!(i.encode(), Err(EncodeError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcodes() {
+        assert!(Instruction::decode(0x7a << 25).is_err());
+        // OP_ALU with out-of-range sub-opcode.
+        assert!(Instruction::decode(999).is_err());
+    }
+
+    #[test]
+    fn branch_offset_extremes() {
+        for off in [-65536i32, -4, 0, 4, 65532] {
+            let i = Instruction::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: off,
+            };
+            let back = Instruction::decode(i.encode().unwrap()).unwrap();
+            assert_eq!(back, i, "offset {off}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary(instr in samples::arb_instruction()) {
+            let word = instr.encode().unwrap();
+            prop_assert_eq!(Instruction::decode(word).unwrap(), instr);
+        }
+
+        #[test]
+        fn prop_imm15_roundtrip(imm in -16384i32..=16383, rd in 0u8..32, rs1 in 0u8..32) {
+            let i = Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::new(rd).unwrap(),
+                rs1: Reg::new(rs1).unwrap(),
+                imm,
+            };
+            prop_assert_eq!(Instruction::decode(i.encode().unwrap()).unwrap(), i);
+        }
+
+        #[test]
+        fn prop_jal_offset_roundtrip(words in -(1i32<<19)..(1i32<<19)) {
+            let i = Instruction::Jal { rd: Reg::RA, offset: words * 4 };
+            prop_assert_eq!(Instruction::decode(i.encode().unwrap()).unwrap(), i);
+        }
+    }
+}

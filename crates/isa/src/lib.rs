@@ -1,0 +1,57 @@
+//! # tarch-isa — the TRV64 instruction set
+//!
+//! Instruction definitions, binary encoding, and assemblers for **TRV64**,
+//! the 64-bit RISC-style ISA used by this reproduction of *Typed
+//! Architectures: Architectural Support for Lightweight Scripting*
+//! (ASPLOS 2017).
+//!
+//! The ISA consists of:
+//!
+//! * a base integer + double-precision FP subset in the spirit of RV64IMFD
+//!   (own clean fixed 32-bit encoding, see the [`mod@encode`] module);
+//! * the **Typed Architecture extension** of the paper's Table 2 — tagged
+//!   loads/stores ([`Instruction::Tld`]/[`Instruction::Tsd`]), polymorphic
+//!   ALU instructions ([`Instruction::Typed`]: `xadd`/`xsub`/`xmul`),
+//!   Type Rule Table and tag-datapath configuration
+//!   ([`Instruction::SetSpr`], [`Instruction::FlushTrt`]), and the
+//!   miscellaneous `thdl`/`tchk`/`tget`/`tset`;
+//! * the **Checked Load extension** (`settype`/`chklb`) used as the paper's
+//!   hardware comparison baseline.
+//!
+//! # Examples
+//!
+//! Assemble and disassemble the typed fast path of a bytecode `ADD` handler
+//! (compare the paper's Figure 3):
+//!
+//! ```
+//! use tarch_isa::asm::ProgramBuilder;
+//! use tarch_isa::Reg;
+//!
+//! let mut b = ProgramBuilder::new(0x1000, 0x20000);
+//! let slow = b.new_label("ADD_slow");
+//! b.tld(Reg::A2, 0, Reg::S10);      // load rb (value + tag)
+//! b.tld(Reg::A3, 0, Reg::S9);       // load rc (value + tag)
+//! b.thdl(slow);                     // set type-miss handler
+//! b.xadd(Reg::A2, Reg::A2, Reg::A3);// ra = rb + rc (typed)
+//! b.tsd(Reg::A2, 0, Reg::S11);      // store ra (value + tag)
+//! b.halt();
+//! b.bind(slow);
+//! b.halt();
+//! let program = b.finish()?;
+//! assert_eq!(program.disassemble()[3].1.mnemonic(), "xadd");
+//! # Ok::<(), tarch_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod encode;
+mod instr;
+mod reg;
+pub mod samples;
+pub mod text;
+
+pub use encode::{DecodeError, EncodeError};
+pub use instr::{
+    AluImmOp, AluOp, BranchCond, Csr, FpCmpOp, FpuOp, Instruction, MemWidth, Spr, TrtClass,
+    TrtRule, TypedAluOp,
+};
+pub use reg::{FReg, Reg};

@@ -1,0 +1,260 @@
+//! Integer/unified and floating-point register names.
+//!
+//! TRV64 has 32 general-purpose registers (`x0`–`x31`) and 32 floating-point
+//! registers (`f0`–`f31`). `x0` is hard-wired to zero. On a Typed Architecture
+//! core (see `tarch-core`) the general-purpose file is *unified*: each entry
+//! additionally carries an 8-bit type tag and an F/I̅ bit, and may hold either
+//! an integer or a floating-point value.
+//!
+//! ABI names follow the RISC-V convention (`ra`, `sp`, `t0`…`t6`,
+//! `s0`…`s11`, `a0`…`a7`) so interpreter codegen reads naturally next to the
+//! paper's listings.
+
+use std::fmt;
+
+/// A general-purpose (unified) register, `x0`–`x31`.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_isa::Reg;
+/// assert_eq!(Reg::A0.number(), 10);
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// assert_eq!(Reg::new(10), Some(Reg::A0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register (`x0`).
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary registers.
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    /// Saved registers.
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    /// Argument/return registers.
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its number, returning `None` for numbers ≥ 32.
+    pub fn new(n: u8) -> Option<Reg> {
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from a raw field value, masking to 5 bits.
+    ///
+    /// Used by the instruction decoder where the field is 5 bits by
+    /// construction.
+    pub fn from_field(n: u32) -> Reg {
+        Reg((n & 0x1f) as u8)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses an ABI name (`"a0"`) or numeric name (`"x10"`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(rest) = name.strip_prefix('x') {
+            return rest.parse::<u8>().ok().and_then(Reg::new);
+        }
+        let n = match name {
+            "zero" => 0,
+            "ra" => 1,
+            "sp" => 2,
+            "gp" => 3,
+            "tp" => 4,
+            "t0" => 5,
+            "t1" => 6,
+            "t2" => 7,
+            "s0" | "fp" => 8,
+            "s1" => 9,
+            "a0" => 10,
+            "a1" => 11,
+            "a2" => 12,
+            "a3" => 13,
+            "a4" => 14,
+            "a5" => 15,
+            "a6" => 16,
+            "a7" => 17,
+            "s2" => 18,
+            "s3" => 19,
+            "s4" => 20,
+            "s5" => 21,
+            "s6" => 22,
+            "s7" => 23,
+            "s8" => 24,
+            "s9" => 25,
+            "s10" => 26,
+            "s11" => 27,
+            "t3" => 28,
+            "t4" => 29,
+            "t5" => 30,
+            "t6" => 31,
+            _ => return None,
+        };
+        Some(Reg(n))
+    }
+
+    /// The canonical ABI name of the register.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// A floating-point register, `f0`–`f31`.
+///
+/// Used only by the *baseline* (untyped) code paths; on a Typed Architecture
+/// the unified general-purpose file holds FP values directly.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_isa::FReg;
+/// assert_eq!(FReg::new(2), Some(FReg::F2));
+/// assert_eq!(FReg::F2.to_string(), "f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+macro_rules! freg_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl FReg {
+            $(pub const $name: FReg = FReg($n);)*
+        }
+    };
+}
+
+freg_consts! {
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14, F15 = 15,
+    F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21, F22 = 22, F23 = 23,
+    F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28, F29 = 29, F30 = 30, F31 = 31,
+}
+
+impl FReg {
+    /// Creates a register from its number, returning `None` for numbers ≥ 32.
+    pub fn new(n: u8) -> Option<FReg> {
+        if n < 32 {
+            Some(FReg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from a raw field value, masking to 5 bits.
+    pub fn from_field(n: u32) -> FReg {
+        FReg((n & 0x1f) as u8)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Parses a name of the form `f<N>`.
+    pub fn parse(name: &str) -> Option<FReg> {
+        name.strip_prefix('f')
+            .and_then(|rest| rest.parse::<u8>().ok())
+            .and_then(FReg::new)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_all_names() {
+        for n in 0..32u8 {
+            let r = Reg::new(n).unwrap();
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{n}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn reg_out_of_range() {
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("q7"), None);
+    }
+
+    #[test]
+    fn fp_alias() {
+        assert_eq!(Reg::parse("fp"), Some(Reg::S0));
+    }
+
+    #[test]
+    fn freg_roundtrip() {
+        for n in 0..32u8 {
+            let r = FReg::new(n).unwrap();
+            assert_eq!(FReg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(FReg::new(32), None);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+}

@@ -1,0 +1,141 @@
+//! Representative instruction samples used by tests throughout the
+//! workspace (encode/decode round-trips, disassembler checks, core
+//! semantics coverage).
+
+use crate::instr::*;
+use crate::{Csr, FReg, Reg};
+
+/// Returns at least one instance of every instruction form, covering every
+/// inner `op` enum value.
+///
+/// # Examples
+///
+/// ```
+/// let forms = tarch_isa::samples::all_forms();
+/// assert!(forms.iter().any(|i| i.mnemonic() == "xadd"));
+/// ```
+pub fn all_forms() -> Vec<Instruction> {
+    let mut v = Vec::new();
+    for op in AluOp::ALL {
+        v.push(Instruction::Alu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+    }
+    for op in AluImmOp::ALL {
+        let imm = if op.is_shift() { 13 } else { -42 };
+        v.push(Instruction::AluImm { op, rd: Reg::T0, rs1: Reg::S1, imm });
+    }
+    v.push(Instruction::Lui { rd: Reg::A5, imm: -12345 });
+    for (width, signed) in [
+        (MemWidth::Byte, true),
+        (MemWidth::Byte, false),
+        (MemWidth::Half, true),
+        (MemWidth::Half, false),
+        (MemWidth::Word, true),
+        (MemWidth::Word, false),
+        (MemWidth::Double, true),
+    ] {
+        v.push(Instruction::Load { width, signed, rd: Reg::A2, rs1: Reg::S10, imm: 8 });
+    }
+    for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word, MemWidth::Double] {
+        v.push(Instruction::Store { width, rs2: Reg::A4, rs1: Reg::S11, imm: -16 });
+    }
+    for cond in BranchCond::ALL {
+        v.push(Instruction::Branch { cond, rs1: Reg::A2, rs2: Reg::A4, offset: -64 });
+    }
+    v.push(Instruction::Jal { rd: Reg::RA, offset: 4096 });
+    v.push(Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::T3, imm: 0 });
+    for op in FpuOp::ALL {
+        v.push(Instruction::Fpu { op, rd: FReg::F2, rs1: FReg::F5, rs2: FReg::F2 });
+    }
+    for op in FpCmpOp::ALL {
+        v.push(Instruction::FpCmp { op, rd: Reg::A0, rs1: FReg::F1, rs2: FReg::F2 });
+    }
+    v.push(Instruction::FpLoad { rd: FReg::F2, rs1: Reg::S10, imm: 0 });
+    v.push(Instruction::FpStore { rs2: FReg::F5, rs1: Reg::S2, imm: 0 });
+    v.push(Instruction::FcvtDL { rd: FReg::F3, rs1: Reg::A1 });
+    v.push(Instruction::FcvtLD { rd: Reg::A1, rs1: FReg::F3 });
+    v.push(Instruction::FmvXD { rd: Reg::A6, rs1: FReg::F7 });
+    v.push(Instruction::FmvDX { rd: FReg::F7, rs1: Reg::A6 });
+    v.push(Instruction::Tld { rd: Reg::A0, rs1: Reg::S10, imm: 0 });
+    v.push(Instruction::Tsd { rs2: Reg::A0, rs1: Reg::S4, imm: 0 });
+    for op in TypedAluOp::ALL {
+        v.push(Instruction::Typed { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A0 });
+    }
+    for spr in Spr::ALL {
+        v.push(Instruction::SetSpr { spr, rs1: Reg::A3 });
+    }
+    v.push(Instruction::FlushTrt);
+    v.push(Instruction::Thdl { offset: 256 });
+    v.push(Instruction::Tchk { rs1: Reg::A1, rs2: Reg::A2 });
+    v.push(Instruction::Tget { rd: Reg::A0, rs1: Reg::A1 });
+    v.push(Instruction::Tset { rs1: Reg::A0, rd: Reg::A1 });
+    v.push(Instruction::Chklb { rd: Reg::A2, rs1: Reg::S10, imm: 8 });
+    for csr in Csr::ALL {
+        v.push(Instruction::Csrr { rd: Reg::A0, csr });
+    }
+    v.push(Instruction::Ecall);
+    v.push(Instruction::Halt);
+    v
+}
+
+#[cfg(test)]
+pub(crate) fn arb_instruction() -> impl proptest::strategy::Strategy<Value = Instruction> {
+    use proptest::prelude::*;
+
+    let reg = (0u8..32).prop_map(|n| Reg::new(n).unwrap());
+    let freg = (0u8..32).prop_map(|n| FReg::new(n).unwrap());
+    let imm15 = -16384i32..=16383;
+    let woff15 = (-16384i32..=16383).prop_map(|w| w * 4);
+
+    prop_oneof![
+        (0..AluOp::ALL.len(), reg.clone(), reg.clone(), reg.clone()).prop_map(
+            |(op, rd, rs1, rs2)| Instruction::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
+        ),
+        (0..AluImmOp::ALL.len(), reg.clone(), reg.clone(), imm15.clone()).prop_map(
+            |(op, rd, rs1, imm)| {
+                let op = AluImmOp::ALL[op];
+                let imm = if op.is_shift() { imm.rem_euclid(64) } else { imm };
+                Instruction::AluImm { op, rd, rs1, imm }
+            }
+        ),
+        (reg.clone(), -(1i32 << 19)..(1i32 << 19))
+            .prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (0..BranchCond::ALL.len(), reg.clone(), reg.clone(), woff15).prop_map(
+            |(c, rs1, rs2, offset)| Instruction::Branch {
+                cond: BranchCond::ALL[c],
+                rs1,
+                rs2,
+                offset
+            }
+        ),
+        (reg.clone(), reg.clone(), imm15.clone())
+            .prop_map(|(rd, rs1, imm)| Instruction::Tld { rd, rs1, imm }),
+        (reg.clone(), reg.clone(), imm15.clone())
+            .prop_map(|(rs2, rs1, imm)| Instruction::Tsd { rs2, rs1, imm }),
+        (0..TypedAluOp::ALL.len(), reg.clone(), reg.clone(), reg.clone()).prop_map(
+            |(op, rd, rs1, rs2)| Instruction::Typed { op: TypedAluOp::ALL[op], rd, rs1, rs2 }
+        ),
+        (reg.clone(), reg.clone(), imm15)
+            .prop_map(|(rd, rs1, imm)| Instruction::Chklb { rd, rs1, imm }),
+        (0..FpuOp::ALL.len(), freg.clone(), freg.clone(), freg)
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }),
+        (0..Spr::ALL.len(), reg)
+            .prop_map(|(s, rs1)| Instruction::SetSpr { spr: Spr::ALL[s], rs1 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_forms_covers_every_mnemonic_uniquely() {
+        let forms = all_forms();
+        let mnemonics: HashSet<_> = forms.iter().map(|i| i.mnemonic()).collect();
+        // 24 ALU + 13 ALU-imm + lui + 7 loads + 4 stores + 6 branches + jal +
+        // jalr + 9 FPU + 3 FP cmp + fld + fsd + 4 cvt/mv + tld + tsd + 3 typed
+        // + 5 set* + flush_trt + thdl + tchk + tget + tset + chklb + csrr +
+        // ecall + halt
+        assert_eq!(mnemonics.len(), 24 + 13 + 1 + 7 + 4 + 6 + 2 + 9 + 3 + 2 + 4 + 2 + 3 + 5 + 5 + 1 + 3);
+    }
+}

@@ -1,0 +1,567 @@
+//! Text-form assembler for TRV64.
+//!
+//! Accepts a small, GNU-as-flavoured dialect sufficient for examples and
+//! tests (the scripting engines generate code through
+//! [`crate::asm::ProgramBuilder`] directly):
+//!
+//! ```text
+//! .text
+//! main:
+//!     li   a0, 10          # pseudo-instructions are supported
+//!     call fib
+//!     halt
+//! fib:
+//!     ...
+//! .data
+//! table:
+//!     .dword 1, 2, 3
+//! msg:
+//!     .ascii "hi"
+//! ```
+//!
+//! Comments start with `#` or `;`. Supported directives: `.text`, `.data`,
+//! `.entry <label>`, `.align <n>`, `.dword v, ...`, `.byte v, ...`,
+//! `.ascii "..."`, `.dword_label <label>`.
+
+use crate::asm::{AsmError, Label, Program, ProgramBuilder};
+use crate::instr::*;
+use crate::{Csr, FReg, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the text assembler, with a 1-based source line.
+#[derive(Debug)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+impl From<AsmError> for ParseAsmError {
+    fn from(e: AsmError) -> ParseAsmError {
+        ParseAsmError { line: 0, message: e.to_string() }
+    }
+}
+
+/// Assembles TRV64 text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] on syntax errors, unknown mnemonics or
+/// registers, and on any assembly error (unbound labels, out-of-range
+/// offsets).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+///     li a0, 2
+///     li a1, 3
+///     add a0, a0, a1
+///     halt
+/// ";
+/// let program = tarch_isa::text::assemble(src, 0x1000, 0x20000)?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), tarch_isa::text::ParseAsmError>(())
+/// ```
+pub fn assemble(source: &str, text_base: u64, data_base: u64) -> Result<Program, ParseAsmError> {
+    let mut asm = TextAssembler::new(text_base, data_base);
+    for (i, raw_line) in source.lines().enumerate() {
+        asm.line(i + 1, raw_line)?;
+    }
+    asm.finish()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+struct TextAssembler {
+    b: ProgramBuilder,
+    labels: HashMap<String, Label>,
+    section: Section,
+    entry: Option<String>,
+}
+
+impl TextAssembler {
+    fn new(text_base: u64, data_base: u64) -> TextAssembler {
+        TextAssembler {
+            b: ProgramBuilder::new(text_base, data_base),
+            labels: HashMap::new(),
+            section: Section::Text,
+            entry: None,
+        }
+    }
+
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(l) = self.labels.get(name) {
+            *l
+        } else {
+            let l = self.b.new_label(name);
+            self.labels.insert(name.to_string(), l);
+            l
+        }
+    }
+
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<(), ParseAsmError> {
+        let err = |message: String| ParseAsmError { line: lineno, message };
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let mut rest = line;
+        // Leading labels (possibly several).
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            let l = self.label(name);
+            match self.section {
+                Section::Text => self.b.bind(l),
+                Section::Data => self.b.bind_data(l),
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            return self.directive(lineno, directive);
+        }
+        let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o.trim()),
+            None => (rest, ""),
+        };
+        let operands: Vec<&str> =
+            if operands.is_empty() { Vec::new() } else { operands.split(',').map(str::trim).collect() };
+        self.instruction(mnemonic, &operands).map_err(err)
+    }
+
+    fn directive(&mut self, lineno: usize, directive: &str) -> Result<(), ParseAsmError> {
+        let err = |message: String| ParseAsmError { line: lineno, message };
+        let (name, args) = match directive.split_once(char::is_whitespace) {
+            Some((n, a)) => (n, a.trim()),
+            None => (directive, ""),
+        };
+        match name {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "entry" => self.entry = Some(args.to_string()),
+            "align" => {
+                let n = parse_imm(args).map_err(err)?;
+                self.b.align_data(n as u64);
+            }
+            "dword" => {
+                for part in args.split(',') {
+                    let v = parse_imm(part.trim()).map_err(err)?;
+                    self.b.dword(v as u64);
+                }
+            }
+            "byte" => {
+                for part in args.split(',') {
+                    let v = parse_imm(part.trim()).map_err(err)?;
+                    self.b.bytes(&[v as u8]);
+                }
+            }
+            "ascii" => {
+                let s = args.trim();
+                let inner = s
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| err(format!("expected quoted string, got `{s}`")))?;
+                self.b.bytes(inner.as_bytes());
+            }
+            "dword_label" => {
+                let l = self.label(args.trim());
+                self.b.dword_label(l);
+            }
+            other => return Err(err(format!("unknown directive `.{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, m: &str, ops: &[&str]) -> Result<(), String> {
+        // Grouped register-register ALU ops.
+        if let Some(op) = AluOp::ALL.into_iter().find(|o| o.mnemonic() == m) {
+            let (rd, rs1, rs2) = (reg(ops, 0)?, reg(ops, 1)?, reg(ops, 2)?);
+            self.b.emit(Instruction::Alu { op, rd, rs1, rs2 });
+            return Ok(());
+        }
+        if let Some(op) = AluImmOp::ALL.into_iter().find(|o| o.mnemonic() == m) {
+            let (rd, rs1) = (reg(ops, 0)?, reg(ops, 1)?);
+            let imm = imm_op(ops, 2)?;
+            self.b.emit(Instruction::AluImm { op, rd, rs1, imm });
+            return Ok(());
+        }
+        if let Some(cond) = BranchCond::ALL.into_iter().find(|c| c.mnemonic() == m) {
+            let (rs1, rs2) = (reg(ops, 0)?, reg(ops, 1)?);
+            let l = self.label(operand(ops, 2)?);
+            self.b.branch(cond, rs1, rs2, l);
+            return Ok(());
+        }
+        if let Some(op) = FpuOp::ALL.into_iter().find(|o| o.mnemonic() == m) {
+            let (rd, rs1) = (freg(ops, 0)?, freg(ops, 1)?);
+            let rs2 = if op == FpuOp::Fsqrt && ops.len() == 2 { rs1 } else { freg(ops, 2)? };
+            self.b.emit(Instruction::Fpu { op, rd, rs1, rs2 });
+            return Ok(());
+        }
+        if let Some(op) = FpCmpOp::ALL.into_iter().find(|o| o.mnemonic() == m) {
+            let (rd, rs1, rs2) = (reg(ops, 0)?, freg(ops, 1)?, freg(ops, 2)?);
+            self.b.emit(Instruction::FpCmp { op, rd, rs1, rs2 });
+            return Ok(());
+        }
+        match m {
+            "lb" | "lbu" | "lh" | "lhu" | "lw" | "lwu" | "ld" => {
+                let rd = reg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                let (width, signed) = match m {
+                    "lb" => (MemWidth::Byte, true),
+                    "lbu" => (MemWidth::Byte, false),
+                    "lh" => (MemWidth::Half, true),
+                    "lhu" => (MemWidth::Half, false),
+                    "lw" => (MemWidth::Word, true),
+                    "lwu" => (MemWidth::Word, false),
+                    _ => (MemWidth::Double, true),
+                };
+                self.b.emit(Instruction::Load { width, signed, rd, rs1, imm });
+            }
+            "sb" | "sh" | "sw" | "sd" => {
+                let rs2 = reg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                let width = match m {
+                    "sb" => MemWidth::Byte,
+                    "sh" => MemWidth::Half,
+                    "sw" => MemWidth::Word,
+                    _ => MemWidth::Double,
+                };
+                self.b.emit(Instruction::Store { width, rs2, rs1, imm });
+            }
+            "fld" => {
+                let rd = freg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                self.b.emit(Instruction::FpLoad { rd, rs1, imm });
+            }
+            "fsd" => {
+                let rs2 = freg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                self.b.emit(Instruction::FpStore { rs2, rs1, imm });
+            }
+            "fcvt.d.l" => {
+                let (rd, rs1) = (freg(ops, 0)?, reg(ops, 1)?);
+                self.b.emit(Instruction::FcvtDL { rd, rs1 });
+            }
+            "fcvt.l.d" => {
+                let (rd, rs1) = (reg(ops, 0)?, freg(ops, 1)?);
+                self.b.emit(Instruction::FcvtLD { rd, rs1 });
+            }
+            "fmv.x.d" => {
+                let (rd, rs1) = (reg(ops, 0)?, freg(ops, 1)?);
+                self.b.emit(Instruction::FmvXD { rd, rs1 });
+            }
+            "fmv.d.x" => {
+                let (rd, rs1) = (freg(ops, 0)?, reg(ops, 1)?);
+                self.b.emit(Instruction::FmvDX { rd, rs1 });
+            }
+            "lui" => {
+                let rd = reg(ops, 0)?;
+                let imm = imm_op(ops, 1)?;
+                self.b.emit(Instruction::Lui { rd, imm });
+            }
+            "jal" => match ops.len() {
+                1 => {
+                    let l = self.label(operand(ops, 0)?);
+                    self.b.jal(Reg::RA, l);
+                }
+                _ => {
+                    let rd = reg(ops, 0)?;
+                    let l = self.label(operand(ops, 1)?);
+                    self.b.jal(rd, l);
+                }
+            },
+            "jalr" => match ops.len() {
+                1 => self.b.jalr_call(reg(ops, 0)?),
+                _ => {
+                    let rd = reg(ops, 0)?;
+                    let (imm, rs1) = mem_operand(ops, 1)?;
+                    self.b.emit(Instruction::Jalr { rd, rs1, imm });
+                }
+            },
+            "j" => {
+                let l = self.label(operand(ops, 0)?);
+                self.b.j(l);
+            }
+            "jr" => self.b.jr(reg(ops, 0)?),
+            "call" => {
+                let l = self.label(operand(ops, 0)?);
+                self.b.call(l);
+            }
+            "ret" => self.b.ret(),
+            "nop" => self.b.nop(),
+            "li" => {
+                let rd = reg(ops, 0)?;
+                let v = parse_imm(operand(ops, 1)?)?;
+                self.b.li(rd, v);
+            }
+            "la" => {
+                let rd = reg(ops, 0)?;
+                let l = self.label(operand(ops, 1)?);
+                self.b.la(rd, l);
+            }
+            "mv" => {
+                let (rd, rs) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.mv(rd, rs);
+            }
+            "neg" => {
+                let (rd, rs) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.neg(rd, rs);
+            }
+            "not" => {
+                let (rd, rs) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.not(rd, rs);
+            }
+            "seqz" => {
+                let (rd, rs) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.seqz(rd, rs);
+            }
+            "snez" => {
+                let (rd, rs) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.snez(rd, rs);
+            }
+            "beqz" => {
+                let rs = reg(ops, 0)?;
+                let l = self.label(operand(ops, 1)?);
+                self.b.beqz(rs, l);
+            }
+            "bnez" => {
+                let rs = reg(ops, 0)?;
+                let l = self.label(operand(ops, 1)?);
+                self.b.bnez(rs, l);
+            }
+            "bgt" => {
+                let (rs1, rs2) = (reg(ops, 0)?, reg(ops, 1)?);
+                let l = self.label(operand(ops, 2)?);
+                self.b.bgt(rs1, rs2, l);
+            }
+            "ble" => {
+                let (rs1, rs2) = (reg(ops, 0)?, reg(ops, 1)?);
+                let l = self.label(operand(ops, 2)?);
+                self.b.ble(rs1, rs2, l);
+            }
+            "tld" => {
+                let rd = reg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                self.b.emit(Instruction::Tld { rd, rs1, imm });
+            }
+            "tsd" => {
+                let rs2 = reg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                self.b.emit(Instruction::Tsd { rs2, rs1, imm });
+            }
+            "xadd" | "xsub" | "xmul" => {
+                let op = TypedAluOp::ALL.into_iter().find(|o| o.mnemonic() == m).unwrap();
+                let (rd, rs1, rs2) = (reg(ops, 0)?, reg(ops, 1)?, reg(ops, 2)?);
+                self.b.emit(Instruction::Typed { op, rd, rs1, rs2 });
+            }
+            "setoffset" | "setmask" | "setshift" | "set_trt" | "settype" => {
+                let spr = Spr::ALL.into_iter().find(|s| s.mnemonic() == m).unwrap();
+                self.b.emit(Instruction::SetSpr { spr, rs1: reg(ops, 0)? });
+            }
+            "flush_trt" => self.b.emit(Instruction::FlushTrt),
+            "thdl" => {
+                let l = self.label(operand(ops, 0)?);
+                self.b.thdl(l);
+            }
+            "tchk" => {
+                let (rs1, rs2) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.emit(Instruction::Tchk { rs1, rs2 });
+            }
+            "tget" => {
+                let (rd, rs1) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.emit(Instruction::Tget { rd, rs1 });
+            }
+            "tset" => {
+                let (rs1, rd) = (reg(ops, 0)?, reg(ops, 1)?);
+                self.b.emit(Instruction::Tset { rs1, rd });
+            }
+            "chklb" => {
+                let rd = reg(ops, 0)?;
+                let (imm, rs1) = mem_operand(ops, 1)?;
+                self.b.emit(Instruction::Chklb { rd, rs1, imm });
+            }
+            "csrr" => {
+                let rd = reg(ops, 0)?;
+                let csr = Csr::parse(operand(ops, 1)?)
+                    .ok_or_else(|| format!("unknown csr `{}`", ops[1]))?;
+                self.b.emit(Instruction::Csrr { rd, csr });
+            }
+            "ecall" => self.b.ecall(),
+            "halt" => self.b.halt(),
+            other => return Err(format!("unknown mnemonic `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Program, ParseAsmError> {
+        let entry = self.entry.take();
+        let mut program = self.b.finish()?;
+        if let Some(name) = entry {
+            let addr = program
+                .symbol(&name)
+                .ok_or_else(|| ParseAsmError { line: 0, message: format!("entry label `{name}` not found") })?;
+            program.entry = addr;
+        }
+        Ok(program)
+    }
+}
+
+fn operand<'a>(ops: &[&'a str], i: usize) -> Result<&'a str, String> {
+    ops.get(i).copied().ok_or_else(|| format!("missing operand {}", i + 1))
+}
+
+fn reg(ops: &[&str], i: usize) -> Result<Reg, String> {
+    let s = operand(ops, i)?;
+    Reg::parse(s).ok_or_else(|| format!("unknown register `{s}`"))
+}
+
+fn freg(ops: &[&str], i: usize) -> Result<FReg, String> {
+    let s = operand(ops, i)?;
+    FReg::parse(s).ok_or_else(|| format!("unknown fp register `{s}`"))
+}
+
+fn imm_op(ops: &[&str], i: usize) -> Result<i32, String> {
+    parse_imm(operand(ops, i)?).map(|v| v as i32)
+}
+
+fn parse_imm(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    // Hex/binary literals accept the full 64-bit range (e.g. NaN-box
+    // patterns in `.dword` data), reinterpreted as i64.
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(bin, 2).map(|v| v as i64)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|e| format!("bad immediate `{s}`: {e}"))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn mem_operand(ops: &[&str], i: usize) -> Result<(i32, Reg), String> {
+    let s = operand(ops, i)?;
+    let open = s.find('(').ok_or_else(|| format!("expected `imm(reg)`, got `{s}`"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("expected `imm(reg)`, got `{s}`"))?;
+    let imm_str = s[..open].trim();
+    let imm = if imm_str.is_empty() { 0 } else { parse_imm(imm_str)? as i32 };
+    let r = s[open + 1..close].trim();
+    let rs1 = Reg::parse(r).ok_or_else(|| format!("unknown register `{r}`"))?;
+    Ok((imm, rs1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn assemble_disassemble_roundtrip_all_forms() {
+        // Every instruction's Display form (with numeric branch offsets
+        // replaced by labels) should assemble back to itself.
+        for instr in samples::all_forms() {
+            let text = match instr {
+                Instruction::Branch { cond, rs1, rs2, .. } => {
+                    format!("target:\n {} {rs1}, {rs2}, target", cond.mnemonic())
+                }
+                Instruction::Jal { rd, .. } => format!("target:\n jal {rd}, target"),
+                Instruction::Thdl { .. } => "target:\n thdl target".to_string(),
+                other => other.to_string(),
+            };
+            let p = assemble(&text, 0x1000, 0x20000)
+                .unwrap_or_else(|e| panic!("assembling `{text}`: {e}"));
+            let got = p.disassemble().last().unwrap().1;
+            match (instr, got) {
+                (Instruction::Branch { cond, rs1, rs2, .. },
+                 Instruction::Branch { cond: c2, rs1: r1, rs2: r2, .. }) => {
+                    assert_eq!((cond, rs1, rs2), (c2, r1, r2));
+                }
+                (Instruction::Jal { rd, .. }, Instruction::Jal { rd: rd2, .. }) => {
+                    assert_eq!(rd, rd2);
+                }
+                (Instruction::Thdl { .. }, Instruction::Thdl { .. }) => {}
+                (want, got) => assert_eq!(got, want, "source `{text}`"),
+            }
+        }
+    }
+
+    #[test]
+    fn program_with_sections_and_entry() {
+        let src = r#"
+            .entry main
+            helper:
+                ret
+            main:
+                la a0, table
+                ld a1, 8(a0)
+                call helper
+                halt
+            .data
+            .align 8
+            table:
+                .dword 7, 9
+                .ascii "ok"
+        "#;
+        let p = assemble(src, 0x1000, 0x40000).unwrap();
+        assert_eq!(p.entry, p.symbol("main").unwrap());
+        assert_eq!(p.symbol("table"), Some(0x40000));
+        assert_eq!(&p.data[0..8], &7u64.to_le_bytes());
+        assert_eq!(&p.data[16..18], b"ok");
+    }
+
+    #[test]
+    fn errors_report_line_numbers() {
+        let e = assemble("nop\n frobnicate a0\n", 0, 0x1000).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+        let e = assemble("lw a0, a1\n", 0, 0x1000).unwrap_err();
+        assert!(e.message.contains("imm(reg)"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("# comment\n\n  nop # trailing\n; semicolon\n", 0, 0x1000).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn immediates_hex_bin_neg() {
+        let p = assemble("li a0, 0x10\nli a1, -0b101\naddi a2, a0, -3\n", 0, 0x1000).unwrap();
+        let dis = p.disassemble();
+        assert_eq!(
+            dis[0].1,
+            Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 16 }
+        );
+        assert_eq!(
+            dis[1].1,
+            Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A1, rs1: Reg::ZERO, imm: -5 }
+        );
+    }
+}

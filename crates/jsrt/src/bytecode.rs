@@ -1,0 +1,316 @@
+//! Stack-machine bytecode of the `jsrt` engine.
+//!
+//! Mirrors SpiderMonkey's interpreter architecture (paper Section 4.2): a
+//! stack-based VM whose binary operators consume the top of stack. Our
+//! encoding is a fixed 32-bit word — 8-bit opcode plus a 24-bit operand
+//! (signed jump offset, constant/local index, or packed call operands) —
+//! rather than SpiderMonkey's variable-length stream; the dynamic bytecode
+//! *mix* is what the experiments depend on, not the static encoding.
+
+use std::fmt;
+
+/// A stack-machine opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Op {
+    /// Push constant `K[imm]`.
+    PushK = 0,
+    /// Push a small signed integer immediate.
+    PushI,
+    /// Push `undefined`.
+    PushUndef,
+    /// Push `true`/`false` (`imm != 0`).
+    PushBool,
+    /// Push `locals[imm]`.
+    GetLocal,
+    /// `locals[imm] = pop()`.
+    SetLocal,
+    /// Discard the top of stack.
+    Pop,
+    /// `St[-2] = St[-2] + St[-1]; pop` — type-guarded (paper Table 3).
+    Add,
+    /// Subtract — type-guarded.
+    Sub,
+    /// Multiply — type-guarded.
+    Mul,
+    /// Divide (always double).
+    Div,
+    /// Floor divide.
+    IDiv,
+    /// Floor modulo.
+    Mod,
+    /// Concatenate.
+    Concat,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Logical not of TOS.
+    Not,
+    /// Arithmetic negation of TOS.
+    Neg,
+    /// Length of TOS.
+    Len,
+    /// Unconditional relative jump.
+    Jump,
+    /// Pop; jump if truthy.
+    JIf,
+    /// Pop; jump if falsy.
+    JNot,
+    /// `St[-2] = St[-2][St[-1]]; pop` — type-guarded element read.
+    GetElem,
+    /// `St[-3][St[-2]] = St[-1]; pop 3` — type-guarded element write.
+    SetElem,
+    /// Push `globals[K[imm]]`.
+    GetGlobal,
+    /// `globals[K[imm]] = pop()`.
+    SetGlobal,
+    /// Push a new array object (capacity hint in `imm`).
+    NewArr,
+    /// Call function (`imm` packs nargs and function index).
+    Call,
+    /// Call builtin (`imm` packs nargs and builtin id).
+    CallB,
+    /// Return `undefined`.
+    Ret,
+    /// Return TOS.
+    RetV,
+    /// Stop the VM.
+    Halt,
+}
+
+impl Op {
+    /// All opcodes in encoding order.
+    pub const ALL: [Op; 34] = [
+        Op::PushK,
+        Op::PushI,
+        Op::PushUndef,
+        Op::PushBool,
+        Op::GetLocal,
+        Op::SetLocal,
+        Op::Pop,
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::IDiv,
+        Op::Mod,
+        Op::Concat,
+        Op::Eq,
+        Op::Ne,
+        Op::Lt,
+        Op::Le,
+        Op::Not,
+        Op::Neg,
+        Op::Len,
+        Op::Jump,
+        Op::JIf,
+        Op::JNot,
+        Op::GetElem,
+        Op::SetElem,
+        Op::GetGlobal,
+        Op::SetGlobal,
+        Op::NewArr,
+        Op::Call,
+        Op::CallB,
+        Op::Ret,
+        Op::RetV,
+        Op::Halt,
+    ];
+
+    /// Decodes an opcode number.
+    pub fn from_code(code: u8) -> Option<Op> {
+        Op::ALL.get(code as usize).copied()
+    }
+
+    /// Display name (SpiderMonkey style).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::PushK => "PUSHK",
+            Op::PushI => "PUSHI",
+            Op::PushUndef => "PUSHUNDEF",
+            Op::PushBool => "PUSHBOOL",
+            Op::GetLocal => "GETLOCAL",
+            Op::SetLocal => "SETLOCAL",
+            Op::Pop => "POP",
+            Op::Add => "ADD",
+            Op::Sub => "SUB",
+            Op::Mul => "MUL",
+            Op::Div => "DIV",
+            Op::IDiv => "IDIV",
+            Op::Mod => "MOD",
+            Op::Concat => "CONCAT",
+            Op::Eq => "EQ",
+            Op::Ne => "NE",
+            Op::Lt => "LT",
+            Op::Le => "LE",
+            Op::Not => "NOT",
+            Op::Neg => "NEG",
+            Op::Len => "LEN",
+            Op::Jump => "JUMP",
+            Op::JIf => "JIF",
+            Op::JNot => "JNOT",
+            Op::GetElem => "GETELEM",
+            Op::SetElem => "SETELEM",
+            Op::GetGlobal => "GETGLOBAL",
+            Op::SetGlobal => "SETGLOBAL",
+            Op::NewArr => "NEWARR",
+            Op::Call => "CALL",
+            Op::CallB => "CALLB",
+            Op::Ret => "RET",
+            Op::RetV => "RETV",
+            Op::Halt => "HALT",
+        }
+    }
+
+    /// Whether this is one of the five retargeted hot bytecodes
+    /// (paper Table 3: ADD, SUB, MUL, GETELEM, SETELEM).
+    pub fn is_retargeted(self) -> bool {
+        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::GetElem | Op::SetElem)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One instruction: opcode plus a signed 24-bit operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bc {
+    /// Opcode.
+    pub op: Op,
+    /// Operand (immediate, index, offset, or packed call fields).
+    pub imm: i32,
+}
+
+impl Bc {
+    /// Builds an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the operand exceeds 24 signed bits.
+    pub fn new(op: Op, imm: i32) -> Bc {
+        debug_assert!((-(1 << 23)..(1 << 23)).contains(&imm), "imm overflow: {imm}");
+        Bc { op, imm }
+    }
+
+    /// Packs call operands: callee index (16 bits) and nargs (8 bits).
+    pub fn call(op: Op, callee: u16, nargs: u8) -> Bc {
+        Bc::new(op, ((nargs as i32) << 16) | callee as i32)
+    }
+
+    /// Callee index of a packed call.
+    pub fn callee(self) -> u16 {
+        (self.imm & 0xffff) as u16
+    }
+
+    /// Argument count of a packed call.
+    pub fn nargs(self) -> u8 {
+        ((self.imm >> 16) & 0xff) as u8
+    }
+
+    /// Encodes to a 32-bit word.
+    pub fn encode(self) -> u32 {
+        ((self.op as u32) << 24) | ((self.imm as u32) & 0x00ff_ffff)
+    }
+
+    /// Decodes from a 32-bit word.
+    pub fn decode(word: u32) -> Option<Bc> {
+        let op = Op::from_code((word >> 24) as u8)?;
+        let imm = ((word << 8) as i32) >> 8; // sign-extend 24 bits
+        Some(Bc { op, imm })
+    }
+}
+
+impl fmt::Display for Bc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Call | Op::CallB => {
+                write!(f, "{} #{} ({} args)", self.op, self.callee(), self.nargs())
+            }
+            _ => write!(f, "{} {}", self.op, self.imm),
+        }
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer (boxed as Int when it fits 32 bits, else stored as Double).
+    Int(i64),
+    /// Double.
+    Float(f64),
+    /// String (interned at link time).
+    Str(String),
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proto {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Parameter count.
+    pub nparams: u8,
+    /// Local slot count (params first).
+    pub nlocals: u16,
+    /// Maximum operand-stack depth.
+    pub max_stack: u16,
+    /// Code.
+    pub code: Vec<Bc>,
+    /// Constants.
+    pub consts: Vec<Const>,
+}
+
+/// Builtins callable via `CallB` (shared id space with `luart`'s set).
+pub use luart::Builtin;
+
+/// A compiled module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// All functions; `protos[main]` is the top level.
+    pub protos: Vec<Proto>,
+    /// Index of the main function.
+    pub main: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for op in Op::ALL {
+            for imm in [-(1 << 23), -1, 0, 1, (1 << 23) - 1] {
+                let bc = Bc::new(op, imm);
+                assert_eq!(Bc::decode(bc.encode()), Some(bc), "{op} {imm}");
+            }
+        }
+    }
+
+    #[test]
+    fn call_packing() {
+        let bc = Bc::call(Op::Call, 513, 7);
+        assert_eq!(bc.callee(), 513);
+        assert_eq!(bc.nargs(), 7);
+        let rt = Bc::decode(bc.encode()).unwrap();
+        assert_eq!(rt.callee(), 513);
+        assert_eq!(rt.nargs(), 7);
+    }
+
+    #[test]
+    fn retargeted_matches_table3() {
+        let hot: Vec<Op> = Op::ALL.into_iter().filter(|o| o.is_retargeted()).collect();
+        assert_eq!(hot, vec![Op::Add, Op::Sub, Op::Mul, Op::GetElem, Op::SetElem]);
+    }
+
+    #[test]
+    fn bad_opcode() {
+        assert_eq!(Bc::decode(0xff00_0000), None);
+    }
+}

@@ -1,0 +1,582 @@
+//! MiniScript AST → stack bytecode compiler.
+//!
+//! Conventional stack-machine lowering: expressions push one value;
+//! statements leave the operand stack balanced. Locals (and the hidden
+//! temporaries needed for short-circuit operators and array literals on a
+//! DUP-less machine) live in frame slots; the compiler tracks the maximum
+//! operand depth so frames can be overflow-checked on call.
+
+use crate::bytecode::{Bc, Builtin, Const, Module, Op, Proto};
+use miniscript::{BinOp, Block, Chunk, Expr, Stat, Target, UnOp};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Compile-time error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    fn new(message: impl Into<String>) -> CompileError {
+        CompileError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Compiles a parsed chunk into a stack-bytecode [`Module`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unknown functions, arity mismatches, or
+/// resource overflows.
+///
+/// # Examples
+///
+/// ```
+/// let chunk = miniscript::parse("print(1 + 2)")?;
+/// let module = jsrt::compile(&chunk)?;
+/// assert_eq!(module.protos.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(chunk: &Chunk) -> Result<Module, CompileError> {
+    let mut func_ids = HashMap::new();
+    for (i, f) in chunk.functions.iter().enumerate() {
+        if func_ids.insert(f.name.clone(), i).is_some() {
+            return Err(CompileError::new(format!("function `{}` defined twice", f.name)));
+        }
+        if Builtin::by_name(&f.name).is_some() {
+            return Err(CompileError::new(format!("function `{}` shadows a builtin", f.name)));
+        }
+    }
+
+    let mut protos = Vec::new();
+    for f in &chunk.functions {
+        let mut c = FnCompiler::new(&f.name, &func_ids, chunk);
+        for p in &f.params {
+            c.declare_local(p)?;
+        }
+        c.block(&f.body)?;
+        c.emit(Bc::new(Op::Ret, 0), 0);
+        protos.push(c.finish(f.params.len() as u8));
+    }
+    let mut c = FnCompiler::new("main", &func_ids, chunk);
+    c.block(&chunk.main)?;
+    c.emit(Bc::new(Op::Ret, 0), 0);
+    protos.push(c.finish(0));
+    let main = protos.len() - 1;
+    Ok(Module { protos, main })
+}
+
+struct LoopCtx {
+    break_jumps: Vec<usize>,
+}
+
+struct FnCompiler<'a> {
+    name: String,
+    func_ids: &'a HashMap<String, usize>,
+    chunk: &'a Chunk,
+    code: Vec<Bc>,
+    consts: Vec<Const>,
+    locals: Vec<(String, u16)>,
+    scope_marks: Vec<usize>,
+    next_slot: u16,
+    max_slot: u16,
+    depth: i32,
+    max_depth: i32,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(name: &str, func_ids: &'a HashMap<String, usize>, chunk: &'a Chunk) -> FnCompiler<'a> {
+        FnCompiler {
+            name: name.to_string(),
+            func_ids,
+            chunk,
+            code: Vec::new(),
+            consts: Vec::new(),
+            locals: Vec::new(),
+            scope_marks: Vec::new(),
+            next_slot: 0,
+            max_slot: 0,
+            depth: 0,
+            max_depth: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn finish(self, nparams: u8) -> Proto {
+        Proto {
+            name: self.name,
+            nparams,
+            nlocals: self.max_slot.max(nparams as u16),
+            max_stack: self.max_depth.max(1) as u16,
+            code: self.code,
+            consts: self.consts,
+        }
+    }
+
+    fn emit(&mut self, bc: Bc, stack_delta: i32) -> usize {
+        self.code.push(bc);
+        self.depth += stack_delta;
+        debug_assert!(self.depth >= 0, "operand stack underflow in `{}`", self.name);
+        self.max_depth = self.max_depth.max(self.depth);
+        self.code.len() - 1
+    }
+
+    fn emit_jump(&mut self, op: Op, stack_delta: i32) -> usize {
+        self.emit(Bc::new(op, 0), stack_delta)
+    }
+
+    fn patch_here(&mut self, at: usize) {
+        let off = self.code.len() as i32 - at as i32 - 1;
+        self.code[at] = Bc::new(self.code[at].op, off);
+    }
+
+    fn jump_back(&mut self, op: Op, target: usize, stack_delta: i32) {
+        let off = target as i32 - self.code.len() as i32 - 1;
+        self.emit(Bc::new(op, off), stack_delta);
+    }
+
+    fn alloc_slot(&mut self) -> Result<u16, CompileError> {
+        let s = self.next_slot;
+        if s >= 4000 {
+            return Err(CompileError::new(format!("function `{}` needs too many locals", self.name)));
+        }
+        self.next_slot += 1;
+        self.max_slot = self.max_slot.max(self.next_slot);
+        Ok(s)
+    }
+
+    fn declare_local(&mut self, name: &str) -> Result<u16, CompileError> {
+        let s = self.alloc_slot()?;
+        self.locals.push((name.to_string(), s));
+        Ok(s)
+    }
+
+    fn free_temp(&mut self, slot: u16) {
+        debug_assert_eq!(slot + 1, self.next_slot, "temps must be freed LIFO");
+        self.next_slot -= 1;
+    }
+
+    fn resolve_local(&self, name: &str) -> Option<u16> {
+        self.locals.iter().rev().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    fn enter_scope(&mut self) {
+        self.scope_marks.push(self.locals.len());
+    }
+
+    fn leave_scope(&mut self) {
+        let mark = self.scope_marks.pop().expect("scope underflow");
+        if let Some((_, lowest)) = self.locals.get(mark) {
+            self.next_slot = *lowest;
+        }
+        self.locals.truncate(mark);
+    }
+
+    fn add_const(&mut self, c: Const) -> Result<i32, CompileError> {
+        let found = self.consts.iter().position(|k| match (k, &c) {
+            (Const::Int(a), Const::Int(b)) => a == b,
+            (Const::Float(a), Const::Float(b)) => a.to_bits() == b.to_bits(),
+            (Const::Str(a), Const::Str(b)) => a == b,
+            _ => false,
+        });
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                self.consts.push(c);
+                self.consts.len() - 1
+            }
+        };
+        if idx >= (1 << 23) {
+            return Err(CompileError::new("too many constants"));
+        }
+        Ok(idx as i32)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Nil => {
+                self.emit(Bc::new(Op::PushUndef, 0), 1);
+            }
+            Expr::Bool(b) => {
+                self.emit(Bc::new(Op::PushBool, *b as i32), 1);
+            }
+            Expr::Int(v) => {
+                if (-(1 << 23)..(1 << 23)).contains(v) {
+                    self.emit(Bc::new(Op::PushI, *v as i32), 1);
+                } else {
+                    let k = self.add_const(Const::Int(*v))?;
+                    self.emit(Bc::new(Op::PushK, k), 1);
+                }
+            }
+            Expr::Float(v) => {
+                let k = self.add_const(Const::Float(*v))?;
+                self.emit(Bc::new(Op::PushK, k), 1);
+            }
+            Expr::Str(s) => {
+                let k = self.add_const(Const::Str(s.clone()))?;
+                self.emit(Bc::new(Op::PushK, k), 1);
+            }
+            Expr::Var(name) => {
+                if let Some(slot) = self.resolve_local(name) {
+                    self.emit(Bc::new(Op::GetLocal, slot as i32), 1);
+                } else {
+                    let k = self.add_const(Const::Str(name.clone()))?;
+                    self.emit(Bc::new(Op::GetGlobal, k), 1);
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (bop, swap) = match op {
+                    BinOp::Add => (Op::Add, false),
+                    BinOp::Sub => (Op::Sub, false),
+                    BinOp::Mul => (Op::Mul, false),
+                    BinOp::Div => (Op::Div, false),
+                    BinOp::IDiv => (Op::IDiv, false),
+                    BinOp::Mod => (Op::Mod, false),
+                    BinOp::Concat => (Op::Concat, false),
+                    BinOp::Eq => (Op::Eq, false),
+                    BinOp::Ne => (Op::Ne, false),
+                    BinOp::Lt => (Op::Lt, false),
+                    BinOp::Le => (Op::Le, false),
+                    BinOp::Gt => (Op::Lt, true),
+                    BinOp::Ge => (Op::Le, true),
+                };
+                if swap {
+                    self.expr(rhs)?;
+                    self.expr(lhs)?;
+                } else {
+                    self.expr(lhs)?;
+                    self.expr(rhs)?;
+                }
+                self.emit(Bc::new(bop, 0), -1);
+            }
+            Expr::Unary { op, expr } => {
+                self.expr(expr)?;
+                let uop = match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Not => Op::Not,
+                    UnOp::Len => Op::Len,
+                };
+                self.emit(Bc::new(uop, 0), 0);
+            }
+            Expr::And(l, r) => {
+                // tmp = l; if tmp then tmp = r end; push tmp
+                let tmp = self.alloc_slot()?;
+                self.expr(l)?;
+                self.emit(Bc::new(Op::SetLocal, tmp as i32), -1);
+                self.emit(Bc::new(Op::GetLocal, tmp as i32), 1);
+                let skip = self.emit_jump(Op::JNot, -1);
+                self.expr(r)?;
+                self.emit(Bc::new(Op::SetLocal, tmp as i32), -1);
+                self.patch_here(skip);
+                self.emit(Bc::new(Op::GetLocal, tmp as i32), 1);
+                self.free_temp(tmp);
+            }
+            Expr::Or(l, r) => {
+                let tmp = self.alloc_slot()?;
+                self.expr(l)?;
+                self.emit(Bc::new(Op::SetLocal, tmp as i32), -1);
+                self.emit(Bc::new(Op::GetLocal, tmp as i32), 1);
+                let skip = self.emit_jump(Op::JIf, -1);
+                self.expr(r)?;
+                self.emit(Bc::new(Op::SetLocal, tmp as i32), -1);
+                self.patch_here(skip);
+                self.emit(Bc::new(Op::GetLocal, tmp as i32), 1);
+                self.free_temp(tmp);
+            }
+            Expr::Index { table, key } => {
+                self.expr(table)?;
+                self.expr(key)?;
+                self.emit(Bc::new(Op::GetElem, 0), -1);
+            }
+            Expr::Call { func, args } => self.call(func, args)?,
+            Expr::Table(items) => {
+                let tmp = self.alloc_slot()?;
+                self.emit(Bc::new(Op::NewArr, items.len() as i32), 1);
+                self.emit(Bc::new(Op::SetLocal, tmp as i32), -1);
+                for (i, item) in items.iter().enumerate() {
+                    self.emit(Bc::new(Op::GetLocal, tmp as i32), 1);
+                    self.emit(Bc::new(Op::PushI, i as i32 + 1), 1);
+                    self.expr(item)?;
+                    self.emit(Bc::new(Op::SetElem, 0), -3);
+                }
+                self.emit(Bc::new(Op::GetLocal, tmp as i32), 1);
+                self.free_temp(tmp);
+            }
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, func: &str, args: &[Expr]) -> Result<(), CompileError> {
+        for a in args {
+            self.expr(a)?;
+        }
+        let delta = 1 - args.len() as i32;
+        if let Some(&id) = self.func_ids.get(func) {
+            let f = &self.chunk.functions[id];
+            if f.params.len() != args.len() {
+                return Err(CompileError::new(format!(
+                    "function `{func}` expects {} arguments, got {}",
+                    f.params.len(),
+                    args.len()
+                )));
+            }
+            self.emit(Bc::call(Op::Call, id as u16, args.len() as u8), delta);
+        } else if let Some(b) = Builtin::by_name(func) {
+            self.emit(Bc::call(Op::CallB, b as u16, args.len() as u8), delta);
+        } else {
+            return Err(CompileError::new(format!("unknown function `{func}`")));
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), CompileError> {
+        self.enter_scope();
+        for stat in block {
+            self.stat(stat)?;
+        }
+        self.leave_scope();
+        Ok(())
+    }
+
+    fn stat(&mut self, stat: &Stat) -> Result<(), CompileError> {
+        match stat {
+            Stat::Local { name, init } => {
+                // Evaluate before declaring so `local x = x` sees the outer x.
+                match init {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        self.emit(Bc::new(Op::PushUndef, 0), 1);
+                    }
+                }
+                let slot = self.declare_local(name)?;
+                self.emit(Bc::new(Op::SetLocal, slot as i32), -1);
+            }
+            Stat::Assign { target, value } => match target {
+                Target::Name(name) => {
+                    self.expr(value)?;
+                    if let Some(slot) = self.resolve_local(name) {
+                        self.emit(Bc::new(Op::SetLocal, slot as i32), -1);
+                    } else {
+                        let k = self.add_const(Const::Str(name.clone()))?;
+                        self.emit(Bc::new(Op::SetGlobal, k), -1);
+                    }
+                }
+                Target::Index { table, key } => {
+                    self.expr(table)?;
+                    self.expr(key)?;
+                    self.expr(value)?;
+                    self.emit(Bc::new(Op::SetElem, 0), -3);
+                }
+            },
+            Stat::If { arms, else_body } => {
+                let mut end_jumps = Vec::new();
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    self.expr(cond)?;
+                    let skip = self.emit_jump(Op::JNot, -1);
+                    self.block(body)?;
+                    let last = i == arms.len() - 1 && else_body.is_none();
+                    if !last {
+                        end_jumps.push(self.emit_jump(Op::Jump, 0));
+                    }
+                    self.patch_here(skip);
+                }
+                if let Some(body) = else_body {
+                    self.block(body)?;
+                }
+                for j in end_jumps {
+                    self.patch_here(j);
+                }
+            }
+            Stat::While { cond, body } => {
+                let top = self.code.len();
+                self.expr(cond)?;
+                let exit = self.emit_jump(Op::JNot, -1);
+                self.loops.push(LoopCtx { break_jumps: Vec::new() });
+                self.block(body)?;
+                self.jump_back(Op::Jump, top, 0);
+                self.patch_here(exit);
+                let ctx = self.loops.pop().expect("loop stack");
+                for j in ctx.break_jumps {
+                    self.patch_here(j);
+                }
+            }
+            Stat::NumericFor { var, start, stop, step, body } => {
+                self.enter_scope();
+                let idx = self.declare_local("(for index)")?;
+                let limit = self.declare_local("(for limit)")?;
+                let steps = self.declare_local("(for step)")?;
+                let vars = self.declare_local(var)?;
+                self.expr(start)?;
+                self.emit(Bc::new(Op::SetLocal, idx as i32), -1);
+                self.expr(stop)?;
+                self.emit(Bc::new(Op::SetLocal, limit as i32), -1);
+                let step_sign = match step {
+                    None => Some(true),
+                    Some(Expr::Int(v)) => Some(*v >= 0),
+                    Some(Expr::Float(v)) => Some(*v >= 0.0),
+                    Some(_) => None,
+                };
+                match step {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        self.emit(Bc::new(Op::PushI, 1), 1);
+                    }
+                }
+                self.emit(Bc::new(Op::SetLocal, steps as i32), -1);
+
+                let top = self.code.len();
+                match step_sign {
+                    Some(true) => {
+                        self.emit(Bc::new(Op::GetLocal, idx as i32), 1);
+                        self.emit(Bc::new(Op::GetLocal, limit as i32), 1);
+                        self.emit(Bc::new(Op::Le, 0), -1);
+                    }
+                    Some(false) => {
+                        self.emit(Bc::new(Op::GetLocal, limit as i32), 1);
+                        self.emit(Bc::new(Op::GetLocal, idx as i32), 1);
+                        self.emit(Bc::new(Op::Le, 0), -1);
+                    }
+                    None => {
+                        // Runtime step-sign dispatch.
+                        self.emit(Bc::new(Op::GetLocal, steps as i32), 1);
+                        self.emit(Bc::new(Op::PushI, 0), 1);
+                        self.emit(Bc::new(Op::Lt, 0), -1);
+                        let neg = self.emit_jump(Op::JIf, -1);
+                        self.emit(Bc::new(Op::GetLocal, idx as i32), 1);
+                        self.emit(Bc::new(Op::GetLocal, limit as i32), 1);
+                        self.emit(Bc::new(Op::Le, 0), -1);
+                        let join = self.emit_jump(Op::Jump, 0);
+                        self.patch_here(neg);
+                        self.emit(Bc::new(Op::GetLocal, limit as i32), 1);
+                        self.emit(Bc::new(Op::GetLocal, idx as i32), 1);
+                        self.emit(Bc::new(Op::Le, 0), -1);
+                        self.patch_here(join);
+                        // Both arms leave one boolean; reconcile the
+                        // static depth (the two paths are exclusive).
+                        self.depth -= 1;
+                        self.max_depth = self.max_depth.max(self.depth + 1);
+                        self.depth += 1;
+                    }
+                }
+                let exit = self.emit_jump(Op::JNot, -1);
+                self.emit(Bc::new(Op::GetLocal, idx as i32), 1);
+                self.emit(Bc::new(Op::SetLocal, vars as i32), -1);
+                self.loops.push(LoopCtx { break_jumps: Vec::new() });
+                self.block(body)?;
+                self.emit(Bc::new(Op::GetLocal, idx as i32), 1);
+                self.emit(Bc::new(Op::GetLocal, steps as i32), 1);
+                self.emit(Bc::new(Op::Add, 0), -1);
+                self.emit(Bc::new(Op::SetLocal, idx as i32), -1);
+                self.jump_back(Op::Jump, top, 0);
+                self.patch_here(exit);
+                let ctx = self.loops.pop().expect("loop stack");
+                for j in ctx.break_jumps {
+                    self.patch_here(j);
+                }
+                self.leave_scope();
+            }
+            Stat::Return(value) => match value {
+                Some(e) => {
+                    self.expr(e)?;
+                    self.emit(Bc::new(Op::RetV, 0), -1);
+                }
+                None => {
+                    self.emit(Bc::new(Op::Ret, 0), 0);
+                }
+            },
+            Stat::Break => {
+                let j = self.emit_jump(Op::Jump, 0);
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.break_jumps.push(j),
+                    None => return Err(CompileError::new("break outside a loop")),
+                }
+            }
+            Stat::ExprStat(e) => {
+                self.expr(e)?;
+                self.emit(Bc::new(Op::Pop, 0), -1);
+            }
+            Stat::Do(body) => self.block(body)?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniscript::parse;
+
+    fn compile_src(src: &str) -> Module {
+        compile(&parse(src).unwrap()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn stack_balanced_statements() {
+        let m = compile_src("local a = 1 + 2 a = a * 3 print(a)");
+        let p = &m.protos[m.main];
+        assert!(p.max_stack >= 2);
+        // Statements are balanced: final Ret with empty stack; the compiler
+        // would have panicked on underflow in debug builds.
+        assert_eq!(p.code.last().unwrap().op, Op::Ret);
+    }
+
+    #[test]
+    fn small_ints_use_pushi() {
+        let m = compile_src("local x = 5 + 1000000");
+        let p = &m.protos[m.main];
+        assert!(p.code.iter().filter(|b| b.op == Op::PushI).count() >= 2);
+        assert!(p.consts.is_empty());
+    }
+
+    #[test]
+    fn gt_swaps_to_lt() {
+        let m = compile_src("local a = 1 local b = 2 local c = a > b");
+        let p = &m.protos[m.main];
+        assert!(p.code.iter().any(|b| b.op == Op::Lt));
+    }
+
+    #[test]
+    fn for_loop_shape_static_step() {
+        let m = compile_src("for i = 1, 10 do print(i) end");
+        let p = &m.protos[m.main];
+        assert!(p.code.iter().any(|b| b.op == Op::Le));
+        assert!(p.code.iter().any(|b| b.op == Op::JNot));
+        assert!(p.code.iter().any(|b| b.op == Op::Add));
+    }
+
+    #[test]
+    fn call_packing_and_arity() {
+        let m = compile_src("function f(a, b) return a + b end print(f(1, 2))");
+        let main = &m.protos[m.main];
+        let call = main.code.iter().find(|b| b.op == Op::Call).unwrap();
+        assert_eq!(call.nargs(), 2);
+        let e = compile(&parse("function f(a) return a end f(1, 2)").unwrap()).unwrap_err();
+        assert!(e.message.contains("expects 1"));
+    }
+
+    #[test]
+    fn temp_slots_are_reused() {
+        let m = compile_src("local x = (1 and 2) or (3 and 4) local y = (5 and 6)");
+        let p = &m.protos[m.main];
+        assert!(p.nlocals <= 5, "nlocals = {}", p.nlocals);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(compile(&parse("nope(1)").unwrap()).is_err());
+        assert!(compile(&parse("break").unwrap()).is_err());
+        assert!(compile(&parse("function print(x) return x end").unwrap()).is_err());
+    }
+}

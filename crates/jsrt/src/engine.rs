@@ -1,0 +1,237 @@
+//! Engine driver for `jsrt`: compile → generate → simulate.
+
+use crate::bytecode::{Module, Op};
+use crate::codegen::{build_image, JsImage};
+use crate::compiler::{compile, CompileError};
+use crate::runtime::JsHost;
+use miniscript::ParseError;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use tarch_core::{BranchStats, CoreConfig, IsaLevel, PerfCounters};
+use tarch_isa::asm::AsmError;
+use tarch_sim::{Machine, RunOutcome, SimError};
+
+/// Error from building or running the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// MiniScript parse error.
+    Parse(ParseError),
+    /// Bytecode compilation error.
+    Compile(CompileError),
+    /// Interpreter assembly error (codegen bug).
+    Asm(AsmError),
+    /// Simulation error (trap or runtime error).
+    Sim(SimError),
+    /// Step budget exhausted.
+    StepLimit {
+        /// The exhausted budget.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => e.fmt(f),
+            EngineError::Compile(e) => e.fmt(f),
+            EngineError::Asm(e) => e.fmt(f),
+            EngineError::Sim(e) => e.fmt(f),
+            EngineError::StepLimit { max_steps } => {
+                write!(f, "program did not halt within {max_steps} simulated instructions")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> EngineError {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> EngineError {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<AsmError> for EngineError {
+    fn from(e: AsmError) -> EngineError {
+        EngineError::Asm(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> EngineError {
+        EngineError::Sim(e)
+    }
+}
+
+/// Per-opcode attribution from an instrumented run.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    /// Dynamic bytecode counts.
+    pub dynamic: HashMap<Op, u64>,
+    /// Native instructions attributed to each opcode's handler.
+    pub instructions: HashMap<Op, u64>,
+}
+
+impl OpProfile {
+    /// Total dynamic bytecodes.
+    pub fn total_bytecodes(&self) -> u64 {
+        self.dynamic.values().sum()
+    }
+
+    /// Average native instructions per dynamic instance of `op`.
+    pub fn instr_per_bytecode(&self, op: Op) -> f64 {
+        let d = self.dynamic.get(&op).copied().unwrap_or(0);
+        if d == 0 {
+            0.0
+        } else {
+            self.instructions.get(&op).copied().unwrap_or(0) as f64 / d as f64
+        }
+    }
+}
+
+/// Results of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Printed output.
+    pub output: String,
+    /// Hardware counters.
+    pub counters: PerfCounters,
+    /// Branch statistics.
+    pub branch: BranchStats,
+    /// ISA level.
+    pub level: IsaLevel,
+    /// Optional per-opcode attribution.
+    pub profile: Option<OpProfile>,
+}
+
+impl RunReport {
+    /// Control-flow mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        self.counters.per_kilo_instr(self.branch.total_misses())
+    }
+}
+
+/// A ready-to-run `jsrt` engine instance.
+///
+/// # Examples
+///
+/// ```
+/// use jsrt::JsVm;
+/// use tarch_core::{CoreConfig, IsaLevel};
+///
+/// let mut vm = JsVm::from_source("print(40 + 2)", IsaLevel::Typed, CoreConfig::paper())?;
+/// let report = vm.run(10_000_000)?;
+/// assert_eq!(report.output, "42\n");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct JsVm {
+    machine: Machine<JsHost>,
+    image: JsImage,
+}
+
+impl JsVm {
+    /// Builds an engine for a compiled module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on codegen failure.
+    pub fn new(module: &Module, level: IsaLevel, core: CoreConfig) -> Result<JsVm, EngineError> {
+        let image = build_image(module, level)?;
+        let host = JsHost::new(image.strings.clone());
+        let mut machine = Machine::new(core, host);
+        machine.load(&image.program);
+        Ok(JsVm { machine, image })
+    }
+
+    /// Parses, compiles and builds in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on parse/compile/codegen failure.
+    pub fn from_source(src: &str, level: IsaLevel, core: CoreConfig) -> Result<JsVm, EngineError> {
+        let chunk = miniscript::parse(src)?;
+        let module = compile(&chunk)?;
+        JsVm::new(&module, level, core)
+    }
+
+    /// The generated image.
+    pub fn image(&self) -> &JsImage {
+        &self.image
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on traps, runtime errors, or step-limit
+    /// exhaustion.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunReport, EngineError> {
+        match self.machine.run(max_steps)? {
+            RunOutcome::Halted => Ok(self.report(None)),
+            RunOutcome::StepLimit => Err(EngineError::StepLimit { max_steps }),
+        }
+    }
+
+    /// Runs with per-opcode attribution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JsVm::run`].
+    pub fn run_profiled(&mut self, max_steps: u64) -> Result<RunReport, EngineError> {
+        let entries: HashMap<u64, Op> =
+            self.image.handler_entries.iter().map(|(op, pc)| (*pc, *op)).collect();
+        let mut profile = OpProfile::default();
+        let mut current: Option<Op> = None;
+        let mut since_entry = 0u64;
+        let outcome = self.machine.run_observed(max_steps, |pc| {
+            if let Some(op) = entries.get(&pc) {
+                if let Some(prev) = current {
+                    *profile.instructions.entry(prev).or_insert(0) += since_entry;
+                }
+                *profile.dynamic.entry(*op).or_insert(0) += 1;
+                current = Some(*op);
+                since_entry = 0;
+            }
+            since_entry += 1;
+        })?;
+        if let Some(prev) = current {
+            *profile.instructions.entry(prev).or_insert(0) += since_entry;
+        }
+        match outcome {
+            RunOutcome::Halted => Ok(self.report(Some(profile))),
+            RunOutcome::StepLimit => Err(EngineError::StepLimit { max_steps }),
+        }
+    }
+
+    fn report(&self, profile: Option<OpProfile>) -> RunReport {
+        RunReport {
+            output: self.machine.host().output().to_string(),
+            counters: *self.machine.cpu().counters(),
+            branch: self.machine.cpu().branch_stats(),
+            level: self.image.level,
+            profile,
+        }
+    }
+}
+
+/// One-shot convenience runner.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] on any failure along the pipeline.
+pub fn run_source(
+    src: &str,
+    level: IsaLevel,
+    core: CoreConfig,
+    max_steps: u64,
+) -> Result<RunReport, EngineError> {
+    JsVm::from_source(src, level, core)?.run(max_steps)
+}

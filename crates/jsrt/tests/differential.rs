@@ -1,0 +1,181 @@
+//! Differential tests: every program must print the same bytes under the
+//! MiniScript reference interpreter and the simulated `jsrt` engine at all
+//! three ISA levels.
+
+use jsrt::{compile, JsVm};
+use miniscript::{parse, Interp};
+use tarch_core::{CoreConfig, IsaLevel};
+
+const MAX_STEPS: u64 = 200_000_000;
+
+fn check(src: &str) {
+    let chunk = parse(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut interp = Interp::new();
+    interp.run(&chunk).unwrap_or_else(|e| panic!("reference: {e}\n{src}"));
+    let expected = interp.output().to_string();
+
+    let module = compile(&chunk).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut instr = Vec::new();
+    for level in IsaLevel::ALL {
+        let mut vm = JsVm::new(&module, level, CoreConfig::paper())
+            .unwrap_or_else(|e| panic!("build {level}: {e}"));
+        let report = vm.run(MAX_STEPS).unwrap_or_else(|e| panic!("sim {level}: {e}\n{src}"));
+        assert_eq!(report.output, expected, "{level} engine diverged for:\n{src}");
+        instr.push((level, report.counters.instructions));
+    }
+    // Typed may only exceed baseline by its one-time setup.
+    let baseline = instr[0].1;
+    let typed = instr[2].1;
+    assert!(
+        typed <= baseline + 100,
+        "typed retired {typed} vs baseline {baseline} for:\n{src}"
+    );
+}
+
+#[test]
+fn integer_arithmetic() {
+    check("print(1 + 2, 10 - 3, 6 * 7, 7 // 2, 7 % 3, -7 // 2, -7 % 3)");
+    check("local a = 100 local b = 7 print(a + b * 2 - a // b)");
+}
+
+#[test]
+fn int32_overflow_promotes_to_double() {
+    // 2^31 - 1 + 1 overflows int32; jsrt promotes to double, which prints
+    // identically to the reference's int64 result.
+    check("local x = 2147483647 print(x + 1, x * 2, -(-x) - x)");
+    check("local y = -2147483648 print(y - 1)");
+}
+
+#[test]
+fn float_arithmetic() {
+    check("print(1.5 + 2.25, 1.5 * 2.0, 7.0 / 2.0, 0.5 - 1.5)");
+    check("print(1 + 2.5, 2.5 + 1, 2 * 3.5)");
+    check("print(7 / 2, 7.5 % 2, 7.5 // 2)");
+}
+
+#[test]
+fn string_coercion() {
+    check("print(\"1\" + \"2\")");
+    check("print(\"1.5\" * 2)");
+    check("print(-\"3\")");
+}
+
+#[test]
+fn comparisons() {
+    check("print(1 < 2, 2 <= 2, 3 == 3.0, 3 ~= 4, 2 > 1, 2 >= 3)");
+    check("print(\"abc\" == \"abc\", \"a\" == \"b\", \"a\" < \"b\")");
+    check("print(1.5 < 2.5, 1.5 <= 1.5, 2.5 == 2.5, 0.0 == -0.0)");
+    check("print(nil == nil, nil == false, true == true)");
+    check("print(1 == 1.5, 2 < 2.5)"); // mixed int/double compares
+}
+
+#[test]
+fn logic_and_truthiness() {
+    check("print(true and 1 or 2, false and 1 or 2, nil and 1 or 2)");
+    check("local x = 0 if x then print(\"zero is truthy\") end");
+    check("print(not nil, not false, not 0, not \"\")");
+}
+
+#[test]
+fn control_flow() {
+    check("local s = 0 for i = 1, 50 do s = s + i end print(s)");
+    check("local s = 0 for i = 50, 1, -2 do s = s + i end print(s)");
+    check("for x = 0.25, 1.0, 0.25 do write(x, \";\") end print(\"\")");
+    check("local st = 2 local s = 0 for i = 1, 10, st do s = s + i end print(s)"); // dynamic step
+    check("local i = 0 while i < 32 do i = i + 5 end print(i)");
+    check("local i = 0 while true do i = i + 1 if i >= 7 then break end end print(i)");
+    check("if 1 > 2 then print(1) elseif 3 > 2 then print(2) else print(3) end");
+}
+
+#[test]
+fn functions_and_recursion() {
+    check("function add(x, y) return x + y end print(add(1, 2), add(1.5, 2.0))");
+    check("function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(16))");
+    check("function noval() return end print(noval())");
+}
+
+#[test]
+fn arrays_fast_paths() {
+    check("local t = {1, 2, 3} print(t[1] + t[2] + t[3], #t)");
+    check("local t = {} for i = 1, 40 do t[i] = i * i end local s = 0 for i = 1, 40 do s = s + t[i] end print(s, #t)");
+}
+
+#[test]
+fn arrays_slow_paths() {
+    check("local t = {} t[\"name\"] = \"js\" t.version = 17 print(t.name, t[\"version\"], t.absent)");
+    check("local t = {} t[100] = 7 print(t[100], t[99], #t)");
+    check("local t = {} t[2] = 2 t[1] = 1 print(#t, t[1], t[2])");
+    check("local t = {} insert(t, 10) insert(t, 20) print(#t, t[2])");
+    check("local m = {{1, 2}, {3, 4}} print(m[1][2], m[2][1])");
+}
+
+#[test]
+fn strings_and_builtins() {
+    check("print(sub(\"typed architectures\", 7, 9), len(\"abc\"), #\"hello\")");
+    check("print(\"a\" .. \"b\" .. 12 .. 3.5)");
+    check("print(char(72), byte(\"H\"), byte(\"Hi\", 2))");
+    check("print(floor(9.9), floor(-9.9), sqrt(144), abs(-5), min(3, 8), max(3, 8))");
+    check("print(tostring(42), tostring(nil), tostring(1.25))");
+}
+
+#[test]
+fn globals_and_unary() {
+    check("g = 5 function bump() g = g + 1 end bump() bump() print(g)");
+    check("print(undefined_global)");
+    check("local x = 5 print(-x, -(-x))");
+    check("local y = 2.5 print(-y)");
+}
+
+#[test]
+fn typed_counters_behave() {
+    let src = "local s = 0 for i = 1, 200 do s = s + i * 2 end print(s)";
+    let module = compile(&parse(src).unwrap()).unwrap();
+    let mut vm = JsVm::new(&module, IsaLevel::Typed, CoreConfig::paper()).unwrap();
+    let r = vm.run(MAX_STEPS).unwrap();
+    assert_eq!(r.output, "40200\n");
+    assert!(r.counters.type_hits >= 400);
+    assert_eq!(r.counters.overflow_misses, 0);
+
+    // Overflowing adds trigger the hardware overflow detector.
+    let src = "local x = 2000000000 local s = 0 for i = 1, 10 do s = x + x end print(s)";
+    let module = compile(&parse(src).unwrap()).unwrap();
+    let mut vm = JsVm::new(&module, IsaLevel::Typed, CoreConfig::paper()).unwrap();
+    let r = vm.run(MAX_STEPS).unwrap();
+    assert_eq!(r.output, "4000000000\n");
+    assert!(r.counters.overflow_misses >= 10, "overflow misses: {}", r.counters.overflow_misses);
+}
+
+#[test]
+fn profiled_run_attributes_bytecodes() {
+    let src = "local s = 0 for i = 1, 100 do s = s + i end print(s)";
+    let module = compile(&parse(src).unwrap()).unwrap();
+    let mut vm = JsVm::new(&module, IsaLevel::Baseline, CoreConfig::paper()).unwrap();
+    let r = vm.run_profiled(MAX_STEPS).unwrap();
+    let p = r.profile.expect("profile requested");
+    assert_eq!(p.dynamic.get(&jsrt::Op::Add).copied(), Some(200), "loop add + index add");
+    assert!(p.total_bytecodes() > 400);
+}
+
+#[test]
+fn runtime_errors() {
+    let src = "local t = nil print(t[1])";
+    let module = compile(&parse(src).unwrap()).unwrap();
+    let mut vm = JsVm::new(&module, IsaLevel::Typed, CoreConfig::paper()).unwrap();
+    let err = vm.run(MAX_STEPS).unwrap_err();
+    assert!(err.to_string().contains("index a nil"), "{err}");
+
+    let src = "print(7 // 0)";
+    let module = compile(&parse(src).unwrap()).unwrap();
+    let mut vm = JsVm::new(&module, IsaLevel::Baseline, CoreConfig::paper()).unwrap();
+    let err = vm.run(MAX_STEPS).unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+}
+
+#[test]
+fn stack_overflow_is_caught() {
+    let src = "function f(n) return f(n + 1) end print(f(0))";
+    let module = compile(&parse(src).unwrap()).unwrap();
+    let mut vm = JsVm::new(&module, IsaLevel::Baseline, CoreConfig::paper()).unwrap();
+    let err = vm.run(MAX_STEPS).unwrap_err();
+    assert!(err.to_string().contains("stack overflow"), "{err}");
+}

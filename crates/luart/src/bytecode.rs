@@ -1,0 +1,387 @@
+//! Register-machine bytecode of the `luart` engine.
+//!
+//! The format follows Lua 5.3's (Section 4.1 of the paper): a 32-bit word
+//! with a 6-bit opcode, an 8-bit `A` register field and two 9-bit `B`/`C`
+//! fields. `B`/`C` are *RK* operands in arithmetic/comparison/table
+//! instructions: values ≥ 256 index the constant table (`RK = K[x & 0xff]`),
+//! values < 256 index the frame's registers.
+//!
+//! Control-flow offsets are signed 18-bit word offsets packed into `B`/`C`.
+
+use std::fmt;
+
+/// A bytecode opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Op {
+    /// `R(A) = R(B)`.
+    Move = 0,
+    /// `R(A) = K[B]`.
+    LoadK,
+    /// `R(A) = nil`.
+    LoadNil,
+    /// `R(A) = (B != 0)`.
+    LoadBool,
+    /// `R(A) = {} (array capacity hint B)`.
+    NewTable,
+    /// `R(A) = RK(B) + RK(C)` — polymorphic, type-guarded (paper Table 3).
+    Add,
+    /// `R(A) = RK(B) - RK(C)` — polymorphic, type-guarded.
+    Sub,
+    /// `R(A) = RK(B) * RK(C)` — polymorphic, type-guarded.
+    Mul,
+    /// `R(A) = RK(B) / RK(C)` (always float).
+    Div,
+    /// `R(A) = RK(B) // RK(C)` (floor).
+    IDiv,
+    /// `R(A) = RK(B) % RK(C)` (floor).
+    Mod,
+    /// `R(A) = -R(B)`.
+    Unm,
+    /// `R(A) = not R(B)`.
+    Not,
+    /// `R(A) = #R(B)`.
+    Len,
+    /// `R(A) = RK(B) .. RK(C)`.
+    Concat,
+    /// `R(A) = RK(B) == RK(C)`.
+    CmpEq,
+    /// `R(A) = RK(B) ~= RK(C)`.
+    CmpNe,
+    /// `R(A) = RK(B) < RK(C)`.
+    CmpLt,
+    /// `R(A) = RK(B) <= RK(C)`.
+    CmpLe,
+    /// `pc += sBx`.
+    Jmp,
+    /// `if truthy(R(A)) then pc += sBx`.
+    JmpIf,
+    /// `if not truthy(R(A)) then pc += sBx`.
+    JmpNot,
+    /// `R(A) = R(B)[RK(C)]` — type-guarded table read (paper Table 3).
+    GetTable,
+    /// `R(A)[RK(B)] = RK(C)` — type-guarded table write.
+    SetTable,
+    /// `R(A) = globals[K[B]]`.
+    GetGlobal,
+    /// `globals[K[B]] = R(A)`.
+    SetGlobal,
+    /// Call function `#B` with `C` arguments at `R(A)..`; result in `R(A)`.
+    Call,
+    /// Call builtin `#B` with `C` arguments at `R(A)..`; result in `R(A)`.
+    CallB,
+    /// Return `R(A)` if `B != 0`, else nil.
+    Return,
+    /// Numeric-for setup: normalizes `R(A..A+2)`, subtracts step, jumps.
+    ForPrep,
+    /// Numeric-for step: adds step, tests limit, copies to `R(A+3)`.
+    ForLoop,
+    /// Stop the VM (bottom-of-stack return address).
+    Halt,
+}
+
+impl Op {
+    /// All opcodes in encoding order.
+    pub const ALL: [Op; 32] = [
+        Op::Move,
+        Op::LoadK,
+        Op::LoadNil,
+        Op::LoadBool,
+        Op::NewTable,
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::IDiv,
+        Op::Mod,
+        Op::Unm,
+        Op::Not,
+        Op::Len,
+        Op::Concat,
+        Op::CmpEq,
+        Op::CmpNe,
+        Op::CmpLt,
+        Op::CmpLe,
+        Op::Jmp,
+        Op::JmpIf,
+        Op::JmpNot,
+        Op::GetTable,
+        Op::SetTable,
+        Op::GetGlobal,
+        Op::SetGlobal,
+        Op::Call,
+        Op::CallB,
+        Op::Return,
+        Op::ForPrep,
+        Op::ForLoop,
+        Op::Halt,
+    ];
+
+    /// Decodes an opcode number.
+    pub fn from_code(code: u8) -> Option<Op> {
+        Op::ALL.get(code as usize).copied()
+    }
+
+    /// Display name (upper case, Lua style).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Move => "MOVE",
+            Op::LoadK => "LOADK",
+            Op::LoadNil => "LOADNIL",
+            Op::LoadBool => "LOADBOOL",
+            Op::NewTable => "NEWTABLE",
+            Op::Add => "ADD",
+            Op::Sub => "SUB",
+            Op::Mul => "MUL",
+            Op::Div => "DIV",
+            Op::IDiv => "IDIV",
+            Op::Mod => "MOD",
+            Op::Unm => "UNM",
+            Op::Not => "NOT",
+            Op::Len => "LEN",
+            Op::Concat => "CONCAT",
+            Op::CmpEq => "CMPEQ",
+            Op::CmpNe => "CMPNE",
+            Op::CmpLt => "CMPLT",
+            Op::CmpLe => "CMPLE",
+            Op::Jmp => "JMP",
+            Op::JmpIf => "JMPIF",
+            Op::JmpNot => "JMPNOT",
+            Op::GetTable => "GETTABLE",
+            Op::SetTable => "SETTABLE",
+            Op::GetGlobal => "GETGLOBAL",
+            Op::SetGlobal => "SETGLOBAL",
+            Op::Call => "CALL",
+            Op::CallB => "CALLB",
+            Op::Return => "RETURN",
+            Op::ForPrep => "FORPREP",
+            Op::ForLoop => "FORLOOP",
+            Op::Halt => "HALT",
+        }
+    }
+
+    /// Whether this is one of the five type-guarded hot bytecodes the paper
+    /// retargets (Table 3).
+    pub fn is_retargeted(self) -> bool {
+        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::GetTable | Op::SetTable)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// RK operand bit: set when the 9-bit field indexes the constant table.
+pub const RK_CONST: u16 = 0x100;
+
+/// One decoded bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bc {
+    /// Opcode.
+    pub op: Op,
+    /// `A` field (destination / operand register).
+    pub a: u8,
+    /// `B` field (register, RK, constant index, function index, or the
+    /// upper half of a jump offset).
+    pub b: u16,
+    /// `C` field.
+    pub c: u16,
+}
+
+impl Bc {
+    /// Builds an instruction.
+    pub fn new(op: Op, a: u8, b: u16, c: u16) -> Bc {
+        debug_assert!(b < 512, "B field overflow: {b}");
+        debug_assert!(c < 512, "C field overflow: {c}");
+        Bc { op, a, b, c }
+    }
+
+    /// Builds a jump-style instruction carrying a signed 18-bit word offset.
+    pub fn jump(op: Op, a: u8, offset: i32) -> Bc {
+        let raw = (offset as u32) & 0x3ffff;
+        Bc { op, a, b: (raw >> 9) as u16, c: (raw & 0x1ff) as u16 }
+    }
+
+    /// The signed 18-bit offset of a jump-style instruction.
+    pub fn offset(self) -> i32 {
+        let raw = ((self.b as u32) << 9) | self.c as u32;
+        ((raw << 14) as i32) >> 14
+    }
+
+    /// Encodes to the 32-bit word format.
+    pub fn encode(self) -> u32 {
+        ((self.op as u32) << 26)
+            | ((self.a as u32) << 18)
+            | (((self.b as u32) & 0x1ff) << 9)
+            | ((self.c as u32) & 0x1ff)
+    }
+
+    /// Decodes from the 32-bit word format.
+    pub fn decode(word: u32) -> Option<Bc> {
+        let op = Op::from_code((word >> 26) as u8)?;
+        Some(Bc {
+            op,
+            a: ((word >> 18) & 0xff) as u8,
+            b: ((word >> 9) & 0x1ff) as u16,
+            c: (word & 0x1ff) as u16,
+        })
+    }
+}
+
+impl fmt::Display for Bc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Jmp | Op::JmpIf | Op::JmpNot | Op::ForPrep | Op::ForLoop => {
+                write!(f, "{} {} {:+}", self.op, self.a, self.offset())
+            }
+            _ => write!(f, "{} {} {} {}", self.op, self.a, self.b, self.c),
+        }
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// String constant (interned id assigned at link time).
+    Str(String),
+}
+
+/// A compiled function prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proto {
+    /// Function name (diagnostics).
+    pub name: String,
+    /// Number of parameters.
+    pub nparams: u8,
+    /// Frame size in registers.
+    pub nregs: u8,
+    /// Code.
+    pub code: Vec<Bc>,
+    /// Constant table.
+    pub consts: Vec<Const>,
+}
+
+/// Builtin functions callable via `CallB`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Builtin {
+    Print = 0,
+    Write,
+    Clock,
+    Floor,
+    Sqrt,
+    Abs,
+    Min,
+    Max,
+    Sub,
+    Len,
+    Char,
+    Byte,
+    Insert,
+    Tostring,
+}
+
+impl Builtin {
+    /// All builtins in id order.
+    pub const ALL: [Builtin; 14] = [
+        Builtin::Print,
+        Builtin::Write,
+        Builtin::Clock,
+        Builtin::Floor,
+        Builtin::Sqrt,
+        Builtin::Abs,
+        Builtin::Min,
+        Builtin::Max,
+        Builtin::Sub,
+        Builtin::Len,
+        Builtin::Char,
+        Builtin::Byte,
+        Builtin::Insert,
+        Builtin::Tostring,
+    ];
+
+    /// Resolves a source-level name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        let b = match name {
+            "print" => Builtin::Print,
+            "write" => Builtin::Write,
+            "clock" => Builtin::Clock,
+            "floor" => Builtin::Floor,
+            "sqrt" => Builtin::Sqrt,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "sub" => Builtin::Sub,
+            "len" => Builtin::Len,
+            "char" => Builtin::Char,
+            "byte" => Builtin::Byte,
+            "insert" => Builtin::Insert,
+            "tostring" => Builtin::Tostring,
+            _ => return None,
+        };
+        Some(b)
+    }
+
+    /// Decodes a builtin id.
+    pub fn from_code(code: u16) -> Option<Builtin> {
+        Builtin::ALL.get(code as usize).copied()
+    }
+}
+
+/// A compiled module: prototypes plus the main body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// All prototypes; `protos[main]` is the top-level body.
+    pub protos: Vec<Proto>,
+    /// Index of the main prototype.
+    pub main: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for op in Op::ALL {
+            let bc = Bc::new(op, 200, 300, 511);
+            assert_eq!(Bc::decode(bc.encode()), Some(bc));
+        }
+    }
+
+    #[test]
+    fn jump_offsets() {
+        for off in [-131072, -1, 0, 1, 131071] {
+            let bc = Bc::jump(Op::Jmp, 0, off);
+            assert_eq!(bc.offset(), off, "offset {off}");
+            assert_eq!(Bc::decode(bc.encode()).unwrap().offset(), off);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(Bc::decode(0xffff_ffff), None);
+        assert_eq!(Op::from_code(32), None);
+    }
+
+    #[test]
+    fn retargeted_set_matches_table3() {
+        let hot: Vec<Op> = Op::ALL.into_iter().filter(|o| o.is_retargeted()).collect();
+        assert_eq!(hot, vec![Op::Add, Op::Sub, Op::Mul, Op::GetTable, Op::SetTable]);
+    }
+
+    #[test]
+    fn builtin_names_roundtrip() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::from_code(b as u16), Some(b));
+        }
+        assert_eq!(Builtin::by_name("sqrt"), Some(Builtin::Sqrt));
+        assert_eq!(Builtin::by_name("nope"), None);
+    }
+}

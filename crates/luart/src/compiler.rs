@@ -1,0 +1,607 @@
+//! MiniScript AST → register bytecode compiler.
+//!
+//! A conventional single-pass Lua-style compiler: locals live in fixed
+//! frame registers, expression temporaries are allocated above the live
+//! locals and recycled per statement, constants are deduplicated per
+//! function, and RK operands fold small literals directly into instruction
+//! fields.
+
+use crate::bytecode::{Bc, Builtin, Const, Module, Op, Proto, RK_CONST};
+use miniscript::{BinOp, Block, Chunk, Expr, Stat, Target, UnOp};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Compile-time error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    fn new(message: impl Into<String>) -> CompileError {
+        CompileError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Compiles a parsed chunk into a bytecode [`Module`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unknown functions, arity mismatches, too
+/// many registers/constants, or unsupported constructs.
+///
+/// # Examples
+///
+/// ```
+/// let chunk = miniscript::parse("print(1 + 2)")?;
+/// let module = luart::compile(&chunk)?;
+/// assert_eq!(module.protos.len(), 1); // just main
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(chunk: &Chunk) -> Result<Module, CompileError> {
+    // Pass 1: index user functions so forward calls resolve.
+    let mut func_ids = HashMap::new();
+    for (i, f) in chunk.functions.iter().enumerate() {
+        if func_ids.insert(f.name.clone(), i).is_some() {
+            return Err(CompileError::new(format!("function `{}` defined twice", f.name)));
+        }
+        if Builtin::by_name(&f.name).is_some() {
+            return Err(CompileError::new(format!("function `{}` shadows a builtin", f.name)));
+        }
+    }
+
+    let mut protos = Vec::new();
+    for f in &chunk.functions {
+        let mut c = FnCompiler::new(&f.name, &func_ids, chunk);
+        for p in &f.params {
+            c.declare_local(p)?;
+        }
+        c.block(&f.body)?;
+        c.emit(Bc::new(Op::Return, 0, 0, 0));
+        protos.push(c.finish(f.params.len() as u8));
+    }
+
+    // Main body.
+    let mut c = FnCompiler::new("main", &func_ids, chunk);
+    c.block(&chunk.main)?;
+    c.emit(Bc::new(Op::Return, 0, 0, 0));
+    protos.push(c.finish(0));
+    let main = protos.len() - 1;
+
+    Ok(Module { protos, main })
+}
+
+struct LoopCtx {
+    break_jumps: Vec<usize>,
+}
+
+struct FnCompiler<'a> {
+    name: String,
+    func_ids: &'a HashMap<String, usize>,
+    chunk: &'a Chunk,
+    code: Vec<Bc>,
+    consts: Vec<Const>,
+    /// Active locals as (name, register), innermost last.
+    locals: Vec<(String, u8)>,
+    /// Scope marks: locals.len() at each scope entry.
+    scope_marks: Vec<usize>,
+    /// First free register.
+    next_reg: u16,
+    /// High-water mark.
+    max_reg: u16,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(name: &str, func_ids: &'a HashMap<String, usize>, chunk: &'a Chunk) -> FnCompiler<'a> {
+        FnCompiler {
+            name: name.to_string(),
+            func_ids,
+            chunk,
+            code: Vec::new(),
+            consts: Vec::new(),
+            locals: Vec::new(),
+            scope_marks: Vec::new(),
+            next_reg: 0,
+            max_reg: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn finish(self, nparams: u8) -> Proto {
+        Proto {
+            name: self.name,
+            nparams,
+            nregs: (self.max_reg as u8).max(nparams).max(1),
+            code: self.code,
+            consts: self.consts,
+        }
+    }
+
+    fn emit(&mut self, bc: Bc) -> usize {
+        self.code.push(bc);
+        self.code.len() - 1
+    }
+
+    /// Emits a placeholder jump; returns its index for later patching.
+    fn emit_jump(&mut self, op: Op, a: u8) -> usize {
+        self.emit(Bc::jump(op, a, 0))
+    }
+
+    /// Patches a jump to land on the next emitted instruction.
+    fn patch_here(&mut self, at: usize) {
+        let target = self.code.len() as i32;
+        let off = target - at as i32 - 1;
+        let old = self.code[at];
+        self.code[at] = Bc::jump(old.op, old.a, off);
+    }
+
+    fn jump_back(&mut self, op: Op, a: u8, target: usize) {
+        let at = self.code.len() as i32;
+        self.emit(Bc::jump(op, a, target as i32 - at - 1));
+    }
+
+    fn alloc_reg(&mut self) -> Result<u8, CompileError> {
+        let r = self.next_reg;
+        if r >= 250 {
+            return Err(CompileError::new(format!("function `{}` needs too many registers", self.name)));
+        }
+        self.next_reg += 1;
+        self.max_reg = self.max_reg.max(self.next_reg);
+        Ok(r as u8)
+    }
+
+    fn declare_local(&mut self, name: &str) -> Result<u8, CompileError> {
+        let r = self.alloc_reg()?;
+        self.locals.push((name.to_string(), r));
+        Ok(r)
+    }
+
+    fn resolve_local(&self, name: &str) -> Option<u8> {
+        self.locals.iter().rev().find(|(n, _)| n == name).map(|(_, r)| *r)
+    }
+
+    fn enter_scope(&mut self) {
+        self.scope_marks.push(self.locals.len());
+    }
+
+    fn leave_scope(&mut self) {
+        let mark = self.scope_marks.pop().expect("scope underflow");
+        // Free the registers of the dropped locals.
+        if let Some((_, lowest)) = self.locals.get(mark) {
+            self.next_reg = *lowest as u16;
+        }
+        self.locals.truncate(mark);
+    }
+
+    fn add_const(&mut self, c: Const) -> Result<u16, CompileError> {
+        let found = self.consts.iter().position(|k| match (k, &c) {
+            (Const::Int(a), Const::Int(b)) => a == b,
+            (Const::Float(a), Const::Float(b)) => a.to_bits() == b.to_bits(),
+            (Const::Str(a), Const::Str(b)) => a == b,
+            _ => false,
+        });
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                self.consts.push(c);
+                self.consts.len() - 1
+            }
+        };
+        if idx >= 512 {
+            return Err(CompileError::new(format!("function `{}` has too many constants", self.name)));
+        }
+        Ok(idx as u16)
+    }
+
+    /// Compiles an expression into an RK operand (constant field when the
+    /// expression is a foldable literal, register otherwise).
+    fn expr_rk(&mut self, e: &Expr) -> Result<u16, CompileError> {
+        let k = match e {
+            Expr::Int(v) => Some(Const::Int(*v)),
+            Expr::Float(v) => Some(Const::Float(*v)),
+            Expr::Str(s) => Some(Const::Str(s.clone())),
+            _ => None,
+        };
+        if let Some(k) = k {
+            let idx = self.add_const(k)?;
+            if idx < 256 {
+                return Ok(idx | RK_CONST);
+            }
+        }
+        Ok(self.expr_reg(e)? as u16)
+    }
+
+    /// Compiles an expression into some register (existing local or fresh
+    /// temporary).
+    fn expr_reg(&mut self, e: &Expr) -> Result<u8, CompileError> {
+        if let Expr::Var(name) = e {
+            if let Some(r) = self.resolve_local(name) {
+                return Ok(r);
+            }
+        }
+        let dst = self.alloc_reg()?;
+        self.expr_into(e, dst)?;
+        Ok(dst)
+    }
+
+    /// Compiles an expression into a specific register.
+    fn expr_into(&mut self, e: &Expr, dst: u8) -> Result<(), CompileError> {
+        match e {
+            Expr::Nil => {
+                self.emit(Bc::new(Op::LoadNil, dst, 0, 0));
+            }
+            Expr::Bool(b) => {
+                self.emit(Bc::new(Op::LoadBool, dst, *b as u16, 0));
+            }
+            Expr::Int(v) => {
+                let k = self.add_const(Const::Int(*v))?;
+                self.emit(Bc::new(Op::LoadK, dst, k, 0));
+            }
+            Expr::Float(v) => {
+                let k = self.add_const(Const::Float(*v))?;
+                self.emit(Bc::new(Op::LoadK, dst, k, 0));
+            }
+            Expr::Str(s) => {
+                let k = self.add_const(Const::Str(s.clone()))?;
+                self.emit(Bc::new(Op::LoadK, dst, k, 0));
+            }
+            Expr::Var(name) => {
+                if let Some(r) = self.resolve_local(name) {
+                    if r != dst {
+                        self.emit(Bc::new(Op::Move, dst, r as u16, 0));
+                    }
+                } else {
+                    let k = self.add_const(Const::Str(name.clone()))?;
+                    self.emit(Bc::new(Op::GetGlobal, dst, k, 0));
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let mark = self.next_reg;
+                let (bop, b, c) = match op {
+                    BinOp::Add => (Op::Add, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Sub => (Op::Sub, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Mul => (Op::Mul, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Div => (Op::Div, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::IDiv => (Op::IDiv, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Mod => (Op::Mod, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Concat => (Op::Concat, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Eq => (Op::CmpEq, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Ne => (Op::CmpNe, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Lt => (Op::CmpLt, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    BinOp::Le => (Op::CmpLe, self.expr_rk(lhs)?, self.expr_rk(rhs)?),
+                    // Swap operands for > and >=.
+                    BinOp::Gt => (Op::CmpLt, self.expr_rk(rhs)?, self.expr_rk(lhs)?),
+                    BinOp::Ge => (Op::CmpLe, self.expr_rk(rhs)?, self.expr_rk(lhs)?),
+                };
+                self.emit(Bc::new(bop, dst, b, c));
+                self.next_reg = mark.max(dst as u16 + 1).max(self.live_regs());
+            }
+            Expr::Unary { op, expr } => {
+                let mark = self.next_reg;
+                let b = self.expr_reg(expr)? as u16;
+                let uop = match op {
+                    UnOp::Neg => Op::Unm,
+                    UnOp::Not => Op::Not,
+                    UnOp::Len => Op::Len,
+                };
+                self.emit(Bc::new(uop, dst, b, 0));
+                self.next_reg = mark.max(dst as u16 + 1).max(self.live_regs());
+            }
+            Expr::And(l, r) => {
+                self.expr_into(l, dst)?;
+                let skip = self.emit_jump(Op::JmpNot, dst);
+                self.expr_into(r, dst)?;
+                self.patch_here(skip);
+            }
+            Expr::Or(l, r) => {
+                self.expr_into(l, dst)?;
+                let skip = self.emit_jump(Op::JmpIf, dst);
+                self.expr_into(r, dst)?;
+                self.patch_here(skip);
+            }
+            Expr::Index { table, key } => {
+                let mark = self.next_reg;
+                let t = self.expr_reg(table)? as u16;
+                let k = self.expr_rk(key)?;
+                self.emit(Bc::new(Op::GetTable, dst, t, k));
+                self.next_reg = mark.max(dst as u16 + 1).max(self.live_regs());
+            }
+            Expr::Call { func, args } => {
+                let mark = self.next_reg;
+                let base = self.compile_call(func, args)?;
+                if base != dst {
+                    self.emit(Bc::new(Op::Move, dst, base as u16, 0));
+                }
+                self.next_reg = mark.max(dst as u16 + 1).max(self.live_regs());
+            }
+            Expr::Table(items) => {
+                self.emit(Bc::new(Op::NewTable, dst, (items.len() as u16).min(511), 0));
+                for (i, item) in items.iter().enumerate() {
+                    let mark = self.next_reg;
+                    let k = self.add_const(Const::Int(i as i64 + 1))?;
+                    if k >= 256 {
+                        return Err(CompileError::new("table constructor too large"));
+                    }
+                    let v = self.expr_rk(item)?;
+                    self.emit(Bc::new(Op::SetTable, dst, k | RK_CONST, v));
+                    self.next_reg = mark;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowest register count that keeps all live locals addressable.
+    fn live_regs(&self) -> u16 {
+        self.locals.last().map_or(0, |(_, r)| *r as u16 + 1)
+    }
+
+    /// Compiles a call with arguments in fresh consecutive registers;
+    /// returns the base register holding the result.
+    fn compile_call(&mut self, func: &str, args: &[Expr]) -> Result<u8, CompileError> {
+        let base = self.alloc_reg()?;
+        // Reserve the argument window.
+        let mut regs = vec![base];
+        for _ in 1..args.len() {
+            regs.push(self.alloc_reg()?);
+        }
+        for (e, r) in args.iter().zip(&regs) {
+            self.expr_into(e, *r)?;
+        }
+        if let Some(&id) = self.func_ids.get(func) {
+            let f = &self.chunk.functions[id];
+            if f.params.len() != args.len() {
+                return Err(CompileError::new(format!(
+                    "function `{func}` expects {} arguments, got {}",
+                    f.params.len(),
+                    args.len()
+                )));
+            }
+            self.emit(Bc::new(Op::Call, base, id as u16, args.len() as u16));
+        } else if let Some(b) = Builtin::by_name(func) {
+            if args.is_empty() {
+                // The window must still exist for the result.
+            }
+            self.emit(Bc::new(Op::CallB, base, b as u16, args.len() as u16));
+        } else {
+            return Err(CompileError::new(format!("unknown function `{func}`")));
+        }
+        Ok(base)
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), CompileError> {
+        self.enter_scope();
+        for stat in block {
+            self.stat(stat)?;
+        }
+        self.leave_scope();
+        Ok(())
+    }
+
+    fn stat(&mut self, stat: &Stat) -> Result<(), CompileError> {
+        let mark = self.next_reg;
+        match stat {
+            Stat::Local { name, init } => {
+                let r = self.declare_local(name)?;
+                match init {
+                    Some(e) => self.expr_into(e, r)?,
+                    None => {
+                        self.emit(Bc::new(Op::LoadNil, r, 0, 0));
+                    }
+                }
+                // Locals persist: only reclaim temps above.
+                self.next_reg = self.live_regs().max(r as u16 + 1);
+                return Ok(());
+            }
+            Stat::Assign { target, value } => match target {
+                Target::Name(name) => {
+                    if let Some(r) = self.resolve_local(name) {
+                        self.expr_into(value, r)?;
+                    } else {
+                        let v = self.expr_reg(value)?;
+                        let k = self.add_const(Const::Str(name.clone()))?;
+                        self.emit(Bc::new(Op::SetGlobal, v, k, 0));
+                    }
+                }
+                Target::Index { table, key } => {
+                    let t = self.expr_reg(table)?;
+                    let k = self.expr_rk(key)?;
+                    let v = self.expr_rk(value)?;
+                    self.emit(Bc::new(Op::SetTable, t, k, v));
+                }
+            },
+            Stat::If { arms, else_body } => {
+                let mut end_jumps = Vec::new();
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    let c = self.expr_reg(cond)?;
+                    self.next_reg = mark.max(self.live_regs());
+                    let skip = self.emit_jump(Op::JmpNot, c);
+                    self.block(body)?;
+                    let is_last_arm = i == arms.len() - 1 && else_body.is_none();
+                    if !is_last_arm {
+                        end_jumps.push(self.emit_jump(Op::Jmp, 0));
+                    }
+                    self.patch_here(skip);
+                }
+                if let Some(body) = else_body {
+                    self.block(body)?;
+                }
+                for j in end_jumps {
+                    self.patch_here(j);
+                }
+            }
+            Stat::While { cond, body } => {
+                let top = self.code.len();
+                let c = self.expr_reg(cond)?;
+                self.next_reg = mark.max(self.live_regs());
+                let exit = self.emit_jump(Op::JmpNot, c);
+                self.loops.push(LoopCtx { break_jumps: Vec::new() });
+                self.block(body)?;
+                self.jump_back(Op::Jmp, 0, top);
+                self.patch_here(exit);
+                let ctx = self.loops.pop().expect("loop stack");
+                for j in ctx.break_jumps {
+                    self.patch_here(j);
+                }
+            }
+            Stat::NumericFor { var, start, stop, step, body } => {
+                self.enter_scope();
+                // Allocate the control block: idx, limit, step, var.
+                let idx = self.declare_local("(for index)")?;
+                let _limit = self.declare_local("(for limit)")?;
+                let stepr = self.declare_local("(for step)")?;
+                self.expr_into(start, idx)?;
+                self.expr_into(stop, idx + 1)?;
+                match step {
+                    Some(e) => self.expr_into(e, stepr)?,
+                    None => {
+                        let k = self.add_const(Const::Int(1))?;
+                        self.emit(Bc::new(Op::LoadK, stepr, k, 0));
+                    }
+                }
+                let varr = self.declare_local(var)?;
+                debug_assert_eq!(varr, idx + 3);
+                let prep = self.emit_jump(Op::ForPrep, idx);
+                let body_top = self.code.len();
+                self.loops.push(LoopCtx { break_jumps: Vec::new() });
+                self.block(body)?;
+                self.patch_here(prep); // FORPREP jumps to the FORLOOP below
+                self.jump_back(Op::ForLoop, idx, body_top);
+                let ctx = self.loops.pop().expect("loop stack");
+                for j in ctx.break_jumps {
+                    self.patch_here(j);
+                }
+                self.leave_scope();
+            }
+            Stat::Return(value) => match value {
+                Some(e) => {
+                    let r = self.expr_reg(e)?;
+                    self.emit(Bc::new(Op::Return, r, 1, 0));
+                }
+                None => {
+                    self.emit(Bc::new(Op::Return, 0, 0, 0));
+                }
+            },
+            Stat::Break => {
+                let j = self.emit_jump(Op::Jmp, 0);
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.break_jumps.push(j),
+                    None => return Err(CompileError::new("break outside a loop")),
+                }
+            }
+            Stat::ExprStat(e) => {
+                self.expr_reg(e)?;
+            }
+            Stat::Do(body) => self.block(body)?,
+        }
+        self.next_reg = mark.max(self.live_regs());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniscript::parse;
+
+    fn compile_src(src: &str) -> Module {
+        compile(&parse(src).unwrap()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn main_ops(m: &Module) -> Vec<Op> {
+        m.protos[m.main].code.iter().map(|b| b.op).collect()
+    }
+
+    #[test]
+    fn constant_folding_into_rk() {
+        let m = compile_src("local x = 1 + 2");
+        let code = &m.protos[m.main].code;
+        // ADD with both RK-constant operands.
+        let add = code.iter().find(|b| b.op == Op::Add).unwrap();
+        assert!(add.b & RK_CONST != 0);
+        assert!(add.c & RK_CONST != 0);
+    }
+
+    #[test]
+    fn locals_get_stable_registers() {
+        let m = compile_src("local a = 1 local b = 2 a = a + b");
+        let code = &m.protos[m.main].code;
+        let add = code.iter().find(|b| b.op == Op::Add).unwrap();
+        assert_eq!(add.a, 0); // a
+        assert_eq!(add.b, 0); // a
+        assert_eq!(add.c, 1); // b
+    }
+
+    #[test]
+    fn gt_swaps_operands() {
+        let m = compile_src("local a = 1 local b = 2 local c = a > b");
+        let cmp = m.protos[m.main].code.iter().find(|b| b.op == Op::CmpLt).unwrap();
+        assert_eq!((cmp.b, cmp.c), (1, 0)); // b < a
+    }
+
+    #[test]
+    fn numeric_for_layout() {
+        let m = compile_src("for i = 1, 10 do local x = i end");
+        let ops = main_ops(&m);
+        assert!(ops.contains(&Op::ForPrep));
+        assert!(ops.contains(&Op::ForLoop));
+        let prep_pos = ops.iter().position(|o| *o == Op::ForPrep).unwrap();
+        let loop_pos = ops.iter().position(|o| *o == Op::ForLoop).unwrap();
+        let prep = m.protos[m.main].code[prep_pos];
+        // FORPREP jumps exactly to the FORLOOP.
+        assert_eq!(prep_pos as i32 + 1 + prep.offset(), loop_pos as i32);
+        let fl = m.protos[m.main].code[loop_pos];
+        assert_eq!(loop_pos as i32 + 1 + fl.offset(), prep_pos as i32 + 1);
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let e = compile(&parse("function f(a, b) return a end f(1)").unwrap()).unwrap_err();
+        assert!(e.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let e = compile(&parse("whatever(1)").unwrap()).unwrap_err();
+        assert!(e.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn builtin_shadowing_rejected() {
+        let e = compile(&parse("function print(x) return x end").unwrap()).unwrap_err();
+        assert!(e.message.contains("shadows"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = compile(&parse("break").unwrap()).unwrap_err();
+        assert!(e.message.contains("break"));
+    }
+
+    #[test]
+    fn globals_compile_to_global_ops() {
+        let m = compile_src("g = 1 local x = g");
+        let ops = main_ops(&m);
+        assert!(ops.contains(&Op::SetGlobal));
+        assert!(ops.contains(&Op::GetGlobal));
+    }
+
+    #[test]
+    fn temporaries_are_recycled() {
+        // Many sequential statements must not grow the frame unboundedly.
+        let src = (0..50).map(|_| "local t = 1 + 2 t = t * 3\n").collect::<String>();
+        let m = compile_src(&src);
+        assert!(m.protos[m.main].nregs < 120);
+    }
+}

@@ -1,0 +1,240 @@
+//! Engine driver: compile → generate → simulate, with reporting.
+
+use crate::bytecode::{Module, Op};
+use crate::codegen::{build_image, LuaImage};
+use crate::compiler::{compile, CompileError};
+use crate::runtime::LuaHost;
+use miniscript::ParseError;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use tarch_core::{BranchStats, CoreConfig, IsaLevel, PerfCounters};
+use tarch_isa::asm::AsmError;
+use tarch_sim::{Machine, RunOutcome, SimError};
+
+/// Error from building or running the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// MiniScript parse error.
+    Parse(ParseError),
+    /// Bytecode compilation error.
+    Compile(CompileError),
+    /// Interpreter assembly error (codegen bug).
+    Asm(AsmError),
+    /// Simulation error (trap or runtime error).
+    Sim(SimError),
+    /// The step budget ran out before the program halted.
+    StepLimit {
+        /// The budget that was exhausted.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => e.fmt(f),
+            EngineError::Compile(e) => e.fmt(f),
+            EngineError::Asm(e) => e.fmt(f),
+            EngineError::Sim(e) => e.fmt(f),
+            EngineError::StepLimit { max_steps } => {
+                write!(f, "program did not halt within {max_steps} simulated instructions")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> EngineError {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> EngineError {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<AsmError> for EngineError {
+    fn from(e: AsmError) -> EngineError {
+        EngineError::Asm(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> EngineError {
+        EngineError::Sim(e)
+    }
+}
+
+/// Per-opcode attribution from an instrumented run.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    /// Dynamic bytecode count per opcode.
+    pub dynamic: HashMap<Op, u64>,
+    /// Native instructions attributed to each opcode's handler (including
+    /// the following dispatch sequence).
+    pub instructions: HashMap<Op, u64>,
+}
+
+impl OpProfile {
+    /// Total dynamic bytecodes.
+    pub fn total_bytecodes(&self) -> u64 {
+        self.dynamic.values().sum()
+    }
+
+    /// Average native instructions per dynamic instance of `op`.
+    pub fn instr_per_bytecode(&self, op: Op) -> f64 {
+        let d = self.dynamic.get(&op).copied().unwrap_or(0);
+        if d == 0 {
+            0.0
+        } else {
+            self.instructions.get(&op).copied().unwrap_or(0) as f64 / d as f64
+        }
+    }
+}
+
+/// Results of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Everything the program printed.
+    pub output: String,
+    /// Hardware performance counters.
+    pub counters: PerfCounters,
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+    /// The ISA level that ran.
+    pub level: IsaLevel,
+    /// Per-opcode attribution (only from [`LuaVm::run_profiled`]).
+    pub profile: Option<OpProfile>,
+}
+
+impl RunReport {
+    /// Control-flow mispredictions per kilo-instruction (Figure 7 metric).
+    pub fn branch_mpki(&self) -> f64 {
+        self.counters.per_kilo_instr(self.branch.total_misses())
+    }
+}
+
+/// A ready-to-run `luart` engine instance.
+///
+/// # Examples
+///
+/// ```
+/// use luart::LuaVm;
+/// use tarch_core::{CoreConfig, IsaLevel};
+///
+/// let mut vm = LuaVm::from_source("print(2 + 40)", IsaLevel::Typed, CoreConfig::paper())?;
+/// let report = vm.run(10_000_000)?;
+/// assert_eq!(report.output, "42\n");
+/// assert!(report.counters.type_hits > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LuaVm {
+    machine: Machine<LuaHost>,
+    image: LuaImage,
+}
+
+impl LuaVm {
+    /// Builds an engine for a compiled module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if code generation fails.
+    pub fn new(module: &Module, level: IsaLevel, core: CoreConfig) -> Result<LuaVm, EngineError> {
+        let image = build_image(module, level)?;
+        let host = LuaHost::new(image.strings.clone());
+        let mut machine = Machine::new(core, host);
+        machine.load(&image.program);
+        Ok(LuaVm { machine, image })
+    }
+
+    /// Parses, compiles and builds an engine in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on parse/compile/codegen failures.
+    pub fn from_source(src: &str, level: IsaLevel, core: CoreConfig) -> Result<LuaVm, EngineError> {
+        let chunk = miniscript::parse(src)?;
+        let module = compile(&chunk)?;
+        LuaVm::new(&module, level, core)
+    }
+
+    /// The generated image (program + metadata).
+    pub fn image(&self) -> &LuaImage {
+        &self.image
+    }
+
+    /// Runs to completion (up to `max_steps` simulated instructions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on traps, runtime errors, or step-limit
+    /// exhaustion.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunReport, EngineError> {
+        match self.machine.run(max_steps)? {
+            RunOutcome::Halted => Ok(self.report(None)),
+            RunOutcome::StepLimit => Err(EngineError::StepLimit { max_steps }),
+        }
+    }
+
+    /// Runs with per-opcode attribution: dynamic bytecode counts and native
+    /// instructions per handler (regenerates Figures 2(a) and 2(b)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LuaVm::run`].
+    pub fn run_profiled(&mut self, max_steps: u64) -> Result<RunReport, EngineError> {
+        let entries: HashMap<u64, Op> =
+            self.image.handler_entries.iter().map(|(op, pc)| (*pc, *op)).collect();
+        let mut profile = OpProfile::default();
+        let mut current: Option<Op> = None;
+        let mut since_entry = 0u64;
+        let outcome = self.machine.run_observed(max_steps, |pc| {
+            if let Some(op) = entries.get(&pc) {
+                if let Some(prev) = current {
+                    *profile.instructions.entry(prev).or_insert(0) += since_entry;
+                }
+                *profile.dynamic.entry(*op).or_insert(0) += 1;
+                current = Some(*op);
+                since_entry = 0;
+            }
+            since_entry += 1;
+        })?;
+        if let Some(prev) = current {
+            *profile.instructions.entry(prev).or_insert(0) += since_entry;
+        }
+        match outcome {
+            RunOutcome::Halted => Ok(self.report(Some(profile))),
+            RunOutcome::StepLimit => Err(EngineError::StepLimit { max_steps }),
+        }
+    }
+
+    fn report(&self, profile: Option<OpProfile>) -> RunReport {
+        RunReport {
+            output: self.machine.host().output().to_string(),
+            counters: *self.machine.cpu().counters(),
+            branch: self.machine.cpu().branch_stats(),
+            level: self.image.level,
+            profile,
+        }
+    }
+}
+
+/// One-shot convenience: run MiniScript source on the engine.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] on any failure along the pipeline.
+pub fn run_source(
+    src: &str,
+    level: IsaLevel,
+    core: CoreConfig,
+    max_steps: u64,
+) -> Result<RunReport, EngineError> {
+    LuaVm::from_source(src, level, core)?.run(max_steps)
+}

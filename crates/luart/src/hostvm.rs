@@ -1,0 +1,638 @@
+//! Host-side executor for `luart` bytecode.
+//!
+//! Runs a compiled [`Module`] directly on host values — the moral
+//! equivalent of Lua's C interpreter. It serves two purposes:
+//!
+//! * validating the compiler against the MiniScript reference interpreter
+//!   without involving the simulated core;
+//! * providing an executable specification of every bytecode's semantics
+//!   that the assembly code generator must match.
+
+use crate::bytecode::{Bc, Builtin, Const, Module, Op, RK_CONST};
+use miniscript::{format_value, int_floor_div, int_floor_mod, string_sub, Key, Value};
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Runtime error from the host VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmError {
+    /// Description.
+    pub message: String,
+}
+
+impl VmError {
+    fn new(message: impl Into<String>) -> VmError {
+        VmError { message: message.into() }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm error: {}", self.message)
+    }
+}
+
+impl Error for VmError {}
+
+/// Executes a module and returns everything it printed.
+///
+/// # Errors
+///
+/// Returns [`VmError`] on runtime type errors or when `step_limit`
+/// bytecodes have executed.
+///
+/// # Examples
+///
+/// ```
+/// let chunk = miniscript::parse("print(6 * 7)")?;
+/// let module = luart::compile(&chunk)?;
+/// assert_eq!(luart::host_run(&module, 10_000)?, "42\n");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn host_run(module: &Module, step_limit: u64) -> Result<String, VmError> {
+    let mut vm = HostVm::new(module);
+    vm.run(step_limit)?;
+    Ok(vm.output)
+}
+
+/// Executes a module, returning `(output, per-opcode dynamic counts)`.
+///
+/// The counts regenerate the paper's Figure 2(a) bytecode breakdown.
+///
+/// # Errors
+///
+/// Same as [`host_run`].
+pub fn host_run_counted(
+    module: &Module,
+    step_limit: u64,
+) -> Result<(String, Vec<(Op, u64)>), VmError> {
+    let mut vm = HostVm::new(module);
+    vm.run(step_limit)?;
+    let mut counts: Vec<(Op, u64)> = Op::ALL
+        .into_iter()
+        .map(|op| (op, vm.counts[op as usize]))
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    counts.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    Ok((vm.output, counts))
+}
+
+struct Frame {
+    proto: usize,
+    pc: usize,
+    base: usize,
+}
+
+struct HostVm<'a> {
+    module: &'a Module,
+    stack: Vec<Value>,
+    frames: Vec<Frame>,
+    globals: std::collections::HashMap<Rc<str>, Value>,
+    output: String,
+    counts: [u64; 32],
+}
+
+impl<'a> HostVm<'a> {
+    fn new(module: &'a Module) -> HostVm<'a> {
+        let main = &module.protos[module.main];
+        HostVm {
+            module,
+            stack: vec![Value::Nil; main.nregs as usize + 1],
+            frames: vec![Frame { proto: module.main, pc: 0, base: 0 }],
+            globals: std::collections::HashMap::new(),
+            output: String::new(),
+            counts: [0; 32],
+        }
+    }
+
+    fn konst(&self, proto: usize, idx: u16) -> Value {
+        match &self.module.protos[proto].consts[idx as usize] {
+            Const::Int(v) => Value::Int(*v),
+            Const::Float(v) => Value::Float(*v),
+            Const::Str(s) => Value::str(s),
+        }
+    }
+
+    fn rk(&self, proto: usize, base: usize, field: u16) -> Value {
+        if field & RK_CONST != 0 {
+            self.konst(proto, field & 0xff)
+        } else {
+            self.stack[base + field as usize].clone()
+        }
+    }
+
+    fn run(&mut self, step_limit: u64) -> Result<(), VmError> {
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            if steps > step_limit {
+                return Err(VmError::new("step limit exceeded"));
+            }
+            let frame = self.frames.last().expect("frame stack never empty");
+            let (proto_idx, base, pc) = (frame.proto, frame.base, frame.pc);
+            let proto = &self.module.protos[proto_idx];
+            let Some(&bc) = proto.code.get(pc) else {
+                return Err(VmError::new(format!("pc {pc} out of range in `{}`", proto.name)));
+            };
+            self.counts[bc.op as usize] += 1;
+            self.frames.last_mut().expect("frame").pc += 1;
+            self.exec(bc, proto_idx, base)?;
+            if self.frames.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn reg(&self, base: usize, r: impl Into<usize>) -> Value {
+        self.stack[base + r.into()].clone()
+    }
+
+    fn set_reg(&mut self, base: usize, r: impl Into<usize>, v: Value) {
+        let idx = base + r.into();
+        if idx >= self.stack.len() {
+            self.stack.resize(idx + 1, Value::Nil);
+        }
+        self.stack[idx] = v;
+    }
+
+    fn jump(&mut self, offset: i32) {
+        let f = self.frames.last_mut().expect("frame");
+        f.pc = (f.pc as i64 + offset as i64) as usize;
+    }
+
+    fn exec(&mut self, bc: Bc, proto: usize, base: usize) -> Result<(), VmError> {
+        let Bc { op, a, b, c } = bc;
+        match op {
+            Op::Move => {
+                let v = self.reg(base, b as usize);
+                self.set_reg(base, a, v);
+            }
+            Op::LoadK => {
+                let v = self.konst(proto, b);
+                self.set_reg(base, a, v);
+            }
+            Op::LoadNil => self.set_reg(base, a, Value::Nil),
+            Op::LoadBool => self.set_reg(base, a, Value::Bool(b != 0)),
+            Op::NewTable => self.set_reg(base, a, Value::table()),
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::IDiv | Op::Mod | Op::Concat => {
+                let x = self.rk(proto, base, b);
+                let y = self.rk(proto, base, c);
+                let r = arith(op, &x, &y)?;
+                self.set_reg(base, a, r);
+            }
+            Op::CmpEq | Op::CmpNe | Op::CmpLt | Op::CmpLe => {
+                let x = self.rk(proto, base, b);
+                let y = self.rk(proto, base, c);
+                let r = compare(op, &x, &y)?;
+                self.set_reg(base, a, Value::Bool(r));
+            }
+            Op::Unm => {
+                let v = self.reg(base, b as usize);
+                let r = match v {
+                    Value::Int(i) => Value::Int(i.wrapping_neg()),
+                    Value::Float(f) => Value::Float(-f),
+                    other => Value::Float(-to_num(&other)?), // string coercion
+                };
+                self.set_reg(base, a, r);
+            }
+            Op::Not => {
+                let v = self.reg(base, b as usize);
+                self.set_reg(base, a, Value::Bool(!v.truthy()));
+            }
+            Op::Len => {
+                let v = self.reg(base, b as usize);
+                let r = match v {
+                    Value::Str(s) => Value::Int(s.len() as i64),
+                    Value::Table(t) => Value::Int(t.borrow().len()),
+                    other => return Err(type_err("get length of", &other)),
+                };
+                self.set_reg(base, a, r);
+            }
+            Op::Jmp => self.jump(bc.offset()),
+            Op::JmpIf => {
+                if self.reg(base, a).truthy() {
+                    self.jump(bc.offset());
+                }
+            }
+            Op::JmpNot => {
+                if !self.reg(base, a).truthy() {
+                    self.jump(bc.offset());
+                }
+            }
+            Op::GetTable => {
+                let t = self.reg(base, b as usize);
+                let k = self.rk(proto, base, c);
+                let r = match t {
+                    Value::Table(t) => t.borrow().get(&to_key(&k)?),
+                    other => return Err(type_err("index", &other)),
+                };
+                self.set_reg(base, a, r);
+            }
+            Op::SetTable => {
+                let t = self.reg(base, a);
+                let k = self.rk(proto, base, b);
+                let v = self.rk(proto, base, c);
+                match t {
+                    Value::Table(t) => t.borrow_mut().set(to_key(&k)?, v),
+                    other => return Err(type_err("index", &other)),
+                }
+            }
+            Op::GetGlobal => {
+                let Const::Str(name) = &self.module.protos[proto].consts[b as usize] else {
+                    return Err(VmError::new("GETGLOBAL key is not a string"));
+                };
+                let v = self.globals.get(name.as_str()).cloned().unwrap_or(Value::Nil);
+                self.set_reg(base, a, v);
+            }
+            Op::SetGlobal => {
+                let Const::Str(name) = &self.module.protos[proto].consts[b as usize] else {
+                    return Err(VmError::new("SETGLOBAL key is not a string"));
+                };
+                let v = self.reg(base, a);
+                self.globals.insert(Rc::from(name.as_str()), v);
+            }
+            Op::Call => {
+                let callee = b as usize;
+                let nregs = self.module.protos[callee].nregs as usize;
+                let new_base = base + a as usize;
+                if self.stack.len() < new_base + nregs {
+                    self.stack.resize(new_base + nregs, Value::Nil);
+                }
+                // Clear non-argument registers.
+                for r in c as usize..nregs {
+                    self.stack[new_base + r] = Value::Nil;
+                }
+                if self.frames.len() >= 200_000 {
+                    return Err(VmError::new("call stack overflow"));
+                }
+                self.frames.push(Frame { proto: callee, pc: 0, base: new_base });
+            }
+            Op::CallB => {
+                let builtin = Builtin::from_code(b)
+                    .ok_or_else(|| VmError::new(format!("bad builtin id {b}")))?;
+                let args: Vec<Value> =
+                    (0..c as usize).map(|i| self.reg(base, a as usize + i)).collect();
+                let r = self.builtin(builtin, args)?;
+                self.set_reg(base, a, r);
+            }
+            Op::Return => {
+                let v = if b != 0 { self.reg(base, a) } else { Value::Nil };
+                self.frames.pop();
+                // The result lands in the callee's R(0) = caller's R(A).
+                self.stack[base] = v;
+            }
+            Op::ForPrep => {
+                self.for_prep(base, a)?;
+                self.jump(bc.offset());
+            }
+            Op::ForLoop => {
+                if self.for_loop(base, a)? {
+                    self.jump(bc.offset());
+                }
+            }
+            Op::Halt => {
+                self.frames.clear();
+            }
+        }
+        Ok(())
+    }
+
+    fn for_prep(&mut self, base: usize, a: u8) -> Result<(), VmError> {
+        let idx = self.reg(base, a);
+        let limit = self.reg(base, a as usize + 1);
+        let step = self.reg(base, a as usize + 2);
+        let all_int = matches!(
+            (&idx, &limit, &step),
+            (Value::Int(_), Value::Int(_), Value::Int(_))
+        );
+        if all_int {
+            let (Value::Int(i), Value::Int(s)) = (idx, step) else { unreachable!() };
+            if s == 0 {
+                return Err(VmError::new("'for' step is zero"));
+            }
+            self.set_reg(base, a, Value::Int(i.wrapping_sub(s)));
+        } else {
+            let i = to_num(&idx)?;
+            let l = to_num(&limit)?;
+            let s = to_num(&step)?;
+            if s == 0.0 {
+                return Err(VmError::new("'for' step is zero"));
+            }
+            self.set_reg(base, a, Value::Float(i - s));
+            self.set_reg(base, a as usize + 1, Value::Float(l));
+            self.set_reg(base, a as usize + 2, Value::Float(s));
+        }
+        Ok(())
+    }
+
+    fn for_loop(&mut self, base: usize, a: u8) -> Result<bool, VmError> {
+        let idx = self.reg(base, a);
+        let limit = self.reg(base, a as usize + 1);
+        let step = self.reg(base, a as usize + 2);
+        match (idx, limit, step) {
+            (Value::Int(i), Value::Int(l), Value::Int(s)) => {
+                let Some(next) = i.checked_add(s) else { return Ok(false) };
+                let cont = if s > 0 { next <= l } else { next >= l };
+                if cont {
+                    self.set_reg(base, a, Value::Int(next));
+                    self.set_reg(base, a as usize + 3, Value::Int(next));
+                }
+                Ok(cont)
+            }
+            (Value::Float(i), Value::Float(l), Value::Float(s)) => {
+                let next = i + s;
+                let cont = if s > 0.0 { next <= l } else { next >= l };
+                if cont {
+                    self.set_reg(base, a, Value::Float(next));
+                    self.set_reg(base, a as usize + 3, Value::Float(next));
+                }
+                Ok(cont)
+            }
+            other => Err(VmError::new(format!("corrupt for-loop control block: {other:?}"))),
+        }
+    }
+
+    fn builtin(&mut self, builtin: Builtin, args: Vec<Value>) -> Result<Value, VmError> {
+        let arg = |i: usize| args.get(i).cloned().unwrap_or(Value::Nil);
+        let r = match builtin {
+            Builtin::Print => {
+                let line = args.iter().map(format_value).collect::<Vec<_>>().join("\t");
+                self.output.push_str(&line);
+                self.output.push('\n');
+                Value::Nil
+            }
+            Builtin::Write => {
+                for a in &args {
+                    self.output.push_str(&format_value(a));
+                }
+                Value::Nil
+            }
+            Builtin::Clock => Value::Float(0.0),
+            Builtin::Floor => match arg(0) {
+                Value::Int(i) => Value::Int(i),
+                Value::Float(f) => Value::Int(f.floor() as i64),
+                other => return Err(type_err("floor", &other)),
+            },
+            Builtin::Sqrt => Value::Float(to_num(&arg(0))?.sqrt()),
+            Builtin::Abs => match arg(0) {
+                Value::Int(i) => Value::Int(i.wrapping_abs()),
+                Value::Float(f) => Value::Float(f.abs()),
+                other => return Err(type_err("abs", &other)),
+            },
+            Builtin::Min | Builtin::Max => {
+                let x = arg(0);
+                let y = arg(1);
+                let (fx, fy) = (to_num(&x)?, to_num(&y)?);
+                let take_x = if builtin == Builtin::Min { fx <= fy } else { fx >= fy };
+                if take_x {
+                    x
+                } else {
+                    y
+                }
+            }
+            Builtin::Sub => {
+                let Value::Str(s) = arg(0) else { return Err(type_err("sub", &arg(0))) };
+                let i = to_int(&arg(1))?;
+                let j = match arg(2) {
+                    Value::Nil => -1,
+                    v => to_int(&v)?,
+                };
+                Value::str(string_sub(&s, i, j))
+            }
+            Builtin::Len => match arg(0) {
+                Value::Str(s) => Value::Int(s.len() as i64),
+                Value::Table(t) => Value::Int(t.borrow().len()),
+                other => return Err(type_err("len", &other)),
+            },
+            Builtin::Char => {
+                let v = to_int(&arg(0))?;
+                let b = u8::try_from(v).map_err(|_| VmError::new("char out of range"))?;
+                Value::str((b as char).to_string())
+            }
+            Builtin::Byte => {
+                let Value::Str(s) = arg(0) else { return Err(type_err("byte", &arg(0))) };
+                let i = match arg(1) {
+                    Value::Nil => 1,
+                    v => to_int(&v)?,
+                };
+                match s.as_bytes().get((i - 1).max(0) as usize) {
+                    Some(b) if i >= 1 => Value::Int(*b as i64),
+                    _ => Value::Nil,
+                }
+            }
+            Builtin::Insert => {
+                let Value::Table(t) = arg(0) else { return Err(type_err("insert", &arg(0))) };
+                t.borrow_mut().arr.push(arg(1));
+                Value::Nil
+            }
+            Builtin::Tostring => Value::str(format_value(&arg(0))),
+        };
+        Ok(r)
+    }
+}
+
+fn type_err(action: &str, v: &Value) -> VmError {
+    VmError::new(format!("attempt to {action} a {} value", v.type_name()))
+}
+
+fn to_num(v: &Value) -> Result<f64, VmError> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        Value::Str(s) => s
+            .trim()
+            .parse()
+            .map_err(|_| VmError::new(format!("cannot convert `{s}` to a number"))),
+        other => Err(type_err("perform arithmetic on", other)),
+    }
+}
+
+fn to_int(v: &Value) -> Result<i64, VmError> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::Float(f) if *f == f.trunc() => Ok(*f as i64),
+        other => Err(VmError::new(format!("expected an integer, got {}", other.type_name()))),
+    }
+}
+
+fn to_key(v: &Value) -> Result<Key, VmError> {
+    match v {
+        Value::Int(i) => Ok(Key::Int(*i)),
+        Value::Float(f) if *f == f.trunc() && f.is_finite() => Ok(Key::Int(*f as i64)),
+        Value::Str(s) => Ok(Key::Str(s.clone())),
+        other => Err(VmError::new(format!("invalid table key ({})", other.type_name()))),
+    }
+}
+
+fn arith(op: Op, x: &Value, y: &Value) -> Result<Value, VmError> {
+    if op == Op::Concat {
+        let part = |v: &Value| -> Result<String, VmError> {
+            match v {
+                Value::Str(s) => Ok(s.to_string()),
+                Value::Int(_) | Value::Float(_) => Ok(format_value(v)),
+                other => Err(type_err("concatenate", other)),
+            }
+        };
+        return Ok(Value::str(format!("{}{}", part(x)?, part(y)?)));
+    }
+    let both_int = matches!((x, y), (Value::Int(_), Value::Int(_)));
+    if both_int && op != Op::Div {
+        let (Value::Int(a), Value::Int(b)) = (x, y) else { unreachable!() };
+        let (a, b) = (*a, *b);
+        let r = match op {
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::IDiv => {
+                if b == 0 {
+                    return Err(VmError::new("attempt to perform 'n//0'"));
+                }
+                int_floor_div(a, b)
+            }
+            Op::Mod => {
+                if b == 0 {
+                    return Err(VmError::new("attempt to perform 'n%%0'"));
+                }
+                int_floor_mod(a, b)
+            }
+            _ => unreachable!(),
+        };
+        return Ok(Value::Int(r));
+    }
+    let a = to_num(x)?;
+    let b = to_num(y)?;
+    let r = match op {
+        Op::Add => a + b,
+        Op::Sub => a - b,
+        Op::Mul => a * b,
+        Op::Div => a / b,
+        Op::IDiv => (a / b).floor(),
+        Op::Mod => miniscript::float_floor_mod(a, b),
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(r))
+}
+
+fn compare(op: Op, x: &Value, y: &Value) -> Result<bool, VmError> {
+    match op {
+        Op::CmpEq => Ok(x == y),
+        Op::CmpNe => Ok(x != y),
+        Op::CmpLt | Op::CmpLe => {
+            let ord = match (x, y) {
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                _ => {
+                    let a = to_num(x)?;
+                    let b = to_num(y)?;
+                    a.partial_cmp(&b).ok_or_else(|| VmError::new("comparison with NaN"))?
+                }
+            };
+            Ok(if op == Op::CmpLt { ord.is_lt() } else { ord.is_le() })
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use miniscript::{parse, Interp};
+
+    /// Differential check: host VM output must equal the reference
+    /// interpreter's output.
+    fn check(src: &str) {
+        let chunk = parse(src).unwrap_or_else(|e| panic!("{e}"));
+        let mut interp = Interp::new();
+        interp.run(&chunk).unwrap_or_else(|e| panic!("reference: {e}"));
+        let module = compile(&chunk).unwrap_or_else(|e| panic!("{e}"));
+        let out = host_run(&module, 50_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(out, interp.output(), "output divergence for:\n{src}");
+    }
+
+    #[test]
+    fn arithmetic_matches_reference() {
+        check("print(1 + 2, 3 - 5, 4 * 6, 7 / 2, 7 // 2, 7 % 3)");
+        check("print(1.5 + 2, 3 - 0.5, -7 // 2, -7 % 3, 7.5 % 2)");
+        check("print(\"1\" + \"2\")");
+        check("print(2 + 3 * 4 - 1)");
+    }
+
+    #[test]
+    fn comparisons_and_logic_match() {
+        check("print(1 < 2, 2 <= 2, 3 > 4, 5 >= 5, 1 == 1.0, 1 ~= 2)");
+        check("print(\"a\" < \"b\", \"abc\" == \"abc\")");
+        check("local a = true and 5 or 7 print(a)");
+        check("local a = nil print(a and 1, a or 2, not a)");
+    }
+
+    #[test]
+    fn control_flow_matches() {
+        check("local s = 0 for i = 1, 100 do s = s + i end print(s)");
+        check("local s = 0 for i = 10, 1, -3 do s = s + i end print(s)");
+        check("for x = 0.5, 2.0, 0.5 do write(x, \" \") end print(\"\")");
+        check("local i = 0 while i < 10 do i = i + 2 end print(i)");
+        check("local i = 0 while true do i = i + 1 if i == 5 then break end end print(i)");
+        check("if 1 > 2 then print(\"a\") elseif 2 > 1 then print(\"b\") else print(\"c\") end");
+    }
+
+    #[test]
+    fn functions_match() {
+        check("function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(18))");
+        check("function tri(a, b, c) return a + b * c end print(tri(1, 2, 3))");
+        check("function noret(x) x = x + 1 end print(noret(1))");
+    }
+
+    #[test]
+    fn tables_match() {
+        check("local t = {10, 20, 30} print(t[1], t[3], #t)");
+        check("local t = {} t[1] = 5 t[2] = 6 t[1] = t[1] + t[2] print(t[1], #t)");
+        check("local t = {} t[\"k\"] = 9 print(t.k, t.missing)");
+        check("local t = {} insert(t, 3) insert(t, 4) print(#t, t[1] + t[2])");
+        check("local t = {{1, 2}, {3, 4}} print(t[2][1])");
+    }
+
+    #[test]
+    fn strings_and_builtins_match() {
+        check("print(sub(\"typed arch\", 1, 5), len(\"abc\"), #\"xy\")");
+        check("print(\"n=\" .. 42 .. \"!\", char(98), byte(\"a\"))");
+        check("print(floor(3.7), sqrt(16), abs(-3), min(4, 2), max(4.5, 2))");
+        check("print(tostring(7) .. tostring(1.5))");
+    }
+
+    #[test]
+    fn globals_match() {
+        check("g = 10 function f() return g + 1 end print(f())");
+        check("function setit() g2 = 99 end setit() print(g2)");
+    }
+
+    #[test]
+    fn errors_surface() {
+        let chunk = parse("local t = nil print(t[1])").unwrap();
+        let module = compile(&chunk).unwrap();
+        assert!(host_run(&module, 1000).is_err());
+        let chunk = parse("print(1 // 0)").unwrap();
+        let module = compile(&chunk).unwrap();
+        assert!(host_run(&module, 1000).is_err());
+    }
+
+    #[test]
+    fn bytecode_counts_are_reported() {
+        let chunk = parse("local s = 0 for i = 1, 50 do s = s + i end print(s)").unwrap();
+        let module = compile(&chunk).unwrap();
+        let (out, counts) = host_run_counted(&module, 100_000).unwrap();
+        assert_eq!(out, "1275\n");
+        let add = counts.iter().find(|(op, _)| *op == Op::Add).unwrap().1;
+        assert_eq!(add, 50);
+        // 50 iterations plus the final failing test.
+        let forloop = counts.iter().find(|(op, _)| *op == Op::ForLoop).unwrap().1;
+        assert_eq!(forloop, 51);
+    }
+
+    #[test]
+    fn deep_recursion_guard() {
+        let chunk = parse("function f(n) return f(n + 1) end print(f(0))").unwrap();
+        let module = compile(&chunk).unwrap();
+        assert!(host_run(&module, 100_000_000).is_err());
+    }
+}

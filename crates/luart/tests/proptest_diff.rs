@@ -1,0 +1,118 @@
+//! Property-based differential testing: random arithmetic/comparison
+//! expression programs must behave identically (same output or same
+//! error-ness) under the reference interpreter and the compiled bytecode
+//! executed by the host VM. This fuzzes the compiler's register
+//! allocation, RK folding and operator lowering against the language
+//! semantics.
+
+use luart::{compile, host_run};
+use miniscript::{parse, Interp};
+use proptest::prelude::*;
+
+/// A small expression AST rendered to MiniScript source.
+#[derive(Debug, Clone)]
+enum E {
+    Int(i32),
+    Float(f64),
+    Bin(&'static str, Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Int(v) => format!("{v}"),
+            E::Float(v) => {
+                // Keep literals parseable (always with a decimal point).
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            E::Bin(op, a, b) => format!("({} {op} {})", a.render(), b.render()),
+            E::Neg(a) => format!("(-{})", a.render()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i32..50).prop_map(E::Int),
+        (-8.0f64..8.0).prop_map(|f| E::Float((f * 4.0).round() / 4.0)),
+    ];
+    leaf.prop_recursive(4, 64, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("//"),
+                    Just("%"),
+                    Just("<"),
+                    Just("<="),
+                    Just("=="),
+                    Just("~="),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn reference(src: &str) -> Result<String, String> {
+    let chunk = parse(src).map_err(|e| e.to_string())?;
+    let mut i = Interp::new();
+    i.run(&chunk).map_err(|e| e.to_string())?;
+    Ok(i.output().to_string())
+}
+
+fn compiled(src: &str) -> Result<String, String> {
+    let chunk = parse(src).map_err(|e| e.to_string())?;
+    let module = compile(&chunk).map_err(|e| e.to_string())?;
+    host_run(&module, 10_000_000).map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random expressions: both executions agree on the printed value, or
+    /// both fail (division by zero, comparison across types, …).
+    #[test]
+    fn expressions_agree(e in arb_expr()) {
+        // Comparisons produce booleans which cannot feed arithmetic, so
+        // print the expression directly; errors must then match too.
+        let src = format!("print({})", e.render());
+        let want = reference(&src);
+        let got = compiled(&src);
+        match (want, got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "source: {}", src),
+            (Err(_), Err(_)) => {} // both reject (e.g. n//0, bool arithmetic)
+            (a, b) => prop_assert!(false, "divergence for {}: {:?} vs {:?}", src, a, b),
+        }
+    }
+
+    /// Random expressions assigned through locals and re-read: exercises
+    /// register allocation and temporary recycling.
+    #[test]
+    fn locals_roundtrip(e1 in arb_expr(), e2 in arb_expr()) {
+        let src = format!(
+            "local a = {} local b = {} if a == a and b == b then print(a, b) end",
+            e1.render(),
+            e2.render()
+        );
+        let want = reference(&src);
+        let got = compiled(&src);
+        match (want, got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "source: {}", src),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence for {}: {:?} vs {:?}", src, a, b),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # tarch-mem — memory hierarchy models
+//!
+//! The memory-system substrate of the Typed Architectures reproduction:
+//!
+//! * [`MainMemory`] — sparse little-endian physical memory backing the
+//!   simulated machine's code, data, VM stacks and heaps;
+//! * [`Cache`] — set-associative L1 timing model (paper Table 6: 16 KB,
+//!   4-way, 64 B lines, LRU, write-back);
+//! * [`Tlb`] — 8-entry fully-associative TLB timing model;
+//! * [`DramModel`] — open-page DDR3-1066 latency model with per-bank row
+//!   buffers.
+//!
+//! These are *timing* models layered over a functional-first simulator: the
+//! caches and TLBs carry no data, only the state needed to reproduce the
+//! paper's miss-rate and latency behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use tarch_mem::{Cache, CacheConfig, DramConfig, DramModel, MainMemory};
+//!
+//! let mut mem = MainMemory::new();
+//! mem.write_u64(0x2000, 42);
+//!
+//! let mut l1 = Cache::new(CacheConfig::paper_l1());
+//! let mut dram = DramModel::new(DramConfig::paper());
+//! let access = l1.access(0x2000, false);
+//! let latency = if access.hit { 1 } else { 1 + dram.access(0x2000) };
+//! assert!(latency > 1); // cold miss went to DRAM
+//! assert_eq!(mem.read_u64(0x2000), 42);
+//! ```
+
+mod cache;
+mod dram;
+mod phys;
+mod tlb;
+
+pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
+pub use dram::{DramConfig, DramModel, DramStats};
+pub use phys::{MainMemory, PAGE_SIZE};
+pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,203 @@
+//! Sparse physical memory.
+//!
+//! Backing store for the simulated machine: a page-granular sparse array of
+//! bytes. All accesses are little-endian. Reads of untouched memory return
+//! zeroes, like zero-initialised DRAM after loader scrubbing.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Sparse little-endian physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use tarch_mem::MainMemory;
+/// let mut mem = MainMemory::new();
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u8(0x1_0000), 0); // untouched memory reads zero
+/// ```
+#[derive(Debug, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> MainMemory {
+        MainMemory { pages: HashMap::new() }
+    }
+
+    /// Number of distinct pages touched so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & (PAGE_SIZE - 1)) as usize] = value;
+    }
+
+    fn read_le(&self, addr: u64, n: usize) -> u64 {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + n <= PAGE_SIZE as usize {
+            match self.page(addr) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+            }
+            v
+        }
+    }
+
+    fn write_le(&mut self, addr: u64, value: u64, n: usize) {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + n <= PAGE_SIZE as usize {
+            let bytes = value.to_le_bytes();
+            self.page_mut(addr)[off..off + n].copy_from_slice(&bytes[..n]);
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+            }
+        }
+    }
+
+    /// Reads a little-endian 16-bit value (may straddle pages).
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_le(addr, 2) as u16
+    }
+
+    /// Reads a little-endian 32-bit value (may straddle pages).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_le(addr, 4) as u32
+    }
+
+    /// Reads a little-endian 64-bit value (may straddle pages).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a little-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_le(addr, value as u64, 2);
+    }
+
+    /// Writes a little-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_le(addr, value as u64, 4);
+    }
+
+    /// Writes a little-endian 64-bit value.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_le(addr, value, 8);
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = rest.len().min(PAGE_SIZE as usize - off);
+            self.page_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rw_all_widths() {
+        let mut m = MainMemory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xcdef);
+        m.write_u32(30, 0x1234_5678);
+        m.write_u64(40, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xcdef);
+        assert_eq!(m.read_u32(30), 0x1234_5678);
+        assert_eq!(m.read_u64(40), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut m = MainMemory::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        let addr = PAGE_SIZE - 3;
+        m.write_u64(addr, 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.read_u64(addr), 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_bytes_spanning_pages() {
+        let mut m = MainMemory::new();
+        let data: Vec<u8> = (0..100).collect();
+        let addr = 2 * PAGE_SIZE - 50;
+        m.write_bytes(addr, &data);
+        assert_eq!(m.read_bytes(addr, 100), data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(addr in 0u64..1_000_000, value: u64) {
+            let mut m = MainMemory::new();
+            m.write_u64(addr, value);
+            prop_assert_eq!(m.read_u64(addr), value);
+        }
+
+        #[test]
+        fn prop_byte_composition(addr in 0u64..100_000, value: u64) {
+            let mut m = MainMemory::new();
+            m.write_u64(addr, value);
+            for i in 0..8u64 {
+                prop_assert_eq!(m.read_u8(addr + i), (value >> (8 * i)) as u8);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Abstract syntax tree for MiniScript.
+
+/// Binary operators (excluding short-circuiting `and`/`or`, which get their
+/// own expression nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` — the paper's polymorphic ADD.
+    Add,
+    /// `-` — SUB.
+    Sub,
+    /// `*` — MUL.
+    Mul,
+    /// `/` — always float division.
+    Div,
+    /// `//` — floor division.
+    IDiv,
+    /// `%` — floor modulo (Lua semantics in every engine).
+    Mod,
+    /// `..` — string concatenation.
+    Concat,
+    /// `==`.
+    Eq,
+    /// `~=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// `#` — length of a string or table array part.
+    Len,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `nil`.
+    Nil,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference (local or global; resolved by the compilers).
+    Var(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Short-circuiting `and`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuiting `or`.
+    Or(Box<Expr>, Box<Expr>),
+    /// Table indexing `t[k]` (and sugar `t.name`).
+    Index {
+        /// Table expression.
+        table: Box<Expr>,
+        /// Key expression.
+        key: Box<Expr>,
+    },
+    /// Function call. Functions are global; builtins resolve by name.
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Array-style table constructor `{e1, e2, …}`.
+    Table(Vec<Expr>),
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A named variable.
+    Name(String),
+    /// `t[k]`.
+    Index {
+        /// Table expression.
+        table: Expr,
+        /// Key expression.
+        key: Expr,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stat {
+    /// `local name = expr` (init defaults to `nil`).
+    Local {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// `target = expr`.
+    Assign {
+        /// Target.
+        target: Target,
+        /// Value.
+        value: Expr,
+    },
+    /// `if … then … elseif … else … end`.
+    If {
+        /// `(condition, body)` arms in order.
+        arms: Vec<(Expr, Block)>,
+        /// Optional `else` body.
+        else_body: Option<Block>,
+    },
+    /// `while cond do body end`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// Numeric `for var = start, stop [, step] do body end`.
+    NumericFor {
+        /// Loop variable (fresh local).
+        var: String,
+        /// Start expression.
+        start: Expr,
+        /// Inclusive stop expression.
+        stop: Expr,
+        /// Step (defaults to 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// An expression evaluated for side effects (calls).
+    ExprStat(Expr),
+    /// `do … end` block (new scope).
+    Do(Block),
+}
+
+/// A sequence of statements.
+pub type Block = Vec<Stat>;
+
+/// A top-level function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Block,
+}
+
+/// A parsed MiniScript program: function definitions plus top-level code.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Chunk {
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+    /// Top-level statements (the "main" body).
+    pub main: Block,
+}
+
+impl Chunk {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,836 @@
+//! Tree-walking reference interpreter.
+//!
+//! This is the semantic oracle for the two simulated scripting engines:
+//! every benchmark runs under this interpreter and under
+//! `luart`/`jsrt` × {baseline, checked-load, typed}, and all printed
+//! outputs must match byte-for-byte (see the workspace integration tests).
+//!
+//! Semantics follow Lua 5.3 where the engines do: an integer subtype with
+//! wrapping 64-bit arithmetic, float contagion, `/` always float, `//` and
+//! `%` floor-based, string→number coercion in arithmetic (Figure 1(a) of
+//! the paper relies on it), 1-based strings and tables.
+
+use crate::ast::*;
+use crate::value::{format_value, Key, Table, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Runtime error raised by the reference interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Description.
+    pub message: String,
+}
+
+impl RuntimeError {
+    fn new(message: impl Into<String>) -> RuntimeError {
+        RuntimeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl Error for RuntimeError {}
+
+enum Flow {
+    Normal,
+    Break,
+    Return(Value),
+}
+
+/// The reference interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use miniscript::{parse, Interp};
+/// let chunk = parse("print(2 + 3 * 4)")?;
+/// let mut interp = Interp::new();
+/// interp.run(&chunk)?;
+/// assert_eq!(interp.output(), "14\n");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Interp {
+    globals: HashMap<String, Value>,
+    output: String,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Default for Interp {
+    fn default() -> Interp {
+        Interp::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the default step limit (500 M).
+    pub fn new() -> Interp {
+        Interp { globals: HashMap::new(), output: String::new(), steps: 0, step_limit: 500_000_000 }
+    }
+
+    /// Caps the number of evaluated AST nodes (guards runaway tests).
+    pub fn with_step_limit(limit: u64) -> Interp {
+        Interp { step_limit: limit, ..Interp::new() }
+    }
+
+    /// Everything printed so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Runs a parsed chunk to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on type errors, unknown names, or when the
+    /// step limit is exceeded.
+    pub fn run(&mut self, chunk: &Chunk) -> Result<(), RuntimeError> {
+        let mut scope = Scope::new();
+        match self.exec_block(chunk, &chunk.main, &mut scope)? {
+            Flow::Normal | Flow::Return(_) => Ok(()),
+            Flow::Break => Err(RuntimeError::new("break outside a loop")),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            Err(RuntimeError::new("step limit exceeded"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        chunk: &Chunk,
+        block: &Block,
+        scope: &mut Scope,
+    ) -> Result<Flow, RuntimeError> {
+        scope.push();
+        let flow = self.exec_block_flat(chunk, block, scope);
+        scope.pop();
+        flow
+    }
+
+    fn exec_block_flat(
+        &mut self,
+        chunk: &Chunk,
+        block: &Block,
+        scope: &mut Scope,
+    ) -> Result<Flow, RuntimeError> {
+        for stat in block {
+            match self.exec_stat(chunk, stat, scope)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stat(
+        &mut self,
+        chunk: &Chunk,
+        stat: &Stat,
+        scope: &mut Scope,
+    ) -> Result<Flow, RuntimeError> {
+        self.tick()?;
+        match stat {
+            Stat::Local { name, init } => {
+                let v = match init {
+                    Some(e) => self.eval(chunk, e, scope)?,
+                    None => Value::Nil,
+                };
+                scope.declare(name, v);
+                Ok(Flow::Normal)
+            }
+            Stat::Assign { target, value } => {
+                let v = self.eval(chunk, value, scope)?;
+                match target {
+                    Target::Name(name) => {
+                        if !scope.assign(name, v.clone()) {
+                            self.globals.insert(name.clone(), v);
+                        }
+                    }
+                    Target::Index { table, key } => {
+                        let t = self.eval(chunk, table, scope)?;
+                        let k = self.eval(chunk, key, scope)?;
+                        let key = to_key(&k)?;
+                        match t {
+                            Value::Table(t) => t.borrow_mut().set(key, v),
+                            other => {
+                                return Err(RuntimeError::new(format!(
+                                    "attempt to index a {} value",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stat::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    if self.eval(chunk, cond, scope)?.truthy() {
+                        return self.exec_block(chunk, body, scope);
+                    }
+                }
+                if let Some(body) = else_body {
+                    return self.exec_block(chunk, body, scope);
+                }
+                Ok(Flow::Normal)
+            }
+            Stat::While { cond, body } => {
+                while self.eval(chunk, cond, scope)?.truthy() {
+                    self.tick()?;
+                    match self.exec_block(chunk, body, scope)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stat::NumericFor { var, start, stop, step, body } => {
+                let start = self.eval(chunk, start, scope)?;
+                let stop = self.eval(chunk, stop, scope)?;
+                let step = match step {
+                    Some(e) => self.eval(chunk, e, scope)?,
+                    None => Value::Int(1),
+                };
+                self.numeric_for(chunk, var, start, stop, step, body, scope)
+            }
+            Stat::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(chunk, e, scope)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stat::Break => Ok(Flow::Break),
+            Stat::ExprStat(e) => {
+                self.eval(chunk, e, scope)?;
+                Ok(Flow::Normal)
+            }
+            Stat::Do(body) => self.exec_block(chunk, body, scope),
+        }
+    }
+
+    fn numeric_for(
+        &mut self,
+        chunk: &Chunk,
+        var: &str,
+        start: Value,
+        stop: Value,
+        step: Value,
+        body: &Block,
+        scope: &mut Scope,
+    ) -> Result<Flow, RuntimeError> {
+        let all_int = matches!(
+            (&start, &stop, &step),
+            (Value::Int(_), Value::Int(_), Value::Int(_))
+        );
+        if all_int {
+            let (Value::Int(mut i), Value::Int(stop), Value::Int(step)) = (start, stop, step)
+            else {
+                unreachable!()
+            };
+            if step == 0 {
+                return Err(RuntimeError::new("'for' step is zero"));
+            }
+            loop {
+                if (step > 0 && i > stop) || (step < 0 && i < stop) {
+                    break;
+                }
+                self.tick()?;
+                scope.push();
+                scope.declare(var, Value::Int(i));
+                let flow = self.exec_block_flat(chunk, body, scope);
+                scope.pop();
+                match flow? {
+                    Flow::Normal => {}
+                    Flow::Break => break,
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+                match i.checked_add(step) {
+                    Some(n) => i = n,
+                    None => break,
+                }
+            }
+        } else {
+            let mut i = to_float(&start)?;
+            let stop = to_float(&stop)?;
+            let step = to_float(&step)?;
+            if step == 0.0 {
+                return Err(RuntimeError::new("'for' step is zero"));
+            }
+            loop {
+                if (step > 0.0 && i > stop) || (step < 0.0 && i < stop) {
+                    break;
+                }
+                self.tick()?;
+                scope.push();
+                scope.declare(var, Value::Float(i));
+                let flow = self.exec_block_flat(chunk, body, scope);
+                scope.pop();
+                match flow? {
+                    Flow::Normal => {}
+                    Flow::Break => break,
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+                i += step;
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval(&mut self, chunk: &Chunk, e: &Expr, scope: &mut Scope) -> Result<Value, RuntimeError> {
+        self.tick()?;
+        match e {
+            Expr::Nil => Ok(Value::Nil),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Var(name) => Ok(scope
+                .lookup(name)
+                .or_else(|| self.globals.get(name).cloned())
+                .unwrap_or(Value::Nil)),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(chunk, lhs, scope)?;
+                let b = self.eval(chunk, rhs, scope)?;
+                binary_op(*op, a, b)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval(chunk, expr, scope)?;
+                unary_op(*op, v)
+            }
+            Expr::And(l, r) => {
+                let a = self.eval(chunk, l, scope)?;
+                if a.truthy() {
+                    self.eval(chunk, r, scope)
+                } else {
+                    Ok(a)
+                }
+            }
+            Expr::Or(l, r) => {
+                let a = self.eval(chunk, l, scope)?;
+                if a.truthy() {
+                    Ok(a)
+                } else {
+                    self.eval(chunk, r, scope)
+                }
+            }
+            Expr::Index { table, key } => {
+                let t = self.eval(chunk, table, scope)?;
+                let k = self.eval(chunk, key, scope)?;
+                match t {
+                    Value::Table(t) => Ok(t.borrow().get(&to_key(&k)?)),
+                    other => Err(RuntimeError::new(format!(
+                        "attempt to index a {} value",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::Call { func, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(chunk, a, scope)?);
+                }
+                self.call(chunk, func, argv)
+            }
+            Expr::Table(items) => {
+                let mut t = Table::default();
+                for item in items {
+                    let v = self.eval(chunk, item, scope)?;
+                    t.arr.push(v);
+                }
+                Ok(Value::Table(Rc::new(std::cell::RefCell::new(t))))
+            }
+        }
+    }
+
+    fn call(&mut self, chunk: &Chunk, func: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        if let Some(f) = chunk.function(func) {
+            if args.len() != f.params.len() {
+                return Err(RuntimeError::new(format!(
+                    "function `{func}` expects {} arguments, got {}",
+                    f.params.len(),
+                    args.len()
+                )));
+            }
+            let mut scope = Scope::new();
+            scope.push();
+            for (p, a) in f.params.iter().zip(args) {
+                scope.declare(p, a);
+            }
+            let flow = self.exec_block_flat(chunk, &f.body, &mut scope)?;
+            return Ok(match flow {
+                Flow::Return(v) => v,
+                _ => Value::Nil,
+            });
+        }
+        self.builtin(func, args)
+    }
+
+    fn builtin(&mut self, func: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        let arg = |i: usize| -> Value { args.get(i).cloned().unwrap_or(Value::Nil) };
+        match func {
+            "print" => {
+                let line =
+                    args.iter().map(format_value).collect::<Vec<_>>().join("\t");
+                self.output.push_str(&line);
+                self.output.push('\n');
+                Ok(Value::Nil)
+            }
+            "write" => {
+                for a in &args {
+                    self.output.push_str(&format_value(a));
+                }
+                Ok(Value::Nil)
+            }
+            "clock" => Ok(Value::Float(0.0)),
+            "floor" => match arg(0) {
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Float(f) => Ok(Value::Int(f.floor() as i64)),
+                other => Err(bad_arg("floor", &other)),
+            },
+            "sqrt" => Ok(Value::Float(to_float(&arg(0))?.sqrt())),
+            "abs" => match arg(0) {
+                Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(bad_arg("abs", &other)),
+            },
+            "min" | "max" => {
+                let a = arg(0);
+                let b = arg(1);
+                let fa = to_float(&a)?;
+                let fb = to_float(&b)?;
+                let take_a = if func == "min" { fa <= fb } else { fa >= fb };
+                Ok(if take_a { a } else { b })
+            }
+            "tostring" => Ok(Value::str(format_value(&arg(0)))),
+            "sub" => {
+                let Value::Str(s) = arg(0) else { return Err(bad_arg("sub", &arg(0))) };
+                let i = to_int(&arg(1))?;
+                let j = match arg(2) {
+                    Value::Nil => -1,
+                    v => to_int(&v)?,
+                };
+                Ok(Value::str(string_sub(&s, i, j)))
+            }
+            "len" => match arg(0) {
+                Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+                Value::Table(t) => Ok(Value::Int(t.borrow().len())),
+                other => Err(bad_arg("len", &other)),
+            },
+            "char" => {
+                let c = to_int(&arg(0))?;
+                let c = u8::try_from(c)
+                    .map_err(|_| RuntimeError::new(format!("char: {c} out of range")))?;
+                Ok(Value::str((c as char).to_string()))
+            }
+            "byte" => {
+                let Value::Str(s) = arg(0) else { return Err(bad_arg("byte", &arg(0))) };
+                let i = match arg(1) {
+                    Value::Nil => 1,
+                    v => to_int(&v)?,
+                };
+                let idx = i.checked_sub(1).filter(|v| *v >= 0).map(|v| v as usize);
+                match idx.and_then(|i| s.as_bytes().get(i)) {
+                    Some(b) => Ok(Value::Int(*b as i64)),
+                    None => Ok(Value::Nil),
+                }
+            }
+            "insert" => {
+                let Value::Table(t) = arg(0) else { return Err(bad_arg("insert", &arg(0))) };
+                t.borrow_mut().arr.push(arg(1));
+                Ok(Value::Nil)
+            }
+            other => Err(RuntimeError::new(format!("unknown function `{other}`"))),
+        }
+    }
+}
+
+fn bad_arg(func: &str, v: &Value) -> RuntimeError {
+    RuntimeError::new(format!("bad argument to `{func}` ({} value)", v.type_name()))
+}
+
+struct Scope {
+    scopes: Vec<Vec<(String, Value)>>,
+}
+
+impl Scope {
+    fn new() -> Scope {
+        Scope { scopes: Vec::new() }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.scopes.last_mut().expect("scope stack is never empty").push((name.to_string(), v));
+    }
+
+    fn lookup(&self, name: &str) -> Option<Value> {
+        for scope in self.scopes.iter().rev() {
+            for (n, v) in scope.iter().rev() {
+                if n == name {
+                    return Some(v.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn assign(&mut self, name: &str, v: Value) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            for (n, slot) in scope.iter_mut().rev() {
+                if n == name {
+                    *slot = v;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// 1-based inclusive substring with Lua's negative-index convention.
+pub fn string_sub(s: &str, i: i64, j: i64) -> String {
+    let len = s.len() as i64;
+    let norm = |v: i64, default_low: bool| -> i64 {
+        if v >= 0 {
+            v
+        } else if -v > len && default_low {
+            1
+        } else {
+            len + v + 1
+        }
+    };
+    let start = norm(i, true).max(1);
+    let stop = norm(j, false).min(len);
+    if start > stop {
+        return String::new();
+    }
+    s[(start - 1) as usize..stop as usize].to_string()
+}
+
+fn to_key(v: &Value) -> Result<Key, RuntimeError> {
+    match v {
+        Value::Int(i) => Ok(Key::Int(*i)),
+        Value::Float(f) if *f == f.trunc() && f.is_finite() => Ok(Key::Int(*f as i64)),
+        Value::Str(s) => Ok(Key::Str(s.clone())),
+        other => Err(RuntimeError::new(format!("invalid table key ({} value)", other.type_name()))),
+    }
+}
+
+fn to_float(v: &Value) -> Result<f64, RuntimeError> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        Value::Str(s) => s
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| RuntimeError::new(format!("cannot convert `{s}` to a number"))),
+        other => Err(RuntimeError::new(format!(
+            "attempt to perform arithmetic on a {} value",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_int(v: &Value) -> Result<i64, RuntimeError> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::Float(f) if *f == f.trunc() => Ok(*f as i64),
+        other => Err(RuntimeError::new(format!(
+            "expected an integer, got {} value",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Numeric pair after Lua's coercion rules: both ints, or both floats.
+enum NumPair {
+    Int(i64, i64),
+    Float(f64, f64),
+}
+
+fn numeric_pair(a: &Value, b: &Value) -> Result<NumPair, RuntimeError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(NumPair::Int(*x, *y)),
+        _ => Ok(NumPair::Float(to_float(a)?, to_float(b)?)),
+    }
+}
+
+/// Floor modulo on floats (Lua `%` semantics).
+pub fn float_floor_mod(a: f64, b: f64) -> f64 {
+    let r = a % b;
+    if r != 0.0 && (r < 0.0) != (b < 0.0) {
+        r + b
+    } else {
+        r
+    }
+}
+
+/// Floor division on integers (Lua `//` semantics).
+pub fn int_floor_div(a: i64, b: i64) -> i64 {
+    let q = a.wrapping_div(b);
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Floor modulo on integers (Lua `%` semantics).
+pub fn int_floor_mod(a: i64, b: i64) -> i64 {
+    a.wrapping_sub(int_floor_div(a, b).wrapping_mul(b))
+}
+
+fn binary_op(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            let r = match numeric_pair(&a, &b)? {
+                NumPair::Int(x, y) => Value::Int(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    _ => x.wrapping_mul(y),
+                }),
+                NumPair::Float(x, y) => Value::Float(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    _ => x * y,
+                }),
+            };
+            Ok(r)
+        }
+        BinOp::Div => Ok(Value::Float(to_float(&a)? / to_float(&b)?)),
+        BinOp::IDiv => match numeric_pair(&a, &b)? {
+            NumPair::Int(x, y) => {
+                if y == 0 {
+                    Err(RuntimeError::new("attempt to perform 'n//0'"))
+                } else {
+                    Ok(Value::Int(int_floor_div(x, y)))
+                }
+            }
+            NumPair::Float(x, y) => Ok(Value::Float((x / y).floor())),
+        },
+        BinOp::Mod => match numeric_pair(&a, &b)? {
+            NumPair::Int(x, y) => {
+                if y == 0 {
+                    Err(RuntimeError::new("attempt to perform 'n%%0'"))
+                } else {
+                    Ok(Value::Int(int_floor_mod(x, y)))
+                }
+            }
+            NumPair::Float(x, y) => Ok(Value::Float(float_floor_mod(x, y))),
+        },
+        BinOp::Concat => {
+            let sa = concat_part(&a)?;
+            let sb = concat_part(&b)?;
+            Ok(Value::str(format!("{sa}{sb}")))
+        }
+        BinOp::Eq => Ok(Value::Bool(a == b)),
+        BinOp::Ne => Ok(Value::Bool(a != b)),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => compare(op, &a, &b),
+    }
+}
+
+fn concat_part(v: &Value) -> Result<String, RuntimeError> {
+    match v {
+        Value::Str(s) => Ok(s.to_string()),
+        Value::Int(_) | Value::Float(_) => Ok(format_value(v)),
+        other => {
+            Err(RuntimeError::new(format!("attempt to concatenate a {} value", other.type_name())))
+        }
+    }
+}
+
+fn compare(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+    let ord = match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => {
+            let x = to_float(a)?;
+            let y = to_float(b)?;
+            x.partial_cmp(&y).ok_or_else(|| RuntimeError::new("comparison with NaN"))?
+        }
+    };
+    let r = match op {
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!("compare called with non-comparison op"),
+    };
+    Ok(Value::Bool(r))
+}
+
+fn unary_op(op: UnOp, v: Value) -> Result<Value, RuntimeError> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Ok(Value::Float(-to_float(&other)?)),
+        },
+        UnOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnOp::Len => match v {
+            Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+            Value::Table(t) => Ok(Value::Int(t.borrow().len())),
+            other => {
+                Err(RuntimeError::new(format!("attempt to get length of a {} value", other.type_name())))
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> String {
+        let chunk = parse(src).unwrap_or_else(|e| panic!("{e}"));
+        let mut i = Interp::new();
+        i.run(&chunk).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        i.output().to_string()
+    }
+
+    fn run_err(src: &str) -> RuntimeError {
+        let chunk = parse(src).unwrap();
+        let mut i = Interp::new();
+        i.run(&chunk).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_subtyping() {
+        assert_eq!(run("print(1 + 2)"), "3\n");
+        assert_eq!(run("print(1 + 2.5)"), "3.5\n");
+        assert_eq!(run("print(7 / 2)"), "3.5\n");
+        assert_eq!(run("print(7 // 2)"), "3\n");
+        assert_eq!(run("print(-7 // 2)"), "-4\n");
+        assert_eq!(run("print(7 % 3)"), "1\n");
+        assert_eq!(run("print(-7 % 3)"), "2\n"); // floor mod
+        assert_eq!(run("print(7.5 % 2)"), "1.5\n");
+        assert_eq!(run("print(2 * 3.0)"), "6\n"); // integral float prints as int
+    }
+
+    #[test]
+    fn figure_1a_string_coercion() {
+        // The paper's Figure 1(a) polymorphic add examples.
+        assert_eq!(run("print(1 + 2)"), "3\n");
+        assert_eq!(run("print(1 + 2.2)"), "3.2\n");
+        assert_eq!(run("print(1.1 + 2.2)"), format!("{}\n", 1.1f64 + 2.2f64));
+        assert_eq!(run("print(\"1\" + \"2\")"), "3\n"); // float 3.0 → "3"
+        let e = run_err("print(\"a\" + \"b\")");
+        assert!(e.message.contains("cannot convert"));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run("print(1 < 2, 2 <= 2, 3 > 4, \"a\" < \"b\")"), "true\ttrue\tfalse\ttrue\n");
+        assert_eq!(run("print(1 == 1.0, nil == false)"), "true\tfalse\n");
+        assert_eq!(run("print(true and 1 or 2)"), "1\n");
+        assert_eq!(run("print(false and 1 or 2)"), "2\n");
+        assert_eq!(run("print(nil and 1)"), "nil\n");
+    }
+
+    #[test]
+    fn tables_and_length() {
+        assert_eq!(run("local t = {10, 20} t[3] = 30 print(t[1] + t[2] + t[3], #t)"), "60\t3\n");
+        assert_eq!(run("local t = {} t[\"x\"] = 5 print(t.x, t.y)"), "5\tnil\n");
+        assert_eq!(run("local t = {} t[2.0] = 9 print(t[2])"), "9\n"); // float key normalization
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let src = "
+            function fib(n)
+                if n < 2 then return n end
+                return fib(n-1) + fib(n-2)
+            end
+            print(fib(15))
+        ";
+        assert_eq!(run(src), "610\n");
+    }
+
+    #[test]
+    fn loops_break_and_scoping() {
+        assert_eq!(run("local s = 0 for i = 1, 5 do s = s + i end print(s)"), "15\n");
+        assert_eq!(run("local s = 0 for i = 10, 1, -2 do s = s + i end print(s)"), "30\n");
+        assert_eq!(
+            run("local s = 0 local i = 0 while true do i = i + 1 if i > 3 then break end s = s + i end print(s)"),
+            "6\n"
+        );
+        // The loop variable is fresh per iteration and scoped to the body.
+        assert_eq!(run("local i = 99 for i = 1, 3 do end print(i)"), "99\n");
+        assert_eq!(run("do local x = 1 end print(x)"), "nil\n");
+    }
+
+    #[test]
+    fn float_for_loop() {
+        assert_eq!(run("local s = 0 for x = 0.5, 2.5, 0.5 do s = s + x end print(s)"), "7.5\n");
+    }
+
+    #[test]
+    fn strings_builtins() {
+        assert_eq!(run("print(sub(\"hello\", 2, 4))"), "ell\n");
+        assert_eq!(run("print(sub(\"hello\", 2))"), "ello\n");
+        assert_eq!(run("print(sub(\"hello\", -3))"), "llo\n");
+        assert_eq!(run("print(len(\"hello\"), #\"hi\")"), "5\t2\n");
+        assert_eq!(run("print(\"a\" .. 1 .. 2.5)"), "a12.5\n");
+        assert_eq!(run("print(char(65), byte(\"A\"))"), "A\t65\n");
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert_eq!(run("print(floor(2.7), floor(-2.7), floor(3))"), "2\t-3\t3\n");
+        assert_eq!(run("print(sqrt(9))"), "3\n");
+        assert_eq!(run("print(abs(-4), abs(4.5))"), "4\t4.5\n");
+        assert_eq!(run("print(min(2, 3), max(2, 3), min(2.5, 2))"), "2\t3\t2\n");
+        assert_eq!(run("print(tostring(42) .. \"!\")"), "42!\n");
+    }
+
+    #[test]
+    fn insert_appends() {
+        assert_eq!(run("local t = {} insert(t, 7) insert(t, 8) print(#t, t[2])"), "2\t8\n");
+    }
+
+    #[test]
+    fn global_vs_local_assignment() {
+        assert_eq!(
+            run("function f() g = 5 end f() print(g)"),
+            "5\n"
+        );
+        assert_eq!(run("local x = 1 function f() return x end print(f())"), "nil\n"); // no closures
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(run_err("local t = nil print(t[1])").message.contains("index a nil"));
+        assert!(run_err("print(#5)").message.contains("length"));
+        assert!(run_err("print(1 // 0)").message.contains("n//0"));
+        assert!(run_err("nosuch(1)").message.contains("unknown function"));
+        assert!(run_err("function f(a) return a end print(f())").message.contains("expects 1"));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let chunk = parse("while true do end").unwrap();
+        let mut i = Interp::with_step_limit(10_000);
+        assert!(i.run(&chunk).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # miniscript — the benchmark frontend
+//!
+//! MiniScript is the small Lua-flavoured dynamic language in which this
+//! repository expresses the paper's 11 benchmarks (Table 7). One source
+//! program compiles to *both* evaluated engines:
+//!
+//! * `luart` — the register-based, Lua-5.3-layout VM;
+//! * `jsrt` — the stack-based, NaN-boxing (SpiderMonkey-layout) VM;
+//!
+//! and also runs under the host-side tree-walking [`Interp`], which serves
+//! as the semantic oracle for differential testing: the printed output of
+//! all seven executions (reference + 2 engines × 3 ISA levels) must match
+//! byte-for-byte.
+//!
+//! Semantics are Lua-5.3-like: integer/float number subtypes, float
+//! contagion, `/` always float, floor-based `//` and `%`, string→number
+//! coercion in arithmetic, 1-based strings and tables. See the `interp`
+//! module docs for details.
+//!
+//! # Examples
+//!
+//! ```
+//! use miniscript::{parse, Interp};
+//!
+//! let chunk = parse("
+//!     function fact(n)
+//!         if n < 2 then return 1 end
+//!         return n * fact(n - 1)
+//!     end
+//!     print(fact(10))
+//! ")?;
+//! let mut interp = Interp::new();
+//! interp.run(&chunk)?;
+//! assert_eq!(interp.output(), "3628800\n");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+mod interp;
+mod parser;
+pub mod token;
+mod value;
+
+pub use ast::{BinOp, Block, Chunk, Expr, Function, Stat, Target, UnOp};
+pub use interp::{float_floor_mod, int_floor_div, int_floor_mod, string_sub, Interp, RuntimeError};
+pub use parser::{parse, ParseError};
+pub use value::{format_float, format_value, Key, Table, Value};

@@ -1,0 +1,528 @@
+//! Recursive-descent parser for MiniScript.
+
+use crate::ast::*;
+use crate::token::{tokenize, LexError, SpannedToken, Token};
+use std::error::Error;
+use std::fmt;
+
+/// Parse error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 = end of input).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses MiniScript source into a [`Chunk`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic errors.
+///
+/// # Examples
+///
+/// ```
+/// let chunk = miniscript::parse("
+///     function add(a, b) return a + b end
+///     print(add(1, 2))
+/// ")?;
+/// assert_eq!(chunk.functions.len(), 1);
+/// assert_eq!(chunk.main.len(), 1);
+/// # Ok::<(), miniscript::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Chunk, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.chunk()
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |t| t.line),
+            |t| t.line,
+        )
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Name(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            other => Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn chunk(&mut self) -> Result<Chunk, ParseError> {
+        let mut chunk = Chunk::default();
+        while self.peek().is_some() {
+            if self.eat(&Token::Function) {
+                let name = self.name()?;
+                self.expect(&Token::LParen)?;
+                let mut params = Vec::new();
+                if !self.eat(&Token::RParen) {
+                    loop {
+                        params.push(self.name()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                let body = self.block(&[Token::End])?;
+                self.expect(&Token::End)?;
+                chunk.functions.push(Function { name, params, body });
+            } else {
+                chunk.main.push(self.statement()?);
+            }
+        }
+        Ok(chunk)
+    }
+
+    fn block(&mut self, terminators: &[Token]) -> Result<Block, ParseError> {
+        let mut stats = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(self.err(format!("unexpected end of input, expected one of {terminators:?}")))
+                }
+                Some(t) if terminators.contains(t) => return Ok(stats),
+                _ => stats.push(self.statement()?),
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stat, ParseError> {
+        match self.peek() {
+            Some(Token::Semicolon) => {
+                self.pos += 1;
+                self.statement()
+            }
+            Some(Token::Local) => {
+                self.pos += 1;
+                let name = self.name()?;
+                let init = if self.eat(&Token::Assign) { Some(self.expr()?) } else { None };
+                Ok(Stat::Local { name, init })
+            }
+            Some(Token::If) => {
+                self.pos += 1;
+                let mut arms = Vec::new();
+                let cond = self.expr()?;
+                self.expect(&Token::Then)?;
+                let body = self.block(&[Token::Elseif, Token::Else, Token::End])?;
+                arms.push((cond, body));
+                let mut else_body = None;
+                loop {
+                    if self.eat(&Token::Elseif) {
+                        let c = self.expr()?;
+                        self.expect(&Token::Then)?;
+                        let b = self.block(&[Token::Elseif, Token::Else, Token::End])?;
+                        arms.push((c, b));
+                    } else if self.eat(&Token::Else) {
+                        else_body = Some(self.block(&[Token::End])?);
+                        self.expect(&Token::End)?;
+                        break;
+                    } else {
+                        self.expect(&Token::End)?;
+                        break;
+                    }
+                }
+                Ok(Stat::If { arms, else_body })
+            }
+            Some(Token::While) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                self.expect(&Token::Do)?;
+                let body = self.block(&[Token::End])?;
+                self.expect(&Token::End)?;
+                Ok(Stat::While { cond, body })
+            }
+            Some(Token::For) => {
+                self.pos += 1;
+                let var = self.name()?;
+                self.expect(&Token::Assign)?;
+                let start = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let stop = self.expr()?;
+                let step = if self.eat(&Token::Comma) { Some(self.expr()?) } else { None };
+                self.expect(&Token::Do)?;
+                let body = self.block(&[Token::End])?;
+                self.expect(&Token::End)?;
+                Ok(Stat::NumericFor { var, start, stop, step, body })
+            }
+            Some(Token::Return) => {
+                self.pos += 1;
+                let value = match self.peek() {
+                    None | Some(Token::End) | Some(Token::Else) | Some(Token::Elseif) => None,
+                    _ => Some(self.expr()?),
+                };
+                Ok(Stat::Return(value))
+            }
+            Some(Token::Break) => {
+                self.pos += 1;
+                Ok(Stat::Break)
+            }
+            Some(Token::Do) => {
+                self.pos += 1;
+                let body = self.block(&[Token::End])?;
+                self.expect(&Token::End)?;
+                Ok(Stat::Do(body))
+            }
+            _ => {
+                // Assignment or call statement.
+                let e = self.suffixed_expr()?;
+                if self.eat(&Token::Assign) {
+                    let value = self.expr()?;
+                    let target = match e {
+                        Expr::Var(name) => Target::Name(name),
+                        Expr::Index { table, key } => Target::Index { table: *table, key: *key },
+                        other => {
+                            return Err(self.err(format!("cannot assign to {other:?}")))
+                        }
+                    };
+                    Ok(Stat::Assign { target, value })
+                } else {
+                    match e {
+                        Expr::Call { .. } => Ok(Stat::ExprStat(e)),
+                        other => Err(self.err(format!("expected a statement, found expression {other:?}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Token::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.concat_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => BinOp::Eq,
+                Some(Token::NotEq) => BinOp::Ne,
+                Some(Token::Lt) => BinOp::Lt,
+                Some(Token::Le) => BinOp::Le,
+                Some(Token::Gt) => BinOp::Gt,
+                Some(Token::Ge) => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.concat_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn concat_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        if self.eat(&Token::Concat) {
+            // Right-associative, like Lua.
+            let rhs = self.concat_expr()?;
+            Ok(Expr::Binary { op: BinOp::Concat, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::DoubleSlash) => BinOp::IDiv,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Minus) => Some(UnOp::Neg),
+            Some(Token::Not) => Some(UnOp::Not),
+            Some(Token::Hash) => Some(UnOp::Len),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let expr = self.unary_expr()?;
+            // Constant-fold negative literals so `-5` is an Int literal.
+            if op == UnOp::Neg {
+                match expr {
+                    Expr::Int(v) => return Ok(Expr::Int(v.wrapping_neg())),
+                    Expr::Float(v) => return Ok(Expr::Float(-v)),
+                    _ => {}
+                }
+            }
+            Ok(Expr::Unary { op, expr: Box::new(expr) })
+        } else {
+            self.suffixed_expr()
+        }
+    }
+
+    fn suffixed_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::LBracket) => {
+                    self.pos += 1;
+                    let key = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr::Index { table: Box::new(e), key: Box::new(key) };
+                }
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    let field = self.name()?;
+                    e = Expr::Index { table: Box::new(e), key: Box::new(Expr::Str(field)) };
+                }
+                Some(Token::LParen) => {
+                    let func = match e {
+                        Expr::Var(name) => name,
+                        other => {
+                            return Err(
+                                self.err(format!("only named functions can be called, found {other:?}"))
+                            )
+                        }
+                    };
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    e = Expr::Call { func, args };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(Token::Nil) => Ok(Expr::Nil),
+            Some(Token::True) => Ok(Expr::Bool(true)),
+            Some(Token::False) => Ok(Expr::Bool(false)),
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Float(v)) => Ok(Expr::Float(v)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Name(n)) => Ok(Expr::Var(n)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::LBrace) => {
+                let mut items = Vec::new();
+                if self.peek() != Some(&Token::RBrace) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(Expr::Table(items))
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("expected an expression, found {other:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_and_associativity() {
+        let c = parse("x = 1 + 2 * 3").unwrap();
+        let Stat::Assign { value, .. } = &c.main[0] else { panic!() };
+        // 1 + (2*3)
+        assert_eq!(
+            *value,
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Int(1)),
+                rhs: Box::new(Expr::Binary {
+                    op: BinOp::Mul,
+                    lhs: Box::new(Expr::Int(2)),
+                    rhs: Box::new(Expr::Int(3)),
+                }),
+            }
+        );
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arith() {
+        let c = parse("x = a + 1 < b * 2").unwrap();
+        let Stat::Assign { value, .. } = &c.main[0] else { panic!() };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn concat_right_associative() {
+        let c = parse(r#"x = "a" .. "b" .. "c""#).unwrap();
+        let Stat::Assign { value, .. } = &c.main[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Concat, rhs, .. } = value else { panic!() };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Concat, .. }));
+    }
+
+    #[test]
+    fn negative_literal_folding() {
+        let c = parse("x = -5").unwrap();
+        let Stat::Assign { value, .. } = &c.main[0] else { panic!() };
+        assert_eq!(*value, Expr::Int(-5));
+    }
+
+    #[test]
+    fn dotted_field_is_string_index() {
+        let c = parse("x = body.vx").unwrap();
+        let Stat::Assign { value, .. } = &c.main[0] else { panic!() };
+        let Expr::Index { key, .. } = value else { panic!() };
+        assert_eq!(**key, Expr::Str("vx".into()));
+    }
+
+    #[test]
+    fn full_control_flow() {
+        let src = "
+            function fib(n)
+                if n < 2 then return n end
+                return fib(n - 1) + fib(n - 2)
+            end
+            local total = 0
+            for i = 1, 10 do
+                total = total + fib(i)
+            end
+            while total > 100 do
+                total = total - 100
+                if total == 50 then break end
+            end
+            print(total)
+        ";
+        let c = parse(src).unwrap();
+        assert_eq!(c.functions.len(), 1);
+        assert_eq!(c.functions[0].params, vec!["n"]);
+        assert_eq!(c.main.len(), 4);
+    }
+
+    #[test]
+    fn table_constructor_and_indexing() {
+        let c = parse("t = {1, 2, 3} t[4] = t[1] + #t").unwrap();
+        assert_eq!(c.main.len(), 2);
+        let Stat::Assign { value, .. } = &c.main[0] else { panic!() };
+        assert_eq!(*value, Expr::Table(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]));
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = parse("x = 1\ny = ").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("if x then").unwrap_err();
+        assert!(e.message.contains("unexpected end"));
+    }
+
+    #[test]
+    fn statement_must_be_call_or_assign() {
+        assert!(parse("1 + 2").is_err());
+        assert!(parse("f(1)").is_ok());
+    }
+}

@@ -1,0 +1,337 @@
+//! Lexer for MiniScript.
+//!
+//! MiniScript is the small Lua-flavoured dynamic language used to express
+//! the paper's benchmark programs once, then compile them to *both*
+//! scripting engines (the register VM `luart` and the stack VM `jsrt`).
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals and names.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Name(String),
+    // Keywords.
+    And,
+    Break,
+    Do,
+    Else,
+    Elseif,
+    End,
+    False,
+    For,
+    Function,
+    If,
+    Local,
+    Nil,
+    Not,
+    Or,
+    Return,
+    Then,
+    True,
+    While,
+    // Symbols.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Caret,
+    Hash,
+    Eq,
+    NotEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Assign,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Concat,
+    Semicolon,
+}
+
+impl Token {
+    /// Keyword lookup.
+    fn keyword(name: &str) -> Option<Token> {
+        let t = match name {
+            "and" => Token::And,
+            "break" => Token::Break,
+            "do" => Token::Do,
+            "else" => Token::Else,
+            "elseif" => Token::Elseif,
+            "end" => Token::End,
+            "false" => Token::False,
+            "for" => Token::For,
+            "function" => Token::Function,
+            "if" => Token::If,
+            "local" => Token::Local,
+            "nil" => Token::Nil,
+            "not" => Token::Not,
+            "or" => Token::Or,
+            "return" => Token::Return,
+            "then" => Token::Then,
+            "true" => Token::True,
+            "while" => Token::While,
+            _ => return None,
+        };
+        Some(t)
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexical error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Tokenizes MiniScript source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed numbers, unterminated strings, or
+/// unexpected characters.
+///
+/// # Examples
+///
+/// ```
+/// use miniscript::token::{tokenize, Token};
+/// let toks = tokenize("local x = 1 + 2.5 -- comment\n")?;
+/// assert_eq!(toks[0].token, Token::Local);
+/// assert_eq!(toks[3].token, Token::Int(1));
+/// assert_eq!(toks[5].token, Token::Float(2.5));
+/// # Ok::<(), miniscript::token::LexError>(())
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let err = |line: usize, message: String| LexError { line, message };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse().map_err(|e| err(line, format!("bad number `{text}`: {e}")))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse().map_err(|e| err(line, format!("bad number `{text}`: {e}")))?,
+                    )
+                };
+                tokens.push(SpannedToken { token, line });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let name = &source[start..i];
+                let token =
+                    Token::keyword(name).unwrap_or_else(|| Token::Name(name.to_string()));
+                tokens.push(SpannedToken { token, line });
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() || bytes[i] == b'\n' {
+                        return Err(err(line, "unterminated string".into()));
+                    }
+                    if bytes[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                        if i >= bytes.len() {
+                            return Err(err(line, "unterminated escape".into()));
+                        }
+                        let e = bytes[i] as char;
+                        s.push(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '\\' => '\\',
+                            '"' => '"',
+                            '\'' => '\'',
+                            '0' => '\0',
+                            other => {
+                                return Err(err(line, format!("unknown escape `\\{other}`")))
+                            }
+                        });
+                        i += 1;
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(SpannedToken { token: Token::Str(s), line });
+            }
+            _ => {
+                let (token, advance) = match c {
+                    '+' => (Token::Plus, 1),
+                    '-' => (Token::Minus, 1),
+                    '*' => (Token::Star, 1),
+                    '/' if bytes.get(i + 1) == Some(&b'/') => (Token::DoubleSlash, 2),
+                    '/' => (Token::Slash, 1),
+                    '%' => (Token::Percent, 1),
+                    '^' => (Token::Caret, 1),
+                    '#' => (Token::Hash, 1),
+                    '=' if bytes.get(i + 1) == Some(&b'=') => (Token::Eq, 2),
+                    '=' => (Token::Assign, 1),
+                    '~' if bytes.get(i + 1) == Some(&b'=') => (Token::NotEq, 2),
+                    '<' if bytes.get(i + 1) == Some(&b'=') => (Token::Le, 2),
+                    '<' => (Token::Lt, 1),
+                    '>' if bytes.get(i + 1) == Some(&b'=') => (Token::Ge, 2),
+                    '>' => (Token::Gt, 1),
+                    '(' => (Token::LParen, 1),
+                    ')' => (Token::RParen, 1),
+                    '{' => (Token::LBrace, 1),
+                    '}' => (Token::RBrace, 1),
+                    '[' => (Token::LBracket, 1),
+                    ']' => (Token::RBracket, 1),
+                    ',' => (Token::Comma, 1),
+                    '.' if bytes.get(i + 1) == Some(&b'.') => (Token::Concat, 2),
+                    '.' => (Token::Dot, 1),
+                    ';' => (Token::Semicolon, 1),
+                    other => return Err(err(line, format!("unexpected character `{other}`"))),
+                };
+                tokens.push(SpannedToken { token, line });
+                i += advance;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn numbers_int_float_exp() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("3.5"), vec![Token::Float(3.5)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn dotted_name_is_not_float() {
+        assert_eq!(
+            toks("t.x"),
+            vec![Token::Name("t".into()), Token::Dot, Token::Name("x".into())]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#""a\nb""#), vec![Token::Str("a\nb".into())]);
+        assert_eq!(toks("'q'"), vec![Token::Str("q".into())]);
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("== ~= <= >= .. //"),
+            vec![Token::Eq, Token::NotEq, Token::Le, Token::Ge, Token::Concat, Token::DoubleSlash]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_names() {
+        assert_eq!(toks("while whilex"), vec![Token::While, Token::Name("whilex".into())]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let t = tokenize("x -- cmt\ny").unwrap();
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = tokenize("a ? b").unwrap_err();
+        assert!(e.message.contains('?'));
+    }
+}

@@ -1,0 +1,236 @@
+//! Runtime values of the reference interpreter, plus the *shared*
+//! number/value formatting used by every engine's `print`, so that
+//! differential tests can require byte-identical output across the
+//! reference interpreter, `luart` and `jsrt`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A MiniScript value in the reference interpreter.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `nil`.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer (Lua 5.3's integer subtype).
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Immutable interned string.
+    Str(Rc<str>),
+    /// Mutable table (array part + hash part).
+    Table(Rc<RefCell<Table>>),
+}
+
+impl Value {
+    /// Lua truthiness: everything but `nil` and `false` is true.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// The value's type name (used in error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Creates an empty table value.
+    pub fn table() -> Value {
+        Value::Table(Rc::new(RefCell::new(Table::default())))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Table(a), Value::Table(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// A table key: integers and strings (floats with integral value normalize
+/// to integers, like Lua 5.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(Rc<str>),
+}
+
+/// A table: dense 1-based array part plus a hash part.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Dense array part (`t[1]..t[#t]`).
+    pub arr: Vec<Value>,
+    /// Hash part for string and sparse integer keys.
+    pub map: HashMap<Key, Value>,
+}
+
+impl Table {
+    /// Reads `t[key]`.
+    pub fn get(&self, key: &Key) -> Value {
+        if let Key::Int(i) = key {
+            let idx = *i;
+            if idx >= 1 && (idx as usize) <= self.arr.len() {
+                return self.arr[idx as usize - 1].clone();
+            }
+        }
+        self.map.get(key).cloned().unwrap_or(Value::Nil)
+    }
+
+    /// Writes `t[key] = value`, growing the array part when appending.
+    pub fn set(&mut self, key: Key, value: Value) {
+        if let Key::Int(i) = key {
+            let idx = i;
+            if idx >= 1 && (idx as usize) <= self.arr.len() {
+                self.arr[idx as usize - 1] = value;
+                return;
+            }
+            if idx as usize == self.arr.len() + 1 {
+                self.arr.push(value);
+                // Absorb any queued successors from the hash part.
+                let mut next = self.arr.len() as i64 + 1;
+                while let Some(v) = self.map.remove(&Key::Int(next)) {
+                    self.arr.push(v);
+                    next += 1;
+                }
+                return;
+            }
+        }
+        if matches!(value, Value::Nil) {
+            self.map.remove(&key);
+        } else {
+            self.map.insert(key, value);
+        }
+    }
+
+    /// The `#t` border: length of the dense array part.
+    pub fn len(&self) -> i64 {
+        self.arr.len() as i64
+    }
+
+    /// Whether both parts are empty.
+    pub fn is_empty(&self) -> bool {
+        self.arr.is_empty() && self.map.is_empty()
+    }
+}
+
+/// Formats a float exactly as every engine's `print` does.
+///
+/// Integral doubles within the 2⁵³ exact range print without a decimal
+/// point, which makes output comparable between the integer-subtype engine
+/// (`luart`) and the all-doubles engine (`jsrt`). Other values use Rust's
+/// shortest round-trip formatting.
+///
+/// # Examples
+///
+/// ```
+/// use miniscript::format_float;
+/// assert_eq!(format_float(3.0), "3");
+/// assert_eq!(format_float(2.5), "2.5");
+/// assert_eq!(format_float(-0.0), "0");
+/// ```
+pub fn format_float(f: f64) -> String {
+    if f == f.trunc() && f.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", f as i64)
+    } else if f.is_finite() && f != 0.0 && f.abs() >= 1e17 {
+        // Large magnitudes use scientific notation instead of Rust's full
+        // decimal expansion.
+        format!("{f:e}")
+    } else {
+        format!("{f}")
+    }
+}
+
+/// Formats a value exactly as every engine's `print` does.
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Nil => "nil".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format_float(*f),
+        Value::Str(s) => s.to_string(),
+        Value::Table(_) => "table".to_string(),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_value(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_array_and_hash_parts() {
+        let mut t = Table::default();
+        t.set(Key::Int(1), Value::Int(10));
+        t.set(Key::Int(2), Value::Int(20));
+        t.set(Key::Str(Rc::from("x")), Value::Int(30));
+        assert_eq!(t.get(&Key::Int(1)), Value::Int(10));
+        assert_eq!(t.get(&Key::Str(Rc::from("x"))), Value::Int(30));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&Key::Int(9)), Value::Nil);
+    }
+
+    #[test]
+    fn sparse_then_dense_absorption() {
+        let mut t = Table::default();
+        t.set(Key::Int(2), Value::Int(2)); // sparse → hash part
+        assert_eq!(t.len(), 0);
+        t.set(Key::Int(1), Value::Int(1)); // append absorbs key 2
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&Key::Int(2)), Value::Int(2));
+    }
+
+    #[test]
+    fn numeric_equality_across_subtypes() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_ne!(Value::Int(0), Value::Nil);
+        assert_ne!(Value::str("3"), Value::Int(3));
+    }
+
+    #[test]
+    fn tables_compare_by_identity() {
+        let t = Value::table();
+        assert_eq!(t, t.clone());
+        assert_ne!(Value::table(), Value::table());
+    }
+
+    #[test]
+    fn float_formatting_rules() {
+        assert_eq!(format_float(832040.0), "832040");
+        assert_eq!(format_float(0.1), "0.1");
+        assert_eq!(format_float(1e300), "1e300");
+        assert_eq!(format_float(f64::INFINITY), "inf");
+        assert_eq!(format_value(&Value::Nil), "nil");
+        assert_eq!(format_value(&Value::Bool(true)), "true");
+    }
+}

@@ -1,0 +1,21 @@
+//! # tarch-sim — machine integration
+//!
+//! Glue between the Typed Architecture core (`tarch-core`) and the software
+//! that runs on it:
+//!
+//! * [`Machine`] — a core plus a [`NativeHost`] servicing `ecall`s, with
+//!   run loops (plain, step-budgeted, and observed for per-handler
+//!   attribution);
+//! * [`NativeHost`] / [`Cost`] — the native helper interface and its
+//!   documented affine cost model (see [`native`] module docs for why
+//!   helper costs are identical across ISA levels);
+//! * [`SimError`] — unified trap/host error reporting.
+//!
+//! The scripting engines (`luart`, `jsrt`) implement [`NativeHost`] for
+//! their runtime services and drive [`Machine::run`].
+
+mod machine;
+pub mod native;
+
+pub use machine::{Machine, RunOutcome, SimError};
+pub use native::{Cost, HostError, NativeHost, NoHost, HELPER_CPI_TENTHS};

@@ -1,0 +1,116 @@
+//! Demonstrates the OS-interaction story of the paper's Section 5: the
+//! typed architectural state (register tags, special-purpose registers,
+//! Type Rule Table) is saved and restored across a context switch between
+//! two scripts with *different* tag layouts — a Lua-layout process and a
+//! NaN-boxing process sharing one core.
+//!
+//! ```text
+//! cargo run --release --example context_switch
+//! ```
+
+use tarch_core::{CoreConfig, Cpu, StepEvent, TypedState};
+use tarch_isa::text::assemble;
+
+fn run_to_halt(cpu: &mut Cpu) -> Result<(), Box<dyn std::error::Error>> {
+    while cpu.step()? != StepEvent::Halted {}
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Process A: Lua layout (tag in the next double-word).
+    let proc_a = assemble(
+        "
+        li t0, 0b001
+        setoffset t0
+        li t0, 0xff
+        setmask t0
+        li t0, 0x13001313      # xadd (Int,Int)->Int
+        set_trt t0
+        la s10, v
+        tld a2, 0(s10)
+        thdl slow
+        xadd a0, a2, a2
+        halt
+    slow:
+        halt
+        .data
+        v: .dword 21, 0x13
+    ",
+        0x1000,
+        0x2_0000,
+    )?;
+
+    let mut cpu = Cpu::new(CoreConfig::paper());
+    cpu.load_program(&proc_a);
+    run_to_halt(&mut cpu)?;
+    println!("process A (Lua layout): a0 = {}", cpu.regs().read(tarch_isa::Reg::A0).v);
+
+    // Context switch: the OS saves A's typed state.
+    let saved_a = TypedState::save(&cpu);
+    println!(
+        "saved typed state: {} TRT rules, R_offset={:#b}, R_mask={:#x}",
+        saved_a.trt_rules.len(),
+        saved_a.spr.offset,
+        saved_a.spr.mask
+    );
+
+    // Process B: NaN-boxing layout — different SPRs, different rules.
+    let proc_b = assemble(
+        "
+        li t0, 0b1100          # NaN detect + overflow detect
+        setoffset t0
+        li t0, 47
+        setshift t0
+        li t0, 0x0f
+        setmask t0
+        flush_trt
+        li t0, 0x01000101      # xadd (Int,Int)->Int, NaN-box tags
+        set_trt t0
+        la s10, v
+        tld a2, 0(s10)
+        thdl slow
+        xadd a0, a2, a2
+        halt
+    slow:
+        halt
+        .data
+        v: .dword 0xfff8800000000015, 0   # boxed int 21 (tag 1)
+    ",
+        0x1000,
+        0x2_0000,
+    )?;
+    cpu.load_program(&proc_b);
+    run_to_halt(&mut cpu)?;
+    println!("process B (NaN boxing): a0 = {}", cpu.regs().read(tarch_isa::Reg::A0).v as i64);
+
+    // Switch back to A: restore its typed state and rerun its kernel.
+    saved_a.restore(&mut cpu);
+    cpu.load_program(&proc_a_resumable()?);
+    run_to_halt(&mut cpu)?;
+    println!(
+        "process A resumed: a0 = {} (tags and TRT restored, no re-init needed)",
+        cpu.regs().read(tarch_isa::Reg::A0).v
+    );
+    Ok(())
+}
+
+/// Process A's kernel *without* the SPR/TRT initialization: after a
+/// restore, the typed state is already in place.
+fn proc_a_resumable() -> Result<tarch_isa::asm::Program, Box<dyn std::error::Error>> {
+    Ok(assemble(
+        "
+        la s10, v
+        tld a2, 0(s10)
+        thdl slow
+        xadd a0, a2, a2
+        halt
+    slow:
+        li a0, -1
+        halt
+        .data
+        v: .dword 21, 0x13
+    ",
+        0x1000,
+        0x2_0000,
+    )?)
+}

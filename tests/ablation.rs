@@ -1,0 +1,158 @@
+//! Ablation and failure-injection experiments (DESIGN.md §6):
+//!
+//! * **TRT sizing** — with a TRT too small for the engine's rule set, the
+//!   FIFO evicts the arithmetic rules and every polymorphic instruction
+//!   falls back to the software chain: results stay correct (the miss
+//!   handler *is* the original code), only performance degrades;
+//! * **type-unstable workloads** — an adversarial alternating int/float
+//!   kernel produces a type-miss storm; the paper's Section 5 discusses
+//!   deoptimizing the fast path for exactly this case;
+//! * **legacy-code tax** — untyped programs see zero typed-datapath
+//!   activity (also covered in `paper_invariants.rs`).
+
+use tarch_core::{CoreConfig, IsaLevel};
+
+const MAX_STEPS: u64 = 2_000_000_000;
+
+fn run_lua(src: &str, level: IsaLevel, core: CoreConfig) -> luart::RunReport {
+    let mut vm = luart::LuaVm::from_source(src, level, core).unwrap();
+    vm.run(MAX_STEPS).unwrap()
+}
+
+#[test]
+fn undersized_trt_stays_correct_but_loses_performance() {
+    let src = "
+        local s = 0
+        for i = 1, 300 do s = s + i * 2 - 1 end
+        print(s)
+    ";
+    let full = run_lua(src, IsaLevel::Typed, CoreConfig::paper());
+    let tiny_cfg = CoreConfig { trt_entries: 2, ..CoreConfig::paper() };
+    let tiny = run_lua(src, IsaLevel::Typed, tiny_cfg);
+
+    // Correctness is unaffected: the miss handler is the original software
+    // type-check chain.
+    assert_eq!(full.output, tiny.output);
+    assert_eq!(full.output, "90000\n"); // sum of (2i-1), i=1..300
+
+    // But the 2-entry FIFO evicted the arithmetic rules pushed first, so
+    // the polymorphic instructions miss where the 8-entry table hit.
+    assert_eq!(full.counters.type_misses, 0, "8-entry TRT must cover the rule set");
+    assert!(
+        tiny.counters.type_misses > 500,
+        "2-entry TRT must thrash: {} misses",
+        tiny.counters.type_misses
+    );
+    assert!(
+        tiny.counters.cycles > full.counters.cycles,
+        "thrashing TRT must cost cycles ({} vs {})",
+        tiny.counters.cycles,
+        full.counters.cycles
+    );
+}
+
+#[test]
+fn type_unstable_workload_storms_the_trt() {
+    // Alternating Int and Float operands: every other ADD takes the
+    // mispredict path. Output must still be exact.
+    // Every ADD mixes an Int with a Float: no TRT rule matches, so every
+    // polymorphic instruction takes the mispredict path.
+    let src = "
+        local a = 1
+        local b = 0.5
+        local c = 0
+        for i = 1, 200 do
+            c = a + b
+            c = b + a
+            c = a - b
+        end
+        print(c)
+    ";
+    let typed = run_lua(src, IsaLevel::Typed, CoreConfig::paper());
+    let base = run_lua(src, IsaLevel::Baseline, CoreConfig::paper());
+    assert_eq!(typed.output, base.output);
+    assert_eq!(typed.output, "0.5\n");
+    assert!(
+        typed.counters.type_misses >= 600,
+        "mixed-type adds must miss: {}",
+        typed.counters.type_misses
+    );
+    // The paper's motivation for fast-path deoptimization (Section 5):
+    // under a miss storm the typed fast path stops paying for itself —
+    // the win collapses to (at most) a sliver from the untouched bytecodes.
+    let speedup = base.counters.cycles as f64 / typed.counters.cycles as f64;
+    assert!(
+        speedup < 1.03,
+        "a type-miss storm should erase the typed win (speedup {speedup:.3})"
+    );
+}
+
+#[test]
+fn overflow_detection_can_be_disabled_for_lua() {
+    // Lua's 64-bit integers never corrupt a co-located tag, so the engine
+    // leaves overflow detection off (Section 3.2: "we can simply turn off
+    // overflow detection"); wrapping arithmetic must then match baseline.
+    let src = "
+        local x = 9223372036854775807
+        local y = x + 1
+        print(y < 0)
+    ";
+    let typed = run_lua(src, IsaLevel::Typed, CoreConfig::paper());
+    let base = run_lua(src, IsaLevel::Baseline, CoreConfig::paper());
+    assert_eq!(typed.output, base.output);
+    assert_eq!(typed.output, "true\n"); // wraps to i64::MIN
+    assert_eq!(typed.counters.overflow_misses, 0);
+}
+
+#[test]
+fn branch_predictor_sizing_matters_for_dispatch() {
+    // Shrinking the BTB hurts the interpreter's indirect dispatch — a
+    // structural sensitivity the paper's front end (62-entry BTB) hides.
+    let src = "
+        local s = 0
+        for i = 1, 200 do
+            local t = {i}
+            t[1] = t[1] * 2
+            s = s + t[1] - i % 3
+        end
+        print(s)
+    ";
+    let small_btb = CoreConfig {
+        branch: tarch_core::BranchConfig { btb_entries: 4, ..tarch_core::BranchConfig::paper() },
+        ..CoreConfig::paper()
+    };
+    let big = run_lua(src, IsaLevel::Baseline, CoreConfig::paper());
+    let small = run_lua(src, IsaLevel::Baseline, small_btb);
+    assert_eq!(big.output, small.output);
+    assert!(
+        small.branch.total_misses() > big.branch.total_misses(),
+        "4-entry BTB must mispredict more ({} vs {})",
+        small.branch.total_misses(),
+        big.branch.total_misses()
+    );
+}
+
+#[test]
+fn icache_sizing_shows_interpreter_footprint() {
+    let src = "
+        local s = 0
+        for i = 1, 150 do
+            local t = {i, i + 1}
+            s = s + t[1] * t[2] // (i % 7 + 1) + #t
+        end
+        print(s)
+    ";
+    let tiny_icache = CoreConfig {
+        icache: tarch_mem::CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 },
+        ..CoreConfig::paper()
+    };
+    let big = run_lua(src, IsaLevel::Baseline, CoreConfig::paper());
+    let small = run_lua(src, IsaLevel::Baseline, tiny_icache);
+    assert_eq!(big.output, small.output);
+    assert!(
+        small.counters.icache_misses > big.counters.icache_misses * 2,
+        "a 1KB I-cache cannot hold the interpreter ({} vs {})",
+        small.counters.icache_misses,
+        big.counters.icache_misses
+    );
+}

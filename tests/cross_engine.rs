@@ -1,0 +1,105 @@
+//! Workspace-level differential tests: every Table 7 workload (at test
+//! scale) must print byte-identical output under
+//!
+//! * the MiniScript reference interpreter,
+//! * `luart`'s host-side bytecode VM,
+//! * the simulated `luart` engine × {baseline, checked-load, typed},
+//! * the simulated `jsrt` engine × {baseline, checked-load, typed}.
+//!
+//! That is seven independent executions per workload agreeing on output —
+//! the strongest end-to-end correctness statement this repository makes.
+
+use miniscript::{parse, Interp};
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{CoreConfig, IsaLevel};
+
+const MAX_STEPS: u64 = 2_000_000_000;
+
+fn reference_output(src: &str, name: &str) -> String {
+    let chunk = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut interp = Interp::new();
+    interp.run(&chunk).unwrap_or_else(|e| panic!("{name} (reference): {e}"));
+    interp.output().to_string()
+}
+
+fn check_workload(name: &str) {
+    let w = workloads::by_name(name).expect("known workload");
+    let src = w.source(Scale::Test);
+    let expected = reference_output(&src, name);
+    assert!(!expected.is_empty(), "{name} printed nothing");
+
+    // Host-side bytecode VM.
+    let chunk = parse(&src).unwrap();
+    let module = luart::compile(&chunk).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let host_out =
+        luart::host_run(&module, 500_000_000).unwrap_or_else(|e| panic!("{name} hostvm: {e}"));
+    assert_eq!(host_out, expected, "{name}: host VM diverged");
+
+    // Simulated engines at every ISA level.
+    for level in IsaLevel::ALL {
+        let mut vm = luart::LuaVm::new(&module, level, CoreConfig::paper())
+            .unwrap_or_else(|e| panic!("{name} luart {level}: {e}"));
+        let r = vm.run(MAX_STEPS).unwrap_or_else(|e| panic!("{name} luart {level}: {e}"));
+        assert_eq!(r.output, expected, "{name}: luart {level} diverged");
+
+        let mut vm = jsrt::JsVm::from_source(&src, level, CoreConfig::paper())
+            .unwrap_or_else(|e| panic!("{name} jsrt {level}: {e}"));
+        let r = vm.run(MAX_STEPS).unwrap_or_else(|e| panic!("{name} jsrt {level}: {e}"));
+        assert_eq!(r.output, expected, "{name}: jsrt {level} diverged");
+    }
+}
+
+#[test]
+fn ackermann_all_configs_agree() {
+    check_workload("ackermann");
+}
+
+#[test]
+fn binary_trees_all_configs_agree() {
+    check_workload("binary-trees");
+}
+
+#[test]
+fn fannkuch_all_configs_agree() {
+    check_workload("fannkuch-redux");
+}
+
+#[test]
+fn fibo_all_configs_agree() {
+    check_workload("fibo");
+}
+
+#[test]
+fn k_nucleotide_all_configs_agree() {
+    check_workload("k-nucleotide");
+}
+
+#[test]
+fn mandelbrot_all_configs_agree() {
+    check_workload("mandelbrot");
+}
+
+#[test]
+fn n_body_all_configs_agree() {
+    check_workload("n-body");
+}
+
+#[test]
+fn n_sieve_all_configs_agree() {
+    check_workload("n-sieve");
+}
+
+#[test]
+fn pidigits_all_configs_agree() {
+    check_workload("pidigits");
+}
+
+#[test]
+fn random_all_configs_agree() {
+    check_workload("random");
+}
+
+#[test]
+fn spectral_norm_all_configs_agree() {
+    check_workload("spectral-norm");
+}

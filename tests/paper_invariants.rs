@@ -1,0 +1,125 @@
+//! Workspace-level invariants mirroring the paper's headline claims, at
+//! test scale:
+//!
+//! * the typed ISA retires fewer instructions and cycles than baseline on
+//!   type-stable workloads;
+//! * Checked Load sits between baseline and Typed on integer workloads and
+//!   can regress on FP-heavy ones (Section 7.1);
+//! * hardware type-check activity appears only on the typed ISA, and
+//!   legacy (untyped) code pays no typed-datapath activity at all.
+
+use tarch_bench::workloads::{by_name, Scale};
+use tarch_core::{CoreConfig, Cpu, IsaLevel, StepEvent};
+use tarch_isa::text::assemble;
+
+const MAX_STEPS: u64 = 2_000_000_000;
+
+fn lua_cycles(src: &str, level: IsaLevel) -> (u64, u64) {
+    let mut vm = luart::LuaVm::from_source(src, level, CoreConfig::paper()).unwrap();
+    let r = vm.run(MAX_STEPS).unwrap();
+    (r.counters.instructions, r.counters.cycles)
+}
+
+#[test]
+fn typed_wins_on_type_stable_workloads() {
+    for name in ["fibo", "n-sieve", "fannkuch-redux"] {
+        let src = by_name(name).unwrap().source(Scale::Test);
+        let (bi, bc) = lua_cycles(&src, IsaLevel::Baseline);
+        let (ti, tc) = lua_cycles(&src, IsaLevel::Typed);
+        assert!(ti < bi, "{name}: typed instructions {ti} !< baseline {bi}");
+        assert!(tc < bc, "{name}: typed cycles {tc} !< baseline {bc}");
+    }
+}
+
+#[test]
+fn checked_load_regresses_on_fp_heavy_code() {
+    // mandelbrot is FP-dominated: the CL fast path (fixed to Int at build
+    // time) always misses, so CL must not beat baseline by any meaningful
+    // margin — the effect the paper reports for mandelbrot/n-body.
+    let src = by_name("mandelbrot").unwrap().source(Scale::Test);
+    let (_, bc) = lua_cycles(&src, IsaLevel::Baseline);
+    let (_, cc) = lua_cycles(&src, IsaLevel::CheckedLoad);
+    assert!(
+        cc as f64 > bc as f64 * 0.995,
+        "checked-load should not win on FP-heavy code: {cc} vs {bc}"
+    );
+}
+
+#[test]
+fn typed_activity_only_on_typed_isa() {
+    let src = by_name("fibo").unwrap().source(Scale::Test);
+    for level in [IsaLevel::Baseline, IsaLevel::CheckedLoad] {
+        let mut vm = luart::LuaVm::from_source(&src, level, CoreConfig::paper()).unwrap();
+        let r = vm.run(MAX_STEPS).unwrap();
+        assert_eq!(r.counters.type_checks, 0, "{level} must not touch the TRT");
+        assert_eq!(r.counters.tagged_mem, 0, "{level} must not use tld/tsd");
+    }
+    let mut vm = luart::LuaVm::from_source(&src, IsaLevel::Typed, CoreConfig::paper()).unwrap();
+    let r = vm.run(MAX_STEPS).unwrap();
+    assert!(r.counters.type_checks > 0);
+    assert!(r.counters.tagged_mem > 0);
+}
+
+#[test]
+fn legacy_code_pays_no_typed_tax() {
+    // Section 5: untyped code on a Typed Architecture core causes no
+    // typed-datapath activity — the counters stay at zero and timing is
+    // identical to a core without the extension (same model, so we check
+    // the counters and that untyped destinations carry the untyped tag).
+    let src = "
+        li a0, 0
+        li a1, 1000
+    top:
+        add a0, a0, a1
+        addi a1, a1, -1
+        bnez a1, top
+        halt
+    ";
+    let program = assemble(src, 0x1000, 0x2_0000).unwrap();
+    let mut cpu = Cpu::new(CoreConfig::paper());
+    cpu.load_program(&program);
+    while cpu.step().unwrap() != StepEvent::Halted {}
+    let c = cpu.counters();
+    assert_eq!(c.type_checks, 0);
+    assert_eq!(c.tagged_mem, 0);
+    assert_eq!(c.chklb_checks, 0);
+    assert_eq!(cpu.regs().read(tarch_isa::Reg::A0).t, tarch_core::UNTYPED_TAG);
+}
+
+#[test]
+fn checked_load_between_baseline_and_typed_on_integer_code() {
+    let src = by_name("fibo").unwrap().source(Scale::Test);
+    let (bi, _) = lua_cycles(&src, IsaLevel::Baseline);
+    let (ci, _) = lua_cycles(&src, IsaLevel::CheckedLoad);
+    let (ti, _) = lua_cycles(&src, IsaLevel::Typed);
+    assert!(ci <= bi, "CL instructions {ci} vs baseline {bi}");
+    assert!(ti <= ci, "typed instructions {ti} vs CL {ci}");
+}
+
+#[test]
+fn js_engine_overflow_detection_feeds_counters() {
+    let src = "
+        local x = 2147483000
+        local hits = 0
+        for i = 1, 20 do
+            local y = x + 700 + i   -- overflows int32 near the end
+            if y > x then hits = hits + 1 end
+        end
+        print(hits)
+    ";
+    let mut vm = jsrt::JsVm::from_source(src, IsaLevel::Typed, CoreConfig::paper()).unwrap();
+    let r = vm.run(MAX_STEPS).unwrap();
+    assert_eq!(r.output, "20\n");
+    assert!(
+        r.counters.overflow_misses > 0,
+        "int32 overflow must trigger the hardware overflow detector"
+    );
+}
+
+#[test]
+fn trt_capacity_is_paper_sized() {
+    // Both engines preload exactly 8 rules — the paper's TRT size.
+    assert_eq!(luart::layout::trt_rules().len(), 8);
+    assert_eq!(jsrt::layout::trt_rules().len(), 8);
+    assert_eq!(CoreConfig::paper().trt_entries, 8);
+}
