@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <subcommand> [--full | --test-scale] [--verbose]
+//! repro <subcommand> [options]
 //!
 //! subcommands:
 //!   table1..table8   configuration tables / hardware overhead
@@ -9,38 +9,101 @@
 //!   fig2a fig2b      bytecode breakdown / instructions per bytecode
 //!   fig5 fig6 fig7 fig8 fig9
 //!   all              everything (shares one simulation matrix)
+//!   selftest         quick 2-workload parallel matrix at test scale
+//!
+//! options:
+//!   --full | --test-scale   input scale (default: the paper's scale)
+//!   -j N | --jobs N         worker threads (default: one per core)
+//!   --no-cache              bypass the persistent result cache
+//!   --steps N               per-job step budget (default 2e10)
+//!   --emit-json PATH        write the run artifact to PATH
+//!   --from-json PATH        render figures from a BENCH_*.json artifact
+//!                           instead of simulating
+//!   --verbose | -v          progress + run statistics on stderr
 //! ```
+//!
+//! Simulation results are cached under `target/tarch-cache/` keyed by the
+//! job's content (program source + configuration); a repeated invocation
+//! is served entirely from cache. `repro all` additionally writes a
+//! timestamped `BENCH_<unix>.json` artifact of the full matrix.
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use tarch_bench::figures;
-use tarch_bench::harness::Matrix;
+use tarch_bench::harness::{default_cache_dir, Matrix, MatrixOptions, MAX_STEPS};
 use tarch_bench::paper_tables as tables;
 use tarch_bench::workloads::{self, Scale};
+use tarch_runner::BenchArtifact;
+
+struct Opts {
+    scale: Scale,
+    verbose: bool,
+    jobs: usize,
+    no_cache: bool,
+    step_budget: u64,
+    emit_json: Option<PathBuf>,
+    from_json: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest> \
+                     [--full|--test-scale] [-j N] [--no-cache] [--steps N] \
+                     [--emit-json PATH] [--from-json PATH] [--verbose]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let mut scale = Scale::Default;
-    let mut verbose = false;
+    let mut opts = Opts {
+        scale: Scale::Default,
+        verbose: false,
+        jobs: 0,
+        no_cache: false,
+        step_budget: MAX_STEPS,
+        emit_json: None,
+        from_json: None,
+    };
     let mut command = None;
-    for a in &args {
-        match a.as_str() {
-            "--full" => scale = Scale::Full,
-            "--test-scale" => scale = Scale::Test,
-            "--verbose" | "-v" => verbose = true,
-            c if command.is_none() => command = Some(c.to_string()),
-            other => {
-                eprintln!("unexpected argument `{other}`");
-                return ExitCode::FAILURE;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match a {
+                "--full" => opts.scale = Scale::Full,
+                "--test-scale" => opts.scale = Scale::Test,
+                "--verbose" | "-v" => opts.verbose = true,
+                "--no-cache" => opts.no_cache = true,
+                "-j" | "--jobs" => {
+                    opts.jobs = value(a)?
+                        .parse()
+                        .map_err(|_| format!("{a} needs a number of workers"))?;
+                }
+                "--steps" => {
+                    opts.step_budget = value(a)?
+                        .parse()
+                        .map_err(|_| format!("{a} needs a step count"))?;
+                }
+                "--emit-json" => opts.emit_json = Some(PathBuf::from(value(a)?)),
+                "--from-json" => opts.from_json = Some(PathBuf::from(value(a)?)),
+                c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
+                other => return Err(format!("unexpected argument `{other}`")),
             }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
         }
+        i += 1;
     }
     let Some(command) = command else {
-        eprintln!("usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all> [--full] [--verbose]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 
-    match run(&command, scale, verbose) {
+    match run(&command, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -49,14 +112,62 @@ fn main() -> ExitCode {
     }
 }
 
-fn matrix(scale: Scale, verbose: bool) -> Result<Matrix, String> {
-    if verbose {
-        eprintln!("running the 11 x 2 x 3 simulation matrix (this is a cycle simulator)...");
+/// Produces the matrix: reloaded from an artifact when `--from-json` was
+/// given, otherwise simulated on the worker pool (with caching unless
+/// `--no-cache`). Returns the artifact of the run when one was produced.
+fn matrix(opts: &Opts, profiled: bool) -> Result<(Matrix, Option<BenchArtifact>), String> {
+    if let Some(path) = &opts.from_json {
+        let artifact = BenchArtifact::read(path)?;
+        if opts.verbose {
+            eprintln!(
+                "loaded {} job(s) from {} (scale {}, created {})",
+                artifact.outcomes.len(),
+                path.display(),
+                artifact.scale.id(),
+                artifact.created_unix,
+            );
+        }
+        let m = Matrix::from_artifact(&artifact)?;
+        return Ok((m, Some(artifact)));
     }
-    Matrix::run(&workloads::all(), scale, verbose)
+    if opts.verbose {
+        eprintln!("running the workload x engine x ISA-level simulation matrix...");
+    }
+    let mopts = MatrixOptions {
+        workers: opts.jobs,
+        cache_dir: (!opts.no_cache).then(default_cache_dir),
+        step_budget: opts.step_budget,
+        profiled,
+        progress: opts.verbose,
+    };
+    let run = Matrix::run_with(&workloads::all(), opts.scale, &mopts)?;
+    if opts.verbose {
+        eprintln!("{}", run.stats.summary());
+    }
+    let artifact = run.artifact();
+    Ok((run.matrix, Some(artifact)))
 }
 
-fn run(command: &str, scale: Scale, verbose: bool) -> Result<(), String> {
+fn emit(opts: &Opts, command: &str, artifact: Option<&BenchArtifact>) -> Result<(), String> {
+    let Some(artifact) = artifact else { return Ok(()) };
+    // Explicit --emit-json always wins; `all` also auto-emits a
+    // timestamped artifact next to the working directory unless the
+    // matrix itself came from an artifact.
+    let path = match (&opts.emit_json, command) {
+        (Some(p), _) => Some(p.clone()),
+        (None, "all") if opts.from_json.is_none() => {
+            Some(PathBuf::from(artifact.default_filename()))
+        }
+        _ => None,
+    };
+    if let Some(path) = path {
+        artifact.write(&path)?;
+        eprintln!("wrote run artifact {}", path.display());
+    }
+    Ok(())
+}
+
+fn run(command: &str, opts: &Opts) -> Result<(), String> {
     match command {
         "table1" => print!("{}", tables::table1()),
         "table2" => print!("{}", tables::table2()),
@@ -66,19 +177,24 @@ fn run(command: &str, scale: Scale, verbose: bool) -> Result<(), String> {
         "table6" => print!("{}", tables::table6()),
         "table7" => print!("{}", tables::table7()),
         "fig1" | "fig3" => print!("{}", figures::fig1()?),
-        "fig2a" => print!("{}", figures::fig2a(scale)?),
+        "fig2a" => print!("{}", figures::fig2a(opts.scale)?),
         "fig2b" => print!("{}", figures::fig2b()?),
-        "fig9" => print!("{}", figures::fig9(scale)?),
+        "fig9" => {
+            let (m, artifact) = matrix(opts, true)?;
+            print!("{}", figures::fig9(&m)?);
+            emit(opts, command, artifact.as_ref())?;
+        }
         "fig5" | "fig6" | "fig7" | "fig8" | "table8" => {
-            let m = matrix(scale, verbose)?;
+            let (m, artifact) = matrix(opts, false)?;
             let s = match command {
-                "fig5" => figures::fig5(&m),
-                "fig6" => figures::fig6(&m),
-                "fig7" => figures::fig7(&m),
-                "fig8" => figures::fig8(&m),
-                _ => figures::table8(&m),
+                "fig5" => figures::fig5(&m)?,
+                "fig6" => figures::fig6(&m)?,
+                "fig7" => figures::fig7(&m)?,
+                "fig8" => figures::fig8(&m)?,
+                _ => figures::table8(&m)?,
             };
             print!("{s}");
+            emit(opts, command, artifact.as_ref())?;
         }
         "all" => {
             print!("{}", tables::table1());
@@ -97,24 +213,66 @@ fn run(command: &str, scale: Scale, verbose: bool) -> Result<(), String> {
             println!();
             print!("{}", figures::fig1()?);
             println!();
-            print!("{}", figures::fig2a(scale)?);
+            print!("{}", figures::fig2a(opts.scale)?);
             println!();
             print!("{}", figures::fig2b()?);
             println!();
-            let m = matrix(scale, verbose)?;
-            print!("{}", figures::fig5(&m));
+            let (m, artifact) = matrix(opts, true)?;
+            print!("{}", figures::fig5(&m)?);
             println!();
-            print!("{}", figures::fig6(&m));
+            print!("{}", figures::fig6(&m)?);
             println!();
-            print!("{}", figures::fig7(&m));
+            print!("{}", figures::fig7(&m)?);
             println!();
-            print!("{}", figures::fig8(&m));
+            print!("{}", figures::fig8(&m)?);
             println!();
-            print!("{}", figures::fig9(scale)?);
+            print!("{}", figures::fig9(&m)?);
             println!();
-            print!("{}", figures::table8(&m));
+            print!("{}", figures::table8(&m)?);
+            emit(opts, command, artifact.as_ref())?;
         }
+        "selftest" => return selftest(opts),
         other => return Err(format!("unknown subcommand `{other}`")),
     }
+    Ok(())
+}
+
+/// Quick end-to-end check of the parallel pipeline: a 2-workload matrix
+/// at test scale, profiled, on multiple workers, rendered through the
+/// figure code. Used by CI; finishes in seconds.
+fn selftest(opts: &Opts) -> Result<(), String> {
+    let ws: Vec<_> = ["fibo", "n-sieve"]
+        .iter()
+        .map(|n| workloads::by_name(n).expect("known workload"))
+        .collect();
+    let workers = if opts.jobs == 0 { 4 } else { opts.jobs };
+    let mopts = MatrixOptions {
+        workers,
+        // Always simulate: the selftest must exercise the engines, not
+        // the cache.
+        cache_dir: None,
+        step_budget: opts.step_budget,
+        profiled: true,
+        progress: opts.verbose,
+    };
+    let run = Matrix::run_with(&ws, Scale::Test, &mopts)?;
+    let expected = ws.len() * 2 * 3 + ws.len() * 2;
+    if run.outcomes.len() != expected {
+        return Err(format!(
+            "selftest: expected {expected} outcomes, got {}",
+            run.outcomes.len()
+        ));
+    }
+    let f5 = figures::fig5(&run.matrix)?;
+    let f9 = figures::fig9(&run.matrix)?;
+    if !f5.contains("geomean") || !f9.contains("hits/bc") {
+        return Err("selftest: figure output malformed".to_string());
+    }
+    eprintln!("{}", run.stats.summary());
+    println!(
+        "selftest ok: {} jobs on {} workers, figures render",
+        run.outcomes.len(),
+        workers
+    );
     Ok(())
 }

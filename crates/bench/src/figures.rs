@@ -1,33 +1,65 @@
 //! Renderers: one function per paper figure/table, producing the same
 //! rows/series the paper reports.
+//!
+//! Every matrix-driven renderer is fallible: a partial matrix (e.g. a
+//! truncated or hand-filtered `BENCH_*.json` artifact) produces a clean
+//! error naming the missing cell instead of a panic.
 
-use crate::harness::{geomean, run_cell, CellResult, EngineKind, Matrix, MAX_STEPS};
+use crate::harness::{geomean, CellResult, EngineKind, Matrix, MAX_STEPS};
 use crate::workloads::{self, Scale};
 use std::fmt::Write as _;
 use tarch_core::{CoreConfig, IsaLevel};
 
+/// Fallible cell lookup with a figure-quality error message.
+fn require<'m>(
+    m: &'m Matrix,
+    workload: &str,
+    engine: EngineKind,
+    level: IsaLevel,
+) -> Result<&'m CellResult, String> {
+    m.try_cell(workload, engine, level).ok_or_else(|| {
+        format!(
+            "matrix is missing cell {workload}/{engine:?}/{level} \
+             (incomplete run or truncated artifact)"
+        )
+    })
+}
+
 /// Figure 5: overall speedups (baseline / Checked Load / Typed), per
 /// engine, with geomean.
-pub fn fig5(m: &Matrix) -> String {
+///
+/// # Errors
+///
+/// Returns a descriptive string if the matrix lacks a needed cell.
+pub fn fig5(m: &Matrix) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 5: overall speedups over baseline (higher is better)");
     for engine in EngineKind::ALL {
         let _ = writeln!(out, "\n[{engine}]");
         let _ = writeln!(out, "{:<16} {:>12} {:>12}", "benchmark", "checked-load", "typed");
+        let mut cls = Vec::new();
+        let mut tys = Vec::new();
         for w in m.workloads() {
-            let cl = m.speedup(&w, engine, IsaLevel::CheckedLoad);
-            let ty = m.speedup(&w, engine, IsaLevel::Typed);
+            let base = require(m, &w, engine, IsaLevel::Baseline)?.counters.cycles as f64;
+            let cl = base / require(m, &w, engine, IsaLevel::CheckedLoad)?.counters.cycles as f64;
+            let ty = base / require(m, &w, engine, IsaLevel::Typed)?.counters.cycles as f64;
+            cls.push(cl);
+            tys.push(ty);
             let _ = writeln!(out, "{w:<16} {:>11.1}% {:>11.1}%", (cl - 1.0) * 100.0, (ty - 1.0) * 100.0);
         }
-        let cl = m.geomean_speedup(engine, IsaLevel::CheckedLoad);
-        let ty = m.geomean_speedup(engine, IsaLevel::Typed);
+        let cl = geomean(cls.into_iter());
+        let ty = geomean(tys.into_iter());
         let _ = writeln!(out, "{:<16} {:>11.1}% {:>11.1}%", "geomean", (cl - 1.0) * 100.0, (ty - 1.0) * 100.0);
     }
-    out
+    Ok(out)
 }
 
 /// Figure 6: reduction of dynamic instruction count (higher is better).
-pub fn fig6(m: &Matrix) -> String {
+///
+/// # Errors
+///
+/// Returns a descriptive string if the matrix lacks a needed cell.
+pub fn fig6(m: &Matrix) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 6: reduction of dynamic instruction count vs baseline");
     for engine in EngineKind::ALL {
@@ -36,8 +68,11 @@ pub fn fig6(m: &Matrix) -> String {
         let mut cls = Vec::new();
         let mut tys = Vec::new();
         for w in m.workloads() {
-            let cl = m.instr_reduction(&w, engine, IsaLevel::CheckedLoad);
-            let ty = m.instr_reduction(&w, engine, IsaLevel::Typed);
+            let base = require(m, &w, engine, IsaLevel::Baseline)?.counters.instructions as f64;
+            let cl =
+                1.0 - require(m, &w, engine, IsaLevel::CheckedLoad)?.counters.instructions as f64 / base;
+            let ty =
+                1.0 - require(m, &w, engine, IsaLevel::Typed)?.counters.instructions as f64 / base;
             cls.push(1.0 - cl);
             tys.push(1.0 - ty);
             let _ = writeln!(out, "{w:<16} {:>11.1}% {:>11.1}%", cl * 100.0, ty * 100.0);
@@ -46,11 +81,15 @@ pub fn fig6(m: &Matrix) -> String {
         let ty = 1.0 - geomean(tys.into_iter());
         let _ = writeln!(out, "{:<16} {:>11.1}% {:>11.1}%", "geomean", cl * 100.0, ty * 100.0);
     }
-    out
+    Ok(out)
 }
 
 /// Figure 7: branch miss rates in MPKI (lower is better).
-pub fn fig7(m: &Matrix) -> String {
+///
+/// # Errors
+///
+/// Returns a descriptive string if the matrix lacks a needed cell.
+pub fn fig7(m: &Matrix) -> Result<String, String> {
     per_level_metric(
         m,
         "Figure 7: branch miss rates in misses per kilo-instruction (lower is better)",
@@ -59,7 +98,11 @@ pub fn fig7(m: &Matrix) -> String {
 }
 
 /// Figure 8: instruction-cache miss rates in MPKI (lower is better).
-pub fn fig8(m: &Matrix) -> String {
+///
+/// # Errors
+///
+/// Returns a descriptive string if the matrix lacks a needed cell.
+pub fn fig8(m: &Matrix) -> Result<String, String> {
     per_level_metric(
         m,
         "Figure 8: I-cache miss rates in misses per kilo-instruction (lower is better)",
@@ -67,7 +110,11 @@ pub fn fig8(m: &Matrix) -> String {
     )
 }
 
-fn per_level_metric(m: &Matrix, title: &str, f: impl Fn(&CellResult) -> f64) -> String {
+fn per_level_metric(
+    m: &Matrix,
+    title: &str,
+    f: impl Fn(&CellResult) -> f64,
+) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     for engine in EngineKind::ALL {
@@ -78,8 +125,10 @@ fn per_level_metric(m: &Matrix, title: &str, f: impl Fn(&CellResult) -> f64) -> 
             "benchmark", "baseline", "checked-load", "typed"
         );
         for w in m.workloads() {
-            let vals: Vec<f64> =
-                IsaLevel::ALL.iter().map(|l| f(m.cell(&w, engine, *l))).collect();
+            let mut vals = Vec::with_capacity(IsaLevel::ALL.len());
+            for l in IsaLevel::ALL {
+                vals.push(f(require(m, &w, engine, l)?));
+            }
             let _ = writeln!(
                 out,
                 "{w:<16} {:>10.2} {:>13.2} {:>10.2}",
@@ -87,19 +136,28 @@ fn per_level_metric(m: &Matrix, title: &str, f: impl Fn(&CellResult) -> f64) -> 
             );
         }
     }
-    out
+    Ok(out)
 }
 
 /// Figure 9: type hit/miss rates normalized to dynamic bytecode count
 /// (Typed configuration; overflow-triggered misses reported separately, as
 /// the paper excludes them from this figure).
 ///
-/// Uses profiled runs, so it re-executes the Typed configuration.
+/// Reads the matrix's *profiled* Typed cells, so the matrix must have been
+/// run with profiling enabled (`MatrixOptions::profiled`, which `repro`
+/// sets for `fig9` and `all`).
 ///
 /// # Errors
 ///
-/// Returns a descriptive string on engine failure.
-pub fn fig9(scale: Scale) -> Result<String, String> {
+/// Returns a descriptive string when profiled cells are absent.
+pub fn fig9(m: &Matrix) -> Result<String, String> {
+    if !m.has_profiled() {
+        return Err(
+            "matrix has no profiled cells; run with profiling enabled \
+             (repro does this automatically for `fig9` and `all`)"
+                .to_string(),
+        );
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -112,14 +170,15 @@ pub fn fig9(scale: Scale) -> Result<String, String> {
             "{:<16} {:>10} {:>10} {:>10} {:>12}",
             "benchmark", "checks/bc", "hits/bc", "misses/bc", "overflows/bc"
         );
-        for w in workloads::all() {
-            let cell = run_cell(&w, engine, IsaLevel::Typed, scale, true)?;
+        for w in m.workloads() {
+            let cell = m.profiled_cell(&w, engine).ok_or_else(|| {
+                format!("matrix is missing profiled cell {w}/{engine:?}")
+            })?;
             let bc = cell.bytecodes.unwrap_or(1).max(1) as f64;
             let c = cell.counters;
             let _ = writeln!(
                 out,
-                "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>12.4}",
-                w.name,
+                "{w:<16} {:>10.3} {:>10.3} {:>10.3} {:>12.4}",
                 c.type_checks as f64 / bc,
                 c.type_hits as f64 / bc,
                 c.type_misses as f64 / bc,
@@ -230,7 +289,11 @@ pub fn fig1() -> Result<String, String> {
 }
 
 /// Table 8: hardware overhead breakdown plus measured EDP improvements.
-pub fn table8(m: &Matrix) -> String {
+///
+/// # Errors
+///
+/// Returns a descriptive string if the matrix lacks a needed cell.
+pub fn table8(m: &Matrix) -> Result<String, String> {
     let hw = tarch_energy::TypedHardware::paper_40nm();
     let b = tarch_energy::breakdown(&hw);
     let mut out = String::new();
@@ -243,41 +306,83 @@ pub fn table8(m: &Matrix) -> String {
         b.power_overhead() * 100.0
     );
     for engine in EngineKind::ALL {
-        let base = m.geomean_cycles(engine, IsaLevel::Baseline);
-        let typed = m.geomean_cycles(engine, IsaLevel::Typed);
+        let mut bases = Vec::new();
+        let mut typeds = Vec::new();
+        for w in m.workloads() {
+            bases.push(require(m, &w, engine, IsaLevel::Baseline)?.counters.cycles as f64);
+            typeds.push(require(m, &w, engine, IsaLevel::Typed)?.counters.cycles as f64);
+        }
+        let base = geomean(bases.into_iter());
+        let typed = geomean(typeds.into_iter());
         let imp = tarch_energy::edp_improvement(&b, base.round() as u64, typed.round() as u64);
         let _ = writeln!(out, "EDP improvement ({engine}): {:.1}%", imp * 100.0);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::Matrix;
+    use crate::harness::{Matrix, MatrixOptions};
 
-    fn tiny_matrix() -> Matrix {
+    fn tiny_matrix(profiled: bool) -> Matrix {
         let ws: Vec<_> = ["fibo", "n-sieve"]
             .iter()
             .map(|n| workloads::by_name(n).unwrap())
             .collect();
-        Matrix::run(&ws, Scale::Test, false).unwrap()
+        let opts = MatrixOptions { profiled, ..MatrixOptions::default() };
+        Matrix::run_with(&ws, Scale::Test, &opts).unwrap().matrix
     }
 
     #[test]
     fn figures_render() {
-        let m = tiny_matrix();
-        let f5 = fig5(&m);
+        let m = tiny_matrix(false);
+        let f5 = fig5(&m).unwrap();
         assert!(f5.contains("geomean"));
         assert!(f5.contains("fibo"));
-        let f6 = fig6(&m);
+        let f6 = fig6(&m).unwrap();
         assert!(f6.contains("typed"));
-        let f7 = fig7(&m);
+        let f7 = fig7(&m).unwrap();
         assert!(f7.contains("baseline"));
-        let f8 = fig8(&m);
+        let f8 = fig8(&m).unwrap();
         assert!(f8.contains("I-cache"));
-        let t8 = table8(&m);
+        let t8 = table8(&m).unwrap();
         assert!(t8.contains("EDP improvement"));
+    }
+
+    #[test]
+    fn fig9_reads_profiled_cells() {
+        let m = tiny_matrix(true);
+        let f9 = fig9(&m).unwrap();
+        assert!(f9.contains("hits/bc"));
+        assert!(f9.contains("fibo"));
+    }
+
+    #[test]
+    fn partial_matrix_is_an_error_not_a_panic() {
+        use crate::harness::job_spec;
+        use tarch_runner::JobOutcome;
+        // A matrix whose Typed column is missing must produce a clean
+        // error from the figure renderers, not a panic.
+        let w = workloads::by_name("fibo").unwrap();
+        let mut outcomes = Vec::new();
+        for level in [IsaLevel::Baseline, IsaLevel::CheckedLoad] {
+            for engine in EngineKind::ALL {
+                let spec = job_spec(&w, engine, level, Scale::Test, false);
+                let result = crate::harness::exec_job(&spec, MAX_STEPS).unwrap();
+                outcomes.push(JobOutcome { spec, result, cached: false, wall_nanos: 0 });
+            }
+        }
+        let partial = Matrix::from_outcomes(&outcomes).unwrap();
+        let err = fig5(&partial).unwrap_err();
+        assert!(err.contains("missing cell"), "{err}");
+        assert!(err.contains("typed"), "{err}");
+        assert!(fig7(&partial).is_err());
+        assert!(table8(&partial).is_err());
+        // fig9 without profiled cells must be a clean error too.
+        let full = tiny_matrix(false);
+        let err = fig9(&full).unwrap_err();
+        assert!(err.contains("profiled"), "{err}");
     }
 
     #[test]

@@ -1,63 +1,100 @@
 //! Experiment harness: runs the workload × engine × ISA-level matrix and
 //! derives every quantity the paper's evaluation figures report.
+//!
+//! Execution is delegated to [`tarch_runner`]: the harness builds one
+//! [`JobSpec`] per cell, hands the list to the parallel worker pool
+//! (with optional persistent result caching under `target/tarch-cache/`)
+//! and reassembles the deterministic, submission-ordered outcomes into a
+//! [`Matrix`]. A matrix can equally be reloaded from a `BENCH_*.json`
+//! artifact instead of simulated — see [`Matrix::from_artifact`].
 
 use crate::workloads::{Scale, Workload};
 use std::collections::BTreeMap;
 use std::fmt;
-use tarch_core::{BranchStats, CoreConfig, IsaLevel, PerfCounters};
+use std::path::PathBuf;
+use tarch_core::{CoreConfig, IsaLevel};
+use tarch_runner::{
+    run_jobs, BenchArtifact, ExecError, JobOutcome, JobSpec, RunConfig, RunStats,
+};
 
-/// Which scripting engine ran.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum EngineKind {
-    /// `luart`, the register-based Lua-like engine.
-    Lua,
-    /// `jsrt`, the stack-based NaN-boxing engine (SpiderMonkey stand-in).
-    Js,
+pub use tarch_runner::{CellResult, EngineKind};
+
+/// Default step budget per run (generous; `Scale::Full` workloads are
+/// large). This is the runner's per-job timeout unit: a cell that
+/// exhausts it fails with a diagnostic naming the cell and the steps
+/// consumed, instead of wedging the whole run.
+pub const MAX_STEPS: u64 = tarch_runner::DEFAULT_STEP_BUDGET;
+
+/// Builds the job spec for one cell (the unit the runner schedules,
+/// caches and serializes).
+pub fn job_spec(
+    w: &Workload,
+    engine: EngineKind,
+    level: IsaLevel,
+    scale: Scale,
+    profiled: bool,
+) -> JobSpec {
+    JobSpec::new(w.name, engine, level, scale, profiled, w.source(scale), &CoreConfig::paper())
 }
 
-impl EngineKind {
-    /// Both engines, Lua first (the paper's figure order).
-    pub const ALL: [EngineKind; 2] = [EngineKind::Lua, EngineKind::Js];
-
-    /// Display name used in figures.
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Lua => "Lua",
-            EngineKind::Js => "SpiderMonkey-like (JS)",
+/// Executes one job: builds the right VM from the spec *inside the
+/// calling thread* (the runner invokes this from its workers) and runs
+/// it under `step_budget`.
+///
+/// # Errors
+///
+/// [`ExecError::StepBudget`] when the budget is exhausted, otherwise
+/// [`ExecError::Failed`] with the engine's message.
+pub fn exec_job(spec: &JobSpec, step_budget: u64) -> Result<CellResult, ExecError> {
+    let core = CoreConfig::paper();
+    match spec.engine {
+        EngineKind::Lua => {
+            let mut vm = luart::LuaVm::from_source(&spec.source, spec.level, core)
+                .map_err(|e| ExecError::Failed(e.to_string()))?;
+            let r = if spec.profiled {
+                vm.run_profiled(step_budget)
+            } else {
+                vm.run(step_budget)
+            };
+            match r {
+                Ok(r) => Ok(CellResult {
+                    counters: r.counters,
+                    branch: r.branch,
+                    output: r.output,
+                    bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
+                }),
+                Err(luart::EngineError::StepLimit { max_steps }) => {
+                    Err(ExecError::StepBudget { steps: max_steps })
+                }
+                Err(e) => Err(ExecError::Failed(e.to_string())),
+            }
+        }
+        EngineKind::Js => {
+            let mut vm = jsrt::JsVm::from_source(&spec.source, spec.level, core)
+                .map_err(|e| ExecError::Failed(e.to_string()))?;
+            let r = if spec.profiled {
+                vm.run_profiled(step_budget)
+            } else {
+                vm.run(step_budget)
+            };
+            match r {
+                Ok(r) => Ok(CellResult {
+                    counters: r.counters,
+                    branch: r.branch,
+                    output: r.output,
+                    bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
+                }),
+                Err(jsrt::EngineError::StepLimit { max_steps }) => {
+                    Err(ExecError::StepBudget { steps: max_steps })
+                }
+                Err(e) => Err(ExecError::Failed(e.to_string())),
+            }
         }
     }
 }
 
-impl fmt::Display for EngineKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Result of one simulated run.
-#[derive(Debug, Clone)]
-pub struct CellResult {
-    /// Hardware counters.
-    pub counters: PerfCounters,
-    /// Branch statistics.
-    pub branch: BranchStats,
-    /// Printed output (checked for cross-config equality).
-    pub output: String,
-    /// Dynamic bytecode count (only present for profiled runs).
-    pub bytecodes: Option<u64>,
-}
-
-impl CellResult {
-    /// Branch misses per kilo-instruction.
-    pub fn branch_mpki(&self) -> f64 {
-        self.counters.per_kilo_instr(self.branch.total_misses())
-    }
-}
-
-/// Step budget per run (generous; `Scale::Full` workloads are large).
-pub const MAX_STEPS: u64 = 20_000_000_000;
-
-/// Runs one workload on one engine at one ISA level.
+/// Runs one workload on one engine at one ISA level (no pool, no cache;
+/// kept for targeted tests and micro-measurements).
 ///
 /// # Errors
 ///
@@ -69,50 +106,82 @@ pub fn run_cell(
     scale: Scale,
     profiled: bool,
 ) -> Result<CellResult, String> {
-    let src = w.source(scale);
-    let core = CoreConfig::paper();
-    let err = |e: &dyn fmt::Display| format!("{} / {engine:?} / {level}: {e}", w.name);
-    match engine {
-        EngineKind::Lua => {
-            let mut vm =
-                luart::LuaVm::from_source(&src, level, core).map_err(|e| err(&e))?;
-            let r = if profiled {
-                vm.run_profiled(MAX_STEPS).map_err(|e| err(&e))?
-            } else {
-                vm.run(MAX_STEPS).map_err(|e| err(&e))?
-            };
-            Ok(CellResult {
-                counters: r.counters,
-                branch: r.branch,
-                output: r.output,
-                bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
-            })
-        }
-        EngineKind::Js => {
-            let mut vm = jsrt::JsVm::from_source(&src, level, core).map_err(|e| err(&e))?;
-            let r = if profiled {
-                vm.run_profiled(MAX_STEPS).map_err(|e| err(&e))?
-            } else {
-                vm.run(MAX_STEPS).map_err(|e| err(&e))?
-            };
-            Ok(CellResult {
-                counters: r.counters,
-                branch: r.branch,
-                output: r.output,
-                bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
-            })
+    let spec = job_spec(w, engine, level, scale, profiled);
+    exec_job(&spec, MAX_STEPS).map_err(|e| match e {
+        ExecError::StepBudget { steps } => format!(
+            "{}: step budget exhausted after {steps} simulated instructions",
+            spec.label()
+        ),
+        ExecError::Failed(msg) => format!("{}: {msg}", spec.label()),
+    })
+}
+
+/// How [`Matrix::run_with`] executes the matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// Worker threads (`0` = one per core).
+    pub workers: usize,
+    /// Result cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-job step budget.
+    pub step_budget: u64,
+    /// Also run the Typed-level profiled cells Figure 9 needs.
+    pub profiled: bool,
+    /// Live progress line on stderr.
+    pub progress: bool,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> MatrixOptions {
+        MatrixOptions {
+            workers: 0,
+            cache_dir: None,
+            step_budget: MAX_STEPS,
+            profiled: false,
+            progress: false,
         }
     }
 }
 
-/// The full experiment matrix: results keyed by `(workload, engine, level)`.
+/// The default persistent cache location, shared by `repro` invocations.
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from("target/tarch-cache")
+}
+
+/// A finished matrix run: the queryable matrix plus the raw outcomes
+/// (for artifact emission) and pool statistics.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// The assembled, cross-checked matrix.
+    pub matrix: Matrix,
+    /// Raw outcomes in submission order (what `BENCH_*.json` records).
+    pub outcomes: Vec<JobOutcome>,
+    /// Pool statistics (cache hits/misses, wall time, throughput).
+    pub stats: RunStats,
+    /// Scale the matrix ran at.
+    pub scale: Scale,
+    /// Step budget in force.
+    pub step_budget: u64,
+}
+
+impl MatrixRun {
+    /// Wraps the outcomes in a timestamped artifact.
+    pub fn artifact(&self) -> BenchArtifact {
+        BenchArtifact::new(self.scale, self.step_budget, self.outcomes.clone())
+    }
+}
+
+/// The full experiment matrix: results keyed by `(workload, engine,
+/// level)`, plus the Typed-level profiled cells when they were run.
 #[derive(Debug, Default)]
 pub struct Matrix {
     results: BTreeMap<(String, EngineKind, IsaLevel), CellResult>,
+    profiled: BTreeMap<(String, EngineKind), CellResult>,
 }
 
 impl Matrix {
-    /// Runs the whole matrix for the given workloads.
+    /// Runs the whole matrix for the given workloads with default
+    /// options (all cores, no cache, no profiled cells).
     ///
     /// Cross-checks that every (workload, engine) prints identical output
     /// across ISA levels.
@@ -122,38 +191,134 @@ impl Matrix {
     /// Returns a descriptive string on the first failing run or output
     /// mismatch.
     pub fn run(workloads: &[Workload], scale: Scale, verbose: bool) -> Result<Matrix, String> {
-        let mut m = Matrix::default();
+        let opts = MatrixOptions { progress: verbose, ..MatrixOptions::default() };
+        Ok(Matrix::run_with(workloads, scale, &opts)?.matrix)
+    }
+
+    /// Runs the matrix on the parallel pool with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on the first failing cell (by matrix
+    /// order, deterministically), an output mismatch across ISA levels,
+    /// or a cache-directory failure.
+    pub fn run_with(
+        workloads: &[Workload],
+        scale: Scale,
+        opts: &MatrixOptions,
+    ) -> Result<MatrixRun, String> {
+        let mut jobs = Vec::new();
         for w in workloads {
             for engine in EngineKind::ALL {
-                let mut reference: Option<String> = None;
                 for level in IsaLevel::ALL {
-                    if verbose {
-                        eprintln!("  running {} / {engine:?} / {level} ...", w.name);
-                    }
-                    let cell = run_cell(w, engine, level, scale, false)?;
-                    match &reference {
-                        None => reference = Some(cell.output.clone()),
-                        Some(expected) => {
-                            if *expected != cell.output {
+                    jobs.push(job_spec(w, engine, level, scale, false));
+                }
+            }
+        }
+        if opts.profiled {
+            // Figure 9's profiled runs: Typed level only, both engines.
+            for w in workloads {
+                for engine in EngineKind::ALL {
+                    jobs.push(job_spec(w, engine, IsaLevel::Typed, scale, true));
+                }
+            }
+        }
+        let cfg = RunConfig {
+            workers: opts.workers,
+            cache_dir: opts.cache_dir.clone(),
+            step_budget: opts.step_budget,
+            progress: opts.progress,
+        };
+        let report = run_jobs(jobs, &cfg, exec_job).map_err(|e| e.to_string())?;
+        let matrix = Matrix::from_outcomes(&report.outcomes)?;
+        Ok(MatrixRun {
+            matrix,
+            outcomes: report.outcomes,
+            stats: report.stats,
+            scale,
+            step_budget: opts.step_budget,
+        })
+    }
+
+    /// Assembles a matrix from job outcomes (a live run or a reloaded
+    /// artifact), cross-checking output equality across ISA levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string if any (workload, engine) prints
+    /// different output at different ISA levels.
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Result<Matrix, String> {
+        let mut m = Matrix::default();
+        for o in outcomes {
+            if o.spec.profiled {
+                m.profiled
+                    .insert((o.spec.workload.clone(), o.spec.engine), o.result.clone());
+            } else {
+                m.results.insert(
+                    (o.spec.workload.clone(), o.spec.engine, o.spec.level),
+                    o.result.clone(),
+                );
+            }
+        }
+        // Output must agree across ISA levels (same program, same input).
+        for w in m.workloads() {
+            for engine in EngineKind::ALL {
+                let mut reference: Option<(&str, IsaLevel)> = None;
+                for level in IsaLevel::ALL {
+                    let Some(cell) = m.try_cell(&w, engine, level) else { continue };
+                    match reference {
+                        None => reference = Some((&cell.output, level)),
+                        Some((expected, _)) => {
+                            if expected != cell.output {
                                 return Err(format!(
-                                    "{} / {engine:?}: output diverges at {level}",
-                                    w.name
+                                    "{w} / {engine:?}: output diverges at {level}"
                                 ));
                             }
                         }
                     }
-                    m.results.insert((w.name.to_string(), engine, level), cell);
                 }
             }
         }
         Ok(m)
     }
 
-    /// Looks up a cell.
+    /// Rebuilds a matrix from a `BENCH_*.json` artifact, re-running the
+    /// cross-level output check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on an output mismatch (e.g. a
+    /// hand-edited artifact).
+    pub fn from_artifact(artifact: &BenchArtifact) -> Result<Matrix, String> {
+        Matrix::from_outcomes(&artifact.outcomes)
+    }
+
+    /// Looks up a cell, panicking when absent (callers that construct
+    /// the matrix themselves); figure renderers use [`Matrix::try_cell`]
+    /// so a partial matrix reports a clean error instead of aborting.
     pub fn cell(&self, workload: &str, engine: EngineKind, level: IsaLevel) -> &CellResult {
-        self.results
-            .get(&(workload.to_string(), engine, level))
+        self.try_cell(workload, engine, level)
             .unwrap_or_else(|| panic!("missing cell {workload}/{engine:?}/{level}"))
+    }
+
+    /// Fallible cell lookup.
+    pub fn try_cell(
+        &self,
+        workload: &str,
+        engine: EngineKind,
+        level: IsaLevel,
+    ) -> Option<&CellResult> {
+        self.results.get(&(workload.to_string(), engine, level))
+    }
+
+    /// Typed-level profiled cell (Figure 9), when the run included one.
+    pub fn profiled_cell(&self, workload: &str, engine: EngineKind) -> Option<&CellResult> {
+        self.profiled.get(&(workload.to_string(), engine))
+    }
+
+    /// Whether the matrix carries any profiled cells.
+    pub fn has_profiled(&self) -> bool {
+        !self.profiled.is_empty()
     }
 
     /// Workload names present in the matrix, sorted.
@@ -167,16 +332,39 @@ impl Matrix {
 
     /// Speedup of `level` over baseline for one cell (cycles ratio).
     pub fn speedup(&self, workload: &str, engine: EngineKind, level: IsaLevel) -> f64 {
-        let base = self.cell(workload, engine, IsaLevel::Baseline).counters.cycles;
-        let this = self.cell(workload, engine, level).counters.cycles;
-        base as f64 / this as f64
+        self.try_speedup(workload, engine, level)
+            .unwrap_or_else(|| panic!("missing cell {workload}/{engine:?}"))
+    }
+
+    /// Fallible [`Matrix::speedup`].
+    pub fn try_speedup(
+        &self,
+        workload: &str,
+        engine: EngineKind,
+        level: IsaLevel,
+    ) -> Option<f64> {
+        let base = self.try_cell(workload, engine, IsaLevel::Baseline)?.counters.cycles;
+        let this = self.try_cell(workload, engine, level)?.counters.cycles;
+        Some(base as f64 / this as f64)
     }
 
     /// Dynamic-instruction reduction of `level` vs baseline (Figure 6).
     pub fn instr_reduction(&self, workload: &str, engine: EngineKind, level: IsaLevel) -> f64 {
-        let base = self.cell(workload, engine, IsaLevel::Baseline).counters.instructions;
-        let this = self.cell(workload, engine, level).counters.instructions;
-        1.0 - this as f64 / base as f64
+        self.try_instr_reduction(workload, engine, level)
+            .unwrap_or_else(|| panic!("missing cell {workload}/{engine:?}"))
+    }
+
+    /// Fallible [`Matrix::instr_reduction`].
+    pub fn try_instr_reduction(
+        &self,
+        workload: &str,
+        engine: EngineKind,
+        level: IsaLevel,
+    ) -> Option<f64> {
+        let base =
+            self.try_cell(workload, engine, IsaLevel::Baseline)?.counters.instructions;
+        let this = self.try_cell(workload, engine, level)?.counters.instructions;
+        Some(1.0 - this as f64 / base as f64)
     }
 
     /// Geometric-mean speedup across all workloads (Figure 5's geomean).
@@ -208,6 +396,12 @@ pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
     } else {
         (log_sum / n as f64).exp()
     }
+}
+
+/// Helper for display of errors (kept from the serial harness for
+/// callers formatting engine failures).
+pub fn format_cell_error(w: &Workload, engine: EngineKind, level: IsaLevel, e: &dyn fmt::Display) -> String {
+    format!("{} / {engine:?} / {level}: {e}", w.name)
 }
 
 #[cfg(test)]
@@ -248,5 +442,33 @@ mod tests {
         // (table-heavy → clear win).
         let red = m.instr_reduction("n-sieve", EngineKind::Lua, IsaLevel::Typed);
         assert!(red > 0.0, "typed reduction {red}");
+    }
+
+    #[test]
+    fn try_cell_reports_missing_cells_cleanly() {
+        let m = Matrix::default();
+        assert!(m.try_cell("fibo", EngineKind::Lua, IsaLevel::Typed).is_none());
+        assert!(m.try_speedup("fibo", EngineKind::Lua, IsaLevel::Typed).is_none());
+        assert!(m.try_instr_reduction("fibo", EngineKind::Lua, IsaLevel::Typed).is_none());
+        assert!(m.profiled_cell("fibo", EngineKind::Lua).is_none());
+    }
+
+    #[test]
+    fn step_budget_exhaustion_names_the_cell() {
+        let w = workloads::by_name("fibo").unwrap();
+        let spec = job_spec(&w, EngineKind::Lua, IsaLevel::Typed, Scale::Test, false);
+        match exec_job(&spec, 10) {
+            Err(ExecError::StepBudget { steps }) => assert_eq!(steps, 10),
+            other => panic!("expected StepBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vms_can_be_built_on_worker_threads() {
+        // The pool builds VMs inside worker threads; both engines' VMs
+        // must be Send so the closures that own them are too.
+        fn assert_send<T: Send>() {}
+        assert_send::<luart::LuaVm>();
+        assert_send::<jsrt::JsVm>();
     }
 }

@@ -12,11 +12,18 @@
 //! * [`paper_tables`] — printable versions of configuration Tables 1–7,
 //!   generated from the actual code.
 //!
+//! Matrix execution runs on the [`tarch_runner`] worker pool: cells run
+//! in parallel (`repro -j N`), results are cached under
+//! `target/tarch-cache/`, and each full run can be serialized to a
+//! versioned `BENCH_<timestamp>.json` artifact that the figure renderers
+//! reload (`repro --from-json`).
+//!
 //! The `repro` binary exposes all of it:
 //!
 //! ```text
 //! cargo run -p tarch-bench --release --bin repro -- all
-//! cargo run -p tarch-bench --release --bin repro -- fig5 --full
+//! cargo run -p tarch-bench --release --bin repro -- fig5 --full -j 8
+//! cargo run -p tarch-bench --release --bin repro -- all --from-json BENCH_1700000000.json
 //! ```
 
 pub mod figures;
@@ -24,5 +31,7 @@ pub mod harness;
 pub mod paper_tables;
 pub mod workloads;
 
-pub use harness::{geomean, run_cell, CellResult, EngineKind, Matrix};
+pub use harness::{
+    geomean, run_cell, CellResult, EngineKind, Matrix, MatrixOptions, MatrixRun,
+};
 pub use workloads::{Scale, Workload};

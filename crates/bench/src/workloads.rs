@@ -7,16 +7,7 @@
 //! inputs for the test suite. Scaling inputs changes absolute counts, not
 //! the bytecode *mix* or type behaviour the figures depend on.
 
-/// Input scale for a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Tiny inputs for unit/integration tests.
-    Test,
-    /// Simulator-friendly defaults used by `repro`.
-    Default,
-    /// The paper's Table 7 inputs.
-    Full,
-}
+pub use tarch_runner::Scale;
 
 /// One benchmark of Table 7.
 #[derive(Debug, Clone, Copy)]

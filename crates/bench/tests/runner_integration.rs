@@ -1,0 +1,142 @@
+//! End-to-end tests of the parallel runner wired to the real engines:
+//! determinism across worker counts, cache round-trips, and artifact
+//! reload fidelity.
+
+use tarch_bench::harness::{Matrix, MatrixOptions};
+use tarch_bench::workloads::{self, Scale};
+use tarch_runner::BenchArtifact;
+
+fn mini_workloads() -> Vec<workloads::Workload> {
+    ["fibo", "n-sieve"]
+        .iter()
+        .map(|n| workloads::by_name(n).unwrap())
+        .collect()
+}
+
+fn temp_cache(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("tarch-bench-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 4-worker run must produce byte-identical results to a serial run:
+/// same outcomes in the same order, equal artifact fingerprints.
+#[test]
+fn parallel_run_matches_serial_byte_for_byte() {
+    let ws = mini_workloads();
+    let serial = Matrix::run_with(
+        &ws,
+        Scale::Test,
+        &MatrixOptions { workers: 1, profiled: true, ..MatrixOptions::default() },
+    )
+    .unwrap();
+    let parallel = Matrix::run_with(
+        &ws,
+        Scale::Test,
+        &MatrixOptions { workers: 4, profiled: true, ..MatrixOptions::default() },
+    )
+    .unwrap();
+
+    assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+    for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(a.spec.key, b.spec.key, "job order must be deterministic");
+        assert_eq!(a.result, b.result, "cell {} differs", a.spec.label());
+    }
+    assert_eq!(
+        serial.artifact().fingerprint(),
+        parallel.artifact().fingerprint(),
+        "artifacts must be identical modulo timestamps"
+    );
+    assert_eq!(serial.stats.workers, 1);
+    assert_eq!(parallel.stats.workers, 4);
+}
+
+/// Second run against a warm cache: every job is a hit and the artifact
+/// fingerprint is unchanged.
+#[test]
+fn warm_cache_serves_every_job_with_identical_results() {
+    let ws = mini_workloads();
+    let dir = temp_cache("warm");
+    let opts = MatrixOptions {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        profiled: true,
+        ..MatrixOptions::default()
+    };
+
+    let cold = Matrix::run_with(&ws, Scale::Test, &opts).unwrap();
+    assert_eq!(cold.stats.cache_hits, 0);
+    assert_eq!(cold.stats.cache_misses, cold.stats.jobs);
+
+    let warm = Matrix::run_with(&ws, Scale::Test, &opts).unwrap();
+    assert_eq!(warm.stats.cache_misses, 0, "second run must be 100% hits");
+    assert_eq!(warm.stats.cache_hits, warm.stats.jobs);
+    assert_eq!(
+        cold.artifact().fingerprint(),
+        warm.artifact().fingerprint(),
+        "cached results must reproduce the figure-relevant output exactly"
+    );
+    // Figures rendered from the cached matrix match the simulated ones.
+    assert_eq!(
+        tarch_bench::figures::fig5(&cold.matrix).unwrap(),
+        tarch_bench::figures::fig5(&warm.matrix).unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Different scales must occupy different cache slots (the key covers
+/// the scaled source text).
+#[test]
+fn cache_keys_distinguish_scales() {
+    let ws = vec![workloads::by_name("fibo").unwrap()];
+    let dir = temp_cache("scales");
+    let opts = MatrixOptions {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..MatrixOptions::default()
+    };
+    let t = Matrix::run_with(&ws, Scale::Test, &opts).unwrap();
+    assert_eq!(t.stats.cache_misses, t.stats.jobs);
+    let d = Matrix::run_with(&ws, Scale::Default, &opts).unwrap();
+    assert_eq!(
+        d.stats.cache_misses, d.stats.jobs,
+        "a different scale must not hit the test-scale cache entries"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Write a `BENCH_*.json`, reload it, and verify the figure renderers
+/// produce identical text from the reloaded matrix.
+#[test]
+fn artifact_reload_reproduces_figures() {
+    let ws = mini_workloads();
+    let run = Matrix::run_with(
+        &ws,
+        Scale::Test,
+        &MatrixOptions { workers: 2, profiled: true, ..MatrixOptions::default() },
+    )
+    .unwrap();
+    let artifact = run.artifact();
+    let path = std::env::temp_dir()
+        .join(format!("tarch-bench-it-{}-artifact.json", std::process::id()));
+    artifact.write(&path).unwrap();
+
+    let reloaded = BenchArtifact::read(&path).unwrap();
+    assert_eq!(reloaded.outcomes.len(), run.outcomes.len());
+    let m2 = Matrix::from_artifact(&reloaded).unwrap();
+
+    for f in [
+        tarch_bench::figures::fig5,
+        tarch_bench::figures::fig6,
+        tarch_bench::figures::fig7,
+        tarch_bench::figures::fig8,
+        tarch_bench::figures::fig9,
+        tarch_bench::figures::table8,
+    ] {
+        assert_eq!(f(&run.matrix).unwrap(), f(&m2).unwrap());
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

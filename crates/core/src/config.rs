@@ -31,6 +31,11 @@ impl IsaLevel {
             IsaLevel::Typed => "typed",
         }
     }
+
+    /// Parses a [`IsaLevel::name`] spelling (used by run artifacts).
+    pub fn parse(s: &str) -> Option<IsaLevel> {
+        IsaLevel::ALL.into_iter().find(|l| l.name() == s)
+    }
 }
 
 impl std::fmt::Display for IsaLevel {

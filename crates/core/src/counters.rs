@@ -161,10 +161,7 @@ mod tests {
 
     #[test]
     fn since_subtracts_fieldwise() {
-        let mut a = PerfCounters::default();
-        a.cycles = 100;
-        a.instructions = 80;
-        a.loads = 10;
+        let a = PerfCounters { cycles: 100, instructions: 80, loads: 10, ..PerfCounters::default() };
         let mut b = a;
         b.cycles = 180;
         b.instructions = 140;

@@ -269,7 +269,7 @@ impl Cpu {
     }
 
     fn check_align(&self, pc: u64, addr: u64, align: u64) -> Result<(), Trap> {
-        if addr % align != 0 {
+        if !addr.is_multiple_of(align) {
             Err(Trap::MisalignedAccess { pc, addr, align })
         } else {
             Ok(())
@@ -288,7 +288,7 @@ impl Cpu {
             return Ok(StepEvent::Halted);
         }
         let pc = self.pc;
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return Err(Trap::MisalignedPc { pc });
         }
 
@@ -790,9 +790,7 @@ fn sign_extend(raw: u64, width: MemWidth) -> u64 {
 }
 
 fn f64_to_i64_rtz(f: f64) -> i64 {
-    if f.is_nan() {
-        i64::MAX
-    } else if f >= i64::MAX as f64 {
+    if f.is_nan() || f >= i64::MAX as f64 {
         i64::MAX
     } else if f <= i64::MIN as f64 {
         i64::MIN
@@ -817,13 +815,7 @@ fn alu_op(op: AluOp, a: u64, b: u64) -> u64 {
                 (ai / bi) as u64
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         AluOp::Rem => {
             if bi == 0 {
                 a

@@ -194,7 +194,7 @@ fn sign_extend_payload(value: u64, shift: u8) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tarch_testkit::Rng;
 
     #[test]
     fn lua_layout_extract_insert() {
@@ -268,39 +268,50 @@ mod tests {
         assert_eq!(spr.tag_dword(), TagDword::Same);
     }
 
-    proptest! {
-        #[test]
-        fn prop_lua_insert_extract_identity(v: u64, t: u8, junk: u64) {
+    #[test]
+    fn randomized_lua_insert_extract_identity() {
+        let mut rng = Rng::new(0x7a91);
+        for _ in 0..4096 {
+            let (v, t, junk) = (rng.u64(), rng.u64() as u8, rng.u64());
             let spr = SprState::lua();
             let entry = TaggedValue { v, t, f: t & 0x80 != 0 };
-            let ins = spr.insert(entry, junk);
-            if let Inserted::WithTagDword { value, tag_dword } = ins {
-                prop_assert_eq!(spr.extract(value, tag_dword), entry);
-            } else {
-                prop_assert!(false, "expected WithTagDword");
+            match spr.insert(entry, junk) {
+                Inserted::WithTagDword { value, tag_dword } => {
+                    assert_eq!(spr.extract(value, tag_dword), entry);
+                }
+                other => panic!("expected WithTagDword, got {other:?}"),
             }
         }
+    }
 
-        #[test]
-        fn prop_nanbox_insert_extract_identity(payload in -(1i64 << 46)..(1i64 << 46), t in 0u8..16) {
+    #[test]
+    fn randomized_nanbox_insert_extract_identity() {
+        let mut rng = Rng::new(0x7a92);
+        for _ in 0..4096 {
+            let payload = rng.range_i64(-(1i64 << 46), 1i64 << 46);
+            let t = rng.range_u64(0, 16) as u8;
             let spr = SprState::spidermonkey();
             let entry = TaggedValue { v: payload as u64, t, f: false };
             let boxed = match spr.insert(entry, 0) {
                 Inserted::ValueOnly { value } => value,
                 _ => unreachable!(),
             };
-            prop_assert!(is_nan_boxed(boxed));
+            assert!(is_nan_boxed(boxed));
             let back = spr.extract(boxed, 0);
-            prop_assert_eq!(back.t, t);
-            prop_assert_eq!(back.v as i64, payload);
+            assert_eq!(back.t, t);
+            assert_eq!(back.v as i64, payload);
         }
+    }
 
-        #[test]
-        fn prop_doubles_never_look_boxed(x: f64) {
-            // Only payload-carrying NaNs with the top 13 bits all set are
-            // boxed; arithmetic results never produce them.
+    #[test]
+    fn randomized_doubles_never_look_boxed() {
+        // Only payload-carrying NaNs with the top 13 bits all set are
+        // boxed; arithmetic results never produce them.
+        let mut rng = Rng::new(0x7a93);
+        for _ in 0..8192 {
+            let x = f64::from_bits(rng.u64());
             let canonical = if x.is_nan() { f64::NAN } else { x };
-            prop_assert!(!is_nan_boxed(canonical.to_bits()));
+            assert!(!is_nan_boxed(canonical.to_bits()), "{x} ({:#x})", canonical.to_bits());
         }
     }
 }

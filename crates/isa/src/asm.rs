@@ -263,7 +263,7 @@ impl ProgramBuilder {
     /// Panics if `align` is not a power of two.
     pub fn align_data(&mut self, align: u64) {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        while self.data_pc() % align != 0 {
+        while !self.data_pc().is_multiple_of(align) {
             self.data.push(0);
         }
     }

@@ -453,7 +453,7 @@ impl Instruction {
 mod tests {
     use super::*;
     use crate::samples;
-    use proptest::prelude::*;
+    use tarch_testkit::Rng;
 
     #[test]
     fn roundtrip_all_sample_forms() {
@@ -512,28 +512,37 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_arbitrary(instr in samples::arb_instruction()) {
+    #[test]
+    fn randomized_roundtrip_arbitrary() {
+        let mut rng = Rng::new(0x1541);
+        for _ in 0..4096 {
+            let instr = samples::random_instruction(&mut rng);
             let word = instr.encode().unwrap();
-            prop_assert_eq!(Instruction::decode(word).unwrap(), instr);
+            assert_eq!(Instruction::decode(word).unwrap(), instr, "{instr}");
         }
+    }
 
-        #[test]
-        fn prop_imm15_roundtrip(imm in -16384i32..=16383, rd in 0u8..32, rs1 in 0u8..32) {
+    #[test]
+    fn randomized_imm15_roundtrip() {
+        let mut rng = Rng::new(0x1542);
+        for _ in 0..2048 {
             let i = Instruction::AluImm {
                 op: AluImmOp::Addi,
-                rd: Reg::new(rd).unwrap(),
-                rs1: Reg::new(rs1).unwrap(),
-                imm,
+                rd: Reg::new(rng.range_u64(0, 32) as u8).unwrap(),
+                rs1: Reg::new(rng.range_u64(0, 32) as u8).unwrap(),
+                imm: rng.range_i32(-16384, 16384),
             };
-            prop_assert_eq!(Instruction::decode(i.encode().unwrap()).unwrap(), i);
+            assert_eq!(Instruction::decode(i.encode().unwrap()).unwrap(), i);
         }
+    }
 
-        #[test]
-        fn prop_jal_offset_roundtrip(words in -(1i32<<19)..(1i32<<19)) {
+    #[test]
+    fn randomized_jal_offset_roundtrip() {
+        let mut rng = Rng::new(0x1543);
+        for _ in 0..2048 {
+            let words = rng.range_i32(-(1 << 19), 1 << 19);
             let i = Instruction::Jal { rd: Reg::RA, offset: words * 4 };
-            prop_assert_eq!(Instruction::decode(i.encode().unwrap()).unwrap(), i);
+            assert_eq!(Instruction::decode(i.encode().unwrap()).unwrap(), i, "words {words}");
         }
     }
 }

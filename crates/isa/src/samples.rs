@@ -77,50 +77,51 @@ pub fn all_forms() -> Vec<Instruction> {
     v
 }
 
+/// A uniformly random well-formed instruction (encodable by construction),
+/// for deterministic randomized round-trip tests.
 #[cfg(test)]
-pub(crate) fn arb_instruction() -> impl proptest::strategy::Strategy<Value = Instruction> {
-    use proptest::prelude::*;
+pub(crate) fn random_instruction(rng: &mut tarch_testkit::Rng) -> Instruction {
+    let reg = |rng: &mut tarch_testkit::Rng| Reg::new(rng.range_u64(0, 32) as u8).unwrap();
+    let freg = |rng: &mut tarch_testkit::Rng| FReg::new(rng.range_u64(0, 32) as u8).unwrap();
+    let imm15 = |rng: &mut tarch_testkit::Rng| rng.range_i32(-16384, 16384);
 
-    let reg = (0u8..32).prop_map(|n| Reg::new(n).unwrap());
-    let freg = (0u8..32).prop_map(|n| FReg::new(n).unwrap());
-    let imm15 = -16384i32..=16383;
-    let woff15 = (-16384i32..=16383).prop_map(|w| w * 4);
-
-    prop_oneof![
-        (0..AluOp::ALL.len(), reg.clone(), reg.clone(), reg.clone()).prop_map(
-            |(op, rd, rs1, rs2)| Instruction::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
-        ),
-        (0..AluImmOp::ALL.len(), reg.clone(), reg.clone(), imm15.clone()).prop_map(
-            |(op, rd, rs1, imm)| {
-                let op = AluImmOp::ALL[op];
-                let imm = if op.is_shift() { imm.rem_euclid(64) } else { imm };
-                Instruction::AluImm { op, rd, rs1, imm }
-            }
-        ),
-        (reg.clone(), -(1i32 << 19)..(1i32 << 19))
-            .prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (0..BranchCond::ALL.len(), reg.clone(), reg.clone(), woff15).prop_map(
-            |(c, rs1, rs2, offset)| Instruction::Branch {
-                cond: BranchCond::ALL[c],
-                rs1,
-                rs2,
-                offset
-            }
-        ),
-        (reg.clone(), reg.clone(), imm15.clone())
-            .prop_map(|(rd, rs1, imm)| Instruction::Tld { rd, rs1, imm }),
-        (reg.clone(), reg.clone(), imm15.clone())
-            .prop_map(|(rs2, rs1, imm)| Instruction::Tsd { rs2, rs1, imm }),
-        (0..TypedAluOp::ALL.len(), reg.clone(), reg.clone(), reg.clone()).prop_map(
-            |(op, rd, rs1, rs2)| Instruction::Typed { op: TypedAluOp::ALL[op], rd, rs1, rs2 }
-        ),
-        (reg.clone(), reg.clone(), imm15)
-            .prop_map(|(rd, rs1, imm)| Instruction::Chklb { rd, rs1, imm }),
-        (0..FpuOp::ALL.len(), freg.clone(), freg.clone(), freg)
-            .prop_map(|(op, rd, rs1, rs2)| Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }),
-        (0..Spr::ALL.len(), reg)
-            .prop_map(|(s, rs1)| Instruction::SetSpr { spr: Spr::ALL[s], rs1 }),
-    ]
+    match rng.range_u64(0, 10) {
+        0 => Instruction::Alu {
+            op: *rng.choice(&AluOp::ALL),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        1 => {
+            let op = *rng.choice(&AluImmOp::ALL);
+            let imm = imm15(rng);
+            let imm = if op.is_shift() { imm.rem_euclid(64) } else { imm };
+            Instruction::AluImm { op, rd: reg(rng), rs1: reg(rng), imm }
+        }
+        2 => Instruction::Lui { rd: reg(rng), imm: rng.range_i32(-(1 << 19), 1 << 19) },
+        3 => Instruction::Branch {
+            cond: *rng.choice(&BranchCond::ALL),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: imm15(rng) * 4,
+        },
+        4 => Instruction::Tld { rd: reg(rng), rs1: reg(rng), imm: imm15(rng) },
+        5 => Instruction::Tsd { rs2: reg(rng), rs1: reg(rng), imm: imm15(rng) },
+        6 => Instruction::Typed {
+            op: *rng.choice(&TypedAluOp::ALL),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        7 => Instruction::Chklb { rd: reg(rng), rs1: reg(rng), imm: imm15(rng) },
+        8 => Instruction::Fpu {
+            op: *rng.choice(&FpuOp::ALL),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+        },
+        _ => Instruction::SetSpr { spr: *rng.choice(&Spr::ALL), rs1: reg(rng) },
+    }
 }
 
 #[cfg(test)]

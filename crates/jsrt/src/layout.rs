@@ -158,7 +158,7 @@ pub fn trt_rules() -> Vec<TrtRule> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tarch_testkit::Rng;
 
     #[test]
     fn int_boxing_roundtrip() {
@@ -210,20 +210,26 @@ mod tests {
         assert_eq!(s.mask, 0x0f);
     }
 
-    proptest! {
-        #[test]
-        fn prop_box_payload_roundtrip(v: i32) {
-            prop_assert_eq!(payload_of(box_int(v)), v as i64);
+    #[test]
+    fn randomized_box_payload_roundtrip() {
+        let mut rng = Rng::new(0xb0c5);
+        for _ in 0..4096 {
+            let v = rng.i32();
+            assert_eq!(payload_of(box_int(v)), v as i64, "{v}");
         }
+    }
 
-        #[test]
-        fn prop_hardware_extraction_matches(v: i32) {
-            // The core's tag datapath must agree with this module.
+    #[test]
+    fn randomized_hardware_extraction_matches() {
+        // The core's tag datapath must agree with this module.
+        let mut rng = Rng::new(0xb0c6);
+        for _ in 0..4096 {
+            let v = rng.i32();
             let spr = spr_settings();
             let entry = spr.extract(box_int(v), 0);
-            prop_assert_eq!(entry.t, tag::INT);
-            prop_assert_eq!(entry.v as i64, v as i64);
-            prop_assert!(!entry.f);
+            assert_eq!(entry.t, tag::INT, "{v}");
+            assert_eq!(entry.v as i64, v as i64);
+            assert!(!entry.f);
         }
     }
 }

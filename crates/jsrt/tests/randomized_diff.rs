@@ -1,13 +1,16 @@
-//! Property-based differential testing for the NaN-boxing engine: random
+//! Randomized differential testing for the NaN-boxing engine: random
 //! arithmetic expressions must print identically under the reference
 //! interpreter and the *simulated* typed engine — this fuzzes the
 //! stack-machine compiler, the NaN-box packing, and the hardware tag
 //! datapath together.
+//!
+//! Expressions come from a seeded deterministic generator
+//! ([`tarch_testkit::Rng`]), so the corpus is identical on every run.
 
 use jsrt::JsVm;
 use miniscript::{parse, Interp};
-use proptest::prelude::*;
 use tarch_core::{CoreConfig, IsaLevel};
+use tarch_testkit::Rng;
 
 #[derive(Debug, Clone)]
 enum E {
@@ -33,26 +36,30 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-40i32..40).prop_map(E::Int),
-        (-4.0f64..4.0).prop_map(|f| E::Float((f * 4.0).round() / 4.0)),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (
-            prop_oneof![Just("+"), Just("-"), Just("*"), Just("/")],
-            inner.clone(),
-            inner,
+const BIN_OPS: [&str; 4] = ["+", "-", "*", "/"];
+
+fn random_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.range_u64(0, 3) == 0 {
+        if rng.bool() {
+            E::Int(rng.range_i32(-40, 40))
+        } else {
+            E::Float((rng.range_f64(-4.0, 4.0) * 4.0).round() / 4.0)
+        }
+    } else {
+        let op = *rng.choice(&BIN_OPS);
+        E::Bin(
+            op,
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
         )
-            .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b)))
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulated_typed_engine_agrees_with_reference(e in arb_expr()) {
+#[test]
+fn simulated_typed_engine_agrees_with_reference() {
+    let mut rng = Rng::new(0x5a9b_0c01);
+    for _ in 0..48 {
+        let e = random_expr(&mut rng, 3);
         let src = format!("print({})", e.render());
         let chunk = parse(&src).unwrap();
         let mut interp = Interp::new();
@@ -61,6 +68,6 @@ proptest! {
 
         let mut vm = JsVm::from_source(&src, IsaLevel::Typed, CoreConfig::paper()).unwrap();
         let r = vm.run(50_000_000).unwrap();
-        prop_assert_eq!(r.output, want, "source: {}", src);
+        assert_eq!(r.output, want, "source: {src}");
     }
 }

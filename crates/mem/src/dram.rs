@@ -157,7 +157,7 @@ mod tests {
         // At 50 MHz core vs 533 MHz DRAM the DRAM part is small; the uncore
         // dominates. Sanity-bound the total.
         assert!(c.row_miss_core_cycles() <= 20);
-        assert!(c.row_hit_core_cycles() >= c.uncore_core_cycles as u64 + 1);
+        assert!(c.row_hit_core_cycles() > c.uncore_core_cycles as u64);
     }
 
     #[test]

@@ -142,7 +142,7 @@ impl MainMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tarch_testkit::Rng;
 
     #[test]
     fn rw_all_widths() {
@@ -183,20 +183,28 @@ mod tests {
         assert_eq!(m.read_bytes(addr, 100), data);
     }
 
-    proptest! {
-        #[test]
-        fn prop_u64_roundtrip(addr in 0u64..1_000_000, value: u64) {
+    #[test]
+    fn randomized_u64_roundtrip() {
+        let mut rng = Rng::new(0x9e01);
+        for _ in 0..512 {
+            let addr = rng.range_u64(0, 1_000_000);
+            let value = rng.u64();
             let mut m = MainMemory::new();
             m.write_u64(addr, value);
-            prop_assert_eq!(m.read_u64(addr), value);
+            assert_eq!(m.read_u64(addr), value, "addr {addr:#x}");
         }
+    }
 
-        #[test]
-        fn prop_byte_composition(addr in 0u64..100_000, value: u64) {
+    #[test]
+    fn randomized_byte_composition() {
+        let mut rng = Rng::new(0x9e02);
+        for _ in 0..512 {
+            let addr = rng.range_u64(0, 100_000);
+            let value = rng.u64();
             let mut m = MainMemory::new();
             m.write_u64(addr, value);
             for i in 0..8u64 {
-                prop_assert_eq!(m.read_u8(addr + i), (value >> (8 * i)) as u8);
+                assert_eq!(m.read_u8(addr + i), (value >> (8 * i)) as u8, "addr {addr:#x}");
             }
         }
     }

@@ -223,6 +223,7 @@ impl Interp {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn numeric_for(
         &mut self,
         chunk: &Chunk,

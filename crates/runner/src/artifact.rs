@@ -1,0 +1,288 @@
+//! Versioned run artifacts: the full result matrix of one `repro`
+//! invocation, serialized to a `BENCH_<timestamp>.json` file.
+//!
+//! Artifacts serve two purposes: figure renderers can *reload* them
+//! instead of re-simulating (`repro --from-json`), and successive files
+//! form a benchmark trajectory future PRs can compare against. The
+//! volatile fields (creation time, per-job wall time, cache provenance)
+//! live in dedicated spots so [`BenchArtifact::fingerprint`] can compare
+//! two runs' *results* while ignoring *when and how fast* they ran.
+
+use crate::job::{EngineKind, JobKey, JobSpec, Scale};
+use crate::json::Json;
+use crate::pool::JobOutcome;
+use crate::result::CellResult;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+use tarch_core::IsaLevel;
+
+/// Artifact format identifier; bump on any breaking schema change.
+pub const ARTIFACT_SCHEMA: &str = "tarch-bench/v1";
+
+/// One serialized run: scale, budget, and every job outcome.
+#[derive(Debug)]
+pub struct BenchArtifact {
+    /// Unix seconds when the artifact was created.
+    pub created_unix: u64,
+    /// Input scale the matrix ran at.
+    pub scale: Scale,
+    /// Per-job step budget in force.
+    pub step_budget: u64,
+    /// Every job outcome, in matrix order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl BenchArtifact {
+    /// Wraps a finished run, stamping the current time.
+    pub fn new(scale: Scale, step_budget: u64, outcomes: Vec<JobOutcome>) -> BenchArtifact {
+        let created_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        BenchArtifact { created_unix, scale, step_budget, outcomes }
+    }
+
+    /// Default artifact filename, `BENCH_<unix-seconds>.json`.
+    pub fn default_filename(&self) -> String {
+        format!("BENCH_{}.json", self.created_unix)
+    }
+
+    fn job_to_json(o: &JobOutcome) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::str(o.spec.workload.clone())),
+            ("engine".into(), Json::str(o.spec.engine.id())),
+            ("level".into(), Json::str(o.spec.level.name())),
+            ("scale".into(), Json::str(o.spec.scale.id())),
+            ("profiled".into(), Json::Bool(o.spec.profiled)),
+            ("key".into(), Json::str(o.spec.key.hex())),
+            ("cell".into(), o.result.to_json()),
+            (
+                "timing".into(),
+                Json::Obj(vec![
+                    ("cached".into(), Json::Bool(o.cached)),
+                    ("wall_nanos".into(), Json::num(o.wall_nanos)),
+                ]),
+            ),
+        ])
+    }
+
+    fn job_from_json(v: &Json) -> Result<JobOutcome, String> {
+        let workload = v.req_str("workload")?.to_string();
+        let engine = EngineKind::parse(v.req_str("engine")?)
+            .ok_or_else(|| format!("unknown engine `{}`", v.req_str("engine").unwrap()))?;
+        let level = IsaLevel::parse(v.req_str("level")?)
+            .ok_or_else(|| format!("unknown level `{}`", v.req_str("level").unwrap()))?;
+        let scale = Scale::parse(v.req_str("scale")?)
+            .ok_or_else(|| format!("unknown scale `{}`", v.req_str("scale").unwrap()))?;
+        let profiled = v
+            .get("profiled")
+            .and_then(Json::as_bool)
+            .ok_or("missing or non-boolean field `profiled`")?;
+        let key = JobKey::parse(v.req_str("key")?).ok_or("malformed `key`")?;
+        let result = CellResult::from_json(v.get("cell").ok_or("missing `cell`")?)?;
+        let timing = v.get("timing").ok_or("missing `timing`")?;
+        let cached = timing
+            .get("cached")
+            .and_then(Json::as_bool)
+            .ok_or("missing or non-boolean field `timing.cached`")?;
+        let wall_nanos = timing.req_u64("wall_nanos")?;
+        // Artifacts do not embed program source (they'd balloon); the
+        // recorded key preserves cell identity.
+        let spec = JobSpec { workload, engine, level, scale, profiled, source: String::new(), key };
+        Ok(JobOutcome { spec, result, cached, wall_nanos })
+    }
+
+    /// Full JSON document, including volatile timing fields.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(ARTIFACT_SCHEMA)),
+            ("created_unix".into(), Json::num(self.created_unix)),
+            ("scale".into(), Json::str(self.scale.id())),
+            ("step_budget".into(), Json::num(self.step_budget)),
+            (
+                "jobs".into(),
+                Json::Arr(self.outcomes.iter().map(Self::job_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The result-identity portion of the artifact: everything except
+    /// creation time and per-job timing/cache provenance. Two runs of the
+    /// same matrix — cached or not, fast or slow — have equal
+    /// fingerprints exactly when their simulated results are identical.
+    pub fn fingerprint(&self) -> String {
+        let jobs: Vec<Json> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut j = Self::job_to_json(o);
+                if let Json::Obj(fields) = &mut j {
+                    fields.retain(|(k, _)| k != "timing");
+                }
+                j
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str(ARTIFACT_SCHEMA)),
+            ("scale".into(), Json::str(self.scale.id())),
+            ("step_budget".into(), Json::num(self.step_budget)),
+            ("jobs".into(), Json::Arr(jobs)),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error message.
+    pub fn write(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json().to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Reads and validates an artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on I/O failure, malformed JSON, a
+    /// schema mismatch, or any missing/mistyped field.
+    pub fn read(path: &Path) -> Result<BenchArtifact, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let schema = doc.req_str("schema")?;
+        if schema != ARTIFACT_SCHEMA {
+            return Err(format!(
+                "{}: unsupported artifact schema `{schema}` (expected `{ARTIFACT_SCHEMA}`)",
+                path.display()
+            ));
+        }
+        let created_unix = doc.req_u64("created_unix")?;
+        let scale = Scale::parse(doc.req_str("scale")?)
+            .ok_or_else(|| format!("{}: unknown scale", path.display()))?;
+        let step_budget = doc.req_u64("step_budget")?;
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{}: missing `jobs` array", path.display()))?;
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for (i, j) in jobs.iter().enumerate() {
+            outcomes.push(
+                Self::job_from_json(j).map_err(|e| format!("{} job {i}: {e}", path.display()))?,
+            );
+        }
+        Ok(BenchArtifact { created_unix, scale, step_budget, outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarch_core::{BranchStats, CoreConfig, PerfCounters};
+
+    fn outcome(n: u64, cached: bool) -> JobOutcome {
+        let spec = JobSpec::new(
+            format!("w{n}"),
+            EngineKind::Js,
+            IsaLevel::CheckedLoad,
+            Scale::Test,
+            n.is_multiple_of(2),
+            format!("print({n})"),
+            &CoreConfig::paper(),
+        );
+        JobOutcome {
+            spec,
+            result: CellResult {
+                counters: PerfCounters {
+                    cycles: n * 3,
+                    instructions: n * 2,
+                    ..PerfCounters::default()
+                },
+                branch: BranchStats { branches: n, ..BranchStats::default() },
+                output: format!("{n}\n"),
+                bytecodes: n.is_multiple_of(2).then_some(n * 7),
+            },
+            cached,
+            wall_nanos: 1000 + n,
+        }
+    }
+
+    fn write_read(a: &BenchArtifact, tag: &str) -> BenchArtifact {
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-{tag}.json", std::process::id()));
+        a.write(&path).unwrap();
+        let back = BenchArtifact::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        back
+    }
+
+    #[test]
+    fn roundtrip_preserves_results_and_metadata() {
+        let a = BenchArtifact::new(
+            Scale::Test,
+            5000,
+            (0..6).map(|n| outcome(n, n > 3)).collect(),
+        );
+        let back = write_read(&a, "roundtrip");
+        assert_eq!(back.scale, Scale::Test);
+        assert_eq!(back.step_budget, 5000);
+        assert_eq!(back.created_unix, a.created_unix);
+        assert_eq!(back.outcomes.len(), 6);
+        for (x, y) in a.outcomes.iter().zip(&back.outcomes) {
+            assert_eq!(x.result, y.result);
+            assert_eq!(x.spec.key, y.spec.key);
+            assert_eq!(x.spec.workload, y.spec.workload);
+            assert_eq!(x.spec.level, y.spec.level);
+            assert_eq!(x.spec.profiled, y.spec.profiled);
+            assert_eq!(x.cached, y.cached);
+            assert_eq!(x.wall_nanos, y.wall_nanos);
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing_but_not_results() {
+        let a = BenchArtifact::new(Scale::Test, 5000, vec![outcome(1, false)]);
+        let mut b = BenchArtifact::new(Scale::Test, 5000, vec![outcome(1, true)]);
+        b.created_unix = a.created_unix + 999;
+        b.outcomes[0].wall_nanos = 1;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = BenchArtifact::new(Scale::Test, 5000, vec![outcome(1, false)]);
+        c.outcomes[0].result.counters.cycles += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let a = BenchArtifact::new(Scale::Test, 1, vec![]);
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-schema.json", std::process::id()));
+        let text = a
+            .to_json()
+            .to_pretty_string()
+            .replace(ARTIFACT_SCHEMA, "tarch-bench/v999");
+        std::fs::write(&path, text).unwrap();
+        let err = BenchArtifact::read(&path).unwrap_err();
+        assert!(err.contains("v999"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_artifact_reports_clean_error() {
+        let a = BenchArtifact::new(Scale::Test, 1, vec![outcome(1, false)]);
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-trunc.json", std::process::id()));
+        let full = a.to_json().to_pretty_string();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(BenchArtifact::read(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn default_filename_is_timestamped() {
+        let a = BenchArtifact::new(Scale::Default, 1, vec![]);
+        let name = a.default_filename();
+        assert!(name.starts_with("BENCH_") && name.ends_with(".json"), "{name}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The job model: one simulation cell and its stable content key.
+
+use std::fmt;
+use tarch_core::{CoreConfig, IsaLevel};
+
+/// Bumped whenever the key derivation or the cached result layout
+/// changes; part of every content key, so stale cache entries from an
+/// older layout simply miss.
+pub const KEY_SCHEMA: u32 = 1;
+
+/// Which scripting engine runs the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EngineKind {
+    /// `luart`, the register-based Lua-like engine.
+    Lua,
+    /// `jsrt`, the stack-based NaN-boxing engine (SpiderMonkey stand-in).
+    Js,
+}
+
+impl EngineKind {
+    /// Both engines, Lua first (the paper's figure order).
+    pub const ALL: [EngineKind; 2] = [EngineKind::Lua, EngineKind::Js];
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Lua => "Lua",
+            EngineKind::Js => "SpiderMonkey-like (JS)",
+        }
+    }
+
+    /// Stable machine-readable identifier used in keys and artifacts.
+    pub fn id(self) -> &'static str {
+        match self {
+            EngineKind::Lua => "lua",
+            EngineKind::Js => "js",
+        }
+    }
+
+    /// Parses an [`EngineKind::id`] spelling.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|e| e.id() == s)
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Input scale for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests.
+    Test,
+    /// Simulator-friendly defaults used by `repro`.
+    Default,
+    /// The paper's Table 7 inputs.
+    Full,
+}
+
+impl Scale {
+    /// Stable machine-readable identifier used in keys and artifacts.
+    pub fn id(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a [`Scale::id`] spelling.
+    pub fn parse(s: &str) -> Option<Scale> {
+        [Scale::Test, Scale::Default, Scale::Full].into_iter().find(|x| x.id() == s)
+    }
+}
+
+/// 128-bit content key identifying one simulation's inputs.
+///
+/// Derived from everything that determines the simulated result: the
+/// program source text, engine, ISA level, profiled flag, and the full
+/// [`CoreConfig`] (via its `Debug` rendering, which covers every field).
+/// Two jobs with the same key produce byte-identical results, which is
+/// the cache's soundness condition. The key does **not** cover the
+/// simulator *code*: after changing simulator semantics, run with the
+/// cache disabled or delete the cache directory (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobKey(pub u64, pub u64);
+
+impl JobKey {
+    /// 32-hex-digit rendering; doubles as the cache file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+
+    /// Parses a [`JobKey::hex`] rendering.
+    pub fn parse(s: &str) -> Option<JobKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(JobKey(hi, lo))
+    }
+}
+
+/// FNV-1a 64-bit with a caller-chosen offset basis (two bases give the
+/// two independent halves of a [`JobKey`]).
+fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One runnable simulation cell: workload + engine + ISA level + scale +
+/// profiled flag, plus the program source the key is derived from.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload name (Table 7 spelling).
+    pub workload: String,
+    /// Engine that runs it.
+    pub engine: EngineKind,
+    /// ISA level simulated.
+    pub level: IsaLevel,
+    /// Input scale.
+    pub scale: Scale,
+    /// Whether to collect the per-bytecode profile (Figure 9 runs).
+    pub profiled: bool,
+    /// MiniScript source at `scale`.
+    pub source: String,
+    /// Content key (see [`JobKey`]); empty-source specs loaded from an
+    /// artifact keep the key recorded at run time.
+    pub key: JobKey,
+}
+
+impl JobSpec {
+    /// Builds a spec and derives its content key.
+    pub fn new(
+        workload: impl Into<String>,
+        engine: EngineKind,
+        level: IsaLevel,
+        scale: Scale,
+        profiled: bool,
+        source: impl Into<String>,
+        config: &CoreConfig,
+    ) -> JobSpec {
+        let workload = workload.into();
+        let source = source.into();
+        // \x1f separators prevent field-boundary ambiguity.
+        let canonical = format!(
+            "v{KEY_SCHEMA}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:?}\x1f{}",
+            engine.id(),
+            level.name(),
+            scale.id(),
+            profiled,
+            config,
+            source,
+        );
+        let key =
+            JobKey(fnv1a(0xcbf2_9ce4_8422_2325, canonical.as_bytes()),
+                   fnv1a(0x6c62_272e_07bb_0142, canonical.as_bytes()));
+        JobSpec { workload, engine, level, scale, profiled, source, key }
+    }
+
+    /// Display label for progress lines and diagnostics, e.g.
+    /// `fibo/lua/typed` (with a `+prof` suffix for profiled runs).
+    pub fn label(&self) -> String {
+        let prof = if self.profiled { "+prof" } else { "" };
+        format!("{}/{}/{}{prof}", self.workload, self.engine.id(), self.level.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(source: &str, profiled: bool) -> JobSpec {
+        JobSpec::new(
+            "fibo",
+            EngineKind::Lua,
+            IsaLevel::Typed,
+            Scale::Test,
+            profiled,
+            source,
+            &CoreConfig::paper(),
+        )
+    }
+
+    #[test]
+    fn key_is_stable_for_identical_inputs() {
+        assert_eq!(spec("print(1)", false).key, spec("print(1)", false).key);
+    }
+
+    #[test]
+    fn key_changes_with_any_input() {
+        let base = spec("print(1)", false);
+        assert_ne!(base.key, spec("print(2)", false).key, "source must affect key");
+        assert_ne!(base.key, spec("print(1)", true).key, "profiled must affect key");
+        let other_level = JobSpec::new(
+            "fibo",
+            EngineKind::Lua,
+            IsaLevel::Baseline,
+            Scale::Test,
+            false,
+            "print(1)",
+            &CoreConfig::paper(),
+        );
+        assert_ne!(base.key, other_level.key, "level must affect key");
+        let mut cfg = CoreConfig::paper();
+        cfg.trt_entries = 16;
+        let other_cfg = JobSpec::new(
+            "fibo",
+            EngineKind::Lua,
+            IsaLevel::Typed,
+            Scale::Test,
+            false,
+            "print(1)",
+            &cfg,
+        );
+        assert_ne!(base.key, other_cfg.key, "core config must affect key");
+    }
+
+    #[test]
+    fn key_hex_roundtrip() {
+        let k = spec("print(1)", false).key;
+        assert_eq!(JobKey::parse(&k.hex()), Some(k));
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(JobKey::parse("zz"), None);
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(e.id()), Some(e));
+        }
+        for s in [Scale::Test, Scale::Default, Scale::Full] {
+            assert_eq!(Scale::parse(s.id()), Some(s));
+        }
+        assert_eq!(EngineKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn label_format() {
+        assert_eq!(spec("x", false).label(), "fibo/lua/typed");
+        assert_eq!(spec("x", true).label(), "fibo/lua/typed+prof");
+    }
+}

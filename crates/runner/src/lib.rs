@@ -1,0 +1,41 @@
+//! # tarch-runner — parallel experiment execution
+//!
+//! The paper's evaluation is a (workload × engine × ISA-level) matrix of
+//! *independent* cycle-accurate simulations. This crate turns that shape
+//! into infrastructure the bench harness and the `repro` binary run on:
+//!
+//! * [`job`] — the job model: a [`JobSpec`] names one simulation cell and
+//!   carries a stable [`JobKey`] content key derived from the program
+//!   source and the simulated core configuration;
+//! * [`pool`] — a `std::thread` + `mpsc` worker pool ([`run_jobs`]) that
+//!   executes cells in parallel with a configurable worker count while
+//!   returning results in deterministic (submission) order;
+//! * [`cache`] — a persistent on-disk result cache keyed by [`JobKey`],
+//!   so re-running an experiment skips already-simulated cells;
+//! * [`artifact`] — versioned `BENCH_<timestamp>.json` run artifacts the
+//!   figure renderers can reload instead of re-simulating;
+//! * [`json`] — the minimal hand-rolled JSON reader/writer backing the
+//!   cache and artifact formats (no external dependencies).
+//!
+//! The crate knows how to *schedule, key, persist and report* jobs but
+//! not how to *execute* them: execution is a caller-supplied closure
+//! (`Fn(&JobSpec, u64) -> Result<CellResult, ExecError>`), which keeps
+//! this crate free of engine dependencies and lets tests drive the pool
+//! with synthetic workloads.
+
+pub mod artifact;
+pub mod cache;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod result;
+
+pub use artifact::{BenchArtifact, ARTIFACT_SCHEMA};
+pub use cache::ResultCache;
+pub use job::{EngineKind, JobKey, JobSpec, Scale};
+pub use json::Json;
+pub use pool::{
+    run_jobs, ExecError, JobOutcome, RunConfig, RunReport, RunStats, RunnerError,
+    DEFAULT_STEP_BUDGET,
+};
+pub use result::CellResult;

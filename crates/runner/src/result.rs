@@ -1,0 +1,175 @@
+//! The result of one simulated cell, and its JSON encoding (shared by
+//! the on-disk cache and the `BENCH_*.json` artifacts).
+
+use crate::json::Json;
+use tarch_core::{BranchStats, PerfCounters};
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Hardware counters.
+    pub counters: PerfCounters,
+    /// Branch statistics.
+    pub branch: BranchStats,
+    /// Printed output (checked for cross-config equality).
+    pub output: String,
+    /// Dynamic bytecode count (only present for profiled runs).
+    pub bytecodes: Option<u64>,
+}
+
+impl CellResult {
+    /// Branch misses per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        self.counters.per_kilo_instr(self.branch.total_misses())
+    }
+
+    /// JSON encoding; field-by-field, lossless for every `u64` counter.
+    pub fn to_json(&self) -> Json {
+        let c = &self.counters;
+        let counters = Json::Obj(vec![
+            ("cycles".into(), Json::num(c.cycles)),
+            ("instructions".into(), Json::num(c.instructions)),
+            ("helper_instructions".into(), Json::num(c.helper_instructions)),
+            ("helper_cycles".into(), Json::num(c.helper_cycles)),
+            ("icache_accesses".into(), Json::num(c.icache_accesses)),
+            ("icache_misses".into(), Json::num(c.icache_misses)),
+            ("dcache_accesses".into(), Json::num(c.dcache_accesses)),
+            ("dcache_misses".into(), Json::num(c.dcache_misses)),
+            ("itlb_misses".into(), Json::num(c.itlb_misses)),
+            ("dtlb_misses".into(), Json::num(c.dtlb_misses)),
+            ("type_checks".into(), Json::num(c.type_checks)),
+            ("type_hits".into(), Json::num(c.type_hits)),
+            ("type_misses".into(), Json::num(c.type_misses)),
+            ("overflow_misses".into(), Json::num(c.overflow_misses)),
+            ("chklb_checks".into(), Json::num(c.chklb_checks)),
+            ("chklb_misses".into(), Json::num(c.chklb_misses)),
+            ("loads".into(), Json::num(c.loads)),
+            ("stores".into(), Json::num(c.stores)),
+            ("tagged_mem".into(), Json::num(c.tagged_mem)),
+            ("typed_alu".into(), Json::num(c.typed_alu)),
+            ("fp_ops".into(), Json::num(c.fp_ops)),
+            ("ecalls".into(), Json::num(c.ecalls)),
+        ]);
+        let b = &self.branch;
+        let branch = Json::Obj(vec![
+            ("branches".into(), Json::num(b.branches)),
+            ("branch_misses".into(), Json::num(b.branch_misses)),
+            ("jumps".into(), Json::num(b.jumps)),
+            ("jump_misses".into(), Json::num(b.jump_misses)),
+        ]);
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("branch".into(), branch),
+            ("output".into(), Json::str(self.output.clone())),
+            (
+                "bytecodes".into(),
+                match self.bytecodes {
+                    Some(n) => Json::num(n),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes [`CellResult::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<CellResult, String> {
+        let c = v.get("counters").ok_or("missing `counters`")?;
+        let counters = PerfCounters {
+            cycles: c.req_u64("cycles")?,
+            instructions: c.req_u64("instructions")?,
+            helper_instructions: c.req_u64("helper_instructions")?,
+            helper_cycles: c.req_u64("helper_cycles")?,
+            icache_accesses: c.req_u64("icache_accesses")?,
+            icache_misses: c.req_u64("icache_misses")?,
+            dcache_accesses: c.req_u64("dcache_accesses")?,
+            dcache_misses: c.req_u64("dcache_misses")?,
+            itlb_misses: c.req_u64("itlb_misses")?,
+            dtlb_misses: c.req_u64("dtlb_misses")?,
+            type_checks: c.req_u64("type_checks")?,
+            type_hits: c.req_u64("type_hits")?,
+            type_misses: c.req_u64("type_misses")?,
+            overflow_misses: c.req_u64("overflow_misses")?,
+            chklb_checks: c.req_u64("chklb_checks")?,
+            chklb_misses: c.req_u64("chklb_misses")?,
+            loads: c.req_u64("loads")?,
+            stores: c.req_u64("stores")?,
+            tagged_mem: c.req_u64("tagged_mem")?,
+            typed_alu: c.req_u64("typed_alu")?,
+            fp_ops: c.req_u64("fp_ops")?,
+            ecalls: c.req_u64("ecalls")?,
+        };
+        let b = v.get("branch").ok_or("missing `branch`")?;
+        let branch = BranchStats {
+            branches: b.req_u64("branches")?,
+            branch_misses: b.req_u64("branch_misses")?,
+            jumps: b.req_u64("jumps")?,
+            jump_misses: b.req_u64("jump_misses")?,
+        };
+        let output = v.req_str("output")?.to_string();
+        let bytecodes = match v.get("bytecodes") {
+            None | Some(Json::Null) => None,
+            Some(n) => Some(n.as_u64().ok_or("non-integer `bytecodes`")?),
+        };
+        Ok(CellResult { counters, branch, output, bytecodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(seed: u64) -> CellResult {
+        let counters = PerfCounters {
+            cycles: 1000 + seed,
+            instructions: 700 + seed,
+            type_checks: 10,
+            type_hits: 9,
+            ..PerfCounters::default()
+        };
+        CellResult {
+            counters,
+            branch: BranchStats {
+                branches: 100,
+                branch_misses: 7,
+                jumps: 20,
+                jump_misses: seed,
+            },
+            output: format!("line one\nweird \"chars\" \t{seed}\n"),
+            bytecodes: if seed.is_multiple_of(2) { Some(12345 + seed) } else { None },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        for seed in 0..4 {
+            let r = sample(seed);
+            let text = r.to_json().to_pretty_string();
+            let back = CellResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn missing_field_is_an_error_not_a_default() {
+        let r = sample(0);
+        let mut json = r.to_json();
+        if let Json::Obj(fields) = &mut json {
+            if let Json::Obj(counters) = &mut fields[0].1 {
+                counters.retain(|(k, _)| k != "cycles");
+            }
+        }
+        let err = CellResult::from_json(&json).unwrap_err();
+        assert!(err.contains("cycles"), "{err}");
+    }
+
+    #[test]
+    fn branch_mpki_matches_counters() {
+        let r = sample(3);
+        let expect = (7 + 3) as f64 * 1000.0 / r.counters.instructions as f64;
+        assert!((r.branch_mpki() - expect).abs() < 1e-12);
+    }
+}

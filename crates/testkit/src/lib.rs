@@ -1,0 +1,136 @@
+//! # tarch-testkit — deterministic randomness for tests
+//!
+//! A tiny, dependency-free stand-in for the parts of `proptest`/`rand`
+//! the test suites used. The repository must build and test with no
+//! network access, so randomized tests draw from this seeded xorshift
+//! generator instead: every run explores the same sequence, failures
+//! reproduce exactly, and there is nothing to download.
+//!
+//! The generator is xorshift64* (Vigna), which is plenty for test-input
+//! shuffling; it is **not** a cryptographic PRNG.
+
+/// Deterministic xorshift64* pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// let mut rng = tarch_testkit::Rng::new(42);
+/// let a = rng.u64();
+/// let b = rng.u64();
+/// assert_ne!(a, b);
+/// assert_eq!(tarch_testkit::Rng::new(42).u64(), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed; any seed (including 0) is fine.
+    pub fn new(seed: u64) -> Rng {
+        // Avoid the all-zero state, where xorshift gets stuck.
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64() % (hi - lo)
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add((self.u64() % (hi.wrapping_sub(lo) as u64)) as i64)
+    }
+
+    /// Uniform value in `[lo, hi)` for `i32` ranges.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.range_i64(lo as i64, hi as i64) as i32
+    }
+
+    /// Uniform value in `[lo, hi)` for `usize` ranges.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// An arbitrary `i32` (full range).
+    pub fn i32(&mut self) -> i32 {
+        self.u64() as i32
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// A reference to a uniformly chosen element of a non-empty slice.
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sequences() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).u64(), c.u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let i = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&i));
+            let f = rng.f64_unit();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = Rng::new(0);
+        let vals: Vec<u64> = (0..8).map(|_| rng.u64()).collect();
+        assert!(vals.iter().any(|v| *v != vals[0]));
+    }
+
+    #[test]
+    fn choice_covers_all_elements() {
+        let mut rng = Rng::new(3);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[*rng.choice(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

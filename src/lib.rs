@@ -13,6 +13,8 @@
 //! * [`lua`] — the register-based Lua-like engine;
 //! * [`js`] — the stack-based NaN-boxing engine;
 //! * [`energy`] — the area/power/EDP model;
+//! * [`runner`] — the parallel experiment runner (worker pool, result
+//!   cache, `BENCH_*.json` artifacts);
 //! * [`mod@bench`] — workloads and the experiment harness.
 //!
 //! # Examples
@@ -49,6 +51,9 @@ pub use jsrt as js;
 
 /// The area/power/EDP model (`tarch-energy`).
 pub use tarch_energy as energy;
+
+/// The parallel experiment runner (`tarch-runner`).
+pub use tarch_runner as runner;
 
 /// Workloads and the experiment harness (`tarch-bench`).
 pub use tarch_bench as bench;
