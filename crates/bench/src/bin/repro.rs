@@ -10,12 +10,15 @@
 //!   fig5 fig6 fig7 fig8 fig9
 //!   all              everything (shares one simulation matrix)
 //!   selftest         quick 2-workload parallel matrix at test scale
+//!   bench            host-throughput measurement: per-cell and aggregate
+//!                    simulated MIPS, always simulating (cache bypassed)
 //!
 //! options:
 //!   --full | --test-scale   input scale (default: the paper's scale)
 //!   -j N | --jobs N         worker threads (default: one per core)
 //!   --no-cache              bypass the persistent result cache
 //!   --steps N               per-job step budget (default 2e10)
+//!   --workload NAME         restrict `bench` to one workload
 //!   --emit-json PATH        write the run artifact to PATH
 //!   --from-json PATH        render figures from a BENCH_*.json artifact
 //!                           instead of simulating
@@ -42,12 +45,13 @@ struct Opts {
     jobs: usize,
     no_cache: bool,
     step_budget: u64,
+    workload: Option<String>,
     emit_json: Option<PathBuf>,
     from_json: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest> \
-                     [--full|--test-scale] [-j N] [--no-cache] [--steps N] \
+const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench> \
+                     [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
                      [--emit-json PATH] [--from-json PATH] [--verbose]";
 
 fn main() -> ExitCode {
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         jobs: 0,
         no_cache: false,
         step_budget: MAX_STEPS,
+        workload: None,
         emit_json: None,
         from_json: None,
     };
@@ -85,6 +90,7 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|_| format!("{a} needs a step count"))?;
                 }
+                "--workload" => opts.workload = Some(value(a)?),
                 "--emit-json" => opts.emit_json = Some(PathBuf::from(value(a)?)),
                 "--from-json" => opts.from_json = Some(PathBuf::from(value(a)?)),
                 c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
@@ -150,12 +156,12 @@ fn matrix(opts: &Opts, profiled: bool) -> Result<(Matrix, Option<BenchArtifact>)
 
 fn emit(opts: &Opts, command: &str, artifact: Option<&BenchArtifact>) -> Result<(), String> {
     let Some(artifact) = artifact else { return Ok(()) };
-    // Explicit --emit-json always wins; `all` also auto-emits a
-    // timestamped artifact next to the working directory unless the
+    // Explicit --emit-json always wins; `all` and `bench` also auto-emit
+    // a timestamped artifact next to the working directory unless the
     // matrix itself came from an artifact.
     let path = match (&opts.emit_json, command) {
         (Some(p), _) => Some(p.clone()),
-        (None, "all") if opts.from_json.is_none() => {
+        (None, "all" | "bench") if opts.from_json.is_none() => {
             Some(PathBuf::from(artifact.default_filename()))
         }
         _ => None,
@@ -232,9 +238,54 @@ fn run(command: &str, opts: &Opts) -> Result<(), String> {
             emit(opts, command, artifact.as_ref())?;
         }
         "selftest" => return selftest(opts),
+        "bench" => return bench(opts),
         other => return Err(format!("unknown subcommand `{other}`")),
     }
     Ok(())
+}
+
+/// Host-throughput measurement: runs the matrix with the cache bypassed
+/// (measurement must simulate, not replay) and reports simulated
+/// instructions per host second for every cell plus the aggregate that
+/// lands in the artifact's `host_mips` field.
+fn bench(opts: &Opts) -> Result<(), String> {
+    let ws = match &opts.workload {
+        Some(name) => {
+            vec![workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?]
+        }
+        None => workloads::all(),
+    };
+    let mopts = MatrixOptions {
+        workers: opts.jobs,
+        cache_dir: None,
+        step_budget: opts.step_budget,
+        profiled: false,
+        progress: opts.verbose,
+    };
+    let run = Matrix::run_with(&ws, opts.scale, &mopts)?;
+    println!(
+        "{:<16} {:<6} {:<13} {:>14} {:>10} {:>8}",
+        "workload", "engine", "level", "instructions", "wall ms", "MIPS"
+    );
+    for o in &run.outcomes {
+        println!(
+            "{:<16} {:<6} {:<13} {:>14} {:>10.1} {:>8.1}",
+            o.spec.workload,
+            o.spec.engine.id(),
+            o.spec.level.name(),
+            o.result.counters.instructions,
+            o.wall_nanos as f64 / 1e6,
+            o.steps_per_sec() / 1e6,
+        );
+    }
+    let artifact = run.artifact();
+    println!(
+        "aggregate: {:.1} MIPS over {} cells ({})",
+        artifact.host_mips,
+        run.outcomes.len(),
+        run.stats.summary(),
+    );
+    emit(opts, "bench", Some(&artifact))
 }
 
 /// Quick end-to-end check of the parallel pipeline: a 2-workload matrix

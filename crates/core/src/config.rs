@@ -134,6 +134,9 @@ pub struct CoreConfig {
     pub latency: LatencyConfig,
     /// Type Rule Table capacity (the paper synthesises 8 entries).
     pub trt_entries: usize,
+    /// Serve fetches from the predecoded-instruction side table
+    /// (host-side fast path; simulated counters are identical either way).
+    pub predecode: bool,
 }
 
 impl CoreConfig {
@@ -148,6 +151,7 @@ impl CoreConfig {
             dram: DramConfig::paper(),
             latency: LatencyConfig::paper(),
             trt_entries: 8,
+            predecode: true,
         }
     }
 }

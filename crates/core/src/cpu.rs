@@ -21,6 +21,7 @@
 use crate::bpred::BranchPredictor;
 use crate::config::CoreConfig;
 use crate::counters::PerfCounters;
+use crate::predecode::{PredecodeStats, PredecodeTable};
 use crate::regfile::{RegFile, TaggedValue};
 use crate::tagio::{Inserted, SprState};
 use crate::trt::TypeRuleTable;
@@ -130,6 +131,7 @@ pub struct Cpu {
     ready: [u64; 32],
     ready_f: [u64; 32],
     halted: bool,
+    predecode: PredecodeTable,
 }
 
 impl Cpu {
@@ -153,6 +155,7 @@ impl Cpu {
             ready: [0; 32],
             ready_f: [0; 32],
             halted: false,
+            predecode: PredecodeTable::new(),
         }
     }
 
@@ -162,6 +165,7 @@ impl Cpu {
             self.mem.write_u32(program.text_base + 4 * i as u64, *word);
         }
         self.mem.write_bytes(program.data_base, &program.data);
+        self.predecode.reset(program.text_base, program.text.len());
         self.pc = program.entry;
         self.halted = false;
     }
@@ -198,11 +202,31 @@ impl Cpu {
     }
 
     /// Simulated memory, mutably (loaders and native helpers).
+    ///
+    /// Handing out raw mutable memory means the caller may write anywhere
+    /// — including the text segment — so the predecode table is marked
+    /// stale and every cached slot revalidates its raw word on next use.
     pub fn mem_mut(&mut self) -> &mut MainMemory {
+        self.predecode.mark_stale();
         &mut self.mem
     }
 
+    /// Drops every predecoded instruction (the `flush_trt` analogue for
+    /// the decode cache). Never needed for correctness — guest stores and
+    /// host writes invalidate automatically — but available to tests and
+    /// context-switch code that wants a cold decode cache.
+    pub fn flush_predecode(&mut self) {
+        self.predecode.flush();
+    }
+
+    /// Predecode-table effectiveness statistics (host-side metric; not an
+    /// architectural counter).
+    pub fn predecode_stats(&self) -> PredecodeStats {
+        self.predecode.stats()
+    }
+
     /// Performance counters.
+    #[inline]
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
     }
@@ -292,7 +316,10 @@ impl Cpu {
             return Err(Trap::MisalignedPc { pc });
         }
 
-        // Fetch.
+        // Fetch: the architectural charges (I-cache, I-TLB, DRAM) are
+        // identical whether or not the predecode table hits — only the
+        // host-side work of re-reading and re-decoding the word is
+        // skipped.
         self.counters.icache_accesses += 1;
         if !self.itlb.access(pc) {
             self.counters.itlb_misses += 1;
@@ -302,9 +329,18 @@ impl Cpu {
             self.counters.icache_misses += 1;
             self.now += self.dram.access(pc);
         }
-        let word = self.mem.read_u32(pc);
-        let instr = Instruction::decode(word)
-            .map_err(|_| Trap::InvalidInstruction { pc, word })?;
+        let instr = match self.predecode_fetch(pc) {
+            Some(instr) => instr,
+            None => {
+                let word = self.mem.read_u32(pc);
+                let instr = Instruction::decode(word)
+                    .map_err(|_| Trap::InvalidInstruction { pc, word })?;
+                if self.config.predecode {
+                    self.predecode.fill(pc, word, instr);
+                }
+                instr
+            }
+        };
 
         self.counters.instructions += 1;
         let event = self.execute(pc, instr)?;
@@ -330,16 +366,28 @@ impl Cpu {
         Ok(StepEvent::Retired)
     }
 
+    #[inline]
+    fn predecode_fetch(&mut self, pc: u64) -> Option<Instruction> {
+        if self.config.predecode {
+            self.predecode.fetch(pc, &self.mem)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
     fn stall2(&self, rs1: Reg, rs2: Reg) -> u64 {
         self.now
             .max(self.ready[rs1.number() as usize])
             .max(self.ready[rs2.number() as usize])
     }
 
+    #[inline]
     fn stall1(&self, rs1: Reg) -> u64 {
         self.now.max(self.ready[rs1.number() as usize])
     }
 
+    #[inline]
     fn set_ready(&mut self, rd: Reg, at: u64) {
         if !rd.is_zero() {
             self.ready[rd.number() as usize] = at;
@@ -421,6 +469,7 @@ impl Cpu {
                     MemWidth::Word => self.mem.write_u32(addr, v as u32),
                     MemWidth::Double => self.mem.write_u64(addr, v),
                 }
+                self.predecode.note_store(addr, width.bytes());
                 self.counters.stores += 1;
                 let extra = self.dmem_access(addr, true);
                 self.now = t + 1 + extra;
@@ -516,6 +565,7 @@ impl Cpu {
                 let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
                 self.check_align(pc, addr, 8)?;
                 self.mem.write_u64(addr, self.regs.read_f(rs2));
+                self.predecode.note_store(addr, 8);
                 self.counters.stores += 1;
                 let extra = self.dmem_access(addr, true);
                 self.now = t + 1 + extra;
@@ -586,8 +636,10 @@ impl Cpu {
                     Inserted::WithTagDword { value, tag_dword } => {
                         self.mem.write_u64(addr, value);
                         self.mem.write_u64(tag_addr, tag_dword);
+                        self.predecode.note_store(tag_addr, 8);
                     }
                 }
+                self.predecode.note_store(addr, 8);
                 self.counters.stores += 1;
                 self.counters.tagged_mem += 1;
                 let mut extra = self.dmem_access(addr, true);

@@ -70,6 +70,7 @@ mod config;
 mod counters;
 mod cpu;
 mod ctxsw;
+mod predecode;
 mod regfile;
 mod tagio;
 mod trt;
@@ -79,6 +80,7 @@ pub use config::{BranchConfig, CoreConfig, IsaLevel, LatencyConfig};
 pub use counters::PerfCounters;
 pub use cpu::{canonical_f64_bits, Cpu, StepEvent, Trap};
 pub use ctxsw::TypedState;
+pub use predecode::{PredecodeStats, PredecodeTable};
 pub use regfile::{RegFile, TaggedValue, UNTYPED_TAG};
 pub use tagio::{is_nan_boxed, Inserted, SprState, TagDword, NANBOX_FP_TAG};
 pub use trt::TypeRuleTable;

@@ -1,0 +1,286 @@
+//! Predecoded-instruction side table: the simulator's fetch fast path.
+//!
+//! [`Cpu::step`](crate::Cpu::step) used to re-read the raw text word and
+//! run `Instruction::decode` on every retired instruction. Both are pure
+//! *host-side* overhead — the architectural model charges the I-cache,
+//! I-TLB and DRAM regardless of how the host obtains the decoded form —
+//! so this module caches the decode: a dense table of decoded
+//! [`Instruction`]s indexed by `(pc - text_base) >> 2`, filled lazily the
+//! first time each word is executed.
+//!
+//! Correctness under mutation:
+//!
+//! * **Guest stores** into the text range invalidate exactly the
+//!   overlapping word slots (see [`PredecodeTable::note_store`]), so
+//!   self-modifying code observes its own writes on the next fetch.
+//! * **Host writes** (native helpers poking simulated memory through
+//!   `Cpu::mem_mut`) are coarser: the table's epoch is bumped
+//!   ([`PredecodeTable::mark_stale`]) and every slot revalidates its
+//!   cached raw word against memory on next use — an `O(1)` check per
+//!   slot that avoids re-decoding when (as almost always) the helper did
+//!   not touch text.
+//! * [`PredecodeTable::flush`] drops every slot outright, mirroring the
+//!   `flush_trt` "invalidate derived state wholesale" semantics for
+//!   tests and context switches.
+//!
+//! Fetches outside the text range simply miss the table and fall back to
+//! the read-and-decode slow path, so dynamically placed code still runs
+//! (one decode per execution, exactly the old cost).
+
+use tarch_isa::Instruction;
+use tarch_mem::MainMemory;
+
+/// One predecoded word: the raw text word it was decoded from, the epoch
+/// it was last validated in, and the decoded form.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    word: u32,
+    epoch: u64,
+    instr: Instruction,
+}
+
+/// Running effectiveness statistics (host-side only; not architectural).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredecodeStats {
+    /// Fetches served from the table without touching simulated memory.
+    pub hits: u64,
+    /// Fetches that decoded and filled a slot.
+    pub fills: u64,
+    /// Slots invalidated by guest stores into the text range.
+    pub invalidations: u64,
+    /// Slots revalidated (word unchanged) after a host-write epoch bump.
+    pub revalidations: u64,
+}
+
+/// Lazily filled decode cache for the text segment.
+#[derive(Debug, Default)]
+pub struct PredecodeTable {
+    base: u64,
+    limit: u64,
+    slots: Vec<Option<Slot>>,
+    epoch: u64,
+    stats: PredecodeStats,
+}
+
+impl PredecodeTable {
+    /// An empty table covering no addresses (every fetch misses).
+    pub fn new() -> PredecodeTable {
+        PredecodeTable::default()
+    }
+
+    /// Re-targets the table at a freshly loaded text segment of
+    /// `text_words` 32-bit words starting at `base`, dropping all slots.
+    pub fn reset(&mut self, base: u64, text_words: usize) {
+        self.base = base;
+        self.limit = base + 4 * text_words as u64;
+        self.slots.clear();
+        self.slots.resize(text_words, None);
+        self.epoch = 0;
+    }
+
+    /// Effectiveness statistics.
+    pub fn stats(&self) -> PredecodeStats {
+        self.stats
+    }
+
+    /// Whether `pc` falls inside the covered text range.
+    #[inline]
+    pub fn covers(&self, pc: u64) -> bool {
+        pc >= self.base && pc < self.limit
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc - self.base) >> 2) as usize
+    }
+
+    /// Fetches the decoded instruction at `pc`, if the table has a valid
+    /// slot for it. Revalidates the slot against `mem` when a host write
+    /// has bumped the epoch since the slot was last used.
+    #[inline]
+    pub fn fetch(&mut self, pc: u64, mem: &MainMemory) -> Option<Instruction> {
+        if !self.covers(pc) {
+            return None;
+        }
+        let epoch = self.epoch;
+        let idx = self.index(pc);
+        let slot = self.slots[idx].as_mut()?;
+        if slot.epoch != epoch {
+            // A host write happened since this slot was last used; its
+            // cached word may no longer match memory.
+            if mem.read_u32(pc) != slot.word {
+                self.slots[idx] = None;
+                return None;
+            }
+            slot.epoch = epoch;
+            self.stats.revalidations += 1;
+        }
+        self.stats.hits += 1;
+        Some(slot.instr)
+    }
+
+    /// Records a freshly decoded instruction for `pc` (no-op outside the
+    /// text range).
+    #[inline]
+    pub fn fill(&mut self, pc: u64, word: u32, instr: Instruction) {
+        if self.covers(pc) {
+            let idx = self.index(pc);
+            self.slots[idx] = Some(Slot {
+                word,
+                epoch: self.epoch,
+                instr,
+            });
+            self.stats.fills += 1;
+        }
+    }
+
+    /// Invalidates every slot overlapping a guest store of `len` bytes at
+    /// `addr`. Called on the store path, so it must be cheap when the
+    /// store misses the text range (the common case: one compare).
+    #[inline]
+    pub fn note_store(&mut self, addr: u64, len: u64) {
+        // `end` is inclusive so an 8-byte store at limit-4 still clips.
+        let end = addr.wrapping_add(len - 1);
+        if end < self.base || addr >= self.limit {
+            return;
+        }
+        let first = self.index(addr.max(self.base));
+        let last = self.index(end.min(self.limit - 1));
+        for slot in &mut self.slots[first..=last] {
+            if slot.take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Marks every slot as needing revalidation (a host may have written
+    /// arbitrary memory through `Cpu::mem_mut`).
+    #[inline]
+    pub fn mark_stale(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Drops every cached slot (keeps the covered range and statistics).
+    pub fn flush(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarch_isa::{AluImmOp, Reg};
+
+    fn instr(imm: i32) -> (u32, Instruction) {
+        let i = Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm,
+        };
+        (i.encode().unwrap(), i)
+    }
+
+    fn table() -> (PredecodeTable, MainMemory) {
+        let mut t = PredecodeTable::new();
+        t.reset(0x1000, 4);
+        (t, MainMemory::new())
+    }
+
+    #[test]
+    fn fill_then_fetch_round_trips() {
+        let (mut t, mem) = table();
+        let (word, i) = instr(7);
+        assert_eq!(t.fetch(0x1000, &mem), None);
+        t.fill(0x1000, word, i);
+        assert_eq!(t.fetch(0x1000, &mem), Some(i));
+        assert_eq!(t.stats().fills, 1);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn out_of_range_is_a_miss_and_fill_is_ignored() {
+        let (mut t, mem) = table();
+        let (word, i) = instr(1);
+        t.fill(0x0ffc, word, i);
+        t.fill(0x1010, word, i);
+        assert_eq!(t.fetch(0x0ffc, &mem), None);
+        assert_eq!(t.fetch(0x1010, &mem), None);
+        assert_eq!(t.stats().fills, 0);
+    }
+
+    #[test]
+    fn store_invalidates_exactly_the_overlapping_words() {
+        let (mut t, mem) = table();
+        let (word, i) = instr(2);
+        for pc in [0x1000u64, 0x1004, 0x1008, 0x100c] {
+            t.fill(pc, word, i);
+        }
+        // 8-byte store covering words 1 and 2.
+        t.note_store(0x1004, 8);
+        assert_eq!(t.fetch(0x1000, &mem), Some(i));
+        assert_eq!(t.fetch(0x1004, &mem), None);
+        assert_eq!(t.fetch(0x1008, &mem), None);
+        assert_eq!(t.fetch(0x100c, &mem), Some(i));
+        assert_eq!(t.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn store_straddling_the_range_edges_clips() {
+        let (mut t, mem) = table();
+        let (word, i) = instr(3);
+        t.fill(0x1000, word, i);
+        t.fill(0x100c, word, i);
+        t.note_store(0x0ffe, 4); // straddles the low edge
+        assert_eq!(t.fetch(0x1000, &mem), None);
+        t.note_store(0x100e, 8); // straddles the high edge
+        assert_eq!(t.fetch(0x100c, &mem), None);
+        t.note_store(0x2000, 8); // entirely outside: no-op
+        t.note_store(0x0f00, 8);
+    }
+
+    #[test]
+    fn stale_epoch_revalidates_against_memory() {
+        let (mut t, mut mem) = table();
+        let (word, i) = instr(4);
+        mem.write_u32(0x1000, word);
+        t.fill(0x1000, word, i);
+        t.mark_stale();
+        // Word unchanged: revalidates, no re-decode needed.
+        assert_eq!(t.fetch(0x1000, &mem), Some(i));
+        assert_eq!(t.stats().revalidations, 1);
+        // Host rewrites the word: next fetch after an epoch bump misses.
+        let (word2, i2) = instr(5);
+        mem.write_u32(0x1000, word2);
+        t.mark_stale();
+        assert_eq!(t.fetch(0x1000, &mem), None);
+        t.fill(0x1000, word2, i2);
+        assert_eq!(t.fetch(0x1000, &mem), Some(i2));
+    }
+
+    #[test]
+    fn flush_drops_everything_but_keeps_range() {
+        let (mut t, mem) = table();
+        let (word, i) = instr(6);
+        t.fill(0x1008, word, i);
+        t.flush();
+        assert_eq!(t.fetch(0x1008, &mem), None);
+        assert!(t.covers(0x1008));
+        t.fill(0x1008, word, i);
+        assert_eq!(t.fetch(0x1008, &mem), Some(i));
+    }
+
+    #[test]
+    fn reset_retargets_the_table() {
+        let (mut t, mem) = table();
+        let (word, i) = instr(8);
+        t.fill(0x1000, word, i);
+        t.reset(0x4000, 2);
+        assert!(!t.covers(0x1000));
+        assert!(t.covers(0x4004));
+        assert!(!t.covers(0x4008));
+        assert_eq!(t.fetch(0x4000, &mem), None);
+    }
+}

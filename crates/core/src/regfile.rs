@@ -73,11 +73,13 @@ impl RegFile {
     }
 
     /// Reads a unified register (x0 reads as untyped zero).
+    #[inline]
     pub fn read(&self, r: Reg) -> TaggedValue {
         self.x[r.number() as usize]
     }
 
     /// Writes a unified register; writes to x0 are dropped.
+    #[inline]
     pub fn write(&mut self, r: Reg, value: TaggedValue) {
         if !r.is_zero() {
             self.x[r.number() as usize] = value;
@@ -85,12 +87,14 @@ impl RegFile {
     }
 
     /// Writes only the value field, marking the register untyped.
+    #[inline]
     pub fn write_untyped(&mut self, r: Reg, v: u64) {
         self.write(r, TaggedValue::untyped(v));
     }
 
     /// Writes only the tag (and derived F/I̅ bit), preserving the value —
     /// the `tset` datapath.
+    #[inline]
     pub fn write_tag(&mut self, r: Reg, t: u8) {
         if !r.is_zero() {
             let e = &mut self.x[r.number() as usize];
@@ -100,21 +104,25 @@ impl RegFile {
     }
 
     /// Reads an FP register's raw bits.
+    #[inline]
     pub fn read_f(&self, r: FReg) -> u64 {
         self.f[r.number() as usize]
     }
 
     /// Reads an FP register as a double.
+    #[inline]
     pub fn read_f64(&self, r: FReg) -> f64 {
         f64::from_bits(self.f[r.number() as usize])
     }
 
     /// Writes an FP register's raw bits.
+    #[inline]
     pub fn write_f(&mut self, r: FReg, bits: u64) {
         self.f[r.number() as usize] = bits;
     }
 
     /// Writes an FP register from a double.
+    #[inline]
     pub fn write_f64(&mut self, r: FReg, value: f64) {
         self.f[r.number() as usize] = value.to_bits();
     }

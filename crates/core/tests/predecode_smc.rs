@@ -1,0 +1,100 @@
+//! Self-modifying-code correctness for the predecode engine.
+//!
+//! The predecoded-instruction table caches decoded text words; these tests
+//! prove the two invalidation paths work end to end: guest stores into the
+//! text segment (`sw` over an instruction) and host writes through
+//! `Cpu::mem_mut`. In both cases re-executing the patched address must
+//! observe the new instruction, and the architectural counters must match
+//! a run with predecoding disabled.
+
+use tarch_core::{CoreConfig, Cpu, StepEvent};
+use tarch_isa::text::assemble;
+use tarch_isa::{AluImmOp, Instruction, Reg};
+
+const TEXT_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x2_0000;
+
+fn addi_a0(imm: i32) -> u32 {
+    Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm }
+        .encode()
+        .expect("encodable")
+}
+
+/// The first instruction (at exactly `TEXT_BASE`) is the patch target:
+/// pass one executes `addi a0, a0, 1`, stores a replacement word over it,
+/// and loops; pass two must execute the replacement.
+const SMC_SRC: &str = "
+top:
+    addi a0, a0, 1      # patch target: rewritten to addi a0, a0, 100
+    bnez s2, done
+    li   s2, 1
+    li   s3, 0x20000    # data base: holds the replacement word
+    lw   t0, 0(s3)
+    li   s4, 0x1000     # text base: address of the patch target
+    sw   t0, 0(s4)
+    bnez s2, top
+done:
+    halt
+";
+
+fn run_smc(predecode: bool) -> Cpu {
+    let mut program = assemble(SMC_SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    assert_eq!(program.text[0], addi_a0(1), "patch target must sit at TEXT_BASE");
+    program.data = addi_a0(100).to_le_bytes().to_vec();
+    let mut cpu = Cpu::new(CoreConfig { predecode, ..CoreConfig::paper() });
+    cpu.load_program(&program);
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    cpu
+}
+
+#[test]
+fn guest_store_into_text_is_observed() {
+    let cpu = run_smc(true);
+    // 1 from the original instruction, 100 from its replacement.
+    assert_eq!(cpu.regs().read(Reg::A0).v, 101);
+    assert!(
+        cpu.predecode_stats().invalidations > 0,
+        "the store over the patch target must invalidate its slot"
+    );
+}
+
+#[test]
+fn smc_counters_match_decode_every_step() {
+    let on = run_smc(true);
+    let off = run_smc(false);
+    assert_eq!(off.regs().read(Reg::A0).v, 101, "reference run must also see the patch");
+    assert_eq!(on.counters(), off.counters());
+    assert_eq!(on.branch_stats(), off.branch_stats());
+    assert_eq!(off.predecode_stats().hits, 0, "predecode off must never serve a fetch");
+}
+
+#[test]
+fn host_write_through_mem_mut_is_observed() {
+    let src = "
+    top:
+        addi a0, a0, 1      # patched by the host after the first pass
+        addi s1, s1, -1
+        bnez s1, top
+        halt
+    ";
+    let program = assemble(src, TEXT_BASE, DATA_BASE).expect("assembles");
+    assert_eq!(program.text[0], addi_a0(1));
+    let mut cpu = Cpu::new(CoreConfig::paper());
+    cpu.load_program(&program);
+    cpu.regs_mut().write_untyped(Reg::S1, 2);
+    // First pass: three instructions, all of which fill predecode slots.
+    for _ in 0..3 {
+        assert_eq!(cpu.step().expect("no trap"), StepEvent::Retired);
+    }
+    assert_eq!(cpu.regs().read(Reg::A0).v, 1);
+    // A native helper rewrites the patch target behind the table's back.
+    cpu.mem_mut().write_u32(TEXT_BASE, addi_a0(100));
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    assert_eq!(cpu.regs().read(Reg::A0).v, 101);
+    let stats = cpu.predecode_stats();
+    assert!(stats.hits > 0, "the unpatched loop body must hit the table");
+    assert!(
+        stats.revalidations > 0,
+        "untouched slots must revalidate (not re-decode) after the host write"
+    );
+}

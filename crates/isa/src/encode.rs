@@ -135,68 +135,173 @@ fn check_word_offset(mnemonic: &'static str, offset: i32, bits: u32) -> Result<i
     Ok(words)
 }
 
+#[inline]
 fn field(value: u32, lo: u32, bits: u32) -> u32 {
     (value & ((1 << bits) - 1)) << lo
 }
 
+#[inline]
 fn extract(word: u32, lo: u32, bits: u32) -> u32 {
     (word >> lo) & ((1 << bits) - 1)
 }
 
+#[inline]
 fn extract_signed(word: u32, lo: u32, bits: u32) -> i32 {
     let raw = extract(word, lo, bits);
     let shift = 32 - bits;
     ((raw << shift) as i32) >> shift
 }
 
+#[inline]
 fn enc_major(op: u32) -> u32 {
     field(op, 25, 7)
 }
 
+#[inline]
 fn enc_rd(r: Reg) -> u32 {
     field(r.number() as u32, 20, 5)
 }
 
+#[inline]
 fn enc_rs1(r: Reg) -> u32 {
     field(r.number() as u32, 15, 5)
 }
 
+#[inline]
 fn enc_rs2(r: Reg) -> u32 {
     field(r.number() as u32, 10, 5)
 }
 
+#[inline]
 fn enc_frd(r: FReg) -> u32 {
     field(r.number() as u32, 20, 5)
 }
 
+#[inline]
 fn enc_frs1(r: FReg) -> u32 {
     field(r.number() as u32, 15, 5)
 }
 
+#[inline]
 fn enc_frs2(r: FReg) -> u32 {
     field(r.number() as u32, 10, 5)
 }
 
+#[inline]
 fn enc_imm15(imm: i32) -> u32 {
     field(imm as u32, 0, 15)
 }
 
+#[inline]
 fn enc_imm20(imm: i32) -> u32 {
     field(imm as u32, 0, 20)
 }
 
 /// Encodes a branch word-offset into the split `[24:20]++[9:0]` field.
+#[inline]
 fn enc_branch_off(words: i64) -> u32 {
     let w = words as u32;
     field(w >> 10, 20, 5) | field(w, 0, 10)
 }
 
+#[inline]
 fn dec_branch_off(word: u32) -> i32 {
     let raw = (extract(word, 20, 5) << 10) | extract(word, 0, 10);
     let shift = 32 - 15;
     let words = ((raw << shift) as i32) >> shift;
     words * 4
 }
+
+/// Decoded shape of a major opcode: which instruction format it selects,
+/// with range-based majors (ALU-immediate, branches, loads, stores)
+/// pre-resolved to their variant payload.
+#[derive(Debug, Clone, Copy)]
+enum MajorKind {
+    Invalid,
+    Alu,
+    AluImm(u8),
+    Lui,
+    Load { width: MemWidth, signed: bool },
+    Store(MemWidth),
+    Branch(u8),
+    Jal,
+    Jalr,
+    FpLoad,
+    FpStore,
+    Fpu,
+    FpCmp,
+    FcvtDL,
+    FcvtLD,
+    FmvXD,
+    FmvDX,
+    Tld,
+    Tsd,
+    Typed,
+    SetSpr,
+    FlushTrt,
+    Thdl,
+    Tchk,
+    Tget,
+    Tset,
+    Chklb,
+    Csrr,
+    Ecall,
+    Halt,
+}
+
+/// Major-opcode dispatch table: decode's first step is one indexed load
+/// instead of a chain of range compares. Built at compile time; the 7-bit
+/// major field indexes it directly.
+const MAJOR_KINDS: [MajorKind; 128] = {
+    let mut t = [MajorKind::Invalid; 128];
+    t[OP_ALU as usize] = MajorKind::Alu;
+    let mut i = 0u32;
+    while i < 13 {
+        t[(OP_ALUIMM_BASE + i) as usize] = MajorKind::AluImm(i as u8);
+        i += 1;
+    }
+    t[OP_LUI as usize] = MajorKind::Lui;
+    t[OP_LB as usize] = MajorKind::Load { width: MemWidth::Byte, signed: true };
+    t[OP_LBU as usize] = MajorKind::Load { width: MemWidth::Byte, signed: false };
+    t[OP_LH as usize] = MajorKind::Load { width: MemWidth::Half, signed: true };
+    t[OP_LHU as usize] = MajorKind::Load { width: MemWidth::Half, signed: false };
+    t[OP_LW as usize] = MajorKind::Load { width: MemWidth::Word, signed: true };
+    t[OP_LWU as usize] = MajorKind::Load { width: MemWidth::Word, signed: false };
+    t[OP_LD as usize] = MajorKind::Load { width: MemWidth::Double, signed: true };
+    t[OP_SB as usize] = MajorKind::Store(MemWidth::Byte);
+    t[OP_SH as usize] = MajorKind::Store(MemWidth::Half);
+    t[OP_SW as usize] = MajorKind::Store(MemWidth::Word);
+    t[OP_SD as usize] = MajorKind::Store(MemWidth::Double);
+    let mut i = 0u32;
+    while i < 6 {
+        t[(OP_BRANCH_BASE + i) as usize] = MajorKind::Branch(i as u8);
+        i += 1;
+    }
+    t[OP_JAL as usize] = MajorKind::Jal;
+    t[OP_JALR as usize] = MajorKind::Jalr;
+    t[OP_FLD as usize] = MajorKind::FpLoad;
+    t[OP_FSD as usize] = MajorKind::FpStore;
+    t[OP_FPU as usize] = MajorKind::Fpu;
+    t[OP_FPCMP as usize] = MajorKind::FpCmp;
+    t[OP_FCVT_D_L as usize] = MajorKind::FcvtDL;
+    t[OP_FCVT_L_D as usize] = MajorKind::FcvtLD;
+    t[OP_FMV_X_D as usize] = MajorKind::FmvXD;
+    t[OP_FMV_D_X as usize] = MajorKind::FmvDX;
+    t[OP_TLD as usize] = MajorKind::Tld;
+    t[OP_TSD as usize] = MajorKind::Tsd;
+    t[OP_TYPED as usize] = MajorKind::Typed;
+    t[OP_SETSPR as usize] = MajorKind::SetSpr;
+    t[OP_FLUSH_TRT as usize] = MajorKind::FlushTrt;
+    t[OP_THDL as usize] = MajorKind::Thdl;
+    t[OP_TCHK as usize] = MajorKind::Tchk;
+    t[OP_TGET as usize] = MajorKind::Tget;
+    t[OP_TSET as usize] = MajorKind::Tset;
+    t[OP_CHKLB as usize] = MajorKind::Chklb;
+    t[OP_CSRR as usize] = MajorKind::Csrr;
+    t[OP_ECALL as usize] = MajorKind::Ecall;
+    t[OP_HALT as usize] = MajorKind::Halt;
+    t
+};
 
 fn load_op(width: MemWidth, signed: bool) -> u32 {
     match (width, signed) {
@@ -357,7 +462,9 @@ impl Instruction {
     /// Returns [`DecodeError`] if the major opcode or a sub-opcode field is
     /// invalid.
     pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
-        let major = extract(word, 25, 7);
+        // The 7-bit major field indexes MAJOR_KINDS directly (no bounds
+        // check survives: the extract masks to < 128).
+        let kind = MAJOR_KINDS[extract(word, 25, 7) as usize];
         let rd = Reg::from_field(extract(word, 20, 5));
         let rs1 = Reg::from_field(extract(word, 15, 5));
         let rs2 = Reg::from_field(extract(word, 10, 5));
@@ -369,81 +476,64 @@ impl Instruction {
         let sub = extract(word, 0, 10) as usize;
         let bad = || DecodeError { word };
 
-        let instr = match major {
-            OP_ALU => {
+        let instr = match kind {
+            MajorKind::Alu => {
                 let op = *AluOp::ALL.get(sub).ok_or_else(bad)?;
                 Instruction::Alu { op, rd, rs1, rs2 }
             }
-            op if (OP_ALUIMM_BASE..OP_ALUIMM_BASE + 13).contains(&op) => {
-                let aop = AluImmOp::ALL[(op - OP_ALUIMM_BASE) as usize];
+            MajorKind::AluImm(idx) => {
+                let aop = AluImmOp::ALL[idx as usize];
                 let imm = if aop.is_shift() { extract(word, 0, 6) as i32 } else { imm15 };
                 Instruction::AluImm { op: aop, rd, rs1, imm }
             }
-            OP_LUI => Instruction::Lui { rd, imm: imm20 },
-            OP_LB | OP_LBU | OP_LH | OP_LHU | OP_LW | OP_LWU | OP_LD => {
-                let (width, signed) = match major {
-                    OP_LB => (MemWidth::Byte, true),
-                    OP_LBU => (MemWidth::Byte, false),
-                    OP_LH => (MemWidth::Half, true),
-                    OP_LHU => (MemWidth::Half, false),
-                    OP_LW => (MemWidth::Word, true),
-                    OP_LWU => (MemWidth::Word, false),
-                    _ => (MemWidth::Double, true),
-                };
+            MajorKind::Lui => Instruction::Lui { rd, imm: imm20 },
+            MajorKind::Load { width, signed } => {
                 Instruction::Load { width, signed, rd, rs1, imm: imm15 }
             }
-            OP_SB | OP_SH | OP_SW | OP_SD => {
-                let width = match major {
-                    OP_SB => MemWidth::Byte,
-                    OP_SH => MemWidth::Half,
-                    OP_SW => MemWidth::Word,
-                    _ => MemWidth::Double,
-                };
-                Instruction::Store { width, rs2: rd, rs1, imm: imm15 }
-            }
-            op if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&op) => {
-                let cond = BranchCond::ALL[(op - OP_BRANCH_BASE) as usize];
+            MajorKind::Store(width) => Instruction::Store { width, rs2: rd, rs1, imm: imm15 },
+            MajorKind::Branch(idx) => {
+                let cond = BranchCond::ALL[idx as usize];
                 Instruction::Branch { cond, rs1, rs2, offset: dec_branch_off(word) }
             }
-            OP_JAL => Instruction::Jal { rd, offset: imm20 * 4 },
-            OP_JALR => Instruction::Jalr { rd, rs1, imm: imm15 },
-            OP_FLD => Instruction::FpLoad { rd: frd, rs1, imm: imm15 },
-            OP_FSD => Instruction::FpStore { rs2: frd, rs1, imm: imm15 },
-            OP_FPU => {
+            MajorKind::Jal => Instruction::Jal { rd, offset: imm20 * 4 },
+            MajorKind::Jalr => Instruction::Jalr { rd, rs1, imm: imm15 },
+            MajorKind::FpLoad => Instruction::FpLoad { rd: frd, rs1, imm: imm15 },
+            MajorKind::FpStore => Instruction::FpStore { rs2: frd, rs1, imm: imm15 },
+            MajorKind::Fpu => {
                 let op = *FpuOp::ALL.get(sub).ok_or_else(bad)?;
                 Instruction::Fpu { op, rd: frd, rs1: frs1, rs2: frs2 }
             }
-            OP_FPCMP => {
+            MajorKind::FpCmp => {
                 let op = *FpCmpOp::ALL.get(sub).ok_or_else(bad)?;
                 Instruction::FpCmp { op, rd, rs1: frs1, rs2: frs2 }
             }
-            OP_FCVT_D_L => Instruction::FcvtDL { rd: frd, rs1 },
-            OP_FCVT_L_D => Instruction::FcvtLD { rd, rs1: frs1 },
-            OP_FMV_X_D => Instruction::FmvXD { rd, rs1: frs1 },
-            OP_FMV_D_X => Instruction::FmvDX { rd: frd, rs1 },
-            OP_TLD => Instruction::Tld { rd, rs1, imm: imm15 },
-            OP_TSD => Instruction::Tsd { rs2: rd, rs1, imm: imm15 },
-            OP_TYPED => {
+            MajorKind::FcvtDL => Instruction::FcvtDL { rd: frd, rs1 },
+            MajorKind::FcvtLD => Instruction::FcvtLD { rd, rs1: frs1 },
+            MajorKind::FmvXD => Instruction::FmvXD { rd, rs1: frs1 },
+            MajorKind::FmvDX => Instruction::FmvDX { rd: frd, rs1 },
+            MajorKind::Tld => Instruction::Tld { rd, rs1, imm: imm15 },
+            MajorKind::Tsd => Instruction::Tsd { rs2: rd, rs1, imm: imm15 },
+            MajorKind::Typed => {
                 let op = *TypedAluOp::ALL.get(sub).ok_or_else(bad)?;
                 Instruction::Typed { op, rd, rs1, rs2 }
             }
-            OP_SETSPR => {
+            MajorKind::SetSpr => {
                 let spr = *Spr::ALL.get(sub).ok_or_else(bad)?;
                 Instruction::SetSpr { spr, rs1 }
             }
-            OP_FLUSH_TRT => Instruction::FlushTrt,
-            OP_THDL => Instruction::Thdl { offset: imm20 * 4 },
-            OP_TCHK => Instruction::Tchk { rs1, rs2 },
-            OP_TGET => Instruction::Tget { rd, rs1 },
-            OP_TSET => Instruction::Tset { rs1, rd },
-            OP_CHKLB => Instruction::Chklb { rd, rs1, imm: imm15 },
-            OP_CSRR => {
+            MajorKind::FlushTrt => Instruction::FlushTrt,
+            MajorKind::Thdl => Instruction::Thdl { offset: imm20 * 4 },
+            MajorKind::Tchk => Instruction::Tchk { rs1, rs2 },
+            MajorKind::Tget => Instruction::Tget { rd, rs1 },
+            MajorKind::Tset => Instruction::Tset { rs1, rd },
+            MajorKind::Chklb => Instruction::Chklb { rd, rs1, imm: imm15 },
+            MajorKind::Csrr => {
                 let csr = *Csr::ALL.get(sub).ok_or_else(bad)?;
                 Instruction::Csrr { rd, csr }
             }
-            OP_ECALL => Instruction::Ecall,
-            OP_HALT => Instruction::Halt,
-            _ => return Err(bad()),
+            MajorKind::Ecall => Instruction::Ecall,
+            MajorKind::Halt => Instruction::Halt,
+            MajorKind::Invalid => return Err(bad()),
         };
         Ok(instr)
     }

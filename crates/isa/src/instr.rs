@@ -191,6 +191,7 @@ pub enum MemWidth {
 
 impl MemWidth {
     /// Access size in bytes.
+    #[inline]
     pub fn bytes(self) -> u64 {
         match self {
             MemWidth::Byte => 1,

@@ -80,16 +80,19 @@ impl Reg {
     ///
     /// Used by the instruction decoder where the field is 5 bits by
     /// construction.
+    #[inline]
     pub fn from_field(n: u32) -> Reg {
         Reg((n & 0x1f) as u8)
     }
 
     /// The register number, 0–31.
+    #[inline]
     pub fn number(self) -> u8 {
         self.0
     }
 
     /// Whether this is the hard-wired zero register.
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -195,11 +198,13 @@ impl FReg {
     }
 
     /// Creates a register from a raw field value, masking to 5 bits.
+    #[inline]
     pub fn from_field(n: u32) -> FReg {
         FReg((n & 0x1f) as u8)
     }
 
     /// The register number, 0–31.
+    #[inline]
     pub fn number(self) -> u8 {
         self.0
     }

@@ -23,8 +23,11 @@ impl CacheConfig {
     }
 
     /// Number of sets.
+    ///
+    /// Computed with shifts; [`Cache::new`] asserts the power-of-two
+    /// geometry this relies on.
     pub fn sets(&self) -> u64 {
-        self.size_bytes / (self.ways as u64 * self.line_bytes)
+        self.size_bytes >> (self.ways.trailing_zeros() + self.line_bytes.trailing_zeros())
     }
 }
 
@@ -87,6 +90,7 @@ pub struct Cache {
     tick: u64,
     set_shift: u32,
     set_mask: u64,
+    tag_shift: u32,
 }
 
 impl Cache {
@@ -96,16 +100,34 @@ impl Cache {
     ///
     /// Panics if the geometry is not power-of-two sized.
     pub fn new(config: CacheConfig) -> Cache {
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "cache line size must be a power of two, got {} bytes",
+            config.line_bytes
+        );
+        assert!(
+            config.ways.is_power_of_two(),
+            "cache associativity must be a power of two, got {} ways",
+            config.ways
+        );
         let sets = config.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "cache set count must be a nonzero power of two, got {sets} \
+             ({} bytes / {} ways / {} bytes per line)",
+            config.size_bytes,
+            config.ways,
+            config.line_bytes
+        );
+        let set_shift = config.line_bytes.trailing_zeros();
         Cache {
             config,
             lines: vec![Line::default(); (sets * config.ways as u64) as usize],
             stats: CacheStats::default(),
             tick: 0,
-            set_shift: config.line_bytes.trailing_zeros(),
+            set_shift,
             set_mask: sets - 1,
+            tag_shift: set_shift + sets.trailing_zeros(),
         }
     }
 
@@ -126,14 +148,16 @@ impl Cache {
         }
     }
 
+    #[inline]
     fn set_range(&self, addr: u64) -> (usize, u64) {
         let set = ((addr >> self.set_shift) & self.set_mask) as usize;
-        let tag = addr >> self.set_shift >> self.set_mask.count_ones();
+        let tag = addr >> self.tag_shift;
         (set * self.config.ways as usize, tag)
     }
 
     /// Performs one access; allocates on miss and reports any dirty
     /// eviction.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheAccess {
         self.tick += 1;
         self.stats.accesses += 1;
@@ -162,7 +186,7 @@ impl Cache {
             self.stats.writebacks += 1;
             // Reconstruct the evicted line's address.
             let set = (victim / ways) as u64;
-            Some((line.tag << self.set_mask.count_ones() | set) << self.set_shift)
+            Some((line.tag << self.tag_shift) | (set << self.set_shift))
         } else {
             None
         };
@@ -172,6 +196,7 @@ impl Cache {
 
     /// Whether the line containing `addr` is currently resident (no state
     /// change; used by tests).
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
         let (base, tag) = self.set_range(addr);
         self.lines[base..base + self.config.ways as usize]

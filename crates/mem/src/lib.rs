@@ -37,5 +37,5 @@ mod tlb;
 
 pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
 pub use dram::{DramConfig, DramModel, DramStats};
-pub use phys::{MainMemory, PAGE_SIZE};
+pub use phys::{MainMemory, PAGE_SHIFT, PAGE_SIZE};
 pub use tlb::{Tlb, TlbStats};

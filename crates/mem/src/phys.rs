@@ -5,10 +5,42 @@
 //! zeroes, like zero-initialised DRAM after loader scrubbing.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-const PAGE_SHIFT: u32 = 12;
+/// Log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
 /// Page size in bytes (4 KiB).
 pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Fibonacci (multiply-shift) hasher for page numbers.
+///
+/// Page numbers are small, near-sequential integers under the simulator's
+/// identity address map; SipHash's DoS resistance buys nothing here and its
+/// cost shows up on every simulated memory access. One multiply spreads
+/// consecutive keys across the table's high bits (which hashbrown's control
+/// bytes consume) just as well.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("page-number keys hash via write_u64");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // 2^64 / phi, the classic Fibonacci-hashing multiplier.
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
 
 /// Sparse little-endian physical memory.
 ///
@@ -23,13 +55,13 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Default)]
 pub struct MainMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: PageMap,
 }
 
 impl MainMemory {
     /// Creates an empty memory.
     pub fn new() -> MainMemory {
-        MainMemory { pages: HashMap::new() }
+        MainMemory { pages: PageMap::default() }
     }
 
     /// Number of distinct pages touched so far.
@@ -37,15 +69,18 @@ impl MainMemory {
         self.pages.len()
     }
 
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
         self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
     }
 
+    #[inline]
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
         self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.page(addr) {
             Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
@@ -54,10 +89,12 @@ impl MainMemory {
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         self.page_mut(addr)[(addr & (PAGE_SIZE - 1)) as usize] = value;
     }
 
+    #[inline]
     fn read_le(&self, addr: u64, n: usize) -> u64 {
         let off = (addr & (PAGE_SIZE - 1)) as usize;
         if off + n <= PAGE_SIZE as usize {
@@ -78,6 +115,7 @@ impl MainMemory {
         }
     }
 
+    #[inline]
     fn write_le(&mut self, addr: u64, value: u64, n: usize) {
         let off = (addr & (PAGE_SIZE - 1)) as usize;
         if off + n <= PAGE_SIZE as usize {
@@ -91,31 +129,49 @@ impl MainMemory {
     }
 
     /// Reads a little-endian 16-bit value (may straddle pages).
+    #[inline]
     pub fn read_u16(&self, addr: u64) -> u16 {
         self.read_le(addr, 2) as u16
     }
 
     /// Reads a little-endian 32-bit value (may straddle pages).
+    ///
+    /// Word reads are the instruction-fetch path, so the in-page case
+    /// (every aligned fetch) goes straight to the page bytes without the
+    /// generic byte-composition machinery.
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
-        self.read_le(addr, 4) as u32
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - 4 {
+            match self.page(addr) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            }
+        } else {
+            self.read_le(addr, 4) as u32
+        }
     }
 
     /// Reads a little-endian 64-bit value (may straddle pages).
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         self.read_le(addr, 8)
     }
 
     /// Writes a little-endian 16-bit value.
+    #[inline]
     pub fn write_u16(&mut self, addr: u64, value: u16) {
         self.write_le(addr, value as u64, 2);
     }
 
     /// Writes a little-endian 32-bit value.
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         self.write_le(addr, value as u64, 4);
     }
 
     /// Writes a little-endian 64-bit value.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
         self.write_le(addr, value, 8);
     }

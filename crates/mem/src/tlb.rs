@@ -4,7 +4,7 @@
 //! The simulator uses an identity virtual→physical mapping, so the TLB only
 //! contributes hit/miss timing, which is what it models here.
 
-use crate::phys::PAGE_SIZE;
+use crate::phys::PAGE_SHIFT;
 
 /// Statistics for a TLB.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,10 +46,11 @@ impl Tlb {
 
     /// Looks up the page containing `addr`, filling on miss. Returns whether
     /// the lookup hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
-        let page = addr / PAGE_SIZE;
+        let page = addr >> PAGE_SHIFT;
         if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
             entry.1 = self.tick;
             return true;

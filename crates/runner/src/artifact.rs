@@ -28,18 +28,34 @@ pub struct BenchArtifact {
     pub scale: Scale,
     /// Per-job step budget in force.
     pub step_budget: u64,
+    /// Host throughput of this run: simulated instructions per host
+    /// microsecond (MIPS), aggregated over the jobs that actually
+    /// simulated (cached jobs carry no meaningful wall time). Zero when
+    /// every job was cached. Volatile — excluded from the fingerprint.
+    pub host_mips: f64,
     /// Every job outcome, in matrix order.
     pub outcomes: Vec<JobOutcome>,
 }
 
+/// Aggregate host throughput in MIPS over the non-cached outcomes.
+fn aggregate_mips(outcomes: &[JobOutcome]) -> f64 {
+    let (instructions, nanos) = outcomes
+        .iter()
+        .filter(|o| !o.cached && o.wall_nanos > 0)
+        .fold((0u64, 0u64), |(i, n), o| (i + o.result.counters.instructions, n + o.wall_nanos));
+    if nanos == 0 { 0.0 } else { instructions as f64 * 1e3 / nanos as f64 }
+}
+
 impl BenchArtifact {
-    /// Wraps a finished run, stamping the current time.
+    /// Wraps a finished run, stamping the current time and computing the
+    /// aggregate host throughput.
     pub fn new(scale: Scale, step_budget: u64, outcomes: Vec<JobOutcome>) -> BenchArtifact {
         let created_unix = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        BenchArtifact { created_unix, scale, step_budget, outcomes }
+        let host_mips = aggregate_mips(&outcomes);
+        BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes }
     }
 
     /// Default artifact filename, `BENCH_<unix-seconds>.json`.
@@ -61,6 +77,7 @@ impl BenchArtifact {
                 Json::Obj(vec![
                     ("cached".into(), Json::Bool(o.cached)),
                     ("wall_nanos".into(), Json::num(o.wall_nanos)),
+                    ("host_mips".into(), Json::num(o.steps_per_sec() / 1e6)),
                 ]),
             ),
         ])
@@ -99,6 +116,7 @@ impl BenchArtifact {
             ("created_unix".into(), Json::num(self.created_unix)),
             ("scale".into(), Json::str(self.scale.id())),
             ("step_budget".into(), Json::num(self.step_budget)),
+            ("host_mips".into(), Json::num(self.host_mips)),
             (
                 "jobs".into(),
                 Json::Arr(self.outcomes.iter().map(Self::job_to_json).collect()),
@@ -162,6 +180,8 @@ impl BenchArtifact {
         let scale = Scale::parse(doc.req_str("scale")?)
             .ok_or_else(|| format!("{}: unknown scale", path.display()))?;
         let step_budget = doc.req_u64("step_budget")?;
+        // Absent in pre-host_mips artifacts; tolerate and report zero.
+        let host_mips = doc.get("host_mips").and_then(Json::as_f64).unwrap_or(0.0);
         let jobs = doc
             .get("jobs")
             .and_then(Json::as_arr)
@@ -172,7 +192,7 @@ impl BenchArtifact {
                 Self::job_from_json(j).map_err(|e| format!("{} job {i}: {e}", path.display()))?,
             );
         }
-        Ok(BenchArtifact { created_unix, scale, step_budget, outcomes })
+        Ok(BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes })
     }
 }
 
@@ -251,6 +271,49 @@ mod tests {
         let mut c = BenchArtifact::new(Scale::Test, 5000, vec![outcome(1, false)]);
         c.outcomes[0].result.counters.cycles += 1;
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn host_mips_aggregates_simulated_jobs_only() {
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(5, false), outcome(9, true)]);
+        // Only the non-cached job counts: 10 instructions in 1005 ns.
+        let want = 10.0 * 1e3 / 1005.0;
+        assert!((a.host_mips - want).abs() < 1e-9, "{}", a.host_mips);
+        let back = write_read(&a, "mips");
+        assert!((back.host_mips - a.host_mips).abs() < 1e-9);
+        // Throughput is volatile: two runs differing only in wall time
+        // (and therefore in host_mips) fingerprint identically.
+        let mut slower =
+            BenchArtifact::new(Scale::Test, 100, vec![outcome(5, false), outcome(9, true)]);
+        slower.outcomes[0].wall_nanos *= 17;
+        slower.host_mips = aggregate_mips(&slower.outcomes);
+        assert_ne!(slower.host_mips, a.host_mips);
+        assert_eq!(slower.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn all_cached_run_has_zero_host_mips() {
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(3, true)]);
+        assert_eq!(a.host_mips, 0.0);
+    }
+
+    #[test]
+    fn missing_host_mips_reads_as_zero() {
+        // Artifacts written before the field existed must still load.
+        let a = BenchArtifact::new(Scale::Test, 1, vec![]);
+        let text: String = a
+            .to_json()
+            .to_pretty_string()
+            .lines()
+            .filter(|l| !l.contains("host_mips"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-nomips.json", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let back = BenchArtifact::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.host_mips, 0.0);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Counter-equivalence golden tests for the predecode engine.
+//!
+//! The predecoded-instruction table is a pure host-side optimisation: the
+//! architectural model — every `PerfCounters` field, the branch-predictor
+//! statistics, the final register state, program output — must be
+//! bit-identical whether fetches are served from the table or re-decoded
+//! from memory on every step. These tests run the *same* program with
+//! `CoreConfig::predecode` on and off and diff everything observable:
+//!
+//! * every `tarch_isa::samples::all_forms()` instruction, executed as a
+//!   tiny standalone program (covering every format's fetch/execute path,
+//!   including ones that trap or run into a bounded loop);
+//! * real Lua and JS workloads through the full simulated engines, at all
+//!   three ISA levels.
+
+use std::collections::BTreeMap;
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{BranchStats, CoreConfig, Cpu, PerfCounters, StepEvent, Trap};
+use tarch_isa::asm::Program;
+use tarch_isa::{samples, Instruction, Reg};
+
+const TEXT_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x2_0000;
+const FORM_STEPS: u64 = 200;
+const VM_STEPS: u64 = 2_000_000_000;
+
+fn config(predecode: bool) -> CoreConfig {
+    CoreConfig { predecode, ..CoreConfig::paper() }
+}
+
+/// Everything architecturally observable after a bounded run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcome: Result<StepEvent, Trap>,
+    counters: PerfCounters,
+    branch: BranchStats,
+    regs: Vec<u64>,
+    pc: u64,
+}
+
+/// Runs `instr` as a standalone `[instr, halt]` program with every
+/// integer register pointing at writable data, bounded by `FORM_STEPS`
+/// (branch forms can loop through zeroed memory; typed forms can redirect
+/// to a null handler — both are fine as long as the two runs agree).
+fn run_form(instr: Instruction, predecode: bool) -> Observed {
+    let program = Program {
+        text_base: TEXT_BASE,
+        text: vec![
+            instr.encode().expect("sample form encodes"),
+            Instruction::Halt.encode().expect("halt encodes"),
+        ],
+        data_base: DATA_BASE,
+        data: (0..=255u8).collect(),
+        entry: TEXT_BASE,
+        symbols: BTreeMap::new(),
+    };
+    let mut cpu = Cpu::new(config(predecode));
+    cpu.load_program(&program);
+    for n in 1..32 {
+        let r = Reg::new(n).expect("valid register");
+        cpu.regs_mut().write_untyped(r, DATA_BASE + 64);
+    }
+    let outcome = cpu.run(FORM_STEPS);
+    Observed {
+        outcome,
+        counters: *cpu.counters(),
+        branch: cpu.branch_stats(),
+        regs: (0..32).map(|n| cpu.regs().read(Reg::new(n).unwrap()).v).collect(),
+        pc: cpu.pc(),
+    }
+}
+
+#[test]
+fn every_sample_form_is_counter_identical() {
+    for instr in samples::all_forms() {
+        let on = run_form(instr, true);
+        let off = run_form(instr, false);
+        assert_eq!(on, off, "predecode on/off diverged for `{instr}`");
+    }
+}
+
+fn check_vm_equivalence(workload: &str) {
+    let w = workloads::by_name(workload).expect("known workload");
+    let src = w.source(Scale::Test);
+    let chunk = miniscript::parse(&src).expect("parses");
+    let module = luart::compile(&chunk).expect("compiles");
+
+    for level in tarch_core::IsaLevel::ALL {
+        let run_lua = |predecode: bool| {
+            let mut vm = luart::LuaVm::new(&module, level, config(predecode))
+                .unwrap_or_else(|e| panic!("{workload} luart {level}: {e}"));
+            vm.run(VM_STEPS).unwrap_or_else(|e| panic!("{workload} luart {level}: {e}"))
+        };
+        let on = run_lua(true);
+        let off = run_lua(false);
+        assert_eq!(on.output, off.output, "{workload}: luart {level} output diverged");
+        assert_eq!(on.counters, off.counters, "{workload}: luart {level} counters diverged");
+        assert_eq!(on.branch, off.branch, "{workload}: luart {level} branch stats diverged");
+
+        let run_js = |predecode: bool| {
+            let mut vm = jsrt::JsVm::from_source(&src, level, config(predecode))
+                .unwrap_or_else(|e| panic!("{workload} jsrt {level}: {e}"));
+            vm.run(VM_STEPS).unwrap_or_else(|e| panic!("{workload} jsrt {level}: {e}"))
+        };
+        let on = run_js(true);
+        let off = run_js(false);
+        assert_eq!(on.output, off.output, "{workload}: jsrt {level} output diverged");
+        assert_eq!(on.counters, off.counters, "{workload}: jsrt {level} counters diverged");
+        assert_eq!(on.branch, off.branch, "{workload}: jsrt {level} branch stats diverged");
+    }
+}
+
+#[test]
+fn lua_and_js_workload_counters_identical() {
+    check_vm_equivalence("fibo");
+}
+
+#[test]
+fn helper_heavy_workload_counters_identical() {
+    // string/table helpers go through `ecall`, whose native implementations
+    // write simulated memory via `mem_mut` — the epoch-revalidation path.
+    check_vm_equivalence("k-nucleotide");
+}
