@@ -1,0 +1,59 @@
+//! Host-performance A/B harness for the execution-engine fast paths.
+//!
+//! Runs the same workload under each fast-path configuration, interleaved
+//! round-robin so host load drift affects all configurations equally, and
+//! reports per-config MIPS. Used to attribute host speedups to individual
+//! fast paths (see EXPERIMENTS.md); architectural results are identical
+//! across rows by construction (tests/predecode_equiv.rs).
+//!
+//! Usage: engine_ab [workload] [rounds]
+
+use std::time::Instant;
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{CoreConfig, IsaLevel};
+
+const CONFIGS: [(&str, bool, bool, bool); 5] = [
+    // (name, predecode, blocks, mem_fast_paths)
+    ("naive", false, false, false),
+    ("predecode", true, false, false),
+    ("blocks", true, true, false),
+    ("mru", true, false, true),
+    ("all", true, true, true),
+];
+
+fn config(predecode: bool, blocks: bool, mem_fast_paths: bool) -> CoreConfig {
+    CoreConfig { predecode, blocks, mem_fast_paths, ..CoreConfig::paper() }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "spectral-norm".into());
+    let rounds: usize = args.next().map(|r| r.parse().expect("rounds")).unwrap_or(5);
+
+    let w = workloads::by_name(&workload).expect("known workload");
+    let src = w.source(Scale::Default);
+    let chunk = miniscript::parse(&src).expect("parses");
+    let module = luart::compile(&chunk).expect("compiles");
+
+    let mut mips: Vec<Vec<f64>> = vec![Vec::new(); CONFIGS.len()];
+    for round in 0..rounds {
+        for (i, (name, predecode, blocks, fast)) in CONFIGS.iter().enumerate() {
+            let cfg = config(*predecode, *blocks, *fast);
+            let mut vm = luart::LuaVm::new(&module, IsaLevel::Typed, cfg).expect("vm");
+            let start = Instant::now();
+            let report = vm.run(u64::MAX).expect("runs");
+            let secs = start.elapsed().as_secs_f64();
+            let m = report.counters.instructions as f64 / secs / 1e6;
+            mips[i].push(m);
+            println!("round {round} {name:10} {m:8.1} MIPS");
+        }
+    }
+    println!("\n{:10} {:>8} {:>8}", "config", "max", "median");
+    for (i, (name, ..)) in CONFIGS.iter().enumerate() {
+        let mut v = mips[i].clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let max = v.last().copied().unwrap_or(0.0);
+        let median = v[v.len() / 2];
+        println!("{name:10} {max:8.1} {median:8.1}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Runs the shipping configuration in a loop; profiling target.
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{CoreConfig, IsaLevel};
+
+fn main() {
+    let rounds: usize =
+        std::env::args().nth(1).and_then(|r| r.parse().ok()).unwrap_or(10);
+    let w = workloads::by_name("spectral-norm").expect("known workload");
+    let src = w.source(Scale::Default);
+    let chunk = miniscript::parse(&src).expect("parses");
+    let module = luart::compile(&chunk).expect("compiles");
+    let mut total = 0u64;
+    for _ in 0..rounds {
+        let mut vm =
+            luart::LuaVm::new(&module, IsaLevel::Typed, CoreConfig::paper()).expect("vm");
+        total += vm.run(u64::MAX).expect("runs").counters.instructions;
+    }
+    println!("{total} instructions");
+}

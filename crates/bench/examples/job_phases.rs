@@ -1,0 +1,51 @@
+//! Breaks one bench cell's wall time into host phases: parse, compile,
+//! VM build, and simulation. Diagnostic for where `host_mips` goes at
+//! small scales.
+
+use std::time::Instant;
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{CoreConfig, IsaLevel};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "spectral-norm".into());
+    let w = workloads::by_name(&workload).expect("known workload");
+    let src = w.source(Scale::Default);
+
+    for round in 0..3 {
+        let t0 = Instant::now();
+        let chunk = miniscript::parse(&src).expect("parses");
+        let t1 = Instant::now();
+        let module = luart::compile(&chunk).expect("compiles");
+        let t2 = Instant::now();
+        let mut vm =
+            luart::LuaVm::new(&module, IsaLevel::Typed, CoreConfig::paper()).expect("vm");
+        let t3 = Instant::now();
+        let report = vm.run(u64::MAX).expect("runs");
+        let t4 = Instant::now();
+        println!(
+            "lua round {round}: parse {:6.1}ms  compile {:6.1}ms  build {:6.1}ms  sim {:6.1}ms  ({} instrs, {:.1} sim-MIPS)",
+            (t1 - t0).as_secs_f64() * 1e3,
+            (t2 - t1).as_secs_f64() * 1e3,
+            (t3 - t2).as_secs_f64() * 1e3,
+            (t4 - t3).as_secs_f64() * 1e3,
+            report.counters.instructions,
+            report.counters.instructions as f64 / (t4 - t3).as_secs_f64() / 1e6,
+        );
+    }
+
+    for round in 0..3 {
+        let t0 = Instant::now();
+        let mut vm = jsrt::JsVm::from_source(&src, IsaLevel::Typed, CoreConfig::paper())
+            .expect("js vm");
+        let t1 = Instant::now();
+        let report = vm.run(u64::MAX).expect("runs");
+        let t2 = Instant::now();
+        println!(
+            "js  round {round}: front+build {:6.1}ms  sim {:6.1}ms  ({} instrs, {:.1} sim-MIPS)",
+            (t1 - t0).as_secs_f64() * 1e3,
+            (t2 - t1).as_secs_f64() * 1e3,
+            report.counters.instructions,
+            report.counters.instructions as f64 / (t2 - t1).as_secs_f64() / 1e6,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Compares the bench harness job path (`exec_job`, what `repro bench`
+//! times) against a direct in-process VM run of the same cell,
+//! interleaved. If these diverge, the bench path is paying costs the
+//! direct path does not.
+
+use std::time::Instant;
+use tarch_bench::harness::{exec_job, job_spec, EngineKind};
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{CoreConfig, IsaLevel};
+
+fn main() {
+    let w = workloads::by_name("spectral-norm").expect("known workload");
+    let src = w.source(Scale::Default);
+    let chunk = miniscript::parse(&src).expect("parses");
+    let module = luart::compile(&chunk).expect("compiles");
+    let spec = job_spec(&w, EngineKind::Lua, IsaLevel::Typed, Scale::Default, false);
+
+    for round in 0..5 {
+        let t0 = Instant::now();
+        let cell = exec_job(&spec, u64::MAX).expect("job runs");
+        let harness_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let harness_mips = cell.counters.instructions as f64 / harness_ms / 1e3;
+
+        let mut vm =
+            luart::LuaVm::new(&module, IsaLevel::Typed, CoreConfig::paper()).expect("vm");
+        let t1 = Instant::now();
+        let report = vm.run(u64::MAX).expect("runs");
+        let direct_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let direct_mips = report.counters.instructions as f64 / direct_ms / 1e3;
+
+        println!(
+            "round {round}: harness {harness_mips:6.1} MIPS ({harness_ms:6.1}ms)   direct {direct_mips:6.1} MIPS ({direct_ms:6.1}ms)"
+        );
+    }
+}

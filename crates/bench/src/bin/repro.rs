@@ -22,6 +22,10 @@
 //!   --emit-json PATH        write the run artifact to PATH
 //!   --from-json PATH        render figures from a BENCH_*.json artifact
 //!                           instead of simulating
+//!   --compare PATH          (bench) diff host throughput against a
+//!                           baseline artifact, per cell and aggregate
+//!   --min-ratio R           (bench, with --compare) exit nonzero when
+//!                           aggregate MIPS < R x the baseline's
 //!   --verbose | -v          progress + run statistics on stderr
 //! ```
 //!
@@ -31,7 +35,7 @@
 //! timestamped `BENCH_<unix>.json` artifact of the full matrix.
 
 use std::env;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tarch_bench::figures;
 use tarch_bench::harness::{default_cache_dir, Matrix, MatrixOptions, MAX_STEPS};
@@ -48,11 +52,14 @@ struct Opts {
     workload: Option<String>,
     emit_json: Option<PathBuf>,
     from_json: Option<PathBuf>,
+    compare: Option<PathBuf>,
+    min_ratio: Option<f64>,
 }
 
 const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench> \
                      [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
-                     [--emit-json PATH] [--from-json PATH] [--verbose]";
+                     [--emit-json PATH] [--from-json PATH] [--compare PATH] [--min-ratio R] \
+                     [--verbose]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -65,6 +72,8 @@ fn main() -> ExitCode {
         workload: None,
         emit_json: None,
         from_json: None,
+        compare: None,
+        min_ratio: None,
     };
     let mut command = None;
     let mut i = 0;
@@ -93,6 +102,12 @@ fn main() -> ExitCode {
                 "--workload" => opts.workload = Some(value(a)?),
                 "--emit-json" => opts.emit_json = Some(PathBuf::from(value(a)?)),
                 "--from-json" => opts.from_json = Some(PathBuf::from(value(a)?)),
+                "--compare" => opts.compare = Some(PathBuf::from(value(a)?)),
+                "--min-ratio" => {
+                    opts.min_ratio = Some(
+                        value(a)?.parse().map_err(|_| format!("{a} needs a ratio"))?,
+                    );
+                }
                 c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
                 other => return Err(format!("unexpected argument `{other}`")),
             }
@@ -108,6 +123,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if (opts.compare.is_some() || opts.min_ratio.is_some()) && command != "bench" {
+        eprintln!("error: --compare/--min-ratio only apply to `bench`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if opts.min_ratio.is_some() && opts.compare.is_none() {
+        eprintln!("error: --min-ratio needs --compare\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
 
     match run(&command, &opts) {
         Ok(()) => ExitCode::SUCCESS,
@@ -285,7 +308,64 @@ fn bench(opts: &Opts) -> Result<(), String> {
         run.outcomes.len(),
         run.stats.summary(),
     );
-    emit(opts, "bench", Some(&artifact))
+    emit(opts, "bench", Some(&artifact))?;
+    match &opts.compare {
+        Some(path) => compare_against(path, &artifact, opts.min_ratio),
+        None => Ok(()),
+    }
+}
+
+/// Renders the per-cell and aggregate host-throughput diff of `current`
+/// against the baseline artifact at `path`, and applies the `--min-ratio`
+/// regression gate when one was requested.
+fn compare_against(
+    path: &Path,
+    current: &BenchArtifact,
+    min_ratio: Option<f64>,
+) -> Result<(), String> {
+    let baseline = BenchArtifact::read(path)?;
+    let cmp = tarch_runner::compare(&baseline, current);
+    println!("\ncomparison against {}:", path.display());
+    println!(
+        "{:<16} {:<6} {:<13} {:>10} {:>10} {:>7}",
+        "workload", "engine", "level", "base MIPS", "cur MIPS", "ratio"
+    );
+    for c in &cmp.cells {
+        println!(
+            "{:<16} {:<6} {:<13} {:>10.1} {:>10.1} {:>6.2}x",
+            c.workload,
+            c.engine,
+            c.level,
+            c.base_mips,
+            c.cur_mips,
+            c.ratio(),
+        );
+    }
+    for name in &cmp.only_base {
+        println!("only in baseline: {name}");
+    }
+    for name in &cmp.only_current {
+        println!("only in current run: {name}");
+    }
+    println!(
+        "aggregate: {:.1} -> {:.1} MIPS ({:.2}x)",
+        cmp.base_aggregate,
+        cmp.cur_aggregate,
+        cmp.aggregate_ratio(),
+    );
+    if let Some(min) = min_ratio {
+        if !cmp.passes(min) {
+            return Err(format!(
+                "host throughput regression: aggregate {:.1} MIPS is below {min} x baseline \
+                 {:.1} MIPS (ratio {:.2})",
+                cmp.cur_aggregate,
+                cmp.base_aggregate,
+                cmp.aggregate_ratio(),
+            ));
+        }
+        println!("throughput gate: ratio {:.2} >= {min} (ok)", cmp.aggregate_ratio());
+    }
+    Ok(())
 }
 
 /// Quick end-to-end check of the parallel pipeline: a 2-workload matrix

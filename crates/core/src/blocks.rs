@@ -1,0 +1,357 @@
+//! Basic-block side table: the simulator's dispatch fast path.
+//!
+//! The predecode table (PR 2) removed per-step re-decode, but every
+//! retired instruction still paid the full [`Cpu::step`](crate::Cpu::step)
+//! preamble: the `halted` check, the pc-alignment check, the predecode
+//! probe, and the `counters.cycles` sync. Following Titzer's observation
+//! that the next factor lives in amortizing dispatch over straight-line
+//! runs, this module groups decoded text words into **basic blocks** —
+//! maximal straight-line instruction runs ended by a branch, jump, or
+//! system operation — so `Cpu::run_blocks` performs that preamble once
+//! per *block* instead of once per *instruction*, and charges
+//! straight-line fetch runs through batched cache/TLB hit updates. The
+//! architectural charges (I-cache, I-TLB, DRAM, branch predictor, every
+//! counter) are still applied per instruction, bit-identically to the
+//! stepwise path.
+//!
+//! A block's decoded run is handed out as an `Arc<[Instruction]>`: the
+//! executor iterates a plain slice with no table borrow held, so
+//! invalidation during execution (a guest store into text) can drop or
+//! rebuild table state without pulling the slice out from under the
+//! executor — the executor instead watches the table's *generation* and
+//! stops using the (still-alive, now-detached) run at the next
+//! instruction boundary.
+//!
+//! Correctness under mutation composes with the predecode contract:
+//!
+//! * **Guest stores** into the text range bump the table's generation
+//!   ([`BlockTable::note_store`]). The executing block loop re-checks the
+//!   generation after every instruction, so a store into the *current*
+//!   block stops block execution at the store; every block lazily
+//!   revalidates its cached raw words against memory on next entry and
+//!   is rebuilt if they changed.
+//! * **Host writes** through `Cpu::mem_mut` bump the same generation
+//!   ([`BlockTable::mark_stale`]), mirroring the predecode epoch: blocks
+//!   whose words are untouched revalidate in place (one `u32` compare
+//!   per word); changed blocks are rebuilt, re-decoding through the
+//!   predecode table so its per-slot invalidation stats stay live.
+//! * [`BlockTable::flush`] drops every block outright (and bumps the
+//!   generation, so an in-flight block execution detaches from the
+//!   flushed state at the next instruction boundary). `Cpu` flushes
+//!   blocks and predecode slots together.
+//!
+//! Entries outside the text range miss the table and fall back to the
+//! stepwise path, so dynamically placed code still runs.
+
+use std::sync::Arc;
+use tarch_isa::Instruction;
+use tarch_mem::MainMemory;
+
+/// Upper bound on instructions per block. Keeps the budget-clipping
+/// arithmetic cheap and bounds the work a single revalidation does.
+pub const MAX_BLOCK_LEN: usize = 64;
+
+/// Sentinel in the entry map for "no block starts at this word".
+const NO_BLOCK: u32 = u32::MAX;
+
+/// One cached basic block: the raw words it was decoded from (for
+/// revalidation) and the decoded run.
+#[derive(Debug)]
+struct Block {
+    gen: u64,
+    words: Vec<u32>,
+    instrs: Arc<[Instruction]>,
+}
+
+impl Default for Block {
+    fn default() -> Block {
+        Block { gen: 0, words: Vec::new(), instrs: Arc::from(Vec::new()) }
+    }
+}
+
+/// Running effectiveness statistics (host-side only; not architectural).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Block entries served from the table.
+    pub hits: u64,
+    /// Blocks decoded and installed (first build or rebuild).
+    pub builds: u64,
+    /// Blocks revalidated in place (words unchanged) after a generation
+    /// bump.
+    pub revalidations: u64,
+    /// Blocks dropped because a cached word no longer matched memory.
+    pub rebuilds: u64,
+    /// Generation bumps from guest stores into the text range.
+    pub store_invalidations: u64,
+}
+
+/// Lazily filled basic-block cache for the text segment.
+#[derive(Debug, Default)]
+pub struct BlockTable {
+    base: u64,
+    limit: u64,
+    entry: Vec<u32>,
+    blocks: Vec<Block>,
+    gen: u64,
+    stats: BlockStats,
+}
+
+impl BlockTable {
+    /// An empty table covering no addresses (every entry misses).
+    pub fn new() -> BlockTable {
+        BlockTable::default()
+    }
+
+    /// Re-targets the table at a freshly loaded text segment of
+    /// `text_words` 32-bit words starting at `base`, dropping all blocks.
+    pub fn reset(&mut self, base: u64, text_words: usize) {
+        self.base = base;
+        self.limit = base + 4 * text_words as u64;
+        self.entry.clear();
+        self.entry.resize(text_words, NO_BLOCK);
+        self.blocks.clear();
+        self.gen = 0;
+    }
+
+    /// Effectiveness statistics.
+    pub fn stats(&self) -> BlockStats {
+        self.stats
+    }
+
+    /// Whether `pc` falls inside the covered text range.
+    #[inline]
+    pub fn covers(&self, pc: u64) -> bool {
+        pc >= self.base && pc < self.limit
+    }
+
+    /// The current invalidation generation. The block execution loop
+    /// snapshots this at block entry and re-checks it after every
+    /// instruction; any mutation signal (guest store into text, host
+    /// write, flush) changes it.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc - self.base) >> 2) as usize
+    }
+
+    /// Looks up the block starting at `pc`, revalidating its cached
+    /// words against `mem` when the generation moved since it was last
+    /// used. Returns the decoded run, or `None` when the caller must
+    /// build (no block here yet, or the words under it changed).
+    #[inline]
+    pub fn lookup(&mut self, pc: u64, mem: &MainMemory) -> Option<Arc<[Instruction]>> {
+        if !self.covers(pc) {
+            return None;
+        }
+        let bid = self.entry[self.index(pc)];
+        if bid == NO_BLOCK {
+            return None;
+        }
+        let block = &mut self.blocks[bid as usize];
+        if block.instrs.is_empty() {
+            return None; // previously dropped; awaiting rebuild
+        }
+        if block.gen != self.gen {
+            for (i, w) in block.words.iter().enumerate() {
+                if mem.read_u32(pc + 4 * i as u64) != *w {
+                    // The text under this block changed: drop the cached
+                    // run (the entry keeps its block id for reuse) and
+                    // make the caller rebuild from current memory.
+                    *block = Block::default();
+                    self.stats.rebuilds += 1;
+                    return None;
+                }
+            }
+            block.gen = self.gen;
+            self.stats.revalidations += 1;
+        }
+        self.stats.hits += 1;
+        Some(Arc::clone(&block.instrs))
+    }
+
+    /// Installs a freshly decoded block starting at `pc`, reusing the
+    /// entry's block id if one was allocated before. Returns the decoded
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the covered range or `instrs` is empty
+    /// (callers only install non-empty blocks for covered entries).
+    pub fn install(
+        &mut self,
+        pc: u64,
+        words: Vec<u32>,
+        instrs: Vec<Instruction>,
+    ) -> Arc<[Instruction]> {
+        assert!(self.covers(pc) && !instrs.is_empty(), "install of empty or uncovered block");
+        let idx = self.index(pc);
+        let bid = if self.entry[idx] == NO_BLOCK {
+            self.blocks.push(Block::default());
+            let bid = (self.blocks.len() - 1) as u32;
+            self.entry[idx] = bid;
+            bid
+        } else {
+            self.entry[idx]
+        };
+        let run: Arc<[Instruction]> = Arc::from(instrs);
+        self.blocks[bid as usize] = Block { gen: self.gen, words, instrs: Arc::clone(&run) };
+        self.stats.builds += 1;
+        run
+    }
+
+    /// Records a guest store of `len` bytes at `addr`: if it overlaps
+    /// the text range, every block must re-check its words before its
+    /// next execution, and the currently executing block (if any) must
+    /// stop using its cached run. One compare in the common case of a
+    /// data store.
+    #[inline]
+    pub fn note_store(&mut self, addr: u64, len: u64) {
+        let end = addr.wrapping_add(len - 1);
+        if end < self.base || addr >= self.limit {
+            return;
+        }
+        self.gen += 1;
+        self.stats.store_invalidations += 1;
+    }
+
+    /// Marks every block as needing revalidation (a host may have
+    /// written arbitrary memory through `Cpu::mem_mut`). Mirrors the
+    /// predecode epoch bump.
+    #[inline]
+    pub fn mark_stale(&mut self) {
+        self.gen += 1;
+    }
+
+    /// Drops every cached block (keeps the covered range and the
+    /// statistics). Bumps the generation so an in-flight block execution
+    /// stops consulting its (detached, still-alive) run at the next
+    /// instruction boundary.
+    pub fn flush(&mut self) {
+        for e in &mut self.entry {
+            *e = NO_BLOCK;
+        }
+        self.blocks.clear();
+        self.gen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarch_isa::{AluImmOp, Reg};
+
+    fn addi(imm: i32) -> (u32, Instruction) {
+        let i = Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm };
+        (i.encode().unwrap(), i)
+    }
+
+    fn table_with_block() -> (BlockTable, MainMemory) {
+        let mut t = BlockTable::new();
+        t.reset(0x1000, 8);
+        let mut mem = MainMemory::new();
+        let (w1, i1) = addi(1);
+        let (w2, i2) = addi(2);
+        mem.write_u32(0x1000, w1);
+        mem.write_u32(0x1004, w2);
+        let run = t.install(0x1000, vec![w1, w2], vec![i1, i2]);
+        assert_eq!(run.len(), 2);
+        (t, mem)
+    }
+
+    #[test]
+    fn install_then_lookup_round_trips() {
+        let (mut t, mem) = table_with_block();
+        let run = t.lookup(0x1000, &mem).expect("installed block");
+        assert_eq!(&run[..], &[addi(1).1, addi(2).1]);
+        assert!(t.lookup(0x1004, &mem).is_none(), "no block *starts* mid-run");
+        assert_eq!(t.stats().builds, 1);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn data_store_is_one_compare_and_no_invalidation() {
+        let (mut t, mem) = table_with_block();
+        let gen = t.generation();
+        t.note_store(0x2_0000, 8);
+        assert_eq!(t.generation(), gen);
+        assert!(t.lookup(0x1000, &mem).is_some());
+        assert_eq!(t.stats().revalidations, 0);
+    }
+
+    #[test]
+    fn text_store_revalidates_unchanged_block_in_place() {
+        let (mut t, mem) = table_with_block();
+        let gen = t.generation();
+        t.note_store(0x101c, 4); // inside text, outside this block
+        assert_ne!(t.generation(), gen, "text store must move the generation");
+        assert!(t.lookup(0x1000, &mem).is_some());
+        assert_eq!(t.stats().revalidations, 1);
+        assert_eq!(t.stats().store_invalidations, 1);
+    }
+
+    #[test]
+    fn changed_word_drops_block_and_detached_run_stays_alive() {
+        let (mut t, mut mem) = table_with_block();
+        let old_run = t.lookup(0x1000, &mem).expect("installed block");
+        let (w3, i3) = addi(3);
+        mem.write_u32(0x1004, w3);
+        t.note_store(0x1004, 4);
+        assert!(t.lookup(0x1000, &mem).is_none(), "changed word must force a rebuild");
+        assert_eq!(t.stats().rebuilds, 1);
+        // The executor's detached view of the old run is unaffected by the
+        // drop — it stops using it via the generation check, not a free.
+        assert_eq!(&old_run[..], &[addi(1).1, addi(2).1]);
+        let run = t.install(0x1000, vec![addi(1).0, w3], vec![addi(1).1, i3]);
+        assert_eq!(&run[..], &[addi(1).1, i3]);
+        assert_eq!(t.blocks.len(), 1, "rebuild reuses the entry's block slot");
+    }
+
+    #[test]
+    fn host_write_epoch_revalidates_or_rebuilds() {
+        let (mut t, mut mem) = table_with_block();
+        t.mark_stale();
+        assert!(t.lookup(0x1000, &mem).is_some(), "untouched block revalidates");
+        assert_eq!(t.stats().revalidations, 1);
+        let (w9, _) = addi(9);
+        mem.write_u32(0x1000, w9);
+        t.mark_stale();
+        assert!(t.lookup(0x1000, &mem).is_none(), "patched block must rebuild");
+    }
+
+    #[test]
+    fn flush_drops_blocks_and_moves_generation() {
+        let (mut t, mem) = table_with_block();
+        let gen = t.generation();
+        t.flush();
+        assert_ne!(t.generation(), gen);
+        assert!(t.lookup(0x1000, &mem).is_none());
+        assert!(t.covers(0x1000));
+    }
+
+    #[test]
+    fn reset_retargets_and_drops_everything() {
+        let (mut t, mem) = table_with_block();
+        t.reset(0x4000, 2);
+        assert!(!t.covers(0x1000));
+        assert!(t.covers(0x4004));
+        assert!(!t.covers(0x4008));
+        assert!(t.lookup(0x4000, &mem).is_none());
+    }
+
+    #[test]
+    fn store_straddling_the_range_edges_still_bumps() {
+        let (mut t, _) = table_with_block();
+        let g0 = t.generation();
+        t.note_store(0x0ffe, 4); // straddles the low edge
+        assert_eq!(t.generation(), g0 + 1);
+        t.note_store(0x101e, 8); // straddles the high edge
+        assert_eq!(t.generation(), g0 + 2);
+        t.note_store(0x0f00, 8); // entirely outside: no-op
+        t.note_store(0x2000, 8);
+        assert_eq!(t.generation(), g0 + 2);
+    }
+}

@@ -53,11 +53,35 @@ pub struct BranchPredictor {
     ras: Vec<u64>,
     tick: u64,
     stats: BranchStats,
+    fast_path: bool,
+    // Direct-mapped memo of `pc -> btb index`, so the fully-associative
+    // BTB search is one compare for hot control-flow pcs instead of a
+    // 62-entry scan (and the lookup-then-install pair on every taken
+    // branch reuses the found index). The memoized index is re-validated
+    // against the stored entry before use — `swap_remove` eviction
+    // reshuffles indices — so a stale memo degrades to the scan instead
+    // of corrupting predictions.
+    side: Vec<(u64, u32)>, // (pc, btb index)
 }
+
+/// Direct-mapped side-index size (power of two). Word-aligned pcs index
+/// it by `(pc >> 2) & (SIDE_SLOTS - 1)`.
+const SIDE_SLOTS: usize = 1024;
+
+/// Sentinel pc for an empty side-index slot (never a real word-aligned pc).
+const SIDE_NONE: u64 = u64::MAX;
 
 impl BranchPredictor {
     /// Creates a predictor with weakly-not-taken counters and empty BTB/RAS.
     pub fn new(config: BranchConfig) -> BranchPredictor {
+        BranchPredictor::with_fast_path(config, true)
+    }
+
+    /// Creates a predictor, choosing whether BTB searches may use the
+    /// memoized side index or always scan. Both produce bit-identical
+    /// predictions, state, and statistics; the toggle exists so
+    /// equivalence tests can diff them.
+    pub fn with_fast_path(config: BranchConfig, fast_path: bool) -> BranchPredictor {
         BranchPredictor {
             config,
             counters: vec![1; config.gshare_entries],
@@ -66,6 +90,8 @@ impl BranchPredictor {
             ras: Vec::with_capacity(config.ras_entries),
             tick: 0,
             stats: BranchStats::default(),
+            fast_path,
+            side: if fast_path { vec![(SIDE_NONE, 0); SIDE_SLOTS] } else { Vec::new() },
         }
     }
 
@@ -78,19 +104,50 @@ impl BranchPredictor {
         (((pc >> 2) ^ self.history) % self.config.gshare_entries as u64) as usize
     }
 
+    #[inline]
+    fn side_slot(pc: u64) -> usize {
+        ((pc >> 2) as usize) & (SIDE_SLOTS - 1)
+    }
+
+    /// Finds `pc`'s BTB entry: memoized index when valid, full scan
+    /// otherwise (refreshing the memo on a scan hit).
+    #[inline]
+    fn btb_find(&mut self, pc: u64) -> Option<usize> {
+        if self.fast_path {
+            let (memo_pc, memo_idx) = self.side[Self::side_slot(pc)];
+            if memo_pc == pc {
+                if let Some(e) = self.btb.get(memo_idx as usize) {
+                    if e.0 == pc {
+                        return Some(memo_idx as usize);
+                    }
+                }
+            }
+        }
+        let found = self.btb.iter().position(|(p, _, _)| *p == pc);
+        if self.fast_path {
+            if let Some(i) = found {
+                self.side[Self::side_slot(pc)] = (pc, i as u32);
+            }
+        }
+        found
+    }
+
     fn btb_lookup(&mut self, pc: u64) -> Option<u64> {
         self.tick += 1;
-        if let Some(e) = self.btb.iter_mut().find(|(p, _, _)| *p == pc) {
-            e.2 = self.tick;
-            Some(e.1)
-        } else {
-            None
+        match self.btb_find(pc) {
+            Some(i) => {
+                let e = &mut self.btb[i];
+                e.2 = self.tick;
+                Some(e.1)
+            }
+            None => None,
         }
     }
 
     fn btb_install(&mut self, pc: u64, target: u64) {
         self.tick += 1;
-        if let Some(e) = self.btb.iter_mut().find(|(p, _, _)| *p == pc) {
+        if let Some(i) = self.btb_find(pc) {
+            let e = &mut self.btb[i];
             e.1 = target;
             e.2 = self.tick;
             return;
@@ -104,8 +161,18 @@ impl BranchPredictor {
                 .map(|(i, _)| i)
                 .expect("non-empty");
             self.btb.swap_remove(lru);
+            // `swap_remove` moved the former last entry into `lru`; keep
+            // its memo pointing at the right index.
+            if self.fast_path {
+                if let Some(moved) = self.btb.get(lru) {
+                    self.side[Self::side_slot(moved.0)] = (moved.0, lru as u32);
+                }
+            }
         }
         self.btb.push((pc, target, self.tick));
+        if self.fast_path {
+            self.side[Self::side_slot(pc)] = (pc, (self.btb.len() - 1) as u32);
+        }
     }
 
     /// Processes a conditional branch; returns whether the front end
@@ -280,6 +347,51 @@ mod tests {
         // Dispatch-loop behaviour: target changes → miss, then relearns.
         assert!(!p.predict_indirect(0x6000, 0x8000, false, false));
         assert!(p.predict_indirect(0x6000, 0x8000, false, false));
+    }
+
+    /// The memoized BTB index must be a pure host-side shortcut: random
+    /// branch/jump/return streams — sized to force constant BTB eviction
+    /// and `swap_remove` reshuffling — must give identical predictions
+    /// and statistics with the memo on and off.
+    #[test]
+    fn side_index_equivalent_to_scan_under_eviction_churn() {
+        use tarch_testkit::Rng;
+        let mut rng = Rng::new(0xb7b);
+        for round in 0..32 {
+            let mut fast = BranchPredictor::with_fast_path(BranchConfig::paper(), true);
+            let mut slow = BranchPredictor::with_fast_path(BranchConfig::paper(), false);
+            for step in 0..2000 {
+                // ~96 distinct control pcs against a 62-entry BTB.
+                let pc = 0x1000 + rng.range_u64(0, 96) * 4;
+                let target = 0x4000 + rng.range_u64(0, 64) * 4;
+                let (f, s) = match rng.range_u64(0, 4) {
+                    0 => {
+                        let taken = rng.range_u64(0, 2) == 0;
+                        (
+                            fast.predict_branch(pc, taken, target),
+                            slow.predict_branch(pc, taken, target),
+                        )
+                    }
+                    1 => {
+                        let is_call = rng.range_u64(0, 2) == 0;
+                        (
+                            fast.predict_jump(pc, target, is_call),
+                            slow.predict_jump(pc, target, is_call),
+                        )
+                    }
+                    _ => {
+                        let is_return = rng.range_u64(0, 2) == 0;
+                        (
+                            fast.predict_indirect(pc, target, !is_return, is_return),
+                            slow.predict_indirect(pc, target, !is_return, is_return),
+                        )
+                    }
+                };
+                assert_eq!(f, s, "round {round} step {step} pc {pc:#x} diverged");
+            }
+            assert_eq!(fast.stats(), slow.stats(), "round {round} stats diverged");
+            assert_eq!(fast.btb, slow.btb, "round {round} BTB state diverged");
+        }
     }
 
     #[test]

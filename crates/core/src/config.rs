@@ -137,6 +137,13 @@ pub struct CoreConfig {
     /// Serve fetches from the predecoded-instruction side table
     /// (host-side fast path; simulated counters are identical either way).
     pub predecode: bool,
+    /// Execute straight-line runs through the basic-block engine
+    /// (host-side fast path; simulated counters are identical either way).
+    pub blocks: bool,
+    /// Memoize the last-hit cache line / TLB page so same-line repeat
+    /// accesses skip the way/entry scan (host-side fast path; simulated
+    /// counters are identical either way).
+    pub mem_fast_paths: bool,
 }
 
 impl CoreConfig {
@@ -152,6 +159,8 @@ impl CoreConfig {
             latency: LatencyConfig::paper(),
             trt_entries: 8,
             predecode: true,
+            blocks: true,
+            mem_fast_paths: true,
         }
     }
 }

@@ -18,6 +18,7 @@
 //! stage-latch RTL simulation (see DESIGN.md for the substitution
 //! rationale).
 
+use crate::blocks::{BlockStats, BlockTable, MAX_BLOCK_LEN};
 use crate::bpred::BranchPredictor;
 use crate::config::CoreConfig;
 use crate::counters::PerfCounters;
@@ -132,6 +133,7 @@ pub struct Cpu {
     ready_f: [u64; 32],
     halted: bool,
     predecode: PredecodeTable,
+    blocks: BlockTable,
 }
 
 impl Cpu {
@@ -143,11 +145,11 @@ impl Cpu {
             pc: 0,
             spr: SprState::default(),
             trt: TypeRuleTable::new(config.trt_entries),
-            bpred: BranchPredictor::new(config.branch),
-            icache: Cache::new(config.icache),
-            dcache: Cache::new(config.dcache),
-            itlb: Tlb::new(config.itlb_entries),
-            dtlb: Tlb::new(config.dtlb_entries),
+            bpred: BranchPredictor::with_fast_path(config.branch, config.mem_fast_paths),
+            icache: Cache::with_fast_path(config.icache, config.mem_fast_paths),
+            dcache: Cache::with_fast_path(config.dcache, config.mem_fast_paths),
+            itlb: Tlb::with_fast_path(config.itlb_entries, config.mem_fast_paths),
+            dtlb: Tlb::with_fast_path(config.dtlb_entries, config.mem_fast_paths),
             dram: DramModel::new(config.dram),
             mem: MainMemory::new(),
             counters: PerfCounters::new(),
@@ -156,6 +158,7 @@ impl Cpu {
             ready_f: [0; 32],
             halted: false,
             predecode: PredecodeTable::new(),
+            blocks: BlockTable::new(),
         }
     }
 
@@ -166,6 +169,7 @@ impl Cpu {
         }
         self.mem.write_bytes(program.data_base, &program.data);
         self.predecode.reset(program.text_base, program.text.len());
+        self.blocks.reset(program.text_base, program.text.len());
         self.pc = program.entry;
         self.halted = false;
     }
@@ -205,24 +209,35 @@ impl Cpu {
     ///
     /// Handing out raw mutable memory means the caller may write anywhere
     /// — including the text segment — so the predecode table is marked
-    /// stale and every cached slot revalidates its raw word on next use.
+    /// stale (every cached slot revalidates its raw word on next use) and
+    /// the basic-block table's generation is bumped (every block
+    /// re-compares its words against memory on next entry).
     pub fn mem_mut(&mut self) -> &mut MainMemory {
         self.predecode.mark_stale();
+        self.blocks.mark_stale();
         &mut self.mem
     }
 
-    /// Drops every predecoded instruction (the `flush_trt` analogue for
-    /// the decode cache). Never needed for correctness — guest stores and
-    /// host writes invalidate automatically — but available to tests and
-    /// context-switch code that wants a cold decode cache.
+    /// Drops every predecoded instruction and cached basic block (the
+    /// `flush_trt` analogue for the decode caches). Never needed for
+    /// correctness — guest stores and host writes invalidate
+    /// automatically — but available to tests and context-switch code
+    /// that wants cold decode caches.
     pub fn flush_predecode(&mut self) {
         self.predecode.flush();
+        self.blocks.flush();
     }
 
     /// Predecode-table effectiveness statistics (host-side metric; not an
     /// architectural counter).
     pub fn predecode_stats(&self) -> PredecodeStats {
         self.predecode.stats()
+    }
+
+    /// Basic-block-engine effectiveness statistics (host-side metric; not
+    /// an architectural counter).
+    pub fn block_stats(&self) -> BlockStats {
+        self.blocks.stats()
     }
 
     /// Performance counters.
@@ -316,19 +331,7 @@ impl Cpu {
             return Err(Trap::MisalignedPc { pc });
         }
 
-        // Fetch: the architectural charges (I-cache, I-TLB, DRAM) are
-        // identical whether or not the predecode table hits — only the
-        // host-side work of re-reading and re-decoding the word is
-        // skipped.
-        self.counters.icache_accesses += 1;
-        if !self.itlb.access(pc) {
-            self.counters.itlb_misses += 1;
-            self.now += self.config.latency.tlb_miss;
-        }
-        if !self.icache.access(pc, false).hit {
-            self.counters.icache_misses += 1;
-            self.now += self.dram.access(pc);
-        }
+        self.charge_fetch(pc);
         let instr = match self.predecode_fetch(pc) {
             Some(instr) => instr,
             None => {
@@ -353,10 +356,18 @@ impl Cpu {
     /// Returns the event that stopped execution ([`StepEvent::Retired`]
     /// means the step budget ran out).
     ///
+    /// Dispatches to the basic-block engine when
+    /// [`CoreConfig::blocks`](crate::CoreConfig) is set; counters,
+    /// architectural state, and trap behaviour are bit-identical either
+    /// way (the block engine is a host-side fast path only).
+    ///
     /// # Errors
     ///
     /// Propagates traps from [`Cpu::step`].
     pub fn run(&mut self, max_steps: u64) -> Result<StepEvent, Trap> {
+        if self.config.blocks {
+            return self.run_blocks(max_steps);
+        }
         for _ in 0..max_steps {
             match self.step()? {
                 StepEvent::Retired => {}
@@ -364,6 +375,240 @@ impl Cpu {
             }
         }
         Ok(StepEvent::Retired)
+    }
+
+    /// [`Cpu::run`] through the basic-block engine: straight-line runs of
+    /// predecoded instructions execute in one host-loop iteration, with
+    /// the `halted` check, pc-alignment check, block lookup, and
+    /// `counters.cycles` sync hoisted to block boundaries. Per-instruction
+    /// *architectural* work — fetch charges, branch prediction, counters —
+    /// is unchanged.
+    ///
+    /// Stepwise equivalence notes (checked by `tests/predecode_equiv.rs`):
+    ///
+    /// * Intra-block pcs are `entry + 4k` with `entry` 4-aligned, so one
+    ///   alignment check at block entry covers the block; redirect targets
+    ///   are re-checked at their own block entry.
+    /// * Nothing observes `counters.cycles` mid-run (`csrr cycle` reads
+    ///   the scoreboard directly), so syncing it at block boundaries — and
+    ///   restoring the pre-fetch value on a trap, exactly where the
+    ///   stepwise path left it — is invisible.
+    /// * Straight-line fetches after the first to the same I-cache line
+    ///   are guaranteed hits (only fetches touch the I-cache/I-TLB, so
+    ///   nothing can evict the line mid-block), and a hit costs zero
+    ///   latency and no DRAM traffic. Their access/recency bookkeeping is
+    ///   therefore *batched*: deferred while the fetch stream stays in
+    ///   one line, then applied in bulk ([`Cache::repeat_hits`],
+    ///   [`Tlb::repeat_hits`]) — bit-identical final state, because the
+    ///   only mid-batch observables are miss counters (charged eagerly on
+    ///   the real access that opened the line) and `now` (hits add zero).
+    ///   One line never spans pages (64 B < 4 KB), so the same span check
+    ///   covers the I-TLB. The pending batch is flushed before *every*
+    ///   exit from the instruction loop.
+    /// * A redirect (taken branch, jump, type/`chklb` miss) is detected as
+    ///   `pc != fall-through` after execute and ends the block.
+    /// * A guest store into the text range bumps the block generation;
+    ///   the loop re-checks it after every instruction, so a block that
+    ///   invalidates *itself* stops using its cached run at the store.
+    ///   The run itself is an `Arc` snapshot, immune to table mutation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from [`Cpu::step`].
+    pub fn run_blocks(&mut self, max_steps: u64) -> Result<StepEvent, Trap> {
+        let line_shift = self.config.icache.line_bytes.trailing_zeros();
+        let mut remaining = max_steps;
+        // Deferred same-line fetch-hit batch: `cur_span` is the line the
+        // last *real* fetch charge opened, `pending` the hits accumulated
+        // in it since. The batch persists across block boundaries — only
+        // fetch charges touch the I-cache/I-TLB inside this loop, so a
+        // line stays resident until the next real charge (the stepwise
+        // fallback resets the span: `step` makes its own accesses, which
+        // can evict).
+        let mut cur_span = u64::MAX;
+        let mut span_addr = 0u64;
+        let mut pending = 0u64;
+        macro_rules! flush_pending {
+            // `last` flushes without resetting `pending` — for paths that
+            // return immediately (the reset would never be read).
+            (last) => {
+                if pending > 0 {
+                    self.apply_fetch_hits(span_addr, pending);
+                }
+            };
+            () => {
+                if pending > 0 {
+                    self.apply_fetch_hits(span_addr, pending);
+                    pending = 0;
+                }
+            };
+        }
+        while remaining > 0 {
+            if self.halted {
+                flush_pending!(last);
+                return Ok(StepEvent::Halted);
+            }
+            let pc = self.pc;
+            if !pc.is_multiple_of(4) {
+                flush_pending!(last);
+                return Err(Trap::MisalignedPc { pc });
+            }
+            if !self.blocks.covers(pc) {
+                // Outside the loaded text image (dynamically placed
+                // code): stepwise fallback.
+                flush_pending!();
+                cur_span = u64::MAX;
+                match self.step()? {
+                    StepEvent::Retired => {
+                        remaining -= 1;
+                        continue;
+                    }
+                    other => return Ok(other),
+                }
+            }
+            let run = match self.blocks.lookup(pc, &self.mem) {
+                Some(found) => found,
+                None => match self.build_block(pc) {
+                    Some(built) => built,
+                    None => {
+                        // The entry word is undecodable: replicate the
+                        // stepwise trap — fetch charges applied,
+                        // `instructions` not incremented, cycles left at
+                        // the previous sync.
+                        flush_pending!(last);
+                        self.charge_fetch(pc);
+                        let word = self.mem.read_u32(pc);
+                        return Err(Trap::InvalidInstruction { pc, word });
+                    }
+                },
+            };
+            let budget = (run.len() as u64).min(remaining) as usize;
+            let entry_gen = self.blocks.generation();
+            let mut executed = 0u64;
+            let mut ipc = pc;
+            let mut stop = None;
+            for &instr in run.iter().take(budget) {
+                // Stepwise `counters.cycles` at this point is `now` as of
+                // the previous instruction's execute; remember it so a
+                // trap can leave the counter exactly there.
+                let checkpoint = self.now;
+                let span = ipc >> line_shift;
+                if span == cur_span {
+                    pending += 1;
+                } else {
+                    flush_pending!();
+                    self.charge_fetch(ipc);
+                    cur_span = span;
+                    span_addr = ipc;
+                }
+                self.counters.instructions += 1;
+                let event = match self.execute(ipc, instr) {
+                    Ok(event) => event,
+                    Err(trap) => {
+                        // The faulting instruction's own (possibly
+                        // deferred) fetch charge is included in the batch.
+                        flush_pending!(last);
+                        self.counters.cycles = checkpoint;
+                        return Err(trap);
+                    }
+                };
+                executed += 1;
+                if event != StepEvent::Retired {
+                    stop = Some(event);
+                    break;
+                }
+                let fall_through = ipc.wrapping_add(4);
+                if self.pc != fall_through || self.blocks.generation() != entry_gen {
+                    break;
+                }
+                ipc = fall_through;
+            }
+            remaining -= executed;
+            self.counters.cycles = self.now;
+            if let Some(event) = stop {
+                flush_pending!(last);
+                return Ok(event);
+            }
+        }
+        flush_pending!(last);
+        Ok(StepEvent::Retired)
+    }
+
+    /// Decodes the basic block starting at `pc` and installs it in the
+    /// block table. Decoding goes through the predecode table when that
+    /// is enabled, so predecode slots (and their invalidation stats) stay
+    /// live under the block engine. Returns `None` when the entry word
+    /// itself does not decode (the caller raises the stepwise trap); an
+    /// undecodable word *after* a decodable run simply ends the block
+    /// before it.
+    fn build_block(&mut self, pc: u64) -> Option<std::sync::Arc<[Instruction]>> {
+        let mut words = Vec::new();
+        let mut instrs = Vec::new();
+        let mut p = pc;
+        while self.blocks.covers(p) && instrs.len() < MAX_BLOCK_LEN {
+            let word = self.mem.read_u32(p);
+            let instr = match self.predecode_fetch(p) {
+                Some(instr) => instr,
+                None => match Instruction::decode(word) {
+                    Ok(instr) => {
+                        if self.config.predecode {
+                            self.predecode.fill(p, word, instr);
+                        }
+                        instr
+                    }
+                    Err(_) => break,
+                },
+            };
+            words.push(word);
+            instrs.push(instr);
+            if ends_block(instr) {
+                break;
+            }
+            p = p.wrapping_add(4);
+        }
+        if instrs.is_empty() {
+            return None;
+        }
+        Some(self.blocks.install(pc, words, instrs))
+    }
+
+    /// Charges one instruction fetch at `pc`: I-cache access always;
+    /// I-TLB miss adds the page-walk latency and the miss counter;
+    /// I-cache miss adds the DRAM latency and the miss counter. The
+    /// charges are identical whether the instruction is then decoded
+    /// fresh, served from the predecode table, or executed from a basic
+    /// block — only host-side decode work differs between those paths.
+    #[inline]
+    fn charge_fetch(&mut self, pc: u64) {
+        self.counters.icache_accesses += 1;
+        if !self.itlb.access(pc) {
+            self.counters.itlb_misses += 1;
+            self.now += self.config.latency.tlb_miss;
+        }
+        if !self.icache.access(pc, false).hit {
+            self.counters.icache_misses += 1;
+            self.now += self.dram.access(pc);
+        }
+    }
+
+    /// Applies `count` deferred same-line fetch hits at `addr` in one
+    /// batch: exactly the state `count` calls of [`Cpu::charge_fetch`]
+    /// would leave, *given* the block engine's guarantee that each would
+    /// hit both the I-TLB and the I-cache (zero latency, no miss
+    /// counters, no DRAM). See [`Cpu::run_blocks`].
+    #[inline]
+    fn apply_fetch_hits(&mut self, addr: u64, count: u64) {
+        self.counters.icache_accesses += count;
+        self.itlb.repeat_hits(addr, count);
+        self.icache.repeat_hits(addr, count);
+    }
+
+    /// Records a guest store so both decoded-code caches (predecode slots
+    /// and basic blocks) observe it.
+    #[inline]
+    fn note_code_store(&mut self, addr: u64, len: u64) {
+        self.predecode.note_store(addr, len);
+        self.blocks.note_store(addr, len);
     }
 
     #[inline]
@@ -469,7 +714,7 @@ impl Cpu {
                     MemWidth::Word => self.mem.write_u32(addr, v as u32),
                     MemWidth::Double => self.mem.write_u64(addr, v),
                 }
-                self.predecode.note_store(addr, width.bytes());
+                self.note_code_store(addr, width.bytes());
                 self.counters.stores += 1;
                 let extra = self.dmem_access(addr, true);
                 self.now = t + 1 + extra;
@@ -565,7 +810,7 @@ impl Cpu {
                 let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
                 self.check_align(pc, addr, 8)?;
                 self.mem.write_u64(addr, self.regs.read_f(rs2));
-                self.predecode.note_store(addr, 8);
+                self.note_code_store(addr, 8);
                 self.counters.stores += 1;
                 let extra = self.dmem_access(addr, true);
                 self.now = t + 1 + extra;
@@ -636,10 +881,10 @@ impl Cpu {
                     Inserted::WithTagDword { value, tag_dword } => {
                         self.mem.write_u64(addr, value);
                         self.mem.write_u64(tag_addr, tag_dword);
-                        self.predecode.note_store(tag_addr, 8);
+                        self.note_code_store(tag_addr, 8);
                     }
                 }
-                self.predecode.note_store(addr, 8);
+                self.note_code_store(addr, 8);
                 self.counters.stores += 1;
                 self.counters.tagged_mem += 1;
                 let mut extra = self.dmem_access(addr, true);
@@ -828,6 +1073,21 @@ impl Cpu {
     }
 }
 
+/// Whether `instr` unconditionally ends a basic block: branches and jumps
+/// redirect (or may), `ecall`/`halt` hand control to the host. Conditional
+/// redirects (`xadd`&co, `tchk`, `chklb`) need *not* end a block — the
+/// block loop detects their taken-handler case as `pc != fall-through`.
+fn ends_block(instr: Instruction) -> bool {
+    matches!(
+        instr,
+        Instruction::Branch { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Jalr { .. }
+            | Instruction::Ecall
+            | Instruction::Halt
+    )
+}
+
 fn mul_overflows_i64(op: tarch_isa::TypedAluOp, a: i64, b: i64) -> bool {
     op == tarch_isa::TypedAluOp::Xmul && a.checked_mul(b).is_none()
 }
@@ -966,5 +1226,57 @@ fn fpu_op(op: FpuOp, a: f64, b: f64, abits: u64, bbits: u64) -> u64 {
         FpuOp::Fmax => canonical_f64_bits(a.max(b)),
         FpuOp::Fsgnj => (abits & !SIGN) | (bbits & SIGN),
         FpuOp::Fsgnjn => (abits & !SIGN) | (!bbits & SIGN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the counter and timing effects of the shared `charge_fetch`
+    /// helper, which both the stepwise and the block execution paths use
+    /// for every instruction fetch: cold fetch charges I-TLB walk + DRAM
+    /// fill; warm same-line fetch charges only the access counter; a new
+    /// line in a resident page charges only the cache fill.
+    #[test]
+    fn charge_fetch_counter_effects_are_pinned() {
+        let config = CoreConfig::paper();
+        let mut cpu = Cpu::new(config);
+        let line = config.icache.line_bytes;
+
+        cpu.charge_fetch(0x1000);
+        let cold = cpu.now;
+        assert_eq!(cpu.counters.icache_accesses, 1);
+        assert_eq!(cpu.counters.itlb_misses, 1);
+        assert_eq!(cpu.counters.icache_misses, 1);
+        assert!(
+            cold >= config.latency.tlb_miss,
+            "cold fetch must charge at least the page walk ({cold})"
+        );
+
+        // Same line, same page: pure hit — no misses, no cycles.
+        cpu.charge_fetch(0x1004);
+        assert_eq!(cpu.counters.icache_accesses, 2);
+        assert_eq!(cpu.counters.itlb_misses, 1);
+        assert_eq!(cpu.counters.icache_misses, 1);
+        assert_eq!(cpu.now, cold, "warm fetch must not advance time");
+
+        // Next line, same 4 KB page: I-cache miss only.
+        cpu.charge_fetch(0x1000 + line);
+        assert_eq!(cpu.counters.icache_accesses, 3);
+        assert_eq!(cpu.counters.itlb_misses, 1);
+        assert_eq!(cpu.counters.icache_misses, 2);
+        assert!(cpu.now > cold, "line fill must cost DRAM time");
+
+        // Far page: both misses again.
+        cpu.charge_fetch(0x80_0000);
+        assert_eq!(cpu.counters.icache_accesses, 4);
+        assert_eq!(cpu.counters.itlb_misses, 2);
+        assert_eq!(cpu.counters.icache_misses, 3);
+
+        // `charge_fetch` must touch nothing else.
+        assert_eq!(cpu.counters.instructions, 0);
+        assert_eq!(cpu.counters.cycles, 0, "cycles sync stays with the caller");
+        assert_eq!(cpu.pc, 0);
     }
 }

@@ -65,6 +65,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod blocks;
 mod bpred;
 mod config;
 mod counters;
@@ -75,6 +76,7 @@ mod regfile;
 mod tagio;
 mod trt;
 
+pub use blocks::{BlockStats, BlockTable, MAX_BLOCK_LEN};
 pub use bpred::{BranchPredictor, BranchStats};
 pub use config::{BranchConfig, CoreConfig, IsaLevel, LatencyConfig};
 pub use counters::PerfCounters;

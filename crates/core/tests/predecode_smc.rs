@@ -1,11 +1,14 @@
-//! Self-modifying-code correctness for the predecode engine.
+//! Self-modifying-code correctness for the predecode and block engines.
 //!
-//! The predecoded-instruction table caches decoded text words; these tests
-//! prove the two invalidation paths work end to end: guest stores into the
-//! text segment (`sw` over an instruction) and host writes through
-//! `Cpu::mem_mut`. In both cases re-executing the patched address must
-//! observe the new instruction, and the architectural counters must match
-//! a run with predecoding disabled.
+//! The predecoded-instruction table and the basic-block table both cache
+//! decoded text words; these tests prove the two invalidation paths work
+//! end to end for each: guest stores into the text segment (`sw` over an
+//! instruction) and host writes through `Cpu::mem_mut`. In both cases
+//! re-executing the patched address must observe the new instruction, and
+//! the architectural counters must match a run with the engines disabled.
+//! The block-engine tests additionally pin the hardest case: a store that
+//! patches an instruction *later in the currently executing block*, which
+//! must abandon the in-flight block run rather than retire stale decodes.
 
 use tarch_core::{CoreConfig, Cpu, StepEvent};
 use tarch_isa::text::assemble;
@@ -66,6 +69,93 @@ fn smc_counters_match_decode_every_step() {
     assert_eq!(on.counters(), off.counters());
     assert_eq!(on.branch_stats(), off.branch_stats());
     assert_eq!(off.predecode_stats().hits, 0, "predecode off must never serve a fetch");
+}
+
+/// One straight-line block whose store patches an instruction *further
+/// down the same block*. The executor holds a detached run of the block's
+/// decoded instructions; after the store it must notice the generation
+/// bump, abandon the run, and rebuild — executing the replacement, not
+/// the stale decode.
+/// The second pass re-enters the patched block from the top, forcing the
+/// table to notice the changed word and rebuild the dropped entry.
+const MID_BLOCK_SRC: &str = "
+start:
+    li   s3, 0x20000    # data base: holds the replacement word
+    lw   t0, 0(s3)
+    la   s4, patch
+    sw   t0, 0(s4)      # patches an instruction later in THIS block
+    addi a0, a0, 1
+patch:
+    addi a0, a0, 7      # must execute as addi a0, a0, 100
+    addi a0, a0, 1
+    bnez s2, done
+    li   s2, 1
+    bnez s2, start
+done:
+    halt
+";
+
+fn run_mid_block(blocks: bool, predecode: bool) -> Cpu {
+    let mut program = assemble(MID_BLOCK_SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    program.data = addi_a0(100).to_le_bytes().to_vec();
+    let mut cpu = Cpu::new(CoreConfig { blocks, predecode, ..CoreConfig::paper() });
+    cpu.load_program(&program);
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    cpu
+}
+
+#[test]
+fn guest_store_mid_block_invalidates_the_running_block() {
+    let cpu = run_mid_block(true, true);
+    // Two passes of 1 + 100 (replacement) + 1; a stale block run would
+    // retire the original addi 7 for 9 per pass.
+    assert_eq!(cpu.regs().read(Reg::A0).v, 204);
+    let stats = cpu.block_stats();
+    assert!(stats.store_invalidations > 0, "the store must bump the block generation");
+    assert!(stats.rebuilds > 0, "the patched block must be dropped and rebuilt");
+    assert!(stats.builds >= 2, "initial build plus the rebuild after the patch");
+}
+
+#[test]
+fn mid_block_smc_counters_match_stepwise_decode() {
+    let on = run_mid_block(true, true);
+    let off = run_mid_block(false, false);
+    assert_eq!(off.regs().read(Reg::A0).v, 204, "reference run must also see the patch");
+    assert_eq!(on.counters(), off.counters());
+    assert_eq!(on.branch_stats(), off.branch_stats());
+}
+
+#[test]
+fn host_write_through_mem_mut_revalidates_blocks() {
+    // Two blocks in a loop: block A holds the patch target, block B is
+    // untouched. After the host write, A must rebuild (its word changed)
+    // while B revalidates in place.
+    let src = "
+    top:
+        addi a0, a0, 1      # patched by the host after the first pass
+        j    mid
+    mid:
+        addi s1, s1, -1
+        bnez s1, top
+        halt
+    ";
+    let program = assemble(src, TEXT_BASE, DATA_BASE).expect("assembles");
+    assert_eq!(program.text[0], addi_a0(1));
+    let mut cpu = Cpu::new(CoreConfig::paper());
+    cpu.load_program(&program);
+    cpu.regs_mut().write_untyped(Reg::S1, 2);
+    // First full iteration: both blocks built and executed.
+    assert_eq!(cpu.run(4).expect("no trap"), StepEvent::Retired);
+    assert_eq!(cpu.regs().read(Reg::A0).v, 1);
+    cpu.mem_mut().write_u32(TEXT_BASE, addi_a0(100));
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    assert_eq!(cpu.regs().read(Reg::A0).v, 101);
+    let stats = cpu.block_stats();
+    assert!(stats.rebuilds > 0, "the patched block must re-decode after the host write");
+    assert!(
+        stats.revalidations > 0,
+        "the untouched block must revalidate (not re-decode) after the epoch bump"
+    );
 }
 
 #[test]

@@ -91,15 +91,39 @@ pub struct Cache {
     set_shift: u32,
     set_mask: u64,
     tag_shift: u32,
+    fast_path: bool,
+    // MRU memo: the line address (addr >> set_shift) and line-array index
+    // of the most recently touched line. `MRU_NONE` when unset. The index
+    // is re-validated against the stored line on every use, so a stale
+    // memo (the line was evicted since) degrades to the scan path instead
+    // of producing a false hit.
+    mru_line: u64,
+    mru_idx: usize,
 }
 
+/// Sentinel for "no MRU memo": no real line address reaches this value
+/// (line addresses are `addr >> set_shift` with `set_shift >= 1`).
+const MRU_NONE: u64 = u64::MAX;
+
 impl Cache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the MRU fast path enabled.
     ///
     /// # Panics
     ///
     /// Panics if the geometry is not power-of-two sized.
     pub fn new(config: CacheConfig) -> Cache {
+        Cache::with_fast_path(config, true)
+    }
+
+    /// Creates an empty cache, choosing whether repeated same-line
+    /// accesses take the memoized MRU path or always scan the set. Both
+    /// paths produce bit-identical hit/miss/LRU/statistics behaviour; the
+    /// toggle exists so equivalence tests can diff them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not power-of-two sized.
+    pub fn with_fast_path(config: CacheConfig, fast_path: bool) -> Cache {
         assert!(
             config.line_bytes.is_power_of_two(),
             "cache line size must be a power of two, got {} bytes",
@@ -128,6 +152,9 @@ impl Cache {
             set_shift,
             set_mask: sets - 1,
             tag_shift: set_shift + sets.trailing_zeros(),
+            fast_path,
+            mru_line: MRU_NONE,
+            mru_idx: 0,
         }
     }
 
@@ -146,6 +173,7 @@ impl Cache {
         for line in &mut self.lines {
             *line = Line::default();
         }
+        self.mru_line = MRU_NONE;
     }
 
     #[inline]
@@ -159,6 +187,23 @@ impl Cache {
     /// eviction.
     #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheAccess {
+        // MRU fast path: a repeat access to the most recently touched
+        // line (sequential fetch hits the same 64 B line 16 times) skips
+        // the way scan. The line address encodes both set and tag, and
+        // the stored line is checked to still hold that tag, so the memo
+        // can never claim a hit the scan would miss — the state updates
+        // below are exactly the scan path's hit updates.
+        if self.fast_path && addr >> self.set_shift == self.mru_line {
+            let line = &mut self.lines[self.mru_idx];
+            if line.valid && line.tag == addr >> self.tag_shift {
+                self.tick += 1;
+                self.stats.accesses += 1;
+                line.last_use = self.tick;
+                line.dirty |= is_write;
+                return CacheAccess { hit: true, writeback: None };
+            }
+        }
+
         self.tick += 1;
         self.stats.accesses += 1;
         let (base, tag) = self.set_range(addr);
@@ -169,6 +214,8 @@ impl Cache {
             if line.valid && line.tag == tag {
                 line.last_use = self.tick;
                 line.dirty |= is_write;
+                self.mru_line = addr >> self.set_shift;
+                self.mru_idx = i;
                 return CacheAccess { hit: true, writeback: None };
             }
         }
@@ -191,7 +238,49 @@ impl Cache {
             None
         };
         *line = Line { valid: true, dirty: is_write, tag, last_use: self.tick };
+        self.mru_line = addr >> self.set_shift;
+        self.mru_idx = victim;
         CacheAccess { hit: false, writeback }
+    }
+
+    /// Applies `count` repeat read hits to the line containing `addr` in
+    /// one batch: bit-identical to calling [`Cache::access`]`(addr,
+    /// false)` `count` times, *given the caller's guarantee* that `addr`'s
+    /// line was the most recent access and nothing touched the cache
+    /// since. Each such access would hit and refresh the same line's
+    /// recency, so one batched tick/statistics/`last_use` update lands on
+    /// exactly the same state. Used by the block execution engine to
+    /// charge straight-line fetch runs within one cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (the caller's contract was
+    /// violated).
+    pub fn repeat_hits(&mut self, addr: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.tick += count;
+        self.stats.accesses += count;
+        let line_addr = addr >> self.set_shift;
+        let tag = addr >> self.tag_shift;
+        let idx = if self.fast_path
+            && line_addr == self.mru_line
+            && self.lines[self.mru_idx].valid
+            && self.lines[self.mru_idx].tag == tag
+        {
+            self.mru_idx
+        } else {
+            let (base, tag) = self.set_range(addr);
+            (base..base + self.config.ways as usize)
+                .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+                .expect("repeat_hits caller guarantees the line is resident")
+        };
+        self.lines[idx].last_use = self.tick;
+        if self.fast_path {
+            self.mru_line = line_addr;
+            self.mru_idx = idx;
+        }
     }
 
     /// Whether the line containing `addr` is currently resident (no state
@@ -311,6 +400,35 @@ mod tests {
                 list.push(tag);
                 false
             }
+        }
+    }
+
+    /// `repeat_hits(addr, n)` must leave the cache in exactly the state
+    /// of `n` single read hits — including subsequent LRU decisions.
+    #[test]
+    fn repeat_hits_equals_n_single_accesses() {
+        for fast in [false, true] {
+            let cfg = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 };
+            let mut batched = Cache::with_fast_path(cfg, fast);
+            let mut single = Cache::with_fast_path(cfg, fast);
+            for c in [&mut batched, &mut single] {
+                c.access(0x000, false);
+                c.access(0x100, true); // dirty, same set
+            }
+            batched.repeat_hits(0x120, 5);
+            for _ in 0..5 {
+                single.access(0x120, false);
+            }
+            assert_eq!(batched.stats(), single.stats());
+            // 0x000 must now be LRU in both: the next conflicting fill
+            // evicts it, not the batched-hit line.
+            assert_eq!(
+                batched.access(0x200, false),
+                single.access(0x200, false),
+                "fast_path={fast}"
+            );
+            assert!(!batched.probe(0x000));
+            assert!(batched.probe(0x100), "batched hits must have refreshed recency");
         }
     }
 

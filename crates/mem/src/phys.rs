@@ -4,6 +4,7 @@
 //! bytes. All accesses are little-endian. Reads of untouched memory return
 //! zeroes, like zero-initialised DRAM after loader scrubbing.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -40,9 +41,20 @@ impl Hasher for PageHasher {
     }
 }
 
-type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<PageHasher>>;
+type Page = [u8; PAGE_SIZE as usize];
+type PageIndex = HashMap<u64, u32, BuildHasherDefault<PageHasher>>;
+
+/// Sentinel page number for "no MRU memo"; no reachable address maps to
+/// it (it would need `addr >= 2^76`).
+const MRU_NONE: u64 = u64::MAX;
 
 /// Sparse little-endian physical memory.
+///
+/// Pages live in a `Vec` (stable slots; the memory only ever grows) with
+/// a hash directory from page number to slot. The slot of the most
+/// recently touched page is memoized in a [`Cell`] so the overwhelmingly
+/// common same-page access — sequential data, stack traffic — skips the
+/// directory probe entirely, on the read path too.
 ///
 /// # Examples
 ///
@@ -55,13 +67,15 @@ type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, BuildHasherDefault<Pa
 /// ```
 #[derive(Debug, Default)]
 pub struct MainMemory {
-    pages: PageMap,
+    index: PageIndex,
+    pages: Vec<Box<Page>>,
+    mru: Cell<(u64, u32)>,
 }
 
 impl MainMemory {
     /// Creates an empty memory.
     pub fn new() -> MainMemory {
-        MainMemory { pages: PageMap::default() }
+        MainMemory { index: PageIndex::default(), pages: Vec::new(), mru: Cell::new((MRU_NONE, 0)) }
     }
 
     /// Number of distinct pages touched so far.
@@ -70,13 +84,35 @@ impl MainMemory {
     }
 
     #[inline]
-    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    fn page(&self, addr: u64) -> Option<&Page> {
+        let page_no = addr >> PAGE_SHIFT;
+        let (mru_no, mru_slot) = self.mru.get();
+        if page_no == mru_no {
+            return Some(&self.pages[mru_slot as usize]);
+        }
+        let slot = *self.index.get(&page_no)?;
+        self.mru.set((page_no, slot));
+        Some(&self.pages[slot as usize])
     }
 
     #[inline]
-    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    fn page_mut(&mut self, addr: u64) -> &mut Page {
+        let page_no = addr >> PAGE_SHIFT;
+        let (mru_no, mru_slot) = self.mru.get();
+        if page_no == mru_no {
+            return &mut self.pages[mru_slot as usize];
+        }
+        let slot = match self.index.get(&page_no) {
+            Some(&slot) => slot,
+            None => {
+                let slot = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+                self.pages.push(Box::new([0; PAGE_SIZE as usize]));
+                self.index.insert(page_no, slot);
+                slot
+            }
+        };
+        self.mru.set((page_no, slot));
+        &mut self.pages[slot as usize]
     }
 
     /// Reads one byte.
@@ -128,10 +164,42 @@ impl MainMemory {
         }
     }
 
+    /// Const-width in-page read: the compiler sees a fixed `N`, so the
+    /// copy lowers to one unaligned load instead of a `memcpy` call
+    /// (which the dynamic-length [`Self::read_le`] pays on every access).
+    #[inline]
+    fn read_fixed<const N: usize>(&self, addr: u64) -> u64 {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - N {
+            match self.page(addr) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..N].copy_from_slice(&p[off..off + N]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            self.read_le(addr, N)
+        }
+    }
+
+    /// Const-width in-page write; see [`Self::read_fixed`].
+    #[inline]
+    fn write_fixed<const N: usize>(&mut self, addr: u64, value: u64) {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off <= PAGE_SIZE as usize - N {
+            let bytes = value.to_le_bytes();
+            self.page_mut(addr)[off..off + N].copy_from_slice(&bytes[..N]);
+        } else {
+            self.write_le(addr, value, N);
+        }
+    }
+
     /// Reads a little-endian 16-bit value (may straddle pages).
     #[inline]
     pub fn read_u16(&self, addr: u64) -> u16 {
-        self.read_le(addr, 2) as u16
+        self.read_fixed::<2>(addr) as u16
     }
 
     /// Reads a little-endian 32-bit value (may straddle pages).
@@ -155,25 +223,25 @@ impl MainMemory {
     /// Reads a little-endian 64-bit value (may straddle pages).
     #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
-        self.read_le(addr, 8)
+        self.read_fixed::<8>(addr)
     }
 
     /// Writes a little-endian 16-bit value.
     #[inline]
     pub fn write_u16(&mut self, addr: u64, value: u16) {
-        self.write_le(addr, value as u64, 2);
+        self.write_fixed::<2>(addr, value as u64);
     }
 
     /// Writes a little-endian 32-bit value.
     #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) {
-        self.write_le(addr, value as u64, 4);
+        self.write_fixed::<4>(addr, value as u64);
     }
 
     /// Writes a little-endian 64-bit value.
     #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        self.write_le(addr, value, 8);
+        self.write_fixed::<8>(addr, value);
     }
 
     /// Copies a byte slice into memory.

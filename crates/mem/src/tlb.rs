@@ -31,28 +31,79 @@ pub struct Tlb {
     capacity: usize,
     tick: u64,
     stats: TlbStats,
+    fast_path: bool,
+    // MRU memo: the page number and entry index of the most recent hit.
+    // Re-validated against the stored entry on every use (`swap_remove`
+    // on the miss path reshuffles indices), so a stale memo degrades to
+    // the scan path instead of producing a false hit.
+    mru_page: u64,
+    mru_idx: usize,
 }
 
+/// Sentinel for "no MRU memo": no real page number reaches this value
+/// (pages are `addr >> PAGE_SHIFT`).
+const MRU_NONE: u64 = u64::MAX;
+
 impl Tlb {
-    /// Creates an empty TLB with the given number of entries.
+    /// Creates an empty TLB with the given number of entries and the MRU
+    /// fast path enabled.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Tlb {
+        Tlb::with_fast_path(capacity, true)
+    }
+
+    /// Creates an empty TLB, choosing whether repeated same-page lookups
+    /// take the memoized MRU path or always scan the entries. Both paths
+    /// produce bit-identical hit/miss/LRU/statistics behaviour; the
+    /// toggle exists so equivalence tests can diff them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_fast_path(capacity: usize, fast_path: bool) -> Tlb {
         assert!(capacity > 0, "TLB needs at least one entry");
-        Tlb { entries: Vec::with_capacity(capacity), capacity, tick: 0, stats: TlbStats::default() }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: TlbStats::default(),
+            fast_path,
+            mru_page: MRU_NONE,
+            mru_idx: 0,
+        }
     }
 
     /// Looks up the page containing `addr`, filling on miss. Returns whether
     /// the lookup hit.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> PAGE_SHIFT;
+        // MRU fast path: a repeat lookup in the most recently hit page
+        // (sequential fetch stays in a 4 KB page for 1024 instructions)
+        // skips the scan. The memoized index is checked to still hold the
+        // page, so the memo can never claim a hit the scan would miss —
+        // the updates are exactly the scan path's hit updates.
+        if self.fast_path && page == self.mru_page {
+            if let Some(entry) = self.entries.get_mut(self.mru_idx) {
+                if entry.0 == page {
+                    self.tick += 1;
+                    self.stats.accesses += 1;
+                    entry.1 = self.tick;
+                    return true;
+                }
+            }
+        }
         self.tick += 1;
         self.stats.accesses += 1;
-        let page = addr >> PAGE_SHIFT;
-        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+        if let Some((i, entry)) =
+            self.entries.iter_mut().enumerate().find(|(_, (p, _))| *p == page)
+        {
             entry.1 = self.tick;
+            self.mru_page = page;
+            self.mru_idx = i;
             return true;
         }
         self.stats.misses += 1;
@@ -67,7 +118,47 @@ impl Tlb {
             self.entries.swap_remove(lru);
         }
         self.entries.push((page, self.tick));
+        self.mru_page = page;
+        self.mru_idx = self.entries.len() - 1;
         false
+    }
+
+    /// Applies `count` repeat hits to the page containing `addr` in one
+    /// batch: bit-identical to calling [`Tlb::access`]`(addr)` `count`
+    /// times, *given the caller's guarantee* that `addr`'s page was the
+    /// most recent access and nothing touched the TLB since. Each such
+    /// access would hit and refresh the same entry's recency, so one
+    /// batched tick/statistics/last-use update lands on exactly the same
+    /// state. Used by the block execution engine to charge straight-line
+    /// fetch runs within one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident (the caller's contract was
+    /// violated).
+    pub fn repeat_hits(&mut self, addr: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let page = addr >> PAGE_SHIFT;
+        self.tick += count;
+        self.stats.accesses += count;
+        let idx = if self.fast_path
+            && page == self.mru_page
+            && self.entries.get(self.mru_idx).is_some_and(|(p, _)| *p == page)
+        {
+            self.mru_idx
+        } else {
+            self.entries
+                .iter()
+                .position(|(p, _)| *p == page)
+                .expect("repeat_hits caller guarantees the page is resident")
+        };
+        self.entries[idx].1 = self.tick;
+        if self.fast_path {
+            self.mru_page = page;
+            self.mru_idx = idx;
+        }
     }
 
     /// Running statistics.
@@ -78,6 +169,7 @@ impl Tlb {
     /// Invalidates all entries.
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.mru_page = MRU_NONE;
     }
 }
 
@@ -103,6 +195,29 @@ mod tests {
         t.access(0x2000); // evicts page 1
         assert!(t.access(0x0000));
         assert!(!t.access(0x1000));
+    }
+
+    /// `repeat_hits(addr, n)` must leave the TLB in exactly the state of
+    /// `n` single hits — including subsequent LRU decisions.
+    #[test]
+    fn repeat_hits_equals_n_single_accesses() {
+        for fast in [false, true] {
+            let mut batched = Tlb::with_fast_path(2, fast);
+            let mut single = Tlb::with_fast_path(2, fast);
+            for t in [&mut batched, &mut single] {
+                t.access(0x0000); // page 0
+                t.access(0x1000); // page 1
+            }
+            batched.repeat_hits(0x0040, 3);
+            for _ in 0..3 {
+                single.access(0x0040);
+            }
+            assert_eq!(batched.stats(), single.stats());
+            // Page 1 must now be LRU in both: the next fill evicts it.
+            assert_eq!(batched.access(0x2000), single.access(0x2000), "fast_path={fast}");
+            assert!(batched.access(0x0000), "batched hits must have refreshed page 0");
+            assert!(!batched.access(0x1000), "page 1 must have been evicted");
+        }
     }
 
     #[test]

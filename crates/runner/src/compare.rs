@@ -1,0 +1,219 @@
+//! Host-throughput comparison between two bench artifacts.
+//!
+//! A benchmark PR claims "this run is no slower than that one"; this
+//! module turns the claim into data. [`compare`] matches the cells of a
+//! current run against a baseline artifact by cell identity (workload,
+//! engine, ISA level, scale) and reports per-cell and aggregate
+//! `host_mips` ratios. Cells present on only one side are listed rather
+//! than silently dropped, so a shrunk matrix cannot masquerade as a
+//! speedup. Cached cells carry no meaningful wall time and are excluded,
+//! mirroring the aggregate `host_mips` definition in [`crate::artifact`].
+
+use crate::artifact::BenchArtifact;
+use crate::pool::JobOutcome;
+use std::collections::HashMap;
+
+/// Host-throughput delta of one matrix cell present in both runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// Workload name.
+    pub workload: String,
+    /// Engine id (`lua` / `js`).
+    pub engine: String,
+    /// ISA level name.
+    pub level: String,
+    /// Baseline host throughput, MIPS.
+    pub base_mips: f64,
+    /// Current host throughput, MIPS.
+    pub cur_mips: f64,
+}
+
+impl CellDelta {
+    /// Current / baseline throughput. Infinite when the baseline cell
+    /// recorded zero throughput.
+    pub fn ratio(&self) -> f64 {
+        if self.base_mips == 0.0 { f64::INFINITY } else { self.cur_mips / self.base_mips }
+    }
+}
+
+/// Result of comparing a current run against a baseline artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Cells simulated (not cached) in both runs, in current-run order.
+    pub cells: Vec<CellDelta>,
+    /// Cell names present only in the baseline run.
+    pub only_base: Vec<String>,
+    /// Cell names present only in the current run.
+    pub only_current: Vec<String>,
+    /// Baseline aggregate host throughput, MIPS.
+    pub base_aggregate: f64,
+    /// Current aggregate host throughput, MIPS.
+    pub cur_aggregate: f64,
+}
+
+impl Comparison {
+    /// Aggregate current / baseline throughput. Infinite when the
+    /// baseline aggregate is zero (e.g. a fully cached baseline run).
+    pub fn aggregate_ratio(&self) -> f64 {
+        if self.base_aggregate == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cur_aggregate / self.base_aggregate
+        }
+    }
+
+    /// Whether the aggregate throughput clears `min_ratio` × baseline.
+    pub fn passes(&self, min_ratio: f64) -> bool {
+        self.aggregate_ratio() >= min_ratio
+    }
+}
+
+/// Identity of a cell for cross-run matching: spec fields only, never
+/// the content key (the key hashes source and core configuration, which
+/// legitimately change between the runs being compared).
+fn cell_name(o: &JobOutcome) -> String {
+    format!(
+        "{}/{}/{}/{}{}",
+        o.spec.workload,
+        o.spec.engine.id(),
+        o.spec.level.name(),
+        o.spec.scale.id(),
+        if o.spec.profiled { "/profiled" } else { "" },
+    )
+}
+
+fn measured(o: &JobOutcome) -> bool {
+    !o.cached && o.wall_nanos > 0
+}
+
+/// Matches `current` against `baseline` cell-by-cell.
+///
+/// Only cells that actually simulated on both sides produce a
+/// [`CellDelta`]; everything else lands in `only_base` / `only_current`.
+pub fn compare(baseline: &BenchArtifact, current: &BenchArtifact) -> Comparison {
+    let base: HashMap<String, &JobOutcome> = baseline
+        .outcomes
+        .iter()
+        .filter(|o| measured(o))
+        .map(|o| (cell_name(o), o))
+        .collect();
+    let mut cells = Vec::new();
+    let mut only_current = Vec::new();
+    let mut seen = Vec::new();
+    for o in current.outcomes.iter().filter(|o| measured(o)) {
+        let name = cell_name(o);
+        match base.get(&name) {
+            Some(b) => {
+                seen.push(name);
+                cells.push(CellDelta {
+                    workload: o.spec.workload.clone(),
+                    engine: o.spec.engine.id().to_string(),
+                    level: o.spec.level.name().to_string(),
+                    base_mips: b.steps_per_sec() / 1e6,
+                    cur_mips: o.steps_per_sec() / 1e6,
+                });
+            }
+            None => only_current.push(name),
+        }
+    }
+    let mut only_base: Vec<String> =
+        base.keys().filter(|k| !seen.contains(k)).cloned().collect();
+    only_base.sort();
+    Comparison {
+        cells,
+        only_base,
+        only_current,
+        base_aggregate: baseline.host_mips,
+        cur_aggregate: current.host_mips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{EngineKind, JobSpec, Scale};
+    use crate::result::CellResult;
+    use tarch_core::{CoreConfig, IsaLevel, PerfCounters};
+
+    fn outcome(workload: &str, instructions: u64, wall_nanos: u64, cached: bool) -> JobOutcome {
+        let spec = JobSpec::new(
+            workload.to_string(),
+            EngineKind::Lua,
+            IsaLevel::Typed,
+            Scale::Test,
+            false,
+            format!("-- {workload}"),
+            &CoreConfig::paper(),
+        );
+        JobOutcome {
+            spec,
+            result: CellResult {
+                counters: PerfCounters { instructions, ..PerfCounters::default() },
+                branch: Default::default(),
+                output: String::new(),
+                bytecodes: None,
+            },
+            cached,
+            wall_nanos,
+        }
+    }
+
+    fn artifact(outcomes: Vec<JobOutcome>) -> BenchArtifact {
+        BenchArtifact::new(Scale::Test, 1000, outcomes)
+    }
+
+    #[test]
+    fn matches_cells_and_computes_ratios() {
+        // Baseline: 1000 instrs in 1000 ns = 1000 MIPS. Current: twice
+        // as fast on the same cell.
+        let base = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        let cur = artifact(vec![outcome("fibo", 1000, 500, false)]);
+        let c = compare(&base, &cur);
+        assert_eq!(c.cells.len(), 1);
+        assert!((c.cells[0].ratio() - 2.0).abs() < 1e-9, "{}", c.cells[0].ratio());
+        assert!((c.aggregate_ratio() - 2.0).abs() < 1e-9);
+        assert!(c.passes(1.9) && !c.passes(2.1));
+        assert!(c.only_base.is_empty() && c.only_current.is_empty());
+    }
+
+    #[test]
+    fn unmatched_cells_are_reported_not_dropped() {
+        let base = artifact(vec![
+            outcome("fibo", 100, 100, false),
+            outcome("n-sieve", 100, 100, false),
+        ]);
+        let cur = artifact(vec![
+            outcome("fibo", 100, 100, false),
+            outcome("spectral-norm", 100, 100, false),
+        ]);
+        let c = compare(&base, &cur);
+        assert_eq!(c.cells.len(), 1);
+        assert_eq!(c.only_base, vec!["n-sieve/lua/typed/test".to_string()]);
+        assert_eq!(c.only_current, vec!["spectral-norm/lua/typed/test".to_string()]);
+    }
+
+    #[test]
+    fn cached_cells_do_not_participate() {
+        let base = artifact(vec![outcome("fibo", 100, 100, false)]);
+        let cur = artifact(vec![outcome("fibo", 100, 100, true)]);
+        let c = compare(&base, &cur);
+        assert!(c.cells.is_empty());
+        assert_eq!(c.only_base.len(), 1);
+        // A fully cached current run has zero aggregate and fails any
+        // positive threshold.
+        assert_eq!(c.cur_aggregate, 0.0);
+        assert!(!c.passes(0.1));
+    }
+
+    #[test]
+    fn zero_baseline_aggregate_always_passes() {
+        // A fully cached baseline carries no throughput claim; gating
+        // against it must not spuriously fail.
+        let base = artifact(vec![outcome("fibo", 100, 100, true)]);
+        let cur = artifact(vec![outcome("fibo", 100, 100, false)]);
+        let c = compare(&base, &cur);
+        assert_eq!(c.base_aggregate, 0.0);
+        assert!(c.aggregate_ratio().is_infinite());
+        assert!(c.passes(0.7));
+    }
+}

@@ -14,6 +14,8 @@
 //!   so re-running an experiment skips already-simulated cells;
 //! * [`artifact`] — versioned `BENCH_<timestamp>.json` run artifacts the
 //!   figure renderers can reload instead of re-simulating;
+//! * [`compare`] — host-throughput comparison of two artifacts, backing
+//!   `repro bench --compare` and its `--min-ratio` regression gate;
 //! * [`json`] — the minimal hand-rolled JSON reader/writer backing the
 //!   cache and artifact formats (no external dependencies).
 //!
@@ -25,6 +27,7 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod compare;
 pub mod job;
 pub mod json;
 pub mod pool;
@@ -32,6 +35,7 @@ pub mod result;
 
 pub use artifact::{BenchArtifact, ARTIFACT_SCHEMA};
 pub use cache::ResultCache;
+pub use compare::{compare, CellDelta, Comparison};
 pub use job::{EngineKind, JobKey, JobSpec, Scale};
 pub use json::Json;
 pub use pool::{

@@ -123,13 +123,27 @@ impl<H: NativeHost> Machine<H> {
 
     /// Runs up to `max_steps` instructions.
     ///
+    /// Delegates the hot loop to [`Cpu::run`] in bulk (which dispatches to
+    /// the basic-block engine when enabled), surfacing only `ecall`s to
+    /// the host. Guest instructions consumed per bulk call are measured
+    /// from the retired-instruction counter — nothing else advances it
+    /// inside `Cpu::run`; helper charges happen here, during `ecall`
+    /// service, and do not count against the step budget (exactly as in
+    /// the stepwise loop).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] on traps and host failures.
     pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, SimError> {
-        for _ in 0..max_steps {
-            if self.step()? == StepEvent::Halted {
-                return Ok(RunOutcome::Halted);
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let before = self.cpu.counters().instructions;
+            let event = self.cpu.run(remaining)?;
+            remaining = remaining.saturating_sub(self.cpu.counters().instructions - before);
+            match event {
+                StepEvent::Halted => return Ok(RunOutcome::Halted),
+                StepEvent::Ecall => self.host.ecall(&mut self.cpu)?,
+                StepEvent::Retired => {}
             }
         }
         if self.cpu.is_halted() {

@@ -1,11 +1,13 @@
-//! Counter-equivalence golden tests for the predecode engine.
+//! Counter-equivalence golden tests for the host-side fast paths.
 //!
-//! The predecoded-instruction table is a pure host-side optimisation: the
-//! architectural model — every `PerfCounters` field, the branch-predictor
-//! statistics, the final register state, program output — must be
-//! bit-identical whether fetches are served from the table or re-decoded
-//! from memory on every step. These tests run the *same* program with
-//! `CoreConfig::predecode` on and off and diff everything observable:
+//! The predecoded-instruction table, the basic-block engine, and the MRU
+//! cache/TLB memos are pure host-side optimisations: the architectural
+//! model — every `PerfCounters` field, the branch-predictor statistics,
+//! the final register state, program output — must be bit-identical with
+//! any combination of them enabled or disabled. These tests run the
+//! *same* program under each fast-path configuration and diff everything
+//! observable against the fully-naive reference (re-decode every fetch,
+//! step one instruction at a time, scan every cache way and TLB entry):
 //!
 //! * every `tarch_isa::samples::all_forms()` instruction, executed as a
 //!   tiny standalone program (covering every format's fetch/execute path,
@@ -24,8 +26,37 @@ const DATA_BASE: u64 = 0x2_0000;
 const FORM_STEPS: u64 = 200;
 const VM_STEPS: u64 = 2_000_000_000;
 
-fn config(predecode: bool) -> CoreConfig {
-    CoreConfig { predecode, ..CoreConfig::paper() }
+/// One named fast-path configuration under test.
+#[derive(Debug, Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    predecode: bool,
+    blocks: bool,
+    mem_fast_paths: bool,
+}
+
+/// The fully-naive reference: every host-side fast path off.
+const REFERENCE: Variant =
+    Variant { name: "naive", predecode: false, blocks: false, mem_fast_paths: false };
+
+/// Each fast path alone (the block engine both with and without the
+/// predecode table under it — the block builder has a decode path for
+/// each), plus everything together (the shipping default).
+const VARIANTS: [Variant; 5] = [
+    Variant { name: "predecode", predecode: true, blocks: false, mem_fast_paths: false },
+    Variant { name: "blocks", predecode: false, blocks: true, mem_fast_paths: false },
+    Variant { name: "blocks+predecode", predecode: true, blocks: true, mem_fast_paths: false },
+    Variant { name: "mru", predecode: false, blocks: false, mem_fast_paths: true },
+    Variant { name: "all", predecode: true, blocks: true, mem_fast_paths: true },
+];
+
+fn config(v: Variant) -> CoreConfig {
+    CoreConfig {
+        predecode: v.predecode,
+        blocks: v.blocks,
+        mem_fast_paths: v.mem_fast_paths,
+        ..CoreConfig::paper()
+    }
 }
 
 /// Everything architecturally observable after a bounded run.
@@ -41,8 +72,8 @@ struct Observed {
 /// Runs `instr` as a standalone `[instr, halt]` program with every
 /// integer register pointing at writable data, bounded by `FORM_STEPS`
 /// (branch forms can loop through zeroed memory; typed forms can redirect
-/// to a null handler — both are fine as long as the two runs agree).
-fn run_form(instr: Instruction, predecode: bool) -> Observed {
+/// to a null handler — both are fine as long as all runs agree).
+fn run_form(instr: Instruction, variant: Variant) -> Observed {
     let program = Program {
         text_base: TEXT_BASE,
         text: vec![
@@ -54,7 +85,7 @@ fn run_form(instr: Instruction, predecode: bool) -> Observed {
         entry: TEXT_BASE,
         symbols: BTreeMap::new(),
     };
-    let mut cpu = Cpu::new(config(predecode));
+    let mut cpu = Cpu::new(config(variant));
     cpu.load_program(&program);
     for n in 1..32 {
         let r = Reg::new(n).expect("valid register");
@@ -73,9 +104,15 @@ fn run_form(instr: Instruction, predecode: bool) -> Observed {
 #[test]
 fn every_sample_form_is_counter_identical() {
     for instr in samples::all_forms() {
-        let on = run_form(instr, true);
-        let off = run_form(instr, false);
-        assert_eq!(on, off, "predecode on/off diverged for `{instr}`");
+        let reference = run_form(instr, REFERENCE);
+        for variant in VARIANTS {
+            let observed = run_form(instr, variant);
+            assert_eq!(
+                observed, reference,
+                "`{}` diverged from naive reference for `{instr}`",
+                variant.name
+            );
+        }
     }
 }
 
@@ -86,27 +123,35 @@ fn check_vm_equivalence(workload: &str) {
     let module = luart::compile(&chunk).expect("compiles");
 
     for level in tarch_core::IsaLevel::ALL {
-        let run_lua = |predecode: bool| {
-            let mut vm = luart::LuaVm::new(&module, level, config(predecode))
-                .unwrap_or_else(|e| panic!("{workload} luart {level}: {e}"));
-            vm.run(VM_STEPS).unwrap_or_else(|e| panic!("{workload} luart {level}: {e}"))
+        let run_lua = |variant: Variant| {
+            let mut vm = luart::LuaVm::new(&module, level, config(variant))
+                .unwrap_or_else(|e| panic!("{workload} luart {level} [{}]: {e}", variant.name));
+            vm.run(VM_STEPS)
+                .unwrap_or_else(|e| panic!("{workload} luart {level} [{}]: {e}", variant.name))
         };
-        let on = run_lua(true);
-        let off = run_lua(false);
-        assert_eq!(on.output, off.output, "{workload}: luart {level} output diverged");
-        assert_eq!(on.counters, off.counters, "{workload}: luart {level} counters diverged");
-        assert_eq!(on.branch, off.branch, "{workload}: luart {level} branch stats diverged");
+        let reference = run_lua(REFERENCE);
+        for variant in VARIANTS {
+            let observed = run_lua(variant);
+            let tag = format!("{workload}: luart {level} [{}]", variant.name);
+            assert_eq!(observed.output, reference.output, "{tag} output diverged");
+            assert_eq!(observed.counters, reference.counters, "{tag} counters diverged");
+            assert_eq!(observed.branch, reference.branch, "{tag} branch stats diverged");
+        }
 
-        let run_js = |predecode: bool| {
-            let mut vm = jsrt::JsVm::from_source(&src, level, config(predecode))
-                .unwrap_or_else(|e| panic!("{workload} jsrt {level}: {e}"));
-            vm.run(VM_STEPS).unwrap_or_else(|e| panic!("{workload} jsrt {level}: {e}"))
+        let run_js = |variant: Variant| {
+            let mut vm = jsrt::JsVm::from_source(&src, level, config(variant))
+                .unwrap_or_else(|e| panic!("{workload} jsrt {level} [{}]: {e}", variant.name));
+            vm.run(VM_STEPS)
+                .unwrap_or_else(|e| panic!("{workload} jsrt {level} [{}]: {e}", variant.name))
         };
-        let on = run_js(true);
-        let off = run_js(false);
-        assert_eq!(on.output, off.output, "{workload}: jsrt {level} output diverged");
-        assert_eq!(on.counters, off.counters, "{workload}: jsrt {level} counters diverged");
-        assert_eq!(on.branch, off.branch, "{workload}: jsrt {level} branch stats diverged");
+        let reference = run_js(REFERENCE);
+        for variant in VARIANTS {
+            let observed = run_js(variant);
+            let tag = format!("{workload}: jsrt {level} [{}]", variant.name);
+            assert_eq!(observed.output, reference.output, "{tag} output diverged");
+            assert_eq!(observed.counters, reference.counters, "{tag} counters diverged");
+            assert_eq!(observed.branch, reference.branch, "{tag} branch stats diverged");
+        }
     }
 }
 
@@ -118,6 +163,7 @@ fn lua_and_js_workload_counters_identical() {
 #[test]
 fn helper_heavy_workload_counters_identical() {
     // string/table helpers go through `ecall`, whose native implementations
-    // write simulated memory via `mem_mut` — the epoch-revalidation path.
+    // write simulated memory via `mem_mut` — the epoch-revalidation path
+    // for both the predecode slots and the block table.
     check_vm_equivalence("k-nucleotide");
 }
