@@ -19,7 +19,14 @@
 //!   --no-cache              bypass the persistent result cache
 //!   --steps N               per-job step budget (default 2e10)
 //!   --workload NAME         restrict `bench` to one workload
+//!   --profile-pairs         (bench) histogram of adjacent same-block
+//!                           opcode pairs (the macro-op fusion evidence)
+//!                           instead of throughput measurement
+//!   --no-fuse               disable macro-op fusion in the simulated core
+//!   --no-chain              disable basic-block chaining in the core
 //!   --emit-json PATH        write the run artifact to PATH
+//!   --out DIR               directory for auto-emitted artifacts
+//!                           (default: bench-artifacts/)
 //!   --from-json PATH        render figures from a BENCH_*.json artifact
 //!                           instead of simulating
 //!   --compare PATH          (bench) diff host throughput against a
@@ -31,8 +38,10 @@
 //!
 //! Simulation results are cached under `target/tarch-cache/` keyed by the
 //! job's content (program source + configuration); a repeated invocation
-//! is served entirely from cache. `repro all` additionally writes a
-//! timestamped `BENCH_<unix>.json` artifact of the full matrix.
+//! is served entirely from cache. `repro all` and `repro bench`
+//! additionally write a timestamped `BENCH_<unix>.json` artifact into
+//! `bench-artifacts/` (override the directory with `--out`, or the exact
+//! path with `--emit-json`).
 
 use std::env;
 use std::path::{Path, PathBuf};
@@ -41,7 +50,8 @@ use tarch_bench::figures;
 use tarch_bench::harness::{default_cache_dir, Matrix, MatrixOptions, MAX_STEPS};
 use tarch_bench::paper_tables as tables;
 use tarch_bench::workloads::{self, Scale};
-use tarch_runner::BenchArtifact;
+use tarch_core::{CoreConfig, IsaLevel, PairProfile};
+use tarch_runner::{BenchArtifact, EngineKind};
 
 struct Opts {
     scale: Scale,
@@ -50,16 +60,34 @@ struct Opts {
     no_cache: bool,
     step_budget: u64,
     workload: Option<String>,
+    profile_pairs: bool,
+    no_fuse: bool,
+    no_chain: bool,
     emit_json: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
     from_json: Option<PathBuf>,
     compare: Option<PathBuf>,
     min_ratio: Option<f64>,
 }
 
+impl Opts {
+    /// The simulated core configuration for this invocation: the paper's
+    /// core with the requested fast paths toggled off. Toggles feed the
+    /// job content key, so A/B runs never collide in the result cache.
+    fn core(&self) -> CoreConfig {
+        CoreConfig {
+            fuse: !self.no_fuse,
+            chain_blocks: !self.no_chain,
+            ..CoreConfig::paper()
+        }
+    }
+}
+
 const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench> \
                      [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
-                     [--emit-json PATH] [--from-json PATH] [--compare PATH] [--min-ratio R] \
-                     [--verbose]";
+                     [--profile-pairs] [--no-fuse] [--no-chain] \
+                     [--emit-json PATH] [--out DIR] [--from-json PATH] [--compare PATH] \
+                     [--min-ratio R] [--verbose]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -70,7 +98,11 @@ fn main() -> ExitCode {
         no_cache: false,
         step_budget: MAX_STEPS,
         workload: None,
+        profile_pairs: false,
+        no_fuse: false,
+        no_chain: false,
         emit_json: None,
+        out_dir: None,
         from_json: None,
         compare: None,
         min_ratio: None,
@@ -100,7 +132,11 @@ fn main() -> ExitCode {
                         .map_err(|_| format!("{a} needs a step count"))?;
                 }
                 "--workload" => opts.workload = Some(value(a)?),
+                "--profile-pairs" => opts.profile_pairs = true,
+                "--no-fuse" => opts.no_fuse = true,
+                "--no-chain" => opts.no_chain = true,
                 "--emit-json" => opts.emit_json = Some(PathBuf::from(value(a)?)),
+                "--out" => opts.out_dir = Some(PathBuf::from(value(a)?)),
                 "--from-json" => opts.from_json = Some(PathBuf::from(value(a)?)),
                 "--compare" => opts.compare = Some(PathBuf::from(value(a)?)),
                 "--min-ratio" => {
@@ -129,6 +165,10 @@ fn main() -> ExitCode {
     }
     if opts.min_ratio.is_some() && opts.compare.is_none() {
         eprintln!("error: --min-ratio needs --compare\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if opts.profile_pairs && command != "bench" {
+        eprintln!("error: --profile-pairs only applies to `bench`\n{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -168,6 +208,7 @@ fn matrix(opts: &Opts, profiled: bool) -> Result<(Matrix, Option<BenchArtifact>)
         step_budget: opts.step_budget,
         profiled,
         progress: opts.verbose,
+        core: opts.core(),
     };
     let run = Matrix::run_with(&workloads::all(), opts.scale, &mopts)?;
     if opts.verbose {
@@ -185,7 +226,11 @@ fn emit(opts: &Opts, command: &str, artifact: Option<&BenchArtifact>) -> Result<
     let path = match (&opts.emit_json, command) {
         (Some(p), _) => Some(p.clone()),
         (None, "all" | "bench") if opts.from_json.is_none() => {
-            Some(PathBuf::from(artifact.default_filename()))
+            let dir =
+                opts.out_dir.clone().unwrap_or_else(|| PathBuf::from("bench-artifacts"));
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("create {}: {e}", dir.display()))?;
+            Some(dir.join(artifact.default_filename()))
         }
         _ => None,
     };
@@ -278,12 +323,16 @@ fn bench(opts: &Opts) -> Result<(), String> {
         }
         None => workloads::all(),
     };
+    if opts.profile_pairs {
+        return profile_pairs(opts, &ws);
+    }
     let mopts = MatrixOptions {
         workers: opts.jobs,
         cache_dir: None,
         step_budget: opts.step_budget,
         profiled: false,
         progress: opts.verbose,
+        core: opts.core(),
     };
     let run = Matrix::run_with(&ws, opts.scale, &mopts)?;
     println!(
@@ -313,6 +362,52 @@ fn bench(opts: &Opts) -> Result<(), String> {
         Some(path) => compare_against(path, &artifact, opts.min_ratio),
         None => Ok(()),
     }
+}
+
+/// Opcode-pair evidence run (`repro bench --profile-pairs`): executes the
+/// requested matrix *serially, in process, unfused* with the core's
+/// adjacent-pair profile enabled, aggregates every cell's profile and
+/// prints the histogram the macro-op fusion set is justified from.
+/// Serial because the profile lives inside each `Cpu`; throughput is not
+/// the point of this mode.
+fn profile_pairs(opts: &Opts, ws: &[workloads::Workload]) -> Result<(), String> {
+    let core = opts.core();
+    let mut total = PairProfile::new();
+    let mut cells = 0usize;
+    for w in ws {
+        let src = w.source(opts.scale);
+        for engine in EngineKind::ALL {
+            for level in IsaLevel::ALL {
+                let label = format!("{}/{}/{}", w.name, engine.id(), level.name());
+                if opts.verbose {
+                    eprintln!("profiling {label}...");
+                }
+                let profile = match engine {
+                    EngineKind::Lua => {
+                        let mut vm = luart::LuaVm::from_source(&src, level, core)
+                            .map_err(|e| format!("{label}: {e}"))?;
+                        vm.cpu_mut().enable_pair_profile();
+                        vm.run(opts.step_budget).map_err(|e| format!("{label}: {e}"))?;
+                        vm.cpu().pair_profile().cloned()
+                    }
+                    EngineKind::Js => {
+                        let mut vm = jsrt::JsVm::from_source(&src, level, core)
+                            .map_err(|e| format!("{label}: {e}"))?;
+                        vm.cpu_mut().enable_pair_profile();
+                        vm.run(opts.step_budget).map_err(|e| format!("{label}: {e}"))?;
+                        vm.cpu().pair_profile().cloned()
+                    }
+                };
+                if let Some(p) = profile {
+                    total.merge(&p);
+                }
+                cells += 1;
+            }
+        }
+    }
+    eprintln!("profiled {cells} cell(s) at scale {}", opts.scale.id());
+    print!("{}", tarch_runner::pairs::render_histogram(&total, 30));
+    Ok(())
 }
 
 /// Renders the per-cell and aggregate host-throughput diff of `current`
@@ -385,6 +480,7 @@ fn selftest(opts: &Opts) -> Result<(), String> {
         step_budget: opts.step_budget,
         profiled: true,
         progress: opts.verbose,
+        core: opts.core(),
     };
     let run = Matrix::run_with(&ws, Scale::Test, &mopts)?;
     let expected = ws.len() * 2 * 3 + ws.len() * 2;

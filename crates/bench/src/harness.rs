@@ -26,7 +26,7 @@ pub use tarch_runner::{CellResult, EngineKind};
 pub const MAX_STEPS: u64 = tarch_runner::DEFAULT_STEP_BUDGET;
 
 /// Builds the job spec for one cell (the unit the runner schedules,
-/// caches and serializes).
+/// caches and serializes) on the paper's core configuration.
 pub fn job_spec(
     w: &Workload,
     engine: EngineKind,
@@ -34,7 +34,20 @@ pub fn job_spec(
     scale: Scale,
     profiled: bool,
 ) -> JobSpec {
-    JobSpec::new(w.name, engine, level, scale, profiled, w.source(scale), &CoreConfig::paper())
+    job_spec_with(w, engine, level, scale, profiled, &CoreConfig::paper())
+}
+
+/// [`job_spec`] with an explicit core configuration (A/B runs over the
+/// execution-engine toggles, e.g. `repro bench --no-fuse`).
+pub fn job_spec_with(
+    w: &Workload,
+    engine: EngineKind,
+    level: IsaLevel,
+    scale: Scale,
+    profiled: bool,
+    core: &CoreConfig,
+) -> JobSpec {
+    JobSpec::new(w.name, engine, level, scale, profiled, w.source(scale), core)
 }
 
 /// Executes one job: builds the right VM from the spec *inside the
@@ -46,22 +59,25 @@ pub fn job_spec(
 /// [`ExecError::StepBudget`] when the budget is exhausted, otherwise
 /// [`ExecError::Failed`] with the engine's message.
 pub fn exec_job(spec: &JobSpec, step_budget: u64) -> Result<CellResult, ExecError> {
-    let core = CoreConfig::paper();
+    let core = spec.core;
     match spec.engine {
         EngineKind::Lua => {
             let mut vm = luart::LuaVm::from_source(&spec.source, spec.level, core)
                 .map_err(|e| ExecError::Failed(e.to_string()))?;
+            let sim_started = std::time::Instant::now();
             let r = if spec.profiled {
                 vm.run_profiled(step_budget)
             } else {
                 vm.run(step_budget)
             };
+            let sim_nanos = sim_started.elapsed().as_nanos() as u64;
             match r {
                 Ok(r) => Ok(CellResult {
                     counters: r.counters,
                     branch: r.branch,
                     output: r.output,
                     bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
+                    sim_nanos,
                 }),
                 Err(luart::EngineError::StepLimit { max_steps }) => {
                     Err(ExecError::StepBudget { steps: max_steps })
@@ -72,17 +88,20 @@ pub fn exec_job(spec: &JobSpec, step_budget: u64) -> Result<CellResult, ExecErro
         EngineKind::Js => {
             let mut vm = jsrt::JsVm::from_source(&spec.source, spec.level, core)
                 .map_err(|e| ExecError::Failed(e.to_string()))?;
+            let sim_started = std::time::Instant::now();
             let r = if spec.profiled {
                 vm.run_profiled(step_budget)
             } else {
                 vm.run(step_budget)
             };
+            let sim_nanos = sim_started.elapsed().as_nanos() as u64;
             match r {
                 Ok(r) => Ok(CellResult {
                     counters: r.counters,
                     branch: r.branch,
                     output: r.output,
                     bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
+                    sim_nanos,
                 }),
                 Err(jsrt::EngineError::StepLimit { max_steps }) => {
                     Err(ExecError::StepBudget { steps: max_steps })
@@ -129,6 +148,8 @@ pub struct MatrixOptions {
     pub profiled: bool,
     /// Live progress line on stderr.
     pub progress: bool,
+    /// Simulated core configuration for every cell.
+    pub core: CoreConfig,
 }
 
 impl Default for MatrixOptions {
@@ -139,6 +160,7 @@ impl Default for MatrixOptions {
             step_budget: MAX_STEPS,
             profiled: false,
             progress: false,
+            core: CoreConfig::paper(),
         }
     }
 }
@@ -211,7 +233,7 @@ impl Matrix {
         for w in workloads {
             for engine in EngineKind::ALL {
                 for level in IsaLevel::ALL {
-                    jobs.push(job_spec(w, engine, level, scale, false));
+                    jobs.push(job_spec_with(w, engine, level, scale, false, &opts.core));
                 }
             }
         }
@@ -219,7 +241,7 @@ impl Matrix {
             // Figure 9's profiled runs: Typed level only, both engines.
             for w in workloads {
                 for engine in EngineKind::ALL {
-                    jobs.push(job_spec(w, engine, IsaLevel::Typed, scale, true));
+                    jobs.push(job_spec_with(w, engine, IsaLevel::Typed, scale, true, &opts.core));
                 }
             }
         }

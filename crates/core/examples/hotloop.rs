@@ -1,0 +1,86 @@
+//! In-process A/B microbenchmark for the basic-block engine's host fast
+//! paths (macro-op fusion + block chaining).
+//!
+//! The default `repro bench` cells run for tens of milliseconds each, so
+//! on a busy 1-CPU box run-to-run wall-clock noise (±20% observed) swamps
+//! the effect being measured. This example removes every nuisance
+//! variable it can: one process, one guest program dense in fusable pairs
+//! (the shapes `repro bench --profile-pairs` ranks highest on the real
+//! interpreters: `slli+add`, `add+ld`, `addi+srli`, `addi+bne`),
+//! alternating fused/chained and plain-block runs back to back, reporting
+//! per-config medians over many repetitions.
+//!
+//! Usage: `cargo run --release -p tarch-core --example hotloop [iters] [reps]`
+
+use std::time::Instant;
+
+use tarch_core::{CoreConfig, Cpu, StepEvent};
+use tarch_isa::text::assemble;
+
+const TEXT_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x2_0000;
+
+/// 9-instruction loop body, 8 of which fuse into 4 pairs.
+const SRC: &str = "
+    li   s1, 0x20000    # data window (4 KiB, see `data` below)
+loop:
+    slli t0, s3, 3
+    andi t0, t0, 2040   # slli+andi -> AluPair; index stays in-window
+    add  t1, s1, t0
+    ld   t2, 0(t1)      # add+ld   -> AluLoad
+    addi s3, s3, 1
+    srli t3, s3, 2      # addi+srli -> AluPair
+    addi a0, a0, -1
+    bnez a0, loop       # addi+bne -> AluBranch
+    halt
+";
+
+fn run_once(fuse: bool, chain: bool, iters: u64) -> (f64, u64) {
+    let mut program = assemble(SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    program.data = vec![0u8; 4096];
+    let config =
+        CoreConfig { fuse, chain_blocks: chain, ..CoreConfig::paper() };
+    let mut cpu = Cpu::new(config);
+    cpu.load_program(&program);
+    cpu.regs_mut().write_untyped(tarch_isa::Reg::A0, iters);
+    let start = Instant::now();
+    let event = cpu.run(u64::MAX).expect("no trap");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(event, StepEvent::Halted);
+    let instrs = cpu.counters().instructions;
+    (instrs as f64 / secs / 1e6, instrs)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iters: u64 = args.next().map_or(2_000_000, |s| s.parse().expect("iters"));
+    let reps: usize = args.next().map_or(9, |s| s.parse().expect("reps"));
+
+    // Warm-up both configs once (page faults, first-touch, frequency).
+    run_once(true, true, iters / 10);
+    run_once(false, false, iters / 10);
+
+    let mut on = Vec::with_capacity(reps);
+    let mut off = Vec::with_capacity(reps);
+    let mut retired = (0u64, 0u64);
+    for _ in 0..reps {
+        let (m_on, n_on) = run_once(true, true, iters);
+        let (m_off, n_off) = run_once(false, false, iters);
+        retired = (n_on, n_off);
+        on.push(m_on);
+        off.push(m_off);
+        println!("  on {m_on:7.1} MIPS   off {m_off:7.1} MIPS");
+    }
+    assert_eq!(retired.0, retired.1, "fused/unfused must retire identically");
+    let (m_on, m_off) = (median(&mut on), median(&mut off));
+    println!(
+        "median: on {m_on:.1} MIPS, off {m_off:.1} MIPS, ratio {:.3}x ({} instrs/run)",
+        m_on / m_off,
+        retired.0
+    );
+}

@@ -14,7 +14,29 @@
 //! counter) are still applied per instruction, bit-identically to the
 //! stepwise path.
 //!
-//! A block's decoded run is handed out as an `Arc<[Instruction]>`: the
+//! On top of the PR 3 engine this module adds two further host-side fast
+//! paths (PR 4), both architecturally invisible:
+//!
+//! * **Macro-op fusion** ([`fuse_ops`]): at block-build time, common
+//!   adjacent instruction pairs — ALU/ALU address formation, ALU+load,
+//!   load+ALU, compare-and-branch, load+indirect-jump dispatch,
+//!   `tld`+`tchk`, `tget`+branch — are rewritten into fused [`BlockOp`]
+//!   variants whose handlers in `Cpu::run_blocks` apply both components'
+//!   fetch/cache/TLB/counter charges exactly, while skipping the
+//!   inter-instruction bookkeeping the pair provably cannot need (see the
+//!   legality rules on [`fuse_pair`]). The fusion set is chosen from
+//!   `repro bench --profile-pairs` data; see DESIGN.md.
+//! * **Block chaining**: a block that exits through its final *direct*
+//!   branch or jump records a link from the observed successor pc to the
+//!   successor's block id ([`BlockTable::link`]), and later transfers
+//!   follow the link ([`BlockTable::follow`]) without re-probing the
+//!   entry table. A link is followable only while the target block's
+//!   generation matches the table's — any invalidation signal severs
+//!   every link at once, and links die with either endpoint (the source
+//!   block's link slots are dropped when it is rebuilt; the target is
+//!   revalidated by generation and entry pc on every follow).
+//!
+//! A block's decoded run is handed out as an `Arc<[BlockOp]>`: the
 //! executor iterates a plain slice with no table borrow held, so
 //! invalidation during execution (a guest store into text) can drop or
 //! rebuild table state without pulling the slice out from under the
@@ -26,10 +48,11 @@
 //!
 //! * **Guest stores** into the text range bump the table's generation
 //!   ([`BlockTable::note_store`]). The executing block loop re-checks the
-//!   generation after every instruction, so a store into the *current*
-//!   block stops block execution at the store; every block lazily
-//!   revalidates its cached raw words against memory on next entry and
-//!   is rebuilt if they changed.
+//!   generation after every instruction that can store, so a store into
+//!   the *current* block stops block execution at the store; every block
+//!   lazily revalidates its cached raw words against memory on next entry
+//!   and is rebuilt if they changed. The same bump makes every chain link
+//!   unfollowable until its target revalidates.
 //! * **Host writes** through `Cpu::mem_mut` bump the same generation
 //!   ([`BlockTable::mark_stale`]), mirroring the predecode epoch: blocks
 //!   whose words are untouched revalidate in place (one `u32` compare
@@ -37,8 +60,9 @@
 //!   predecode table so its per-slot invalidation stats stay live.
 //! * [`BlockTable::flush`] drops every block outright (and bumps the
 //!   generation, so an in-flight block execution detaches from the
-//!   flushed state at the next instruction boundary). `Cpu` flushes
-//!   blocks and predecode slots together.
+//!   flushed state at the next instruction boundary). Links die with the
+//!   blocks that held them. `Cpu` flushes blocks and predecode slots
+//!   together.
 //!
 //! Entries outside the text range miss the table and fall back to the
 //! stepwise path, so dynamically placed code still runs.
@@ -54,18 +78,328 @@ pub const MAX_BLOCK_LEN: usize = 64;
 /// Sentinel in the entry map for "no block starts at this word".
 const NO_BLOCK: u32 = u32::MAX;
 
+/// Chain-link slots per block: a block ending in a conditional branch has
+/// exactly two dynamic successors (taken target and fall-through), a
+/// direct jump has one, and an indirect jump (`jalr` — interpreter
+/// dispatch, calls through function values, returns) has arbitrarily
+/// many; four slots cover the branch cases exactly and give polymorphic
+/// dispatch sites a small inline cache. Every link is validated against
+/// its target's entry pc and generation before use, so a stale or
+/// mispredicted slot can only miss, never misdirect.
+const CHAIN_LINKS: usize = 4;
+
+/// One executable unit of a cached block: a single instruction, or a
+/// fused adjacent pair rewritten by [`fuse_ops`]. Fused variants name the
+/// component classes their `Cpu::run_blocks` handlers are specialized
+/// for; the pair's components are stored verbatim so the budget-clipped
+/// fallback can execute the first component alone through the generic
+/// single-instruction path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockOp {
+    /// An unfused instruction executed through the generic path with the
+    /// full set of inter-instruction checks.
+    One(Instruction),
+    /// An unfused instruction that provably cannot trap, redirect,
+    /// store, or stop ([`safe_one`]): the executor skips the trap
+    /// checkpoint and the event / fall-through / generation checks —
+    /// none of them can fire.
+    OneSafe(Instruction),
+    /// An unfused integer load: may trap, but never redirects, stores,
+    /// or stops — the post-instruction checks are statically dead.
+    OneLoad(Instruction),
+    /// An unfused integer store: may trap and may invalidate blocks —
+    /// keeps the post-store generation check, drops the rest.
+    OneStore(Instruction),
+    /// An unfused conditional branch: never traps; always the final op
+    /// of its block, so no post-instruction checks run at all.
+    OneBranch(Instruction),
+    /// An unfused direct jump (`jal`): never traps; always final.
+    OneJal(Instruction),
+    /// An unfused indirect jump (`jalr`): never traps; always final.
+    OneJalr(Instruction),
+    /// Two ALU-class instructions (reg-reg ALU, ALU-immediate, `lui`):
+    /// neither component can trap, redirect, store, or stop.
+    AluPair(Instruction, Instruction),
+    /// ALU-class then integer load (address formation + use; the load
+    /// may trap on misalignment).
+    AluLoad(Instruction, Instruction),
+    /// Integer load then ALU-class (load + extract/advance; the load may
+    /// trap).
+    LoadAlu(Instruction, Instruction),
+    /// ALU-class compare/guard then conditional branch (always the last
+    /// pair of its block).
+    AluBranch(Instruction, Instruction),
+    /// ALU-class then direct jump (always last).
+    AluJal(Instruction, Instruction),
+    /// Integer load then indirect jump: the interpreter dispatch pair
+    /// (always last; the load may trap).
+    LoadJalr(Instruction, Instruction),
+    /// ALU-class then integer store (the store may trap and may
+    /// invalidate blocks, checked after the pair).
+    AluStore(Instruction, Instruction),
+    /// Integer load then integer store (copy idiom; both may trap, the
+    /// store may invalidate).
+    LoadStore(Instruction, Instruction),
+    /// Integer load then integer load (field-chase idiom; both may
+    /// trap).
+    LoadLoad(Instruction, Instruction),
+    /// Integer store then ALU-class (store + pointer/index advance). The
+    /// store may trap and may invalidate blocks: the handler re-checks
+    /// the generation between the components and abandons the block at
+    /// the second component's pc if it moved.
+    StoreAlu(Instruction, Instruction),
+    /// Integer store then direct jump (always last; same inter-component
+    /// generation re-check as [`BlockOp::StoreAlu`]).
+    StoreJal(Instruction, Instruction),
+    /// `tld` then `tchk`: tagged load + type guard (the load may trap,
+    /// the check may redirect to the handler).
+    TldTchk(Instruction, Instruction),
+    /// `tget` then conditional branch: tag-guarded branch (always last).
+    TgetBranch(Instruction, Instruction),
+}
+
+impl BlockOp {
+    /// Instructions this op retires when fully executed.
+    #[inline]
+    pub fn width(self) -> u64 {
+        match self {
+            BlockOp::One(_)
+            | BlockOp::OneSafe(_)
+            | BlockOp::OneLoad(_)
+            | BlockOp::OneStore(_)
+            | BlockOp::OneBranch(_)
+            | BlockOp::OneJal(_)
+            | BlockOp::OneJalr(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// The components of a fused pair, or `None` for a single.
+    pub fn pair(self) -> Option<(Instruction, Instruction)> {
+        match self {
+            BlockOp::One(_)
+            | BlockOp::OneSafe(_)
+            | BlockOp::OneLoad(_)
+            | BlockOp::OneStore(_)
+            | BlockOp::OneBranch(_)
+            | BlockOp::OneJal(_)
+            | BlockOp::OneJalr(_) => None,
+            BlockOp::AluPair(a, b)
+            | BlockOp::AluLoad(a, b)
+            | BlockOp::LoadAlu(a, b)
+            | BlockOp::AluBranch(a, b)
+            | BlockOp::AluJal(a, b)
+            | BlockOp::LoadJalr(a, b)
+            | BlockOp::AluStore(a, b)
+            | BlockOp::LoadStore(a, b)
+            | BlockOp::LoadLoad(a, b)
+            | BlockOp::StoreAlu(a, b)
+            | BlockOp::StoreJal(a, b)
+            | BlockOp::TldTchk(a, b)
+            | BlockOp::TgetBranch(a, b) => Some((a, b)),
+        }
+    }
+}
+
+/// Whether `instr` is in the fusable ALU class: integer ALU (reg-reg or
+/// immediate) and `lui`. These never trap, never redirect, never touch
+/// memory, and never produce a stop event, so one may legally be the
+/// *first* component of any fused pair — the pair can skip the
+/// fall-through, generation, and stop checks between its components.
+#[inline]
+fn fuse_alu_class(instr: Instruction) -> bool {
+    matches!(
+        instr,
+        Instruction::Alu { .. } | Instruction::AluImm { .. } | Instruction::Lui { .. }
+    )
+}
+
+/// Fusion legality and the fused pair an adjacent `(a, b)` rewrites to.
+///
+/// Legality rules (DESIGN.md has the full argument):
+///
+/// 1. The first component must never redirect and never produce a stop
+///    event — so skipping the fall-through / event checks between the
+///    components is sound. ALU-class instructions, integer loads,
+///    integer stores, `tld`, and `tget` qualify; loads, stores, and
+///    `tld` may *trap*, which is fine because a trap aborts the pair
+///    before its second component runs. A *storing* first component may
+///    additionally invalidate blocks, so its handlers keep the one
+///    check that is not statically dead: the inter-component generation
+///    re-check (abandoning the block at the second component's pc when
+///    it moved, exactly like the generic path).
+/// 2. The second component may be anything except a block ender that the
+///    builder would not have placed mid-block anyway; pairs whose second
+///    component is a branch/jump are necessarily the last op of their
+///    block (the builder stops at `ends_block`).
+/// 3. Both components' architectural charges are applied by the fused
+///    handler in exact program order, so counters, caches, TLBs, and the
+///    branch predictor see the same stream as the unfused engine.
+fn fuse_pair(a: Instruction, b: Instruction) -> Option<BlockOp> {
+    if fuse_alu_class(a) {
+        return match b {
+            _ if fuse_alu_class(b) => Some(BlockOp::AluPair(a, b)),
+            Instruction::Load { .. } => Some(BlockOp::AluLoad(a, b)),
+            Instruction::Branch { .. } => Some(BlockOp::AluBranch(a, b)),
+            Instruction::Jal { .. } => Some(BlockOp::AluJal(a, b)),
+            Instruction::Store { .. } => Some(BlockOp::AluStore(a, b)),
+            _ => None,
+        };
+    }
+    match (a, b) {
+        (Instruction::Load { .. }, _) if fuse_alu_class(b) => Some(BlockOp::LoadAlu(a, b)),
+        (Instruction::Load { .. }, Instruction::Jalr { .. }) => Some(BlockOp::LoadJalr(a, b)),
+        (Instruction::Load { .. }, Instruction::Store { .. }) => Some(BlockOp::LoadStore(a, b)),
+        (Instruction::Load { .. }, Instruction::Load { .. }) => Some(BlockOp::LoadLoad(a, b)),
+        (Instruction::Store { .. }, _) if fuse_alu_class(b) => Some(BlockOp::StoreAlu(a, b)),
+        (Instruction::Store { .. }, Instruction::Jal { .. }) => Some(BlockOp::StoreJal(a, b)),
+        (Instruction::Tld { .. }, Instruction::Tchk { .. }) => Some(BlockOp::TldTchk(a, b)),
+        (Instruction::Tget { .. }, Instruction::Branch { .. }) => {
+            Some(BlockOp::TgetBranch(a, b))
+        }
+        _ => None,
+    }
+}
+
+/// Whether `instr` may execute with every inter-instruction check
+/// skipped: it never traps, never redirects (including never producing a
+/// stop event), and never writes memory, so the fall-through, generation,
+/// and event checks after it are statically dead. The classification is
+/// conservative — anything not listed takes the generic path.
+fn safe_one(instr: Instruction) -> bool {
+    matches!(
+        instr,
+        Instruction::Alu { .. }
+            | Instruction::AluImm { .. }
+            | Instruction::Lui { .. }
+            | Instruction::Fpu { .. }
+            | Instruction::FpCmp { .. }
+            | Instruction::FcvtDL { .. }
+            | Instruction::FcvtLD { .. }
+            | Instruction::FmvXD { .. }
+            | Instruction::FmvDX { .. }
+            | Instruction::Tget { .. }
+            | Instruction::Tset { .. }
+            | Instruction::Csrr { .. }
+            | Instruction::FlushTrt
+            | Instruction::Thdl { .. }
+    )
+}
+
+/// Rewrites a decoded instruction run into block ops, greedily fusing
+/// adjacent pairs left to right when `fuse` is set (a fused instruction
+/// is never re-fused with its other neighbour), and classifying the
+/// remaining singles into the specialized single-instruction variants
+/// ([`BlockOp::OneSafe`], [`BlockOp::OneLoad`], [`BlockOp::OneStore`],
+/// and the block-ending branch/jump forms) whose handlers skip the
+/// inter-instruction checks their class makes statically dead.
+/// With `fuse` off every instruction becomes a plain [`BlockOp::One`] —
+/// the fully generic engine, and the shape pair profiling requires (its
+/// histogram must see every adjacent retired pair).
+pub fn fuse_ops(instrs: &[Instruction], fuse: bool) -> Vec<BlockOp> {
+    let mut ops = Vec::with_capacity(instrs.len());
+    let mut i = 0;
+    while i < instrs.len() {
+        if fuse && i + 1 < instrs.len() {
+            if let Some(p) = fuse_pair(instrs[i], instrs[i + 1]) {
+                ops.push(p);
+                i += 2;
+                continue;
+            }
+        }
+        ops.push(if fuse { classify_one(instrs[i]) } else { BlockOp::One(instrs[i]) });
+        i += 1;
+    }
+    ops
+}
+
+/// The specialized single-instruction op for `instr`: the most checked
+/// class it provably fits, falling back to the fully generic
+/// [`BlockOp::One`]. Branches and jumps only appear as a block's final
+/// instruction (the builder stops at `ends_block`), which their
+/// handlers rely on.
+fn classify_one(instr: Instruction) -> BlockOp {
+    match instr {
+        _ if safe_one(instr) => BlockOp::OneSafe(instr),
+        Instruction::Load { .. } => BlockOp::OneLoad(instr),
+        Instruction::Store { .. } => BlockOp::OneStore(instr),
+        Instruction::Branch { .. } => BlockOp::OneBranch(instr),
+        Instruction::Jal { .. } => BlockOp::OneJal(instr),
+        Instruction::Jalr { .. } => BlockOp::OneJalr(instr),
+        _ => BlockOp::One(instr),
+    }
+}
+
+/// A handed-out block run: the detached ops plus the per-block facts the
+/// execution loop needs without re-touching the table — the block id
+/// (chain-link endpoint), the total instruction width, and whether the
+/// final op is a *direct* branch/jump (computed once at install time, so
+/// the hot loop never re-inspects instructions for chain eligibility).
+#[derive(Debug, Clone)]
+pub struct BlockRun {
+    /// The decoded (possibly fused) run.
+    pub ops: Arc<[BlockOp]>,
+    /// Block id, used as a chain-link endpoint.
+    pub bid: u32,
+    /// Total instructions the run retires when executed in full.
+    pub width: u32,
+    /// Whether the final op is a direct branch or `jal`: executing the
+    /// whole run means the block exited through it, the only exit kind
+    /// eligible for chain links.
+    pub chainable: bool,
+}
+
+/// A chain link: "control observed to land at `pc`; the block there is
+/// `bid`". Followable only while the target block is current (generation
+/// and entry-pc checked at follow time).
+#[derive(Debug, Clone, Copy)]
+struct ChainLink {
+    pc: u64,
+    bid: u32,
+}
+
+impl Default for ChainLink {
+    fn default() -> ChainLink {
+        ChainLink { pc: 0, bid: NO_BLOCK }
+    }
+}
+
 /// One cached basic block: the raw words it was decoded from (for
-/// revalidation) and the decoded run.
+/// revalidation), the (possibly fused) run, its entry pc, and its chain
+/// links.
 #[derive(Debug)]
 struct Block {
     gen: u64,
+    pc: u64,
     words: Vec<u32>,
-    instrs: Arc<[Instruction]>,
+    ops: Arc<[BlockOp]>,
+    width: u32,
+    chainable: bool,
+    links: [ChainLink; CHAIN_LINKS],
+}
+
+impl Block {
+    fn run(&self, bid: u32) -> BlockRun {
+        BlockRun {
+            ops: Arc::clone(&self.ops),
+            bid,
+            width: self.width,
+            chainable: self.chainable,
+        }
+    }
 }
 
 impl Default for Block {
     fn default() -> Block {
-        Block { gen: 0, words: Vec::new(), instrs: Arc::from(Vec::new()) }
+        Block {
+            gen: 0,
+            pc: 0,
+            words: Vec::new(),
+            ops: Arc::from(Vec::new()),
+            width: 0,
+            chainable: false,
+            links: [ChainLink::default(); CHAIN_LINKS],
+        }
     }
 }
 
@@ -83,6 +417,11 @@ pub struct BlockStats {
     pub rebuilds: u64,
     /// Generation bumps from guest stores into the text range.
     pub store_invalidations: u64,
+    /// Chain links recorded after direct-branch/jump exits.
+    pub links_formed: u64,
+    /// Block transfers served through a chain link (no entry-table
+    /// probe).
+    pub chained_transfers: u64,
 }
 
 /// Lazily filled basic-block cache for the text segment.
@@ -126,8 +465,9 @@ impl BlockTable {
 
     /// The current invalidation generation. The block execution loop
     /// snapshots this at block entry and re-checks it after every
-    /// instruction; any mutation signal (guest store into text, host
-    /// write, flush) changes it.
+    /// instruction that can store; any mutation signal (guest store into
+    /// text, host write, flush) changes it — and makes every chain link
+    /// unfollowable until its target block revalidates.
     #[inline]
     pub fn generation(&self) -> u64 {
         self.gen
@@ -143,7 +483,7 @@ impl BlockTable {
     /// used. Returns the decoded run, or `None` when the caller must
     /// build (no block here yet, or the words under it changed).
     #[inline]
-    pub fn lookup(&mut self, pc: u64, mem: &MainMemory) -> Option<Arc<[Instruction]>> {
+    pub fn lookup(&mut self, pc: u64, mem: &MainMemory) -> Option<BlockRun> {
         if !self.covers(pc) {
             return None;
         }
@@ -152,15 +492,16 @@ impl BlockTable {
             return None;
         }
         let block = &mut self.blocks[bid as usize];
-        if block.instrs.is_empty() {
+        if block.ops.is_empty() {
             return None; // previously dropped; awaiting rebuild
         }
         if block.gen != self.gen {
             for (i, w) in block.words.iter().enumerate() {
                 if mem.read_u32(pc + 4 * i as u64) != *w {
                     // The text under this block changed: drop the cached
-                    // run (the entry keeps its block id for reuse) and
-                    // make the caller rebuild from current memory.
+                    // run — and with it this block's outgoing links —
+                    // (the entry keeps its block id for reuse) and make
+                    // the caller rebuild from current memory.
                     *block = Block::default();
                     self.stats.rebuilds += 1;
                     return None;
@@ -170,12 +511,49 @@ impl BlockTable {
             self.stats.revalidations += 1;
         }
         self.stats.hits += 1;
-        Some(Arc::clone(&block.instrs))
+        Some(block.run(bid))
+    }
+
+    /// Follows block `from`'s chain link for successor pc `pc`, if one
+    /// exists and its target is current: the target block must be live,
+    /// start exactly at `pc`, and carry the table's generation (a block
+    /// awaiting revalidation is reached through [`BlockTable::lookup`]
+    /// instead, which re-checks its words). A successful follow returns
+    /// exactly what `lookup` would — minus the entry-table probe — so it
+    /// is architecturally invisible.
+    #[inline]
+    pub fn follow(&mut self, from: u32, pc: u64) -> Option<BlockRun> {
+        let links = self.blocks.get(from as usize)?.links;
+        let bid = links.iter().find(|l| l.bid != NO_BLOCK && l.pc == pc)?.bid;
+        let target = self.blocks.get(bid as usize)?;
+        if target.gen != self.gen || target.pc != pc || target.ops.is_empty() {
+            return None;
+        }
+        self.stats.chained_transfers += 1;
+        Some(target.run(bid))
+    }
+
+    /// Records a chain link: block `from` exited through its final direct
+    /// branch/jump and control landed at `pc`, where block `to` lives.
+    /// Overwrites the slot already holding `pc` if any, else an empty
+    /// slot, else the last slot (a conditional branch has at most two
+    /// dynamic successors, so real replacement only happens after an
+    /// invalidation re-shuffled block ids).
+    #[inline]
+    pub fn link(&mut self, from: u32, pc: u64, to: u32) {
+        let Some(block) = self.blocks.get_mut(from as usize) else { return };
+        let slot = block
+            .links
+            .iter()
+            .position(|l| l.bid == NO_BLOCK || l.pc == pc)
+            .unwrap_or(CHAIN_LINKS - 1);
+        block.links[slot] = ChainLink { pc, bid: to };
+        self.stats.links_formed += 1;
     }
 
     /// Installs a freshly decoded block starting at `pc`, reusing the
-    /// entry's block id if one was allocated before. Returns the decoded
-    /// run.
+    /// entry's block id if one was allocated before, fusing adjacent
+    /// pairs when `fuse` is set. Returns the run.
     ///
     /// # Panics
     ///
@@ -186,7 +564,8 @@ impl BlockTable {
         pc: u64,
         words: Vec<u32>,
         instrs: Vec<Instruction>,
-    ) -> Arc<[Instruction]> {
+        fuse: bool,
+    ) -> BlockRun {
         assert!(self.covers(pc) && !instrs.is_empty(), "install of empty or uncovered block");
         let idx = self.index(pc);
         let bid = if self.entry[idx] == NO_BLOCK {
@@ -197,17 +576,35 @@ impl BlockTable {
         } else {
             self.entry[idx]
         };
-        let run: Arc<[Instruction]> = Arc::from(instrs);
-        self.blocks[bid as usize] = Block { gen: self.gen, words, instrs: Arc::clone(&run) };
+        let chainable = matches!(
+            instrs.last(),
+            Some(Instruction::Branch { .. })
+                | Some(Instruction::Jal { .. })
+                | Some(Instruction::Jalr { .. })
+        );
+        let width = instrs.len() as u32;
+        let ops: Arc<[BlockOp]> = Arc::from(fuse_ops(&instrs, fuse));
+        let block = Block {
+            gen: self.gen,
+            pc,
+            words,
+            ops,
+            width,
+            chainable,
+            links: [ChainLink::default(); CHAIN_LINKS],
+        };
+        let run = block.run(bid);
+        self.blocks[bid as usize] = block;
         self.stats.builds += 1;
         run
     }
 
     /// Records a guest store of `len` bytes at `addr`: if it overlaps
     /// the text range, every block must re-check its words before its
-    /// next execution, and the currently executing block (if any) must
-    /// stop using its cached run. One compare in the common case of a
-    /// data store.
+    /// next execution, the currently executing block (if any) must stop
+    /// using its cached run, and every chain link goes dark until its
+    /// target revalidates. One compare in the common case of a data
+    /// store.
     #[inline]
     pub fn note_store(&mut self, addr: u64, len: u64) {
         let end = addr.wrapping_add(len - 1);
@@ -220,7 +617,8 @@ impl BlockTable {
 
     /// Marks every block as needing revalidation (a host may have
     /// written arbitrary memory through `Cpu::mem_mut`). Mirrors the
-    /// predecode epoch bump.
+    /// predecode epoch bump; chain links are unfollowable until their
+    /// targets revalidate.
     #[inline]
     pub fn mark_stale(&mut self) {
         self.gen += 1;
@@ -229,7 +627,8 @@ impl BlockTable {
     /// Drops every cached block (keeps the covered range and the
     /// statistics). Bumps the generation so an in-flight block execution
     /// stops consulting its (detached, still-alive) run at the next
-    /// instruction boundary.
+    /// instruction boundary. Chain links die with the blocks that hold
+    /// them.
     pub fn flush(&mut self) {
         for e in &mut self.entry {
             *e = NO_BLOCK;
@@ -242,11 +641,27 @@ impl BlockTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tarch_isa::{AluImmOp, Reg};
+    use tarch_isa::{AluImmOp, BranchCond, MemWidth, Reg};
 
     fn addi(imm: i32) -> (u32, Instruction) {
         let i = Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm };
         (i.encode().unwrap(), i)
+    }
+
+    fn one(imm: i32) -> BlockOp {
+        BlockOp::One(addi(imm).1)
+    }
+
+    fn ld() -> Instruction {
+        Instruction::Load { width: MemWidth::Double, signed: false, rd: Reg::A1, rs1: Reg::A0, imm: 0 }
+    }
+
+    fn sd() -> Instruction {
+        Instruction::Store { width: MemWidth::Double, rs2: Reg::A1, rs1: Reg::A0, imm: 0 }
+    }
+
+    fn bne() -> Instruction {
+        Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::A0, rs2: Reg::A1, offset: -8 }
     }
 
     fn table_with_block() -> (BlockTable, MainMemory) {
@@ -257,8 +672,10 @@ mod tests {
         let (w2, i2) = addi(2);
         mem.write_u32(0x1000, w1);
         mem.write_u32(0x1004, w2);
-        let run = t.install(0x1000, vec![w1, w2], vec![i1, i2]);
-        assert_eq!(run.len(), 2);
+        let run = t.install(0x1000, vec![w1, w2], vec![i1, i2], false);
+        assert_eq!(run.ops.len(), 2);
+        assert_eq!(run.width, 2);
+        assert!(!run.chainable, "no final direct branch");
         (t, mem)
     }
 
@@ -266,7 +683,7 @@ mod tests {
     fn install_then_lookup_round_trips() {
         let (mut t, mem) = table_with_block();
         let run = t.lookup(0x1000, &mem).expect("installed block");
-        assert_eq!(&run[..], &[addi(1).1, addi(2).1]);
+        assert_eq!(&run.ops[..], &[one(1), one(2)]);
         assert!(t.lookup(0x1004, &mem).is_none(), "no block *starts* mid-run");
         assert_eq!(t.stats().builds, 1);
         assert_eq!(t.stats().hits, 1);
@@ -296,7 +713,7 @@ mod tests {
     #[test]
     fn changed_word_drops_block_and_detached_run_stays_alive() {
         let (mut t, mut mem) = table_with_block();
-        let old_run = t.lookup(0x1000, &mem).expect("installed block");
+        let old_run = t.lookup(0x1000, &mem).expect("installed block").ops;
         let (w3, i3) = addi(3);
         mem.write_u32(0x1004, w3);
         t.note_store(0x1004, 4);
@@ -304,9 +721,9 @@ mod tests {
         assert_eq!(t.stats().rebuilds, 1);
         // The executor's detached view of the old run is unaffected by the
         // drop — it stops using it via the generation check, not a free.
-        assert_eq!(&old_run[..], &[addi(1).1, addi(2).1]);
-        let run = t.install(0x1000, vec![addi(1).0, w3], vec![addi(1).1, i3]);
-        assert_eq!(&run[..], &[addi(1).1, i3]);
+        assert_eq!(&old_run[..], &[one(1), one(2)]);
+        let run = t.install(0x1000, vec![addi(1).0, w3], vec![addi(1).1, i3], false);
+        assert_eq!(&run.ops[..], &[one(1), BlockOp::One(i3)]);
         assert_eq!(t.blocks.len(), 1, "rebuild reuses the entry's block slot");
     }
 
@@ -353,5 +770,153 @@ mod tests {
         t.note_store(0x0f00, 8); // entirely outside: no-op
         t.note_store(0x2000, 8);
         assert_eq!(t.generation(), g0 + 2);
+    }
+
+    // --- fusion ---
+
+    #[test]
+    fn fuse_rewrites_known_pairs_and_disables_cleanly() {
+        let (_, a) = addi(1);
+        let instrs = vec![a, ld(), a, bne()];
+        let fused = fuse_ops(&instrs, true);
+        assert_eq!(fused, vec![BlockOp::AluLoad(a, ld()), BlockOp::AluBranch(a, bne())]);
+        assert_eq!(fused.iter().map(|op| op.width()).sum::<u64>(), 4);
+        let unfused = fuse_ops(&instrs, false);
+        assert_eq!(unfused.len(), 4);
+        assert!(unfused.iter().all(|op| op.width() == 1));
+    }
+
+    #[test]
+    fn fuse_is_greedy_left_to_right_without_overlap() {
+        let (_, a) = addi(1);
+        // [alu, alu, alu]: the first two fuse, the third stays single —
+        // the middle instruction is never consumed twice.
+        let fused = fuse_ops(&[a, a, a], true);
+        assert_eq!(fused, vec![BlockOp::AluPair(a, a), BlockOp::OneSafe(a)]);
+        assert_eq!(fused.iter().map(|op| op.width()).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn fuse_covers_the_issue_pairs() {
+        let (_, a) = addi(1);
+        let tld = Instruction::Tld { rd: Reg::A1, rs1: Reg::A0, imm: 0 };
+        let tchk = Instruction::Tchk { rs1: Reg::A1, rs2: Reg::A2 };
+        let tget = Instruction::Tget { rd: Reg::A1, rs1: Reg::A0 };
+        let jalr = Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::A0, imm: 0 };
+        assert_eq!(fuse_pair(a, bne()), Some(BlockOp::AluBranch(a, bne())));
+        assert_eq!(fuse_pair(a, ld()), Some(BlockOp::AluLoad(a, ld())));
+        assert_eq!(fuse_pair(ld(), jalr), Some(BlockOp::LoadJalr(ld(), jalr)));
+        assert_eq!(fuse_pair(tld, tchk), Some(BlockOp::TldTchk(tld, tchk)));
+        assert_eq!(fuse_pair(tget, bne()), Some(BlockOp::TgetBranch(tget, bne())));
+        assert_eq!(fuse_pair(ld(), sd()), Some(BlockOp::LoadStore(ld(), sd())));
+        assert_eq!(fuse_pair(a, sd()), Some(BlockOp::AluStore(a, sd())));
+        assert_eq!(fuse_pair(ld(), ld()), Some(BlockOp::LoadLoad(ld(), ld())));
+        let jal = Instruction::Jal { rd: Reg::RA, offset: 8 };
+        // Store-led pairs carry the inter-component generation re-check.
+        assert_eq!(fuse_pair(sd(), a), Some(BlockOp::StoreAlu(sd(), a)));
+        assert_eq!(fuse_pair(sd(), jal), Some(BlockOp::StoreJal(sd(), jal)));
+        assert_eq!(fuse_pair(sd(), ld()), None, "store+load stays unfused");
+        // Branches never lead: they end the block.
+        assert_eq!(fuse_pair(bne(), a), None);
+    }
+
+    // --- chaining ---
+
+    fn two_block_table() -> (BlockTable, MainMemory, u32, u32) {
+        let mut t = BlockTable::new();
+        t.reset(0x1000, 8);
+        let mut mem = MainMemory::new();
+        let (w1, i1) = addi(1);
+        mem.write_u32(0x1000, w1);
+        mem.write_u32(0x1008, w1);
+        let b0 = t.install(0x1000, vec![w1], vec![i1], false).bid;
+        let b1 = t.install(0x1008, vec![w1], vec![i1], false).bid;
+        (t, mem, b0, b1)
+    }
+
+    #[test]
+    fn link_then_follow_transfers_without_probe() {
+        let (mut t, _, b0, b1) = two_block_table();
+        assert!(t.follow(b0, 0x1008).is_none(), "no link yet");
+        t.link(b0, 0x1008, b1);
+        assert_eq!(t.stats().links_formed, 1);
+        let run = t.follow(b0, 0x1008).expect("linked");
+        assert_eq!(run.bid, b1);
+        assert_eq!(run.ops.len(), 1);
+        assert_eq!(t.stats().chained_transfers, 1);
+        assert!(t.follow(b0, 0x1004).is_none(), "pc must match the link");
+    }
+
+    #[test]
+    fn generation_bump_severs_links_until_revalidation() {
+        let (mut t, mem, b0, b1) = two_block_table();
+        t.link(b0, 0x1008, b1);
+        t.note_store(0x1004, 4); // text store elsewhere: gen bump
+        assert!(t.follow(b0, 0x1008).is_none(), "stale target must not chain");
+        // A normal lookup revalidates the target; the link works again
+        // without being re-formed.
+        assert!(t.lookup(0x1008, &mem).is_some());
+        assert!(t.follow(b0, 0x1008).is_some());
+    }
+
+    #[test]
+    fn links_die_with_either_endpoint() {
+        let (mut t, mut mem, b0, b1) = two_block_table();
+        t.link(b0, 0x1008, b1);
+        // Target endpoint dies: its word changes, lookup drops it.
+        mem.write_u32(0x1008, addi(9).0);
+        t.note_store(0x1008, 4);
+        assert!(t.lookup(0x1008, &mem).is_none());
+        assert!(t.follow(b0, 0x1008).is_none(), "dropped target must not chain");
+        // Source endpoint dies: rebuilding it clears its link slots.
+        let (w9, i9) = addi(9);
+        let nb1 = t.install(0x1008, vec![w9], vec![i9], false).bid;
+        assert_eq!(nb1, b1, "entry keeps its block id");
+        t.link(b0, 0x1008, nb1);
+        assert!(t.follow(b0, 0x1008).is_some());
+        let (w1, i1) = addi(1);
+        t.install(0x1000, vec![w1], vec![i1], false); // rebuild source
+        assert!(t.follow(b0, 0x1008).is_none(), "rebuilt source holds no links");
+    }
+
+    #[test]
+    fn flush_kills_all_links() {
+        let (mut t, _, b0, b1) = two_block_table();
+        t.link(b0, 0x1008, b1);
+        t.flush();
+        assert!(t.follow(b0, 0x1008).is_none());
+    }
+
+    #[test]
+    fn link_slots_update_in_place_and_replace_deterministically() {
+        let mut t = BlockTable::new();
+        t.reset(0x1000, 16);
+        let mut mem = MainMemory::new();
+        let (w1, i1) = addi(1);
+        for pc in [0x1000u64, 0x1008, 0x1010, 0x1018, 0x1020, 0x1028] {
+            mem.write_u32(pc, w1);
+            t.install(pc, vec![w1], vec![i1], false);
+        }
+        assert!(t.lookup(0x1000, &mem).is_some());
+        // Successive successors fill the four slots in order.
+        t.link(0, 0x1008, 1);
+        t.link(0, 0x1010, 2);
+        t.link(0, 0x1018, 3);
+        t.link(0, 0x1020, 4);
+        assert!(t.follow(0, 0x1008).is_some());
+        assert!(t.follow(0, 0x1010).is_some());
+        assert!(t.follow(0, 0x1018).is_some());
+        assert!(t.follow(0, 0x1020).is_some());
+        // Re-linking an existing pc updates in place, no slot churn.
+        t.link(0, 0x1008, 1);
+        assert!(t.follow(0, 0x1010).is_some());
+        // Once every slot is taken, a new successor replaces the last
+        // slot only; earlier slots survive.
+        t.link(0, 0x1028, 5);
+        assert!(t.follow(0, 0x1008).is_some(), "first slot survives");
+        assert!(t.follow(0, 0x1010).is_some(), "second slot survives");
+        assert!(t.follow(0, 0x1018).is_some(), "third slot survives");
+        assert!(t.follow(0, 0x1020).is_none(), "last slot was replaced");
+        assert!(t.follow(0, 0x1028).is_some());
     }
 }

@@ -140,6 +140,16 @@ pub struct CoreConfig {
     /// Execute straight-line runs through the basic-block engine
     /// (host-side fast path; simulated counters are identical either way).
     pub blocks: bool,
+    /// Chain directly between basic blocks: when a block exits to a pc
+    /// whose block is already built and valid, transfer control without
+    /// re-probing the block table (host-side fast path; simulated
+    /// counters are identical either way). Only meaningful with `blocks`.
+    pub chain_blocks: bool,
+    /// Fuse common adjacent instruction pairs into superinstructions at
+    /// block-build time (host-side fast path; the fused handlers apply
+    /// both instructions' architectural charges exactly, so simulated
+    /// counters are identical either way). Only meaningful with `blocks`.
+    pub fuse: bool,
     /// Memoize the last-hit cache line / TLB page so same-line repeat
     /// accesses skip the way/entry scan (host-side fast path; simulated
     /// counters are identical either way).
@@ -160,6 +170,8 @@ impl CoreConfig {
             trt_entries: 8,
             predecode: true,
             blocks: true,
+            chain_blocks: true,
+            fuse: true,
             mem_fast_paths: true,
         }
     }

@@ -18,10 +18,11 @@
 //! stage-latch RTL simulation (see DESIGN.md for the substitution
 //! rationale).
 
-use crate::blocks::{BlockStats, BlockTable, MAX_BLOCK_LEN};
+use crate::blocks::{BlockOp, BlockRun, BlockStats, BlockTable, MAX_BLOCK_LEN};
 use crate::bpred::BranchPredictor;
 use crate::config::CoreConfig;
 use crate::counters::PerfCounters;
+use crate::pairprof::PairProfile;
 use crate::predecode::{PredecodeStats, PredecodeTable};
 use crate::regfile::{RegFile, TaggedValue};
 use crate::tagio::{Inserted, SprState};
@@ -134,6 +135,7 @@ pub struct Cpu {
     halted: bool,
     predecode: PredecodeTable,
     blocks: BlockTable,
+    pair_profile: Option<Box<PairProfile>>,
 }
 
 impl Cpu {
@@ -159,7 +161,23 @@ impl Cpu {
             halted: false,
             predecode: PredecodeTable::new(),
             blocks: BlockTable::new(),
+            pair_profile: None,
         }
+    }
+
+    /// Starts recording adjacent same-block opcode pairs (the measurement
+    /// behind the macro-op fusion set; see [`PairProfile`]). Profiling
+    /// disables fusion for this core — the histogram must describe the
+    /// unfused instruction stream — so any already-built fused blocks are
+    /// flushed.
+    pub fn enable_pair_profile(&mut self) {
+        self.pair_profile = Some(Box::default());
+        self.blocks.flush();
+    }
+
+    /// The recorded pair profile, when profiling is enabled.
+    pub fn pair_profile(&self) -> Option<&PairProfile> {
+        self.pair_profile.as_deref()
     }
 
     /// Copies a program image into memory and points the pc at its entry.
@@ -216,6 +234,21 @@ impl Cpu {
         self.predecode.mark_stale();
         self.blocks.mark_stale();
         &mut self.mem
+    }
+
+    /// Host-side store of one 64-bit word (native runtime helpers
+    /// updating guest heap state between simulated instructions).
+    ///
+    /// Unlike [`Cpu::mem_mut`] — which hands out raw memory and must
+    /// therefore assume the caller wrote *anywhere*, stale-marking every
+    /// decode cache — this records the store precisely: the predecode
+    /// and block caches invalidate only when `addr..addr+8` overlaps the
+    /// text range, exactly as a guest `sd` to the same address would.
+    /// Keeps chain links and cached block generations intact across the
+    /// heap writes the VM runtimes issue on nearly every native call.
+    pub fn host_store_u64(&mut self, addr: u64, v: u64) {
+        self.mem.write_u64(addr, v);
+        self.note_code_store(addr, 8);
     }
 
     /// Drops every predecoded instruction and cached basic block (the
@@ -411,13 +444,37 @@ impl Cpu {
     ///   the loop re-checks it after every instruction, so a block that
     ///   invalidates *itself* stops using its cached run at the store.
     ///   The run itself is an `Arc` snapshot, immune to table mutation.
+    /// * **Fused pairs** ([`BlockOp`], `CoreConfig::fuse`) execute both
+    ///   components through the same `exec_*` helpers the stepwise
+    ///   [`Cpu::execute`] arms delegate to, with every per-instruction
+    ///   charge (fetch span, `instructions`, trap checkpoint) applied in
+    ///   exact program order; the inter-instruction fall-through /
+    ///   generation / stop checks are skipped only where the first
+    ///   component provably cannot store, redirect, or stop (see
+    ///   `fuse_pair` in `blocks.rs` and DESIGN.md). If the step budget
+    ///   cannot cover both components, the first executes alone through
+    ///   the generic path and the block resumes stepwise-style at the
+    ///   second's pc.
+    /// * **Block chaining** (`CoreConfig::chain_blocks`): a block exiting
+    ///   through its final *direct* branch/`jal` records a link to the
+    ///   successor block, and later transfers follow it without
+    ///   re-probing the entry table. A follow succeeds only when the
+    ///   target block carries the current generation and starts at the
+    ///   observed pc — exactly the blocks a normal lookup would hand back
+    ///   without touching memory — so chained transfers are
+    ///   architecturally invisible and any invalidation severs them.
     ///
     /// # Errors
     ///
     /// Propagates traps from [`Cpu::step`].
     pub fn run_blocks(&mut self, max_steps: u64) -> Result<StepEvent, Trap> {
         let line_shift = self.config.icache.line_bytes.trailing_zeros();
+        let chain = self.config.chain_blocks;
         let mut remaining = max_steps;
+        // Chain source: the block we just exited through its final direct
+        // branch/jump — eligible to follow (or form) a link to the block
+        // at the current pc.
+        let mut chain_from: Option<u32> = None;
         // Deferred same-line fetch-hit batch: `cur_span` is the line the
         // last *real* fetch charge opened, `pending` the hits accumulated
         // in it since. The batch persists across block boundaries — only
@@ -449,85 +506,555 @@ impl Cpu {
                 return Ok(StepEvent::Halted);
             }
             let pc = self.pc;
-            if !pc.is_multiple_of(4) {
-                flush_pending!(last);
-                return Err(Trap::MisalignedPc { pc });
-            }
-            if !self.blocks.covers(pc) {
-                // Outside the loaded text image (dynamically placed
-                // code): stepwise fallback.
-                flush_pending!();
-                cur_span = u64::MAX;
-                match self.step()? {
-                    StepEvent::Retired => {
-                        remaining -= 1;
-                        continue;
-                    }
-                    other => return Ok(other),
-                }
-            }
-            let run = match self.blocks.lookup(pc, &self.mem) {
-                Some(found) => found,
-                None => match self.build_block(pc) {
-                    Some(built) => built,
-                    None => {
-                        // The entry word is undecodable: replicate the
-                        // stepwise trap — fetch charges applied,
-                        // `instructions` not incremented, cycles left at
-                        // the previous sync.
-                        flush_pending!(last);
-                        self.charge_fetch(pc);
-                        let word = self.mem.read_u32(pc);
-                        return Err(Trap::InvalidInstruction { pc, word });
-                    }
-                },
+            // Chained transfer: when the previous block exited through
+            // its final direct branch/jump, its link for this pc (if
+            // current) hands back the successor run without the entry
+            // probe. A followed target's pc equals a previously installed
+            // block's entry pc, so the alignment check is subsumed.
+            let followed = match chain_from {
+                Some(from) => self.blocks.follow(from, pc),
+                None => None,
             };
-            let budget = (run.len() as u64).min(remaining) as usize;
+            let run = match followed {
+                Some(found) => found,
+                None => {
+                    if !pc.is_multiple_of(4) {
+                        flush_pending!(last);
+                        return Err(Trap::MisalignedPc { pc });
+                    }
+                    if !self.blocks.covers(pc) {
+                        // Outside the loaded text image (dynamically
+                        // placed code): stepwise fallback.
+                        chain_from = None;
+                        flush_pending!();
+                        cur_span = u64::MAX;
+                        match self.step()? {
+                            StepEvent::Retired => {
+                                remaining -= 1;
+                                continue;
+                            }
+                            other => return Ok(other),
+                        }
+                    }
+                    let found = match self.blocks.lookup(pc, &self.mem) {
+                        Some(found) => found,
+                        None => match self.build_block(pc) {
+                            Some(built) => built,
+                            None => {
+                                // The entry word is undecodable: replicate
+                                // the stepwise trap — fetch charges
+                                // applied, `instructions` not incremented,
+                                // cycles left at the previous sync.
+                                flush_pending!(last);
+                                self.charge_fetch(pc);
+                                let word = self.mem.read_u32(pc);
+                                return Err(Trap::InvalidInstruction { pc, word });
+                            }
+                        },
+                    };
+                    // Resolved the slow way after a direct exit: record
+                    // the link so the next transfer along this edge
+                    // follows it.
+                    if let Some(from) = chain_from {
+                        self.blocks.link(from, pc, found.bid);
+                    }
+                    found
+                }
+            };
+            chain_from = None;
+            let budget = remaining;
+            // Budget clipping is rare (only at the tail of a step
+            // budget); hoisting the test keeps the per-op checks off the
+            // hot path as a loop-invariant, always-false branch.
+            let clipped = remaining < run.width as u64;
             let entry_gen = self.blocks.generation();
             let mut executed = 0u64;
             let mut ipc = pc;
             let mut stop = None;
-            for &instr in run.iter().take(budget) {
-                // Stepwise `counters.cycles` at this point is `now` as of
-                // the previous instruction's execute; remember it so a
-                // trap can leave the counter exactly there.
-                let checkpoint = self.now;
-                let span = ipc >> line_shift;
-                if span == cur_span {
-                    pending += 1;
-                } else {
-                    flush_pending!();
-                    self.charge_fetch(ipc);
-                    cur_span = span;
-                    span_addr = ipc;
-                }
-                self.counters.instructions += 1;
-                let event = match self.execute(ipc, instr) {
-                    Ok(event) => event,
-                    Err(trap) => {
-                        // The faulting instruction's own (possibly
-                        // deferred) fetch charge is included in the batch.
-                        flush_pending!(last);
-                        self.counters.cycles = checkpoint;
-                        return Err(trap);
+            let mut prev_mnemonic: Option<&'static str> = None;
+            // Per-instruction fetch charge with same-line batching; see
+            // the span-batch notes above.
+            macro_rules! span_charge {
+                ($addr:expr) => {{
+                    let span = $addr >> line_shift;
+                    if span == cur_span {
+                        pending += 1;
+                    } else {
+                        flush_pending!();
+                        self.charge_fetch($addr);
+                        cur_span = span;
+                        span_addr = $addr;
                     }
-                };
-                executed += 1;
-                if event != StepEvent::Retired {
-                    stop = Some(event);
+                }};
+            }
+            // Trap exit: the faulting instruction's own (possibly
+            // deferred) fetch charge is included in the batch; cycles
+            // rewind to where the stepwise path last synced them.
+            macro_rules! trap_exit {
+                ($checkpoint:expr, $trap:expr) => {{
+                    flush_pending!(last);
+                    self.counters.cycles = $checkpoint;
+                    return Err($trap);
+                }};
+            }
+            // One instruction through the generic stepwise core: the
+            // unfused path, and the budget-clipped first component of a
+            // fused pair (the block then resumes at the second's pc).
+            macro_rules! step_one {
+                ($instr:expr, $ops:lifetime) => {{
+                    let instr = $instr;
+                    if let Some(profile) = self.pair_profile.as_deref_mut() {
+                        // Adjacent same-block retired pair: the fusable
+                        // population (see `pairprof`).
+                        let m = instr.mnemonic();
+                        if let Some(p) = prev_mnemonic {
+                            profile.note(p, m);
+                        }
+                        prev_mnemonic = Some(m);
+                    }
+                    // Stepwise `counters.cycles` at this point is `now`
+                    // as of the previous instruction's execute; remember
+                    // it so a trap can leave the counter exactly there.
+                    let checkpoint = self.now;
+                    span_charge!(ipc);
+                    self.counters.instructions += 1;
+                    let event = match self.execute(ipc, instr) {
+                        Ok(event) => event,
+                        Err(trap) => trap_exit!(checkpoint, trap),
+                    };
+                    executed += 1;
+                    if event != StepEvent::Retired {
+                        stop = Some(event);
+                        break $ops;
+                    }
+                    let fall_through = ipc.wrapping_add(4);
+                    if self.pc != fall_through || self.blocks.generation() != entry_gen {
+                        break $ops;
+                    }
+                    ipc = fall_through;
+                }};
+            }
+            'ops: for &op in run.ops.iter() {
+                if clipped && executed >= budget {
                     break;
                 }
-                let fall_through = ipc.wrapping_add(4);
-                if self.pc != fall_through || self.blocks.generation() != entry_gen {
-                    break;
+                match op {
+                    BlockOp::One(instr) => {
+                        step_one!(instr, 'ops);
+                    }
+                    BlockOp::OneSafe(instr) => {
+                        // Cannot trap, redirect, store, or stop (see
+                        // `safe_one`): the checkpoint and every
+                        // post-instruction check are statically dead.
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let result = self.execute(ipc, instr);
+                        debug_assert!(
+                            matches!(result, Ok(StepEvent::Retired)),
+                            "safe_one misclassification"
+                        );
+                        let _ = result;
+                        executed += 1;
+                        ipc = ipc.wrapping_add(4);
+                    }
+                    BlockOp::OneLoad(instr) => {
+                        // May trap; never redirects, stores, or stops.
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = instr else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(ipc, width, signed, rd, rs1, imm) {
+                            trap_exit!(checkpoint, trap); // pc already at the load
+                        }
+                        executed += 1;
+                        let next = ipc.wrapping_add(4);
+                        self.pc = next;
+                        ipc = next;
+                    }
+                    BlockOp::OneStore(instr) => {
+                        // May trap and may invalidate blocks: keeps the
+                        // post-store generation check, drops the rest.
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Store { width, rs2, rs1, imm } = instr else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_store(ipc, width, rs2, rs1, imm) {
+                            trap_exit!(checkpoint, trap); // pc already at the store
+                        }
+                        executed += 1;
+                        let next = ipc.wrapping_add(4);
+                        self.pc = next;
+                        if self.blocks.generation() != entry_gen {
+                            break 'ops;
+                        }
+                        ipc = next;
+                    }
+                    BlockOp::OneBranch(instr) => {
+                        // Never traps; always the final op of its block,
+                        // so nothing after it needs checking.
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Branch { cond, rs1, rs2, offset } = instr else {
+                            unreachable!()
+                        };
+                        self.pc = self.exec_branch(ipc, cond, rs1, rs2, offset);
+                        executed += 1;
+                        break 'ops;
+                    }
+                    BlockOp::OneJal(instr) => {
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Jal { rd, offset } = instr else { unreachable!() };
+                        self.pc = self.exec_jal(ipc, rd, offset);
+                        executed += 1;
+                        break 'ops;
+                    }
+                    BlockOp::OneJalr(instr) => {
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Jalr { rd, rs1, imm } = instr else { unreachable!() };
+                        self.pc = self.exec_jalr(ipc, rd, rs1, imm);
+                        executed += 1;
+                        break 'ops;
+                    }
+                    BlockOp::AluPair(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(a);
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(b);
+                        executed += 2;
+                        // Neither component traps, redirects, stores, or
+                        // stops: no inter- or post-pair checks needed.
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        ipc = next;
+                    }
+                    BlockOp::AluLoad(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(a);
+                        let bpc = ipc.wrapping_add(4);
+                        let checkpoint = self.now;
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = b else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(bpc, width, signed, rd, rs1, imm) {
+                            self.pc = bpc; // stepwise left pc at the faulting load
+                            trap_exit!(checkpoint, trap);
+                        }
+                        executed += 2;
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        ipc = next;
+                    }
+                    BlockOp::LoadAlu(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = a else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(ipc, width, signed, rd, rs1, imm) {
+                            trap_exit!(checkpoint, trap); // pc already at the load
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(b);
+                        executed += 2;
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        ipc = next;
+                    }
+                    BlockOp::AluBranch(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(a);
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Branch { cond, rs1, rs2, offset } = b else {
+                            unreachable!()
+                        };
+                        self.pc = self.exec_branch(bpc, cond, rs1, rs2, offset);
+                        executed += 2;
+                        break 'ops; // always the last op of its block
+                    }
+                    BlockOp::AluJal(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(a);
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Jal { rd, offset } = b else { unreachable!() };
+                        self.pc = self.exec_jal(bpc, rd, offset);
+                        executed += 2;
+                        break 'ops;
+                    }
+                    BlockOp::LoadJalr(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = a else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(ipc, width, signed, rd, rs1, imm) {
+                            trap_exit!(checkpoint, trap);
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Jalr { rd, rs1, imm } = b else { unreachable!() };
+                        self.pc = self.exec_jalr(bpc, rd, rs1, imm);
+                        executed += 2;
+                        break 'ops; // always the last op of its block
+                    }
+                    BlockOp::AluStore(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(a);
+                        let bpc = ipc.wrapping_add(4);
+                        let checkpoint = self.now;
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Store { width, rs2, rs1, imm } = b else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_store(bpc, width, rs2, rs1, imm) {
+                            self.pc = bpc;
+                            trap_exit!(checkpoint, trap);
+                        }
+                        executed += 2;
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        // The store may have hit text (even this block).
+                        if self.blocks.generation() != entry_gen {
+                            break 'ops;
+                        }
+                        ipc = next;
+                    }
+                    BlockOp::LoadStore(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = a else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(ipc, width, signed, rd, rs1, imm) {
+                            trap_exit!(checkpoint, trap);
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        let checkpoint = self.now;
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Store { width, rs2, rs1, imm } = b else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_store(bpc, width, rs2, rs1, imm) {
+                            self.pc = bpc;
+                            trap_exit!(checkpoint, trap);
+                        }
+                        executed += 2;
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        if self.blocks.generation() != entry_gen {
+                            break 'ops;
+                        }
+                        ipc = next;
+                    }
+                    BlockOp::LoadLoad(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = a else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(ipc, width, signed, rd, rs1, imm) {
+                            trap_exit!(checkpoint, trap); // pc already at the load
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        let checkpoint = self.now;
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Load { width, signed, rd, rs1, imm } = b else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_load(bpc, width, signed, rd, rs1, imm) {
+                            self.pc = bpc; // stepwise left pc at the faulting load
+                            trap_exit!(checkpoint, trap);
+                        }
+                        executed += 2;
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        ipc = next;
+                    }
+                    BlockOp::StoreAlu(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Store { width, rs2, rs1, imm } = a else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_store(ipc, width, rs2, rs1, imm) {
+                            trap_exit!(checkpoint, trap); // pc already at the store
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        // The leading store may have hit text (even this
+                        // block): abandon the cached decode before the
+                        // second component, exactly like the generic
+                        // path's post-store generation check.
+                        if self.blocks.generation() != entry_gen {
+                            self.pc = bpc;
+                            executed += 1;
+                            break 'ops;
+                        }
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        self.exec_alu_class(b);
+                        executed += 2;
+                        let next = bpc.wrapping_add(4);
+                        self.pc = next;
+                        ipc = next;
+                    }
+                    BlockOp::StoreJal(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Store { width, rs2, rs1, imm } = a else {
+                            unreachable!()
+                        };
+                        if let Err(trap) = self.exec_store(ipc, width, rs2, rs1, imm) {
+                            trap_exit!(checkpoint, trap);
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        if self.blocks.generation() != entry_gen {
+                            self.pc = bpc;
+                            executed += 1;
+                            break 'ops;
+                        }
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Jal { rd, offset } = b else { unreachable!() };
+                        self.pc = self.exec_jal(bpc, rd, offset);
+                        executed += 2;
+                        break 'ops;
+                    }
+                    BlockOp::TldTchk(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        let checkpoint = self.now;
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Tld { rd, rs1, imm } = a else { unreachable!() };
+                        if let Err(trap) = self.exec_tld(ipc, rd, rs1, imm) {
+                            trap_exit!(checkpoint, trap);
+                        }
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Tchk { rs1, rs2 } = b else { unreachable!() };
+                        let next = self.exec_tchk(bpc, rs1, rs2);
+                        self.pc = next;
+                        executed += 2;
+                        if next != bpc.wrapping_add(4) {
+                            break 'ops; // type miss: redirected to R_hdl
+                        }
+                        ipc = next;
+                    }
+                    BlockOp::TgetBranch(a, b) => {
+                        if clipped && executed + 2 > budget {
+                            step_one!(a, 'ops);
+                            continue;
+                        }
+                        span_charge!(ipc);
+                        self.counters.instructions += 1;
+                        let Instruction::Tget { rd, rs1 } = a else { unreachable!() };
+                        self.exec_tget(rd, rs1);
+                        let bpc = ipc.wrapping_add(4);
+                        span_charge!(bpc);
+                        self.counters.instructions += 1;
+                        let Instruction::Branch { cond, rs1, rs2, offset } = b else {
+                            unreachable!()
+                        };
+                        self.pc = self.exec_branch(bpc, cond, rs1, rs2, offset);
+                        executed += 2;
+                        break 'ops;
+                    }
                 }
-                ipc = fall_through;
             }
             remaining -= executed;
             self.counters.cycles = self.now;
             if let Some(event) = stop {
                 flush_pending!(last);
                 return Ok(event);
+            }
+            // The block is chain-eligible exactly when its final op is a
+            // branch or jump (known at build time) and the whole run
+            // executed — early exits (mid-block redirect, self-
+            // invalidating store, budget clip, trap) leave `executed`
+            // short of the width, and a final `ecall`/`halt` makes the
+            // block unchainable to begin with. Indirect jumps (`jalr`)
+            // chain too: links are keyed by successor pc and validated
+            // against the target block's entry, so a dispatch site's
+            // link slots act as a small, always-safe inline cache.
+            if chain && run.chainable && executed == run.width as u64 {
+                chain_from = Some(run.bid);
             }
         }
         flush_pending!(last);
@@ -537,11 +1064,13 @@ impl Cpu {
     /// Decodes the basic block starting at `pc` and installs it in the
     /// block table. Decoding goes through the predecode table when that
     /// is enabled, so predecode slots (and their invalidation stats) stay
-    /// live under the block engine. Returns `None` when the entry word
-    /// itself does not decode (the caller raises the stepwise trap); an
-    /// undecodable word *after* a decodable run simply ends the block
-    /// before it.
-    fn build_block(&mut self, pc: u64) -> Option<std::sync::Arc<[Instruction]>> {
+    /// live under the block engine. Adjacent pairs are fused at install
+    /// time when the config asks for it — except under pair profiling,
+    /// whose histogram must describe the unfused stream. Returns `None`
+    /// when the entry word itself does not decode (the caller raises the
+    /// stepwise trap); an undecodable word *after* a decodable run simply
+    /// ends the block before it.
+    fn build_block(&mut self, pc: u64) -> Option<BlockRun> {
         let mut words = Vec::new();
         let mut instrs = Vec::new();
         let mut p = pc;
@@ -569,7 +1098,8 @@ impl Cpu {
         if instrs.is_empty() {
             return None;
         }
-        Some(self.blocks.install(pc, words, instrs))
+        let fuse = self.config.fuse && self.pair_profile.is_none();
+        Some(self.blocks.install(pc, words, instrs, fuse))
     }
 
     /// Charges one instruction fetch at `pc`: I-cache access always;
@@ -639,13 +1169,21 @@ impl Cpu {
         }
     }
 
-    fn execute(&mut self, pc: u64, instr: Instruction) -> Result<StepEvent, Trap> {
-        let lat = self.config.latency;
-        let mut next_pc = pc.wrapping_add(4);
-        let mut event = StepEvent::Retired;
+    // --- shared execution cores ---
+    //
+    // One implementation per instruction class, used by BOTH the
+    // stepwise [`Cpu::execute`] arms and the fused-pair handlers in
+    // [`Cpu::run_blocks`] — fused/unfused equivalence holds by
+    // construction, not by keeping two copies in sync. The helpers
+    // deliberately do not touch `self.pc`: `execute` folds their result
+    // into its `next_pc`, the fused handlers set `pc` once per pair.
 
+    /// `alu`/`alu-imm`/`lui`: never traps, redirects, stores, or stops.
+    #[inline]
+    fn exec_alu_class(&mut self, instr: Instruction) {
         match instr {
             Instruction::Alu { op, rd, rs1, rs2 } => {
+                let lat = self.config.latency;
                 let t = self.stall2(rs1, rs2);
                 let a = self.regs.read(rs1).v;
                 let b = self.regs.read(rs2).v;
@@ -681,75 +1219,203 @@ impl Cpu {
                 self.now = t + 1;
                 self.set_ready(rd, t + 1);
             }
+            _ => unreachable!("non-ALU-class instruction in exec_alu_class"),
+        }
+    }
+
+    /// Integer load; may trap on misalignment, never redirects.
+    #[inline]
+    fn exec_load(
+        &mut self,
+        pc: u64,
+        width: MemWidth,
+        signed: bool,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    ) -> Result<(), Trap> {
+        let lat = self.config.latency;
+        let t = self.stall1(rs1);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        self.check_align(pc, addr, width.bytes())?;
+        let raw = match width {
+            MemWidth::Byte => self.mem.read_u8(addr) as u64,
+            MemWidth::Half => self.mem.read_u16(addr) as u64,
+            MemWidth::Word => self.mem.read_u32(addr) as u64,
+            MemWidth::Double => self.mem.read_u64(addr),
+        };
+        let v = if signed { sign_extend(raw, width) } else { raw };
+        self.regs.write_untyped(rd, v);
+        self.counters.loads += 1;
+        let extra = self.dmem_access(addr, false);
+        if extra == 0 {
+            self.now = t + 1;
+            self.set_ready(rd, t + 1 + lat.load_use);
+        } else {
+            self.now = t + 1 + extra;
+            self.set_ready(rd, self.now);
+        }
+        Ok(())
+    }
+
+    /// Integer store; may trap on misalignment and may invalidate
+    /// decoded-code caches (text store).
+    #[inline]
+    fn exec_store(
+        &mut self,
+        pc: u64,
+        width: MemWidth,
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    ) -> Result<(), Trap> {
+        let t = self.stall2(rs1, rs2);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        self.check_align(pc, addr, width.bytes())?;
+        let v = self.regs.read(rs2).v;
+        match width {
+            MemWidth::Byte => self.mem.write_u8(addr, v as u8),
+            MemWidth::Half => self.mem.write_u16(addr, v as u16),
+            MemWidth::Word => self.mem.write_u32(addr, v as u32),
+            MemWidth::Double => self.mem.write_u64(addr, v),
+        }
+        self.note_code_store(addr, width.bytes());
+        self.counters.stores += 1;
+        let extra = self.dmem_access(addr, true);
+        self.now = t + 1 + extra;
+        Ok(())
+    }
+
+    /// Conditional branch; returns the next pc. Never traps.
+    #[inline]
+    fn exec_branch(
+        &mut self,
+        pc: u64,
+        cond: tarch_isa::BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    ) -> u64 {
+        let t = self.stall2(rs1, rs2);
+        let a = self.regs.read(rs1).v;
+        let b = self.regs.read(rs2).v;
+        let taken = cond.eval(a, b);
+        let target = pc.wrapping_add(offset as i64 as u64);
+        let correct = self.bpred.predict_branch(pc, taken, target);
+        self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+        if taken { target } else { pc.wrapping_add(4) }
+    }
+
+    /// Direct jump-and-link; returns the target. Never traps.
+    #[inline]
+    fn exec_jal(&mut self, pc: u64, rd: Reg, offset: i32) -> u64 {
+        let t = self.now;
+        let target = pc.wrapping_add(offset as i64 as u64);
+        self.regs.write_untyped(rd, pc + 4);
+        self.set_ready(rd, t + 1);
+        let correct = self.bpred.predict_jump(pc, target, rd == Reg::RA);
+        self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+        target
+    }
+
+    /// Indirect jump-and-link; returns the target. Never traps.
+    #[inline]
+    fn exec_jalr(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> u64 {
+        let t = self.stall1(rs1);
+        let target = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64) & !1;
+        let is_return = rd.is_zero() && rs1 == Reg::RA;
+        let is_call = rd == Reg::RA;
+        self.regs.write_untyped(rd, pc + 4);
+        self.set_ready(rd, t + 1);
+        let correct = self.bpred.predict_indirect(pc, target, is_call, is_return);
+        self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+        target
+    }
+
+    /// Tagged load; may trap on misalignment, never redirects or stores.
+    #[inline]
+    fn exec_tld(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> Result<(), Trap> {
+        let lat = self.config.latency;
+        let t = self.stall1(rs1);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        self.check_align(pc, addr, 8)?;
+        let value_dword = self.mem.read_u64(addr);
+        let tag_dword = if self.spr.nan_detect() {
+            0
+        } else {
+            let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
+            self.mem.read_u64(tag_addr)
+        };
+        let entry = self.spr.extract(value_dword, tag_dword);
+        self.regs.write(rd, entry);
+        self.counters.loads += 1;
+        self.counters.tagged_mem += 1;
+        let mut extra = self.dmem_access(addr, false);
+        extra += self.tag_line_cost(addr, false);
+        if extra == 0 {
+            self.now = t + 1;
+            self.set_ready(rd, t + 1 + lat.load_use);
+        } else {
+            self.now = t + 1 + extra;
+            self.set_ready(rd, self.now);
+        }
+        Ok(())
+    }
+
+    /// Type check; returns the next pc (fall-through on hit, `R_hdl` on
+    /// miss). Never traps.
+    #[inline]
+    fn exec_tchk(&mut self, pc: u64, rs1: Reg, rs2: Reg) -> u64 {
+        let lat = self.config.latency;
+        let t = self.stall2(rs1, rs2);
+        let a = self.regs.read(rs1);
+        let b = self.regs.read(rs2);
+        self.counters.type_checks += 1;
+        if self.trt.lookup(TrtClass::Tchk, a.t, b.t).is_some() {
+            self.counters.type_hits += 1;
+            self.now = t + 1;
+            pc.wrapping_add(4)
+        } else {
+            self.counters.type_misses += 1;
+            self.now = t + 1 + lat.type_miss_penalty;
+            self.spr.hdl
+        }
+    }
+
+    /// Tag read into an integer register. Never traps, redirects, or
+    /// stores.
+    #[inline]
+    fn exec_tget(&mut self, rd: Reg, rs1: Reg) {
+        let t = self.stall1(rs1);
+        let tag = self.regs.read(rs1).t;
+        self.regs.write_untyped(rd, tag as u64);
+        self.now = t + 1;
+        self.set_ready(rd, t + 1);
+    }
+
+    fn execute(&mut self, pc: u64, instr: Instruction) -> Result<StepEvent, Trap> {
+        let lat = self.config.latency;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut event = StepEvent::Retired;
+
+        match instr {
+            Instruction::Alu { .. } | Instruction::AluImm { .. } | Instruction::Lui { .. } => {
+                self.exec_alu_class(instr);
+            }
             Instruction::Load { width, signed, rd, rs1, imm } => {
-                let t = self.stall1(rs1);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                self.check_align(pc, addr, width.bytes())?;
-                let raw = match width {
-                    MemWidth::Byte => self.mem.read_u8(addr) as u64,
-                    MemWidth::Half => self.mem.read_u16(addr) as u64,
-                    MemWidth::Word => self.mem.read_u32(addr) as u64,
-                    MemWidth::Double => self.mem.read_u64(addr),
-                };
-                let v = if signed { sign_extend(raw, width) } else { raw };
-                self.regs.write_untyped(rd, v);
-                self.counters.loads += 1;
-                let extra = self.dmem_access(addr, false);
-                if extra == 0 {
-                    self.now = t + 1;
-                    self.set_ready(rd, t + 1 + lat.load_use);
-                } else {
-                    self.now = t + 1 + extra;
-                    self.set_ready(rd, self.now);
-                }
+                self.exec_load(pc, width, signed, rd, rs1, imm)?;
             }
             Instruction::Store { width, rs2, rs1, imm } => {
-                let t = self.stall2(rs1, rs2);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                self.check_align(pc, addr, width.bytes())?;
-                let v = self.regs.read(rs2).v;
-                match width {
-                    MemWidth::Byte => self.mem.write_u8(addr, v as u8),
-                    MemWidth::Half => self.mem.write_u16(addr, v as u16),
-                    MemWidth::Word => self.mem.write_u32(addr, v as u32),
-                    MemWidth::Double => self.mem.write_u64(addr, v),
-                }
-                self.note_code_store(addr, width.bytes());
-                self.counters.stores += 1;
-                let extra = self.dmem_access(addr, true);
-                self.now = t + 1 + extra;
+                self.exec_store(pc, width, rs2, rs1, imm)?;
             }
             Instruction::Branch { cond, rs1, rs2, offset } => {
-                let t = self.stall2(rs1, rs2);
-                let a = self.regs.read(rs1).v;
-                let b = self.regs.read(rs2).v;
-                let taken = cond.eval(a, b);
-                let target = pc.wrapping_add(offset as i64 as u64);
-                if taken {
-                    next_pc = target;
-                }
-                let correct = self.bpred.predict_branch(pc, taken, target);
-                self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+                next_pc = self.exec_branch(pc, cond, rs1, rs2, offset);
             }
             Instruction::Jal { rd, offset } => {
-                let t = self.now;
-                let target = pc.wrapping_add(offset as i64 as u64);
-                self.regs.write_untyped(rd, pc + 4);
-                self.set_ready(rd, t + 1);
-                next_pc = target;
-                let correct = self.bpred.predict_jump(pc, target, rd == Reg::RA);
-                self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+                next_pc = self.exec_jal(pc, rd, offset);
             }
             Instruction::Jalr { rd, rs1, imm } => {
-                let t = self.stall1(rs1);
-                let target = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64) & !1;
-                let is_return = rd.is_zero() && rs1 == Reg::RA;
-                let is_call = rd == Reg::RA;
-                self.regs.write_untyped(rd, pc + 4);
-                self.set_ready(rd, t + 1);
-                next_pc = target;
-                let correct = self.bpred.predict_indirect(pc, target, is_call, is_return);
-                self.now = t + 1 + if correct { 0 } else { self.bpred.miss_penalty() };
+                next_pc = self.exec_jalr(pc, rd, rs1, imm);
             }
             Instruction::Fpu { op, rd, rs1, rs2 } => {
                 let t = self
@@ -844,29 +1510,7 @@ impl Cpu {
                 self.ready_f[rd.number() as usize] = t + lat.fp_mv;
             }
             Instruction::Tld { rd, rs1, imm } => {
-                let t = self.stall1(rs1);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                self.check_align(pc, addr, 8)?;
-                let value_dword = self.mem.read_u64(addr);
-                let tag_dword = if self.spr.nan_detect() {
-                    0
-                } else {
-                    let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
-                    self.mem.read_u64(tag_addr)
-                };
-                let entry = self.spr.extract(value_dword, tag_dword);
-                self.regs.write(rd, entry);
-                self.counters.loads += 1;
-                self.counters.tagged_mem += 1;
-                let mut extra = self.dmem_access(addr, false);
-                extra += self.tag_line_cost(addr, false);
-                if extra == 0 {
-                    self.now = t + 1;
-                    self.set_ready(rd, t + 1 + lat.load_use);
-                } else {
-                    self.now = t + 1 + extra;
-                    self.set_ready(rd, self.now);
-                }
+                self.exec_tld(pc, rd, rs1, imm)?;
             }
             Instruction::Tsd { rs2, rs1, imm } => {
                 let t = self.stall2(rs1, rs2);
@@ -978,25 +1622,10 @@ impl Cpu {
                 self.now += 1;
             }
             Instruction::Tchk { rs1, rs2 } => {
-                let t = self.stall2(rs1, rs2);
-                let a = self.regs.read(rs1);
-                let b = self.regs.read(rs2);
-                self.counters.type_checks += 1;
-                if self.trt.lookup(TrtClass::Tchk, a.t, b.t).is_some() {
-                    self.counters.type_hits += 1;
-                    self.now = t + 1;
-                } else {
-                    self.counters.type_misses += 1;
-                    next_pc = self.spr.hdl;
-                    self.now = t + 1 + lat.type_miss_penalty;
-                }
+                next_pc = self.exec_tchk(pc, rs1, rs2);
             }
             Instruction::Tget { rd, rs1 } => {
-                let t = self.stall1(rs1);
-                let tag = self.regs.read(rs1).t;
-                self.regs.write_untyped(rd, tag as u64);
-                self.now = t + 1;
-                self.set_ready(rd, t + 1);
+                self.exec_tget(rd, rs1);
             }
             Instruction::Tset { rs1, rd } => {
                 let t = self.stall2(rs1, rd);

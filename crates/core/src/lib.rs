@@ -71,6 +71,7 @@ mod config;
 mod counters;
 mod cpu;
 mod ctxsw;
+mod pairprof;
 mod predecode;
 mod regfile;
 mod tagio;
@@ -82,6 +83,7 @@ pub use config::{BranchConfig, CoreConfig, IsaLevel, LatencyConfig};
 pub use counters::PerfCounters;
 pub use cpu::{canonical_f64_bits, Cpu, StepEvent, Trap};
 pub use ctxsw::TypedState;
+pub use pairprof::PairProfile;
 pub use predecode::{PredecodeStats, PredecodeTable};
 pub use regfile::{RegFile, TaggedValue, UNTYPED_TAG};
 pub use tagio::{is_nan_boxed, Inserted, SprState, TagDword, NANBOX_FP_TAG};

@@ -1,0 +1,104 @@
+//! Opcode-pair profiling: the measurement behind the macro-op fusion set.
+//!
+//! Macro-op fusion (see [`crate::blocks`]) only pays for pairs that are
+//! *adjacent inside one basic block* — a pair split across a block
+//! boundary can never fuse, because the second instruction is a branch
+//! target with its own block entry. This module counts exactly that
+//! population: when profiling is enabled ([`Cpu::enable_pair_profile`]
+//! (crate::Cpu::enable_pair_profile)), the block execution loop records
+//! every retired (previous, current) mnemonic pair whose two halves
+//! executed back-to-back within the same decoded run. `repro bench
+//! --profile-pairs` aggregates these counts over the whole evaluation
+//! matrix, which is the data the shipped fusion set is justified by.
+//!
+//! Profiling is a measurement mode: enabling it disables macro-op fusion
+//! for the profiled core (the histogram must describe the *unfused*
+//! instruction stream, or already-fused pairs would hide from it).
+
+use std::collections::HashMap;
+
+/// Dynamic counts of adjacent same-block instruction pairs, keyed by
+/// mnemonic. Host-side measurement only; never architectural.
+#[derive(Debug, Default, Clone)]
+pub struct PairProfile {
+    counts: HashMap<(&'static str, &'static str), u64>,
+    /// Total retired pairs recorded (the denominator for shares).
+    pairs: u64,
+}
+
+impl PairProfile {
+    /// An empty profile.
+    pub fn new() -> PairProfile {
+        PairProfile::default()
+    }
+
+    /// Records one retired adjacent pair.
+    #[inline]
+    pub fn note(&mut self, prev: &'static str, cur: &'static str) {
+        *self.counts.entry((prev, cur)).or_insert(0) += 1;
+        self.pairs += 1;
+    }
+
+    /// Total pairs recorded.
+    pub fn total(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Merges another profile into this one (cross-cell aggregation).
+    pub fn merge(&mut self, other: &PairProfile) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += v;
+        }
+        self.pairs += other.pairs;
+    }
+
+    /// All pairs sorted by descending count (ties broken by mnemonic for
+    /// deterministic output).
+    pub fn sorted(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let mut v: Vec<_> =
+            self.counts.iter().map(|(&(a, b), &n)| (a, b, n)).collect();
+        v.sort_by(|x, y| y.2.cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        v
+    }
+
+    /// Count for one specific pair.
+    pub fn count(&self, prev: &str, cur: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(&(a, b), _)| a == prev && b == cur)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_merge_and_sort() {
+        let mut p = PairProfile::new();
+        p.note("addi", "ld");
+        p.note("addi", "ld");
+        p.note("slt", "bne");
+        let mut q = PairProfile::new();
+        q.note("slt", "bne");
+        q.note("slt", "bne");
+        p.merge(&q);
+        assert_eq!(p.total(), 5);
+        assert_eq!(p.count("slt", "bne"), 3);
+        assert_eq!(p.count("addi", "ld"), 2);
+        let s = p.sorted();
+        assert_eq!(s[0], ("slt", "bne", 3));
+        assert_eq!(s[1], ("addi", "ld", 2));
+    }
+
+    #[test]
+    fn sorted_breaks_ties_deterministically() {
+        let mut p = PairProfile::new();
+        p.note("b", "c");
+        p.note("a", "d");
+        let s = p.sorted();
+        assert_eq!(s, vec![("a", "d", 1), ("b", "c", 1)]);
+    }
+}

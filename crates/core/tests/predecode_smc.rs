@@ -158,6 +158,143 @@ fn host_write_through_mem_mut_revalidates_blocks() {
     );
 }
 
+/// Two chained blocks in a loop; a guest store then patches the chained-to
+/// block. The chain link into the patched block must stop being followed
+/// (its target's generation goes stale, then the word check drops it), and
+/// execution must observe the replacement instruction — never a stale
+/// decode served through a link.
+const CHAIN_SMC_SRC: &str = "
+top:
+    addi a0, a0, 1      # patch target: rewritten to addi a0, a0, 100
+    j    mid
+mid:
+    addi s1, s1, -1
+    bnez s1, top        # chained edge back into the patch target's block
+    bnez s2, done
+    li   s2, 1
+    li   s1, 4
+    li   s3, 0x20000    # data base: holds the replacement word
+    lw   t0, 0(s3)
+    li   s4, 0x1000     # text base: address of the patch target
+    sw   t0, 0(s4)      # severs every link into the block at `top`
+    bnez s2, top
+done:
+    halt
+";
+
+fn run_chain_smc(blocks: bool) -> Cpu {
+    let mut program = assemble(CHAIN_SMC_SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    assert_eq!(program.text[0], addi_a0(1), "patch target must sit at TEXT_BASE");
+    program.data = addi_a0(100).to_le_bytes().to_vec();
+    let mut cpu = Cpu::new(CoreConfig { blocks, ..CoreConfig::paper() });
+    cpu.load_program(&program);
+    cpu.regs_mut().write_untyped(Reg::S1, 4);
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    cpu
+}
+
+#[test]
+fn guest_store_severs_chain_links_into_the_patched_block() {
+    let cpu = run_chain_smc(true);
+    // Four +1 passes before the patch, four +100 passes after it. A chain
+    // link surviving the store would keep retiring the stale +1.
+    assert_eq!(cpu.regs().read(Reg::A0).v, 404);
+    let stats = cpu.block_stats();
+    assert!(stats.links_formed > 0, "the loop's direct exits must form links");
+    assert!(stats.chained_transfers > 0, "the hot loop must run through links");
+    assert!(stats.store_invalidations > 0, "the text store must bump the generation");
+    assert!(stats.rebuilds > 0, "the patched block must be dropped and rebuilt");
+}
+
+#[test]
+fn chain_smc_counters_match_blocks_off() {
+    let on = run_chain_smc(true);
+    let off = run_chain_smc(false);
+    assert_eq!(off.regs().read(Reg::A0).v, 404, "reference run must also see the patch");
+    assert_eq!(on.counters(), off.counters());
+    assert_eq!(on.branch_stats(), off.branch_stats());
+}
+
+#[test]
+fn host_write_through_mem_mut_revalidates_chained_paths() {
+    // Same two-block loop as above, patched from the host mid-run. The
+    // epoch bump makes every link unfollowable (stale target generation);
+    // once the untouched block revalidates and the patched one rebuilds,
+    // chaining must resume — with the replacement instruction.
+    let src = "
+    top:
+        addi a0, a0, 1      # patched by the host after three iterations
+        j    mid
+    mid:
+        addi s1, s1, -1
+        bnez s1, top
+        halt
+    ";
+    let program = assemble(src, TEXT_BASE, DATA_BASE).expect("assembles");
+    assert_eq!(program.text[0], addi_a0(1));
+    let mut cpu = Cpu::new(CoreConfig::paper());
+    cpu.load_program(&program);
+    cpu.regs_mut().write_untyped(Reg::S1, 6);
+    // Three of six iterations: links formed, transfers chained.
+    assert_eq!(cpu.run(12).expect("no trap"), StepEvent::Retired);
+    assert_eq!(cpu.regs().read(Reg::A0).v, 3);
+    let before = cpu.block_stats();
+    assert!(before.chained_transfers > 0, "the loop must chain before the bump");
+    cpu.mem_mut().write_u32(TEXT_BASE, addi_a0(100));
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    assert_eq!(cpu.regs().read(Reg::A0).v, 303);
+    let after = cpu.block_stats();
+    assert!(after.revalidations > before.revalidations, "untouched block revalidates");
+    assert!(after.rebuilds > before.rebuilds, "patched block re-decodes");
+    assert!(
+        after.chained_transfers > before.chained_transfers,
+        "chaining must resume once the blocks are current again"
+    );
+}
+
+#[test]
+fn host_store_u64_invalidates_text_but_not_data() {
+    let src = "
+    top:
+        addi a0, a0, 1      # patched (with its successor) by the host
+        j    mid
+    mid:
+        addi s1, s1, -1
+        bnez s1, top
+        halt
+    ";
+    let program = assemble(src, TEXT_BASE, DATA_BASE).expect("assembles");
+    assert_eq!(program.text[0], addi_a0(1));
+    let mut cpu = Cpu::new(CoreConfig::paper());
+    cpu.load_program(&program);
+    cpu.regs_mut().write_untyped(Reg::S1, 6);
+    assert_eq!(cpu.run(12).expect("no trap"), StepEvent::Retired);
+    let chained = cpu.block_stats().chained_transfers;
+    assert!(chained > 0, "the loop must chain before the host stores");
+
+    // A store to the data segment must NOT disturb the block table: the
+    // whole point of `host_store_u64` over `mem_mut` is that runtime heap
+    // writes leave code caches alone.
+    let quiet = cpu.block_stats();
+    cpu.host_store_u64(DATA_BASE, 0xdead_beef_dead_beef);
+    assert_eq!(cpu.run(4).expect("no trap"), StepEvent::Retired);
+    let after_data = cpu.block_stats();
+    assert_eq!(after_data.revalidations, quiet.revalidations, "no epoch bump for data");
+    assert_eq!(after_data.rebuilds, quiet.rebuilds, "no block dropped for a data store");
+
+    // A store overlapping the text segment MUST invalidate: patch the
+    // first two instructions (addi+j) in one 64-bit write, keeping the
+    // jump word intact.
+    let jump_word = cpu.mem().read_u32(TEXT_BASE + 4);
+    let patch = (u64::from(jump_word) << 32) | u64::from(addi_a0(100));
+    cpu.host_store_u64(TEXT_BASE, patch);
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    // 6 iterations: 3 + 1 (before the patch landed) at +1, 2 at +100.
+    assert_eq!(cpu.regs().read(Reg::A0).v, 204);
+    let after_text = cpu.block_stats();
+    assert!(after_text.rebuilds > after_data.rebuilds, "patched block must rebuild");
+}
+
 #[test]
 fn host_write_through_mem_mut_is_observed() {
     let src = "

@@ -167,6 +167,17 @@ impl JsVm {
         &self.image
     }
 
+    /// The simulated core (read access for measurement tooling).
+    pub fn cpu(&self) -> &tarch_core::Cpu {
+        self.machine.cpu()
+    }
+
+    /// The simulated core, mutably (measurement tooling, e.g. enabling
+    /// the opcode-pair profile behind `repro bench --profile-pairs`).
+    pub fn cpu_mut(&mut self) -> &mut tarch_core::Cpu {
+        self.machine.cpu_mut()
+    }
+
     /// Runs to completion.
     ///
     /// # Errors

@@ -178,7 +178,7 @@ impl JsHost {
     }
 
     fn write(cpu: &mut Cpu, addr: u64, v: u64) {
-        cpu.mem_mut().write_u64(addr, v);
+        cpu.host_store_u64(addr, v);
     }
 
     // --- object services -----------------------------------------------
@@ -232,7 +232,7 @@ impl JsHost {
                 }
                 let elems = cpu.mem().read_u64(hdr + object::ELEMS_PTR as u64);
                 Self::write(cpu, elems + len as u64 * 8, value);
-                cpu.mem_mut().write_u64(hdr + object::LEN as u64, len as u64 + 1);
+                cpu.host_store_u64(hdr + object::LEN as u64, len as u64 + 1);
                 extra = extra.plus(self.absorb(cpu, hdr)?);
                 return Ok(extra);
             }
@@ -260,8 +260,8 @@ impl JsHost {
             let v = Self::read(cpu, old + i * 8);
             Self::write(cpu, new_elems + i * 8, v);
         }
-        cpu.mem_mut().write_u64(hdr + object::ELEMS_PTR as u64, new_elems);
-        cpu.mem_mut().write_u64(hdr + object::CAP as u64, new_cap);
+        cpu.host_store_u64(hdr + object::ELEMS_PTR as u64, new_elems);
+        cpu.host_store_u64(hdr + object::CAP as u64, new_cap);
         Ok(Cost::affine(50, 3, len))
     }
 
@@ -278,7 +278,7 @@ impl JsHost {
             }
             let elems = cpu.mem().read_u64(hdr + object::ELEMS_PTR as u64);
             Self::write(cpu, elems + len * 8, v);
-            cpu.mem_mut().write_u64(hdr + object::LEN as u64, len + 1);
+            cpu.host_store_u64(hdr + object::LEN as u64, len + 1);
             moved += 1;
         }
         Ok(Cost::affine(0, 8, moved))
@@ -287,10 +287,10 @@ impl JsHost {
     fn new_array(&mut self, cpu: &mut Cpu, capacity: u64) -> Result<u64, HostError> {
         let hdr = self.alloc(object::HEADER_SIZE + capacity * 8)?;
         let elems = hdr + object::HEADER_SIZE;
-        cpu.mem_mut().write_u64(hdr + object::ELEMS_PTR as u64, elems);
-        cpu.mem_mut().write_u64(hdr + object::CAP as u64, capacity);
-        cpu.mem_mut().write_u64(hdr + object::LEN as u64, 0);
-        cpu.mem_mut().write_u64(hdr + object::HASH_ID as u64, self.hash_parts.len() as u64);
+        cpu.host_store_u64(hdr + object::ELEMS_PTR as u64, elems);
+        cpu.host_store_u64(hdr + object::CAP as u64, capacity);
+        cpu.host_store_u64(hdr + object::LEN as u64, 0);
+        cpu.host_store_u64(hdr + object::HASH_ID as u64, self.hash_parts.len() as u64);
         self.hash_parts.push(HashMap::new());
         Ok(hdr)
     }

@@ -169,6 +169,17 @@ impl LuaVm {
         &self.image
     }
 
+    /// The simulated core (read access for measurement tooling).
+    pub fn cpu(&self) -> &tarch_core::Cpu {
+        self.machine.cpu()
+    }
+
+    /// The simulated core, mutably (measurement tooling, e.g. enabling
+    /// the opcode-pair profile behind `repro bench --profile-pairs`).
+    pub fn cpu_mut(&mut self) -> &mut tarch_core::Cpu {
+        self.machine.cpu_mut()
+    }
+
     /// Runs to completion (up to `max_steps` simulated instructions).
     ///
     /// # Errors

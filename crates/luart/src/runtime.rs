@@ -123,8 +123,8 @@ impl LuaHost {
     }
 
     fn write_tv(cpu: &mut Cpu, addr: u64, tv: RawTv) {
-        cpu.mem_mut().write_u64(addr, tv.v);
-        cpu.mem_mut().write_u64(addr + TAG_OFFSET as u64, tv.t as u64);
+        cpu.host_store_u64(addr, tv.v);
+        cpu.host_store_u64(addr + TAG_OFFSET as u64, tv.t as u64);
     }
 
     fn decode(&self, tv: RawTv) -> Result<Hv, HostError> {
@@ -241,7 +241,7 @@ impl LuaHost {
                 }
                 let arr = cpu.mem().read_u64(hdr + table::ARR_PTR as u64);
                 Self::write_tv(cpu, arr + len as u64 * TVALUE_SIZE, value);
-                cpu.mem_mut().write_u64(hdr + table::ARR_LEN as u64, len as u64 + 1);
+                cpu.host_store_u64(hdr + table::ARR_LEN as u64, len as u64 + 1);
                 extra = extra.plus(self.absorb_successors(cpu, hdr)?);
                 return Ok(extra);
             }
@@ -270,8 +270,8 @@ impl LuaHost {
             let tv = Self::read_tv(cpu, old_arr + i * TVALUE_SIZE);
             Self::write_tv(cpu, new_arr + i * TVALUE_SIZE, tv);
         }
-        cpu.mem_mut().write_u64(hdr + table::ARR_PTR as u64, new_arr);
-        cpu.mem_mut().write_u64(hdr + table::ARR_CAP as u64, new_cap);
+        cpu.host_store_u64(hdr + table::ARR_PTR as u64, new_arr);
+        cpu.host_store_u64(hdr + table::ARR_CAP as u64, new_cap);
         Ok(Cost::affine(50, 3, len))
     }
 
@@ -291,7 +291,7 @@ impl LuaHost {
             }
             let arr = cpu.mem().read_u64(hdr + table::ARR_PTR as u64);
             Self::write_tv(cpu, arr + len * TVALUE_SIZE, tv);
-            cpu.mem_mut().write_u64(hdr + table::ARR_LEN as u64, len + 1);
+            cpu.host_store_u64(hdr + table::ARR_LEN as u64, len + 1);
             moved += 1;
         }
         Ok(Cost::affine(0, 8, moved))
@@ -300,10 +300,10 @@ impl LuaHost {
     fn new_table(&mut self, cpu: &mut Cpu, capacity: u64) -> Result<u64, HostError> {
         let hdr = self.alloc(table::HEADER_SIZE + capacity * TVALUE_SIZE)?;
         let arr = hdr + table::HEADER_SIZE;
-        cpu.mem_mut().write_u64(hdr + table::ARR_PTR as u64, arr);
-        cpu.mem_mut().write_u64(hdr + table::ARR_CAP as u64, capacity);
-        cpu.mem_mut().write_u64(hdr + table::ARR_LEN as u64, 0);
-        cpu.mem_mut().write_u64(hdr + table::HASH_ID as u64, self.hash_parts.len() as u64);
+        cpu.host_store_u64(hdr + table::ARR_PTR as u64, arr);
+        cpu.host_store_u64(hdr + table::ARR_CAP as u64, capacity);
+        cpu.host_store_u64(hdr + table::ARR_LEN as u64, 0);
+        cpu.host_store_u64(hdr + table::HASH_ID as u64, self.hash_parts.len() as u64);
         self.hash_parts.push(HashMap::new());
         Ok(hdr)
     }

@@ -103,9 +103,19 @@ impl BenchArtifact {
             .and_then(Json::as_bool)
             .ok_or("missing or non-boolean field `timing.cached`")?;
         let wall_nanos = timing.req_u64("wall_nanos")?;
-        // Artifacts do not embed program source (they'd balloon); the
-        // recorded key preserves cell identity.
-        let spec = JobSpec { workload, engine, level, scale, profiled, source: String::new(), key };
+        // Artifacts embed neither program source (it would balloon them)
+        // nor the core configuration; the recorded key preserves cell
+        // identity, so reloaded specs carry the paper core as a stand-in.
+        let spec = JobSpec {
+            workload,
+            engine,
+            level,
+            scale,
+            profiled,
+            source: String::new(),
+            core: tarch_core::CoreConfig::paper(),
+            key,
+        };
         Ok(JobOutcome { spec, result, cached, wall_nanos })
     }
 
@@ -136,6 +146,15 @@ impl BenchArtifact {
                 let mut j = Self::job_to_json(o);
                 if let Json::Obj(fields) = &mut j {
                     fields.retain(|(k, _)| k != "timing");
+                    // `sim_nanos` inside the cell is wall-clock
+                    // measurement metadata, like `timing`.
+                    for (k, v) in fields.iter_mut() {
+                        if k == "cell" {
+                            if let Json::Obj(cell) = v {
+                                cell.retain(|(k, _)| k != "sim_nanos");
+                            }
+                        }
+                    }
                 }
                 j
             })
@@ -222,6 +241,7 @@ mod tests {
                 branch: BranchStats { branches: n, ..BranchStats::default() },
                 output: format!("{n}\n"),
                 bytecodes: n.is_multiple_of(2).then_some(n * 7),
+                sim_nanos: 0,
             },
             cached,
             wall_nanos: 1000 + n,
@@ -266,6 +286,7 @@ mod tests {
         let mut b = BenchArtifact::new(Scale::Test, 5000, vec![outcome(1, true)]);
         b.created_unix = a.created_unix + 999;
         b.outcomes[0].wall_nanos = 1;
+        b.outcomes[0].result.sim_nanos = 77;
         assert_eq!(a.fingerprint(), b.fingerprint());
 
         let mut c = BenchArtifact::new(Scale::Test, 5000, vec![outcome(1, false)]);

@@ -120,6 +120,7 @@ mod tests {
             branch: BranchStats::default(),
             output: format!("out {n}\n"),
             bytecodes: None,
+            sim_nanos: 0,
         }
     }
 

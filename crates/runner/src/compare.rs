@@ -152,6 +152,7 @@ mod tests {
                 branch: Default::default(),
                 output: String::new(),
                 bytecodes: None,
+                sim_nanos: 0,
             },
             cached,
             wall_nanos,
@@ -203,6 +204,68 @@ mod tests {
         // positive threshold.
         assert_eq!(c.cur_aggregate, 0.0);
         assert!(!c.passes(0.1));
+    }
+
+    #[test]
+    fn cell_missing_in_candidate_lands_in_only_base() {
+        // A candidate run that silently dropped a cell must not pretend
+        // the matrix matched: the missing cell is named, the matched cell
+        // still produces a delta, and the gate still runs on aggregates.
+        let base = artifact(vec![
+            outcome("fibo", 1000, 1000, false),
+            outcome("n-sieve", 1000, 3000, false), // the slow cell
+        ]);
+        let cur = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        let c = compare(&base, &cur);
+        assert_eq!(c.cells.len(), 1);
+        assert_eq!(c.only_base, vec!["n-sieve/lua/typed/test".to_string()]);
+        assert!(c.only_current.is_empty());
+        // The aggregate is a rate (total instructions / total time), so
+        // dropping the slow cell *inflates* the ratio — 1000 MIPS over
+        // 500 — and the gate alone would wave the run through. That is
+        // precisely why `only_base` must be surfaced alongside it.
+        assert!((c.aggregate_ratio() - 2.0).abs() < 1e-9, "{}", c.aggregate_ratio());
+        assert!(c.passes(0.7));
+    }
+
+    #[test]
+    fn zero_mips_cells_produce_extreme_not_nan_ratios() {
+        // A baseline cell that retired zero instructions (0 MIPS) makes
+        // the per-cell ratio infinite, never NaN; the mirror-image cell
+        // in the candidate yields a plain 0.
+        let base = artifact(vec![outcome("fibo", 0, 1000, false)]);
+        let cur = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        let c = compare(&base, &cur);
+        assert_eq!(c.cells.len(), 1);
+        assert_eq!(c.cells[0].base_mips, 0.0);
+        assert!(c.cells[0].ratio().is_infinite());
+        let flipped = compare(&cur, &base);
+        assert_eq!(flipped.cells[0].ratio(), 0.0);
+    }
+
+    #[test]
+    fn absent_host_mips_gates_like_zero() {
+        // Pre-host_mips artifacts load with `host_mips: 0.0`. As the
+        // baseline that is "no throughput claim" (gate passes); as the
+        // candidate it reads as a total stall and fails any positive bar.
+        let mut old = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        old.host_mips = 0.0;
+        let cur = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        assert!(compare(&old, &cur).passes(0.7));
+        assert!(!compare(&cur, &old).passes(0.7));
+    }
+
+    #[test]
+    fn aggregate_ratio_exactly_at_threshold_passes() {
+        // The gate is `>=`: a ratio that lands exactly on the configured
+        // minimum passes, and one just below it fails. 1700/2000 rounds
+        // to the same double as the literal 0.85 the CLI parses.
+        let base = artifact(vec![outcome("fibo", 1000, 500, false)]);
+        let cur = artifact(vec![outcome("fibo", 1700, 1000, false)]);
+        let c = compare(&base, &cur);
+        assert_eq!(c.aggregate_ratio(), 0.85);
+        assert!(c.passes(0.85));
+        assert!(!c.passes(0.8500001));
     }
 
     #[test]

@@ -132,6 +132,9 @@ pub struct JobSpec {
     pub profiled: bool,
     /// MiniScript source at `scale`.
     pub source: String,
+    /// Simulated core configuration the executor must use (covered by
+    /// the content key via its `Debug` rendering).
+    pub core: CoreConfig,
     /// Content key (see [`JobKey`]); empty-source specs loaded from an
     /// artifact keep the key recorded at run time.
     pub key: JobKey,
@@ -163,7 +166,7 @@ impl JobSpec {
         let key =
             JobKey(fnv1a(0xcbf2_9ce4_8422_2325, canonical.as_bytes()),
                    fnv1a(0x6c62_272e_07bb_0142, canonical.as_bytes()));
-        JobSpec { workload, engine, level, scale, profiled, source, key }
+        JobSpec { workload, engine, level, scale, profiled, source, core: *config, key }
     }
 
     /// Display label for progress lines and diagnostics, e.g.

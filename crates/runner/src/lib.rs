@@ -30,6 +30,7 @@ pub mod cache;
 pub mod compare;
 pub mod job;
 pub mod json;
+pub mod pairs;
 pub mod pool;
 pub mod result;
 

@@ -1,0 +1,80 @@
+//! Rendering of aggregated opcode-pair profiles (`repro bench
+//! --profile-pairs`).
+//!
+//! The core records adjacent same-block instruction pairs per simulated
+//! cell ([`tarch_core::PairProfile`]); this module owns the cross-cell
+//! aggregation report: a deterministic text histogram of the hottest
+//! pairs with their share of all retired pairs and a cumulative column,
+//! which is the evidence the macro-op fusion set in
+//! `crates/core/src/blocks.rs` is chosen from.
+
+use tarch_core::PairProfile;
+
+/// Renders the top `limit` pairs of an aggregated profile as a text
+/// histogram. Deterministic for a given profile (ties broken by
+/// mnemonic), so CI and docs can diff it.
+pub fn render_histogram(profile: &PairProfile, limit: usize) -> String {
+    use std::fmt::Write;
+    let total = profile.total();
+    let mut out = String::new();
+    let _ = writeln!(out, "adjacent same-block opcode pairs ({total} retired pairs)");
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<22} {:>14} {:>7} {:>7}",
+        "#", "pair", "count", "share", "cumul"
+    );
+    if total == 0 {
+        let _ = writeln!(out, "  (no pairs recorded)");
+        return out;
+    }
+    let mut cumulative = 0u64;
+    for (rank, (a, b, n)) in profile.sorted().into_iter().take(limit).enumerate() {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<22} {:>14} {:>6.2}% {:>6.2}%",
+            rank + 1,
+            format!("{a} + {b}"),
+            n,
+            n as f64 * 100.0 / total as f64,
+            cumulative as f64 * 100.0 / total as f64,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_is_deterministic_and_ranked() {
+        let mut p = PairProfile::new();
+        for _ in 0..3 {
+            p.note("addi", "ld");
+        }
+        p.note("slt", "bne");
+        let h = render_histogram(&p, 10);
+        assert!(h.contains("4 retired pairs"), "{h}");
+        let addi = h.find("addi + ld").unwrap();
+        let slt = h.find("slt + bne").unwrap();
+        assert!(addi < slt, "hotter pair must rank first:\n{h}");
+        assert!(h.contains("75.00%"), "{h}");
+        assert_eq!(h, render_histogram(&p, 10), "rendering must be stable");
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder() {
+        let h = render_histogram(&PairProfile::new(), 5);
+        assert!(h.contains("no pairs recorded"), "{h}");
+    }
+
+    #[test]
+    fn limit_clips_the_tail() {
+        let mut p = PairProfile::new();
+        p.note("a", "b");
+        p.note("c", "d");
+        let h = render_histogram(&p, 1);
+        assert!(h.contains("a + b") ^ h.contains("c + d"), "{h}");
+    }
+}

@@ -124,12 +124,20 @@ pub struct JobOutcome {
 
 impl JobOutcome {
     /// Simulated steps (retired instructions) per wall-clock second;
-    /// `0.0` for cache hits (nothing was simulated).
+    /// `0.0` for cache hits (nothing was simulated). Prefers the cell's
+    /// own simulation-loop time ([`CellResult::sim_nanos`]) so the
+    /// figure measures engine throughput, not VM construction and guest
+    /// compilation; falls back to whole-job wall time for executors that
+    /// don't record it.
     pub fn steps_per_sec(&self) -> f64 {
-        if self.cached || self.wall_nanos == 0 {
+        if self.cached {
+            return 0.0;
+        }
+        let nanos = if self.result.sim_nanos > 0 { self.result.sim_nanos } else { self.wall_nanos };
+        if nanos == 0 {
             0.0
         } else {
-            self.result.counters.instructions as f64 * 1e9 / self.wall_nanos as f64
+            self.result.counters.instructions as f64 * 1e9 / nanos as f64
         }
     }
 }
@@ -344,6 +352,7 @@ mod tests {
             branch: BranchStats::default(),
             output: format!("{n}\n"),
             bytecodes: None,
+            sim_nanos: 0,
         })
     }
 

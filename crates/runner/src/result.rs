@@ -15,6 +15,12 @@ pub struct CellResult {
     pub output: String,
     /// Dynamic bytecode count (only present for profiled runs).
     pub bytecodes: Option<u64>,
+    /// Wall-clock nanoseconds of the simulation loop itself (the
+    /// engine's `run` call), excluding VM construction and guest
+    /// compilation. `0` when unrecorded (legacy cache entries and
+    /// artifacts). Host-MIPS figures use this, so they measure simulator
+    /// throughput rather than per-cell setup cost.
+    pub sim_nanos: u64,
 }
 
 impl CellResult {
@@ -68,6 +74,7 @@ impl CellResult {
                     None => Json::Null,
                 },
             ),
+            ("sim_nanos".into(), Json::num(self.sim_nanos)),
         ])
     }
 
@@ -114,7 +121,9 @@ impl CellResult {
             None | Some(Json::Null) => None,
             Some(n) => Some(n.as_u64().ok_or("non-integer `bytecodes`")?),
         };
-        Ok(CellResult { counters, branch, output, bytecodes })
+        // Absent in pre-sim_nanos cache entries/artifacts; report zero.
+        let sim_nanos = v.get("sim_nanos").and_then(Json::as_u64).unwrap_or(0);
+        Ok(CellResult { counters, branch, output, bytecodes, sim_nanos })
     }
 }
 
@@ -140,6 +149,7 @@ mod tests {
             },
             output: format!("line one\nweird \"chars\" \t{seed}\n"),
             bytecodes: if seed.is_multiple_of(2) { Some(12345 + seed) } else { None },
+            sim_nanos: seed * 1_000_000,
         }
     }
 

@@ -1,8 +1,8 @@
 //! Counter-equivalence golden tests for the host-side fast paths.
 //!
-//! The predecoded-instruction table, the basic-block engine, and the MRU
-//! cache/TLB memos are pure host-side optimisations: the architectural
-//! model — every `PerfCounters` field, the branch-predictor statistics,
+//! The predecoded-instruction table, the basic-block engine (with its
+//! chaining and macro-op-fusion layers), and the MRU cache/TLB memos are
+//! pure host-side optimisations: the architectural model — every `PerfCounters` field, the branch-predictor statistics,
 //! the final register state, program output — must be bit-identical with
 //! any combination of them enabled or disabled. These tests run the
 //! *same* program under each fast-path configuration and diff everything
@@ -33,21 +33,38 @@ struct Variant {
     predecode: bool,
     blocks: bool,
     mem_fast_paths: bool,
+    /// Block chaining (only meaningful with `blocks`).
+    chain: bool,
+    /// Macro-op fusion at block-build time (only meaningful with `blocks`).
+    fuse: bool,
+}
+
+impl Variant {
+    const fn bare(name: &'static str, predecode: bool, blocks: bool, mem: bool) -> Variant {
+        Variant { name, predecode, blocks, mem_fast_paths: mem, chain: false, fuse: false }
+    }
 }
 
 /// The fully-naive reference: every host-side fast path off.
-const REFERENCE: Variant =
-    Variant { name: "naive", predecode: false, blocks: false, mem_fast_paths: false };
+const REFERENCE: Variant = Variant::bare("naive", false, false, false);
 
 /// Each fast path alone (the block engine both with and without the
 /// predecode table under it — the block builder has a decode path for
-/// each), plus everything together (the shipping default).
-const VARIANTS: [Variant; 5] = [
-    Variant { name: "predecode", predecode: true, blocks: false, mem_fast_paths: false },
-    Variant { name: "blocks", predecode: false, blocks: true, mem_fast_paths: false },
-    Variant { name: "blocks+predecode", predecode: true, blocks: true, mem_fast_paths: false },
-    Variant { name: "mru", predecode: false, blocks: false, mem_fast_paths: true },
-    Variant { name: "all", predecode: true, blocks: true, mem_fast_paths: true },
+/// each), the four chain×fuse combinations of the block engine, plus
+/// everything together (the shipping default).
+const VARIANTS: [Variant; 8] = [
+    Variant::bare("predecode", true, false, false),
+    Variant::bare("blocks", false, true, false),
+    Variant::bare("blocks+predecode", true, true, false),
+    Variant::bare("mru", false, false, true),
+    Variant { chain: true, ..Variant::bare("blocks+chain", false, true, false) },
+    Variant { fuse: true, ..Variant::bare("blocks+fuse", false, true, false) },
+    Variant {
+        chain: true,
+        fuse: true,
+        ..Variant::bare("blocks+chain+fuse", false, true, false)
+    },
+    Variant { chain: true, fuse: true, ..Variant::bare("all", true, true, true) },
 ];
 
 fn config(v: Variant) -> CoreConfig {
@@ -55,6 +72,8 @@ fn config(v: Variant) -> CoreConfig {
         predecode: v.predecode,
         blocks: v.blocks,
         mem_fast_paths: v.mem_fast_paths,
+        chain_blocks: v.chain,
+        fuse: v.fuse,
         ..CoreConfig::paper()
     }
 }
