@@ -12,6 +12,9 @@
 //!   selftest         quick 2-workload parallel matrix at test scale
 //!   bench            host-throughput measurement: per-cell and aggregate
 //!                    simulated MIPS, always simulating (cache bypassed)
+//!   trace CELL       run one cell serially with the observability layer
+//!                    on and print its hot-PC attribution table; CELL is
+//!                    workload/engine/level, e.g. k-nucleotide/lua/typed
 //!
 //! options:
 //!   --full | --test-scale   input scale (default: the paper's scale)
@@ -24,6 +27,12 @@
 //!                           instead of throughput measurement
 //!   --no-fuse               disable macro-op fusion in the simulated core
 //!   --no-chain              disable basic-block chaining in the core
+//!   --sample-period N       (trace) sampling-profiler period in simulated
+//!                           cycles (default 10000)
+//!   --trace-out PATH        (trace) write a Chrome trace_event JSON to
+//!                           PATH (open in ui.perfetto.dev) and folded
+//!                           flamegraph stacks to PATH with a .folded
+//!                           extension
 //!   --emit-json PATH        write the run artifact to PATH
 //!   --out DIR               directory for auto-emitted artifacts
 //!                           (default: bench-artifacts/)
@@ -50,7 +59,7 @@ use tarch_bench::figures;
 use tarch_bench::harness::{default_cache_dir, Matrix, MatrixOptions, MAX_STEPS};
 use tarch_bench::paper_tables as tables;
 use tarch_bench::workloads::{self, Scale};
-use tarch_core::{CoreConfig, IsaLevel, PairProfile};
+use tarch_core::{CoreConfig, IsaLevel, PairProfile, TraceConfig};
 use tarch_runner::{BenchArtifact, EngineKind};
 
 struct Opts {
@@ -63,6 +72,8 @@ struct Opts {
     profile_pairs: bool,
     no_fuse: bool,
     no_chain: bool,
+    sample_period: Option<u64>,
+    trace_out: Option<PathBuf>,
     emit_json: Option<PathBuf>,
     out_dir: Option<PathBuf>,
     from_json: Option<PathBuf>,
@@ -83,9 +94,11 @@ impl Opts {
     }
 }
 
-const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench> \
+const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench\
+                     |trace CELL> \
                      [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
                      [--profile-pairs] [--no-fuse] [--no-chain] \
+                     [--sample-period N] [--trace-out PATH] \
                      [--emit-json PATH] [--out DIR] [--from-json PATH] [--compare PATH] \
                      [--min-ratio R] [--verbose]";
 
@@ -101,6 +114,8 @@ fn main() -> ExitCode {
         profile_pairs: false,
         no_fuse: false,
         no_chain: false,
+        sample_period: None,
+        trace_out: None,
         emit_json: None,
         out_dir: None,
         from_json: None,
@@ -108,6 +123,7 @@ fn main() -> ExitCode {
         min_ratio: None,
     };
     let mut command = None;
+    let mut cell = None;
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
@@ -135,6 +151,14 @@ fn main() -> ExitCode {
                 "--profile-pairs" => opts.profile_pairs = true,
                 "--no-fuse" => opts.no_fuse = true,
                 "--no-chain" => opts.no_chain = true,
+                "--sample-period" => {
+                    opts.sample_period = Some(
+                        value(a)?
+                            .parse()
+                            .map_err(|_| format!("{a} needs a cycle count"))?,
+                    );
+                }
+                "--trace-out" => opts.trace_out = Some(PathBuf::from(value(a)?)),
                 "--emit-json" => opts.emit_json = Some(PathBuf::from(value(a)?)),
                 "--out" => opts.out_dir = Some(PathBuf::from(value(a)?)),
                 "--from-json" => opts.from_json = Some(PathBuf::from(value(a)?)),
@@ -145,6 +169,12 @@ fn main() -> ExitCode {
                     );
                 }
                 c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
+                c if command.as_deref() == Some("trace")
+                    && cell.is_none()
+                    && !c.starts_with('-') =>
+                {
+                    cell = Some(c.to_string());
+                }
                 other => return Err(format!("unexpected argument `{other}`")),
             }
             Ok(())
@@ -171,8 +201,18 @@ fn main() -> ExitCode {
         eprintln!("error: --profile-pairs only applies to `bench`\n{USAGE}");
         return ExitCode::FAILURE;
     }
+    if (opts.sample_period.is_some() || opts.trace_out.is_some()) && command != "trace" {
+        eprintln!("error: --sample-period/--trace-out only apply to `trace`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if command == "trace" && cell.is_none() {
+        eprintln!(
+            "error: trace needs a cell, e.g. `repro trace k-nucleotide/lua/typed`\n{USAGE}"
+        );
+        return ExitCode::FAILURE;
+    }
 
-    match run(&command, &opts) {
+    match run(&command, &opts, cell.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -241,7 +281,7 @@ fn emit(opts: &Opts, command: &str, artifact: Option<&BenchArtifact>) -> Result<
     Ok(())
 }
 
-fn run(command: &str, opts: &Opts) -> Result<(), String> {
+fn run(command: &str, opts: &Opts, cell: Option<&str>) -> Result<(), String> {
     match command {
         "table1" => print!("{}", tables::table1()),
         "table2" => print!("{}", tables::table2()),
@@ -307,6 +347,7 @@ fn run(command: &str, opts: &Opts) -> Result<(), String> {
         }
         "selftest" => return selftest(opts),
         "bench" => return bench(opts),
+        "trace" => return trace_cell(opts, cell.expect("checked in main")),
         other => return Err(format!("unknown subcommand `{other}`")),
     }
     Ok(())
@@ -407,6 +448,83 @@ fn profile_pairs(opts: &Opts, ws: &[workloads::Workload]) -> Result<(), String> 
     }
     eprintln!("profiled {cells} cell(s) at scale {}", opts.scale.id());
     print!("{}", tarch_runner::pairs::render_histogram(&total, 30));
+    Ok(())
+}
+
+/// `repro trace CELL`: runs one cell *serially, in process* with the
+/// tarch-trace observability layer enabled and renders the result — the
+/// hot-PC attribution table on stdout, and (with `--trace-out`) a Chrome
+/// trace_event JSON plus flamegraph-folded stacks on disk. Serial for the
+/// same reason as [`profile_pairs`]: the tracer lives inside the `Cpu`.
+fn trace_cell(opts: &Opts, cell: &str) -> Result<(), String> {
+    let parts: Vec<&str> = cell.split('/').collect();
+    let [wname, engine, level] = parts[..] else {
+        return Err(format!(
+            "trace needs workload/engine/level, e.g. k-nucleotide/lua/typed (got `{cell}`)"
+        ));
+    };
+    let w = workloads::by_name(wname).ok_or_else(|| format!("unknown workload `{wname}`"))?;
+    let engine =
+        EngineKind::parse(engine).ok_or_else(|| format!("unknown engine `{engine}` (lua|js)"))?;
+    let level = IsaLevel::parse(level).ok_or_else(|| {
+        format!("unknown ISA level `{level}` (baseline|checked-load|typed)")
+    })?;
+    let mut tc = TraceConfig::new();
+    if let Some(p) = opts.sample_period {
+        tc.sample_period = p.max(1);
+    }
+    let core = CoreConfig { trace: Some(tc), ..opts.core() };
+    let src = w.source(opts.scale);
+    let label = format!("{}/{}/{}", w.name, engine.id(), level.name());
+    if opts.verbose {
+        eprintln!("tracing {label} (sample period {} cycles)...", tc.sample_period);
+    }
+    match engine {
+        EngineKind::Lua => {
+            let mut vm = luart::LuaVm::from_source(&src, level, core)
+                .map_err(|e| format!("{label}: {e}"))?;
+            vm.run(opts.step_budget).map_err(|e| format!("{label}: {e}"))?;
+            let symbols = vm.image().program.symbols.clone();
+            render_trace(vm.cpu_mut(), &symbols, &label, opts.trace_out.as_deref())
+        }
+        EngineKind::Js => {
+            let mut vm = jsrt::JsVm::from_source(&src, level, core)
+                .map_err(|e| format!("{label}: {e}"))?;
+            vm.run(opts.step_budget).map_err(|e| format!("{label}: {e}"))?;
+            let symbols = vm.image().program.symbols.clone();
+            render_trace(vm.cpu_mut(), &symbols, &label, opts.trace_out.as_deref())
+        }
+    }
+}
+
+/// Flushes the finished cell's tracer and renders/writes its artifacts.
+fn render_trace(
+    cpu: &mut tarch_core::Cpu,
+    symbols: &std::collections::BTreeMap<String, u64>,
+    label: &str,
+    out: Option<&Path>,
+) -> Result<(), String> {
+    use tarch_core::trace::{chrome, report};
+    let summary = cpu
+        .finish_trace()
+        .ok_or_else(|| format!("{label}: tracing was not enabled on the core"))?;
+    let syms = report::SymbolTable::new(symbols.iter().map(|(n, a)| (n.clone(), *a)));
+    println!("trace of {label}:");
+    print!("{}", report::hot_pc_table(&summary, &syms));
+    println!("{} metric window(s) captured", summary.windows.len());
+    if let Some(path) = out {
+        let tracer = cpu.tracer().expect("tracer present after finish_trace");
+        let json = chrome::chrome_trace(tracer);
+        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        let folded = path.with_extension("folded");
+        std::fs::write(&folded, report::folded_stacks(&summary, &syms))
+            .map_err(|e| format!("write {}: {e}", folded.display()))?;
+        eprintln!(
+            "wrote Chrome trace {} (load in ui.perfetto.dev) and folded stacks {}",
+            path.display(),
+            folded.display(),
+        );
+    }
     Ok(())
 }
 

@@ -78,6 +78,8 @@ pub fn exec_job(spec: &JobSpec, step_budget: u64) -> Result<CellResult, ExecErro
                     output: r.output,
                     bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
                     sim_nanos,
+                    // `None` unless the spec's core config enabled tracing.
+                    trace: vm.cpu_mut().finish_trace(),
                 }),
                 Err(luart::EngineError::StepLimit { max_steps }) => {
                     Err(ExecError::StepBudget { steps: max_steps })
@@ -102,6 +104,7 @@ pub fn exec_job(spec: &JobSpec, step_budget: u64) -> Result<CellResult, ExecErro
                     output: r.output,
                     bytecodes: r.profile.as_ref().map(|p| p.total_bytecodes()),
                     sim_nanos,
+                    trace: vm.cpu_mut().finish_trace(),
                 }),
                 Err(jsrt::EngineError::StepLimit { max_steps }) => {
                     Err(ExecError::StepBudget { steps: max_steps })

@@ -457,6 +457,17 @@ impl BlockTable {
         self.stats
     }
 
+    /// Number of blocks currently installed (structure occupancy;
+    /// includes blocks awaiting revalidation after a generation bump).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks are installed.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
     /// Whether `pc` falls inside the covered text range.
     #[inline]
     pub fn covers(&self, pc: u64) -> bool {
@@ -604,15 +615,17 @@ impl BlockTable {
     /// next execution, the currently executing block (if any) must stop
     /// using its cached run, and every chain link goes dark until its
     /// target revalidates. One compare in the common case of a data
-    /// store.
+    /// store. Returns whether the store hit text (i.e. whether blocks
+    /// were invalidated) so the trace layer can record the event.
     #[inline]
-    pub fn note_store(&mut self, addr: u64, len: u64) {
+    pub fn note_store(&mut self, addr: u64, len: u64) -> bool {
         let end = addr.wrapping_add(len - 1);
         if end < self.base || addr >= self.limit {
-            return;
+            return false;
         }
         self.gen += 1;
         self.stats.store_invalidations += 1;
+        true
     }
 
     /// Marks every block as needing revalidation (a host may have

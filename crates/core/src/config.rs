@@ -1,6 +1,7 @@
 //! Core configuration: structural parameters and operation latencies.
 
 use tarch_mem::{CacheConfig, DramConfig};
+use tarch_trace::TraceConfig;
 
 /// Which ISA variant the *software* is compiled for.
 ///
@@ -154,6 +155,15 @@ pub struct CoreConfig {
     /// accesses skip the way/entry scan (host-side fast path; simulated
     /// counters are identical either way).
     pub mem_fast_paths: bool,
+    /// Observability: `Some` attaches a `tarch_trace::Tracer` to the
+    /// core — simulated-time PC sampling, a structured event ring, and
+    /// windowed metric snapshots. `None` (the default) allocates
+    /// nothing; every hook is a single predictable branch and the
+    /// architectural counters are bit-identical either way (pinned by
+    /// `tests/predecode_equiv.rs`). Participates in the runner's job
+    /// key like every other field, so traced and untraced runs never
+    /// share a cache entry.
+    pub trace: Option<TraceConfig>,
 }
 
 impl CoreConfig {
@@ -173,6 +183,7 @@ impl CoreConfig {
             chain_blocks: true,
             fuse: true,
             mem_fast_paths: true,
+            trace: None,
         }
     }
 }

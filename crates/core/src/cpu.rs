@@ -34,6 +34,7 @@ use tarch_isa::{
     AluImmOp, AluOp, Csr, FpCmpOp, FpuOp, Instruction, MemWidth, Reg, Spr, TrtClass, TrtRule,
 };
 use tarch_mem::{Cache, DramModel, MainMemory, Tlb};
+use tarch_trace::{Occupancy, TraceEventKind, TraceSummary, Tracer, WindowStats};
 
 /// Outcome of executing one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,28 @@ impl fmt::Display for Trap {
     }
 }
 
+impl Trap {
+    /// The faulting pc (every trap kind carries one).
+    pub fn pc(&self) -> u64 {
+        match *self {
+            Trap::InvalidInstruction { pc, .. }
+            | Trap::MisalignedAccess { pc, .. }
+            | Trap::MisalignedPc { pc }
+            | Trap::InvalidTrtRule { pc, .. } => pc,
+        }
+    }
+
+    /// Short static mnemonic (used as the trace-event cause).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Trap::InvalidInstruction { .. } => "invalid-instruction",
+            Trap::MisalignedAccess { .. } => "misaligned-access",
+            Trap::MisalignedPc { .. } => "misaligned-pc",
+            Trap::InvalidTrtRule { .. } => "invalid-trt-rule",
+        }
+    }
+}
+
 impl Error for Trap {}
 
 /// The simulated core plus its memory system.
@@ -136,6 +159,10 @@ pub struct Cpu {
     predecode: PredecodeTable,
     blocks: BlockTable,
     pair_profile: Option<Box<PairProfile>>,
+    /// Attached observer when `CoreConfig::trace` is set; `None` costs
+    /// one predictable branch per hook site and changes nothing
+    /// architectural (pinned by `tests/predecode_equiv.rs`).
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Cpu {
@@ -162,6 +189,7 @@ impl Cpu {
             predecode: PredecodeTable::new(),
             blocks: BlockTable::new(),
             pair_profile: None,
+            tracer: config.trace.map(|tc| Box::new(Tracer::new(tc))),
         }
     }
 
@@ -178,6 +206,98 @@ impl Cpu {
     /// The recorded pair profile, when profiling is enabled.
     pub fn pair_profile(&self) -> Option<&PairProfile> {
         self.pair_profile.as_deref()
+    }
+
+    /// The attached tracer, when [`CoreConfig::trace`](crate::CoreConfig)
+    /// is set (for Chrome-trace export and report rendering; see
+    /// `tarch_trace::chrome` and `tarch_trace::report`).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Flushes the tracer's final partial metric window against the
+    /// current counters and returns the serializable [`TraceSummary`];
+    /// `None` when tracing is off. Safe to call more than once (the
+    /// flush is a no-op when nothing accumulated since the last one).
+    pub fn finish_trace(&mut self) -> Option<TraceSummary> {
+        self.tracer.as_ref()?;
+        let now = self.now;
+        let stats = self.window_stats();
+        let occ = self.occupancy();
+        let t = self.tracer.as_deref_mut().expect("checked above");
+        t.finish(now, stats, occ);
+        Some(t.summary())
+    }
+
+    /// Cumulative counter snapshot in the tracer's vocabulary (the
+    /// tracer differences successive snapshots itself).
+    fn window_stats(&self) -> WindowStats {
+        let c = &self.counters;
+        let b = self.bpred.stats();
+        WindowStats {
+            cycles: self.now,
+            instructions: c.instructions,
+            icache_accesses: c.icache_accesses,
+            icache_misses: c.icache_misses,
+            dcache_accesses: c.dcache_accesses,
+            dcache_misses: c.dcache_misses,
+            itlb_misses: c.itlb_misses,
+            dtlb_misses: c.dtlb_misses,
+            branches: b.branches + b.jumps,
+            mispredicts: b.total_misses(),
+        }
+    }
+
+    /// Point-in-time structure occupancies for a metric window.
+    fn occupancy(&self) -> Occupancy {
+        Occupancy {
+            icache_lines: self.icache.occupancy(),
+            dcache_lines: self.dcache.occupancy(),
+            itlb_entries: self.itlb.occupancy(),
+            dtlb_entries: self.dtlb.occupancy(),
+            trt_rules: self.trt.len() as u64,
+            blocks: self.blocks.len() as u64,
+        }
+    }
+
+    /// Sampling/window tick at guest `pc`: one branch when tracing is
+    /// off, the outlined body otherwise.
+    #[inline]
+    fn trace_tick(&mut self, pc: u64) {
+        if self.tracer.is_some() {
+            self.trace_tick_on(pc);
+        }
+    }
+
+    fn trace_tick_on(&mut self, pc: u64) {
+        let now = self.now;
+        let due = match self.tracer.as_deref_mut() {
+            Some(t) => t.tick(pc, now),
+            None => return,
+        };
+        if due {
+            let stats = self.window_stats();
+            let occ = self.occupancy();
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.close_windows(now, stats, occ);
+            }
+        }
+    }
+
+    /// Records a structured trace event (no-op when tracing is off).
+    #[inline]
+    fn trace_event(&mut self, kind: TraceEventKind) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.event(self.now, kind);
+        }
+    }
+
+    /// Records a trap event (no-op when tracing is off).
+    #[inline]
+    fn trace_trap(&mut self, trap: &Trap) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.event(self.now, TraceEventKind::Trap { cause: trap.mnemonic(), pc: trap.pc() });
+        }
     }
 
     /// Copies a program image into memory and points the pc at its entry.
@@ -326,11 +446,17 @@ impl Cpu {
         if !self.dtlb.access(addr) {
             self.counters.dtlb_misses += 1;
             extra += self.config.latency.tlb_miss;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.dtlb_miss(addr, self.now);
+            }
         }
         let res = self.dcache.access(addr, is_write);
         if !res.hit {
             self.counters.dcache_misses += 1;
             extra += self.dram.access(addr);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.dcache_miss(addr, self.now);
+            }
         }
         // Dirty writebacks drain through a write buffer: they generate DRAM
         // traffic but do not stall the pipeline.
@@ -356,6 +482,14 @@ impl Cpu {
     /// misaligned access); the core state is left at the faulting
     /// instruction.
     pub fn step(&mut self) -> Result<StepEvent, Trap> {
+        let result = self.step_inner();
+        if let Err(trap) = &result {
+            self.trace_trap(trap);
+        }
+        result
+    }
+
+    fn step_inner(&mut self) -> Result<StepEvent, Trap> {
         if self.halted {
             return Ok(StepEvent::Halted);
         }
@@ -381,6 +515,7 @@ impl Cpu {
         self.counters.instructions += 1;
         let event = self.execute(pc, instr)?;
         self.counters.cycles = self.now;
+        self.trace_tick(pc);
         Ok(event)
     }
 
@@ -444,9 +579,9 @@ impl Cpu {
     ///   the loop re-checks it after every instruction, so a block that
     ///   invalidates *itself* stops using its cached run at the store.
     ///   The run itself is an `Arc` snapshot, immune to table mutation.
-    /// * **Fused pairs** ([`BlockOp`], `CoreConfig::fuse`) execute both
+    /// * **Fused pairs** (`BlockOp`, `CoreConfig::fuse`) execute both
     ///   components through the same `exec_*` helpers the stepwise
-    ///   [`Cpu::execute`] arms delegate to, with every per-instruction
+    ///   `Cpu::execute` arms delegate to, with every per-instruction
     ///   charge (fetch span, `instructions`, trap checkpoint) applied in
     ///   exact program order; the inter-instruction fall-through /
     ///   generation / stop checks are skipped only where the first
@@ -506,6 +641,11 @@ impl Cpu {
                 return Ok(StepEvent::Halted);
             }
             let pc = self.pc;
+            // Sampling/window tick at block-entry granularity: `now` is
+            // synced as of the previous block boundary, so the elapsed
+            // cycles land on the block about to run (closest attribution
+            // available without per-instruction cost).
+            self.trace_tick(pc);
             // Chained transfer: when the previous block exited through
             // its final direct branch/jump, its link for this pc (if
             // current) hands back the successor run without the entry
@@ -520,7 +660,9 @@ impl Cpu {
                 None => {
                     if !pc.is_multiple_of(4) {
                         flush_pending!(last);
-                        return Err(Trap::MisalignedPc { pc });
+                        let trap = Trap::MisalignedPc { pc };
+                        self.trace_trap(&trap);
+                        return Err(trap);
                     }
                     if !self.blocks.covers(pc) {
                         // Outside the loaded text image (dynamically
@@ -548,7 +690,9 @@ impl Cpu {
                                 flush_pending!(last);
                                 self.charge_fetch(pc);
                                 let word = self.mem.read_u32(pc);
-                                return Err(Trap::InvalidInstruction { pc, word });
+                                let trap = Trap::InvalidInstruction { pc, word };
+                                self.trace_trap(&trap);
+                                return Err(trap);
                             }
                         },
                     };
@@ -594,7 +738,9 @@ impl Cpu {
                 ($checkpoint:expr, $trap:expr) => {{
                     flush_pending!(last);
                     self.counters.cycles = $checkpoint;
-                    return Err($trap);
+                    let trap = $trap;
+                    self.trace_trap(&trap);
+                    return Err(trap);
                 }};
             }
             // One instruction through the generic stepwise core: the
@@ -1099,7 +1245,9 @@ impl Cpu {
             return None;
         }
         let fuse = self.config.fuse && self.pair_profile.is_none();
-        Some(self.blocks.install(pc, words, instrs, fuse))
+        let run = self.blocks.install(pc, words, instrs, fuse);
+        self.trace_event(TraceEventKind::BlockBuild { pc, len: run.width });
+        Some(run)
     }
 
     /// Charges one instruction fetch at `pc`: I-cache access always;
@@ -1114,10 +1262,16 @@ impl Cpu {
         if !self.itlb.access(pc) {
             self.counters.itlb_misses += 1;
             self.now += self.config.latency.tlb_miss;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.itlb_miss(pc, self.now);
+            }
         }
         if !self.icache.access(pc, false).hit {
             self.counters.icache_misses += 1;
             self.now += self.dram.access(pc);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.icache_miss(pc, self.now);
+            }
         }
     }
 
@@ -1137,8 +1291,11 @@ impl Cpu {
     /// and basic blocks) observe it.
     #[inline]
     fn note_code_store(&mut self, addr: u64, len: u64) {
-        self.predecode.note_store(addr, len);
-        self.blocks.note_store(addr, len);
+        let predecode_hit = self.predecode.note_store(addr, len);
+        let blocks_hit = self.blocks.note_store(addr, len);
+        if predecode_hit || blocks_hit {
+            self.trace_event(TraceEventKind::CodeInvalidate { addr });
+        }
     }
 
     #[inline]
@@ -1608,6 +1765,8 @@ impl Cpu {
                         let rule = TrtRule::unpack(v)
                             .ok_or(Trap::InvalidTrtRule { pc, packed: v })?;
                         self.trt.push(rule);
+                        let len = self.trt.len() as u32;
+                        self.trace_event(TraceEventKind::TrtFill { len });
                     }
                     Spr::ExpType => self.spr.exptype = v as u8,
                 }
@@ -1615,6 +1774,7 @@ impl Cpu {
             }
             Instruction::FlushTrt => {
                 self.trt.flush();
+                self.trace_event(TraceEventKind::TrtFlush);
                 self.now += 1;
             }
             Instruction::Thdl { offset } => {
@@ -1672,6 +1832,10 @@ impl Cpu {
             Instruction::Ecall => {
                 self.counters.ecalls += 1;
                 self.now += 1;
+                if self.tracer.is_some() {
+                    let n = self.regs.read(Reg::A7).v;
+                    self.trace_event(TraceEventKind::Ecall { n });
+                }
                 event = StepEvent::Ecall;
             }
             Instruction::Halt => {

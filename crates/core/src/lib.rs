@@ -88,3 +88,10 @@ pub use predecode::{PredecodeStats, PredecodeTable};
 pub use regfile::{RegFile, TaggedValue, UNTYPED_TAG};
 pub use tagio::{is_nan_boxed, Inserted, SprState, TagDword, NANBOX_FP_TAG};
 pub use trt::TypeRuleTable;
+
+// The observability layer ([`CoreConfig::trace`] carries its config;
+// `Cpu::tracer`/`Cpu::finish_trace` expose its output). Re-exported
+// whole so downstream crates reach `trace::chrome`/`trace::report`
+// without a separate dependency edge.
+pub use tarch_trace as trace;
+pub use tarch_trace::{TraceConfig, TraceSummary, Tracer};

@@ -137,20 +137,25 @@ impl PredecodeTable {
     /// Invalidates every slot overlapping a guest store of `len` bytes at
     /// `addr`. Called on the store path, so it must be cheap when the
     /// store misses the text range (the common case: one compare).
+    /// Returns whether any filled slot was invalidated so the trace
+    /// layer can record the event.
     #[inline]
-    pub fn note_store(&mut self, addr: u64, len: u64) {
+    pub fn note_store(&mut self, addr: u64, len: u64) -> bool {
         // `end` is inclusive so an 8-byte store at limit-4 still clips.
         let end = addr.wrapping_add(len - 1);
         if end < self.base || addr >= self.limit {
-            return;
+            return false;
         }
         let first = self.index(addr.max(self.base));
         let last = self.index(end.min(self.limit - 1));
+        let mut any = false;
         for slot in &mut self.slots[first..=last] {
             if slot.take().is_some() {
                 self.stats.invalidations += 1;
+                any = true;
             }
         }
+        any
     }
 
     /// Marks every slot as needing revalidation (a host may have written

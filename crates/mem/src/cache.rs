@@ -283,6 +283,12 @@ impl Cache {
         }
     }
 
+    /// Number of currently valid lines (structure occupancy; sampled by
+    /// the trace layer's windowed metric snapshots).
+    pub fn occupancy(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
     /// Whether the line containing `addr` is currently resident (no state
     /// change; used by tests).
     #[inline]

@@ -161,6 +161,12 @@ impl Tlb {
         }
     }
 
+    /// Number of currently resident entries (structure occupancy;
+    /// sampled by the trace layer's windowed metric snapshots).
+    pub fn occupancy(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
     /// Running statistics.
     pub fn stats(&self) -> TlbStats {
         self.stats

@@ -242,6 +242,7 @@ mod tests {
                 output: format!("{n}\n"),
                 bytecodes: n.is_multiple_of(2).then_some(n * 7),
                 sim_nanos: 0,
+                trace: None,
             },
             cached,
             wall_nanos: 1000 + n,

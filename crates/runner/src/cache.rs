@@ -121,6 +121,7 @@ mod tests {
             output: format!("out {n}\n"),
             bytecodes: None,
             sim_nanos: 0,
+            trace: None,
         }
     }
 

@@ -153,6 +153,7 @@ mod tests {
                 output: String::new(),
                 bytecodes: None,
                 sim_nanos: 0,
+                trace: None,
             },
             cached,
             wall_nanos,

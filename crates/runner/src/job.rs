@@ -6,7 +6,11 @@ use tarch_core::{CoreConfig, IsaLevel};
 /// Bumped whenever the key derivation or the cached result layout
 /// changes; part of every content key, so stale cache entries from an
 /// older layout simply miss.
-pub const KEY_SCHEMA: u32 = 1;
+///
+/// History: `1` → `2` when [`CellResult`](crate::CellResult) grew the
+/// optional `trace` summary and `CoreConfig` the `trace` field (the
+/// config's `Debug` rendering — and with it every key — changed shape).
+pub const KEY_SCHEMA: u32 = 2;
 
 /// Which scripting engine runs the cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

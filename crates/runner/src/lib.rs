@@ -14,7 +14,7 @@
 //!   so re-running an experiment skips already-simulated cells;
 //! * [`artifact`] — versioned `BENCH_<timestamp>.json` run artifacts the
 //!   figure renderers can reload instead of re-simulating;
-//! * [`compare`] — host-throughput comparison of two artifacts, backing
+//! * [`mod@compare`] — host-throughput comparison of two artifacts, backing
 //!   `repro bench --compare` and its `--min-ratio` regression gate;
 //! * [`json`] — the minimal hand-rolled JSON reader/writer backing the
 //!   cache and artifact formats (no external dependencies).

@@ -353,6 +353,7 @@ mod tests {
             output: format!("{n}\n"),
             bytecodes: None,
             sim_nanos: 0,
+            trace: None,
         })
     }
 

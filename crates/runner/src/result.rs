@@ -2,7 +2,8 @@
 //! the on-disk cache and the `BENCH_*.json` artifacts).
 
 use crate::json::Json;
-use tarch_core::{BranchStats, PerfCounters};
+use tarch_core::trace::{HotPc, MetricWindow, Occupancy, PcMisses, WindowStats};
+use tarch_core::{BranchStats, PerfCounters, TraceSummary};
 
 /// Result of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,11 @@ pub struct CellResult {
     /// artifacts). Host-MIPS figures use this, so they measure simulator
     /// throughput rather than per-cell setup cost.
     pub sim_nanos: u64,
+    /// Observability summary when the cell ran with
+    /// `CoreConfig::trace` set: hot-PC histogram, event-ring totals, and
+    /// metric windows. `None` for untraced runs (the default) and for
+    /// entries/artifacts written before the trace layer existed.
+    pub trace: Option<TraceSummary>,
 }
 
 impl CellResult {
@@ -75,6 +81,13 @@ impl CellResult {
                 },
             ),
             ("sim_nanos".into(), Json::num(self.sim_nanos)),
+            (
+                "trace".into(),
+                match &self.trace {
+                    Some(t) => trace_to_json(t),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -123,8 +136,129 @@ impl CellResult {
         };
         // Absent in pre-sim_nanos cache entries/artifacts; report zero.
         let sim_nanos = v.get("sim_nanos").and_then(Json::as_u64).unwrap_or(0);
-        Ok(CellResult { counters, branch, output, bytecodes, sim_nanos })
+        // Absent in pre-trace entries/artifacts and untraced runs.
+        let trace = match v.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(trace_from_json(t)?),
+        };
+        Ok(CellResult { counters, branch, output, bytecodes, sim_nanos, trace })
     }
+}
+
+/// Encodes a [`TraceSummary`] (lossless; every field is a `u64`).
+fn trace_to_json(t: &TraceSummary) -> Json {
+    let hot_pcs = t
+        .hot_pcs
+        .iter()
+        .map(|h| {
+            Json::Obj(vec![
+                ("pc".into(), Json::num(h.pc)),
+                ("samples".into(), Json::num(h.samples)),
+                ("icache_misses".into(), Json::num(h.misses.icache)),
+                ("dcache_misses".into(), Json::num(h.misses.dcache)),
+                ("itlb_misses".into(), Json::num(h.misses.itlb)),
+                ("dtlb_misses".into(), Json::num(h.misses.dtlb)),
+            ])
+        })
+        .collect();
+    let windows = t
+        .windows
+        .iter()
+        .map(|w| {
+            let s = &w.stats;
+            let o = &w.occupancy;
+            Json::Obj(vec![
+                ("start".into(), Json::num(w.start)),
+                ("end".into(), Json::num(w.end)),
+                ("cycles".into(), Json::num(s.cycles)),
+                ("instructions".into(), Json::num(s.instructions)),
+                ("icache_accesses".into(), Json::num(s.icache_accesses)),
+                ("icache_misses".into(), Json::num(s.icache_misses)),
+                ("dcache_accesses".into(), Json::num(s.dcache_accesses)),
+                ("dcache_misses".into(), Json::num(s.dcache_misses)),
+                ("itlb_misses".into(), Json::num(s.itlb_misses)),
+                ("dtlb_misses".into(), Json::num(s.dtlb_misses)),
+                ("branches".into(), Json::num(s.branches)),
+                ("mispredicts".into(), Json::num(s.mispredicts)),
+                ("icache_lines".into(), Json::num(o.icache_lines)),
+                ("dcache_lines".into(), Json::num(o.dcache_lines)),
+                ("itlb_entries".into(), Json::num(o.itlb_entries)),
+                ("dtlb_entries".into(), Json::num(o.dtlb_entries)),
+                ("trt_rules".into(), Json::num(o.trt_rules)),
+                ("blocks".into(), Json::num(o.blocks)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("sample_period".into(), Json::num(t.sample_period)),
+        ("total_samples".into(), Json::num(t.total_samples)),
+        ("events_recorded".into(), Json::num(t.events_recorded)),
+        ("events_dropped".into(), Json::num(t.events_dropped)),
+        ("hot_pcs".into(), Json::Arr(hot_pcs)),
+        ("windows".into(), Json::Arr(windows)),
+    ])
+}
+
+/// Decodes [`trace_to_json`] output.
+fn trace_from_json(v: &Json) -> Result<TraceSummary, String> {
+    let hot_pcs = v
+        .get("hot_pcs")
+        .and_then(Json::as_arr)
+        .ok_or("missing `trace.hot_pcs`")?
+        .iter()
+        .map(|h| {
+            Ok(HotPc {
+                pc: h.req_u64("pc")?,
+                samples: h.req_u64("samples")?,
+                misses: PcMisses {
+                    icache: h.req_u64("icache_misses")?,
+                    dcache: h.req_u64("dcache_misses")?,
+                    itlb: h.req_u64("itlb_misses")?,
+                    dtlb: h.req_u64("dtlb_misses")?,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let windows = v
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or("missing `trace.windows`")?
+        .iter()
+        .map(|w| {
+            Ok(MetricWindow {
+                start: w.req_u64("start")?,
+                end: w.req_u64("end")?,
+                stats: WindowStats {
+                    cycles: w.req_u64("cycles")?,
+                    instructions: w.req_u64("instructions")?,
+                    icache_accesses: w.req_u64("icache_accesses")?,
+                    icache_misses: w.req_u64("icache_misses")?,
+                    dcache_accesses: w.req_u64("dcache_accesses")?,
+                    dcache_misses: w.req_u64("dcache_misses")?,
+                    itlb_misses: w.req_u64("itlb_misses")?,
+                    dtlb_misses: w.req_u64("dtlb_misses")?,
+                    branches: w.req_u64("branches")?,
+                    mispredicts: w.req_u64("mispredicts")?,
+                },
+                occupancy: Occupancy {
+                    icache_lines: w.req_u64("icache_lines")?,
+                    dcache_lines: w.req_u64("dcache_lines")?,
+                    itlb_entries: w.req_u64("itlb_entries")?,
+                    dtlb_entries: w.req_u64("dtlb_entries")?,
+                    trt_rules: w.req_u64("trt_rules")?,
+                    blocks: w.req_u64("blocks")?,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(TraceSummary {
+        sample_period: v.req_u64("sample_period")?,
+        total_samples: v.req_u64("total_samples")?,
+        hot_pcs,
+        events_recorded: v.req_u64("events_recorded")?,
+        events_dropped: v.req_u64("events_dropped")?,
+        windows,
+    })
 }
 
 #[cfg(test)]
@@ -150,6 +284,36 @@ mod tests {
             output: format!("line one\nweird \"chars\" \t{seed}\n"),
             bytecodes: if seed.is_multiple_of(2) { Some(12345 + seed) } else { None },
             sim_nanos: seed * 1_000_000,
+            trace: if seed.is_multiple_of(2) {
+                None
+            } else {
+                Some(TraceSummary {
+                    sample_period: 1000,
+                    total_samples: 40 + seed,
+                    hot_pcs: vec![HotPc {
+                        pc: 0x1000 + seed,
+                        samples: 40 + seed,
+                        misses: PcMisses { icache: 1, dcache: 2, itlb: 0, dtlb: seed },
+                    }],
+                    events_recorded: 9,
+                    events_dropped: 3,
+                    windows: vec![MetricWindow {
+                        start: 0,
+                        end: 500_000,
+                        stats: WindowStats {
+                            cycles: 500_000,
+                            instructions: 400_000,
+                            icache_misses: 12,
+                            ..WindowStats::default()
+                        },
+                        occupancy: Occupancy {
+                            icache_lines: 200,
+                            trt_rules: 8,
+                            ..Occupancy::default()
+                        },
+                    }],
+                })
+            },
         }
     }
 

@@ -1,0 +1,44 @@
+//! Tracing configuration embedded in the core's `CoreConfig`.
+
+/// Knobs for the observability layer.
+///
+/// The core carries this as `CoreConfig::trace: Option<TraceConfig>`;
+/// `None` means no tracer is allocated and every hook compiles down to a
+/// single predictable `is_some()` branch. Because `CoreConfig`
+/// participates in the runner's content-addressed job key through its
+/// `Debug` rendering, every field here is part of the cache key: two
+/// runs that trace differently never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Sampling period in *simulated* cycles: the tracer records the
+    /// current guest pc once per period. Smaller periods sharpen the
+    /// hot-PC histogram but grow nothing — the histogram is keyed by pc,
+    /// not by sample — so the only cost is a touch more host work per
+    /// crossing. `0` is treated as `1`.
+    pub sample_period: u64,
+    /// Initial metric-window length in simulated cycles. Counter deltas
+    /// and structure occupancies are snapshotted once per window; when a
+    /// run accumulates more than [`crate::MAX_WINDOWS`] windows, adjacent
+    /// pairs are merged and this length doubles, so long runs keep full
+    /// coverage at bounded resolution.
+    pub window_cycles: u64,
+    /// Capacity of the structured-event ring. The ring overwrites its
+    /// oldest entry when full; the total number of events ever recorded
+    /// is kept separately, so overflow loses detail, never counts.
+    pub ring_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Defaults tuned for the bench matrix: ~thousands of samples per
+    /// cell at test scale, a handful of metric windows, and an event
+    /// ring big enough to hold the interesting tail of a run.
+    pub const fn new() -> TraceConfig {
+        TraceConfig { sample_period: 10_000, window_cycles: 250_000, ring_capacity: 4096 }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig::new()
+    }
+}

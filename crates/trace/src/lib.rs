@@ -1,0 +1,69 @@
+//! # tarch-trace — simulated-time observability
+//!
+//! The evaluation of *Typed Architectures* rests on **attribution**:
+//! Figures 5–10 decompose speedups into dynamic-instruction reduction,
+//! branch MPKI, and cache behaviour. End-of-run counter totals can say
+//! *that* a configuration is faster; this crate exists to say *where* —
+//! which guest pcs the cycles land on, when the misses cluster, what the
+//! decode caches and the Type Rule Table are doing over time.
+//!
+//! Three instruments share one [`Tracer`], driven by the core at points
+//! it already visits (the crate itself depends on nothing and knows
+//! nothing about the CPU):
+//!
+//! * a **simulated-time sampling profiler** — every
+//!   [`TraceConfig::sample_period`] simulated cycles the current guest pc
+//!   is recorded into a hot-PC histogram, with per-pc cache/TLB-miss
+//!   attribution alongside. [`report`] renders the histogram as a table
+//!   or as flamegraph-folded stacks;
+//! * a **structured event stream** — block builds, decode-cache
+//!   invalidations, cache/TLB misses, TRT fills/flushes, traps and
+//!   `ecall`s flow through a bounded overwrite-oldest [`EventRing`]
+//!   (total counts are never lost: see [`EventRing::dropped`]), and
+//!   export as Chrome `trace_event` JSON ([`chrome`]) that opens
+//!   directly in Perfetto or `chrome://tracing`;
+//! * **metric windows** — counter deltas and structure occupancies
+//!   snapshotted every [`TraceConfig::window_cycles`] cycles, pair-wise
+//!   coalesced when a run outgrows [`MAX_WINDOWS`] so memory stays
+//!   bounded while coverage stays complete.
+//!
+//! Everything is keyed to *simulated* time (the core's cycle counter),
+//! so traces are deterministic: the same program and configuration
+//! produce the same trace, byte for byte, regardless of host speed or
+//! scheduling. Tracing is an observer only — the core's architectural
+//! counters are bit-identical with tracing on or off, which
+//! `tests/predecode_equiv.rs` (in the workspace root) pins across the
+//! whole engine matrix.
+//!
+//! # Examples
+//!
+//! ```
+//! use tarch_trace::{TraceConfig, Tracer, WindowStats, Occupancy};
+//!
+//! let mut t = Tracer::new(TraceConfig { sample_period: 100, ..TraceConfig::default() });
+//! // The driver (normally the simulated core) announces where execution
+//! // is at each block boundary; the tracer samples on period crossings.
+//! for i in 0..50u64 {
+//!     let pc = 0x1000 + (i % 4) * 0x10;
+//!     if t.tick(pc, i * 25) {
+//!         t.close_windows(i * 25, WindowStats::default(), Occupancy::default());
+//!     }
+//! }
+//! assert!(t.total_samples() > 0);
+//! let json = tarch_trace::chrome::chrome_trace(&t);
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+mod config;
+mod ring;
+mod tracer;
+
+pub mod chrome;
+pub mod report;
+
+pub use config::TraceConfig;
+pub use ring::{EventRing, TraceEvent, TraceEventKind};
+pub use tracer::{
+    HotPc, MetricWindow, Occupancy, PcMisses, TraceSummary, Tracer, WindowStats, MAX_HOT_PCS,
+    MAX_WINDOWS,
+};

@@ -1,0 +1,157 @@
+//! Human-readable renderings of a trace: the hot-PC attribution table
+//! and flamegraph-folded stacks, both resolved against guest symbols.
+
+use std::fmt::Write as _;
+
+use crate::tracer::TraceSummary;
+
+/// Nearest-preceding-symbol resolver over a guest program's symbol map.
+///
+/// Built from `(name, address)` pairs (the shape of
+/// `tarch_isa::asm::Program::symbols`); [`SymbolTable::resolve`] finds
+/// the closest symbol at or below a pc and reports the offset into it.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Sorted ascending by address.
+    syms: Vec<(u64, String)>,
+}
+
+impl SymbolTable {
+    /// Builds a table from `(name, address)` pairs in any order.
+    pub fn new<I>(symbols: I) -> SymbolTable
+    where
+        I: IntoIterator<Item = (String, u64)>,
+    {
+        let mut syms: Vec<(u64, String)> =
+            symbols.into_iter().map(|(name, addr)| (addr, name)).collect();
+        syms.sort();
+        SymbolTable { syms }
+    }
+
+    /// The nearest symbol at or below `pc`, with the offset of `pc` into
+    /// it; `None` if `pc` precedes every symbol (or the table is empty).
+    pub fn resolve(&self, pc: u64) -> Option<(&str, u64)> {
+        let idx = self.syms.partition_point(|&(addr, _)| addr <= pc);
+        let (addr, name) = self.syms.get(idx.checked_sub(1)?)?;
+        Some((name, pc - addr))
+    }
+
+    /// `sym+0x10`-style label for `pc`, falling back to the raw hex pc.
+    pub fn label(&self, pc: u64) -> String {
+        match self.resolve(pc) {
+            Some((name, 0)) => name.to_string(),
+            Some((name, off)) => format!("{name}+{off:#x}"),
+            None => format!("{pc:#x}"),
+        }
+    }
+}
+
+/// Renders the hot-PC histogram as an aligned attribution table:
+/// samples (≈ cycle share) plus the cache/TLB misses attributed to each
+/// pc, symbolised through `syms`.
+pub fn hot_pc_table(summary: &TraceSummary, syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} samples @ every {} cycles ({} events recorded, {} dropped)",
+        summary.total_samples, summary.sample_period, summary.events_recorded,
+        summary.events_dropped,
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<12} {:>8} {:>6}  {:>8} {:>8} {:>6} {:>6}  symbol",
+        "#", "pc", "samples", "cyc%", "i$miss", "d$miss", "itlb", "dtlb"
+    );
+    for (rank, hot) in summary.hot_pcs.iter().enumerate() {
+        let share = if summary.total_samples == 0 {
+            0.0
+        } else {
+            hot.samples as f64 * 100.0 / summary.total_samples as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<12} {:>8} {:>5.1}%  {:>8} {:>8} {:>6} {:>6}  {}",
+            rank + 1,
+            format!("{:#x}", hot.pc),
+            hot.samples,
+            share,
+            hot.misses.icache,
+            hot.misses.dcache,
+            hot.misses.itlb,
+            hot.misses.dtlb,
+            syms.label(hot.pc),
+        );
+    }
+    out
+}
+
+/// Renders the sample histogram in flamegraph *folded* format — one
+/// `frames count` line per hot pc, frames separated by `;` — ready for
+/// `flamegraph.pl` or speedscope. The simulator records no call stacks,
+/// so each line is a two-frame `symbol;pc` stack: grouping by symbol at
+/// the root, exact pc one level down.
+pub fn folded_stacks(summary: &TraceSummary, syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    for hot in &summary.hot_pcs {
+        if hot.samples == 0 {
+            continue;
+        }
+        let sym = match syms.resolve(hot.pc) {
+            Some((name, _)) => name.to_string(),
+            None => "?".to_string(),
+        };
+        let _ = writeln!(out, "{sym};{:#x} {}", hot.pc, hot.samples);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{HotPc, PcMisses};
+
+    fn table() -> SymbolTable {
+        SymbolTable::new([
+            ("dispatch".to_string(), 0x1000),
+            ("op_add".to_string(), 0x1080),
+            ("op_call".to_string(), 0x1200),
+        ])
+    }
+
+    #[test]
+    fn resolves_nearest_preceding_symbol() {
+        let t = table();
+        assert_eq!(t.resolve(0x0fff), None);
+        assert_eq!(t.resolve(0x1000), Some(("dispatch", 0)));
+        assert_eq!(t.resolve(0x107c), Some(("dispatch", 0x7c)));
+        assert_eq!(t.resolve(0x1080), Some(("op_add", 0)));
+        assert_eq!(t.resolve(0x9999), Some(("op_call", 0x8799)));
+        assert_eq!(t.label(0x1084), "op_add+0x4");
+        assert_eq!(t.label(0x10), "0x10");
+    }
+
+    #[test]
+    fn renders_table_and_folded() {
+        let summary = TraceSummary {
+            sample_period: 100,
+            total_samples: 10,
+            hot_pcs: vec![
+                HotPc {
+                    pc: 0x1084,
+                    samples: 7,
+                    misses: PcMisses { dcache: 2, ..PcMisses::default() },
+                },
+                HotPc { pc: 0x1000, samples: 3, misses: PcMisses::default() },
+            ],
+            events_recorded: 5,
+            events_dropped: 0,
+            windows: Vec::new(),
+        };
+        let syms = table();
+        let table = hot_pc_table(&summary, &syms);
+        assert!(table.contains("op_add+0x4"));
+        assert!(table.contains("70.0%"));
+        let folded = folded_stacks(&summary, &syms);
+        assert_eq!(folded, "op_add;0x1084 7\ndispatch;0x1000 3\n");
+    }
+}

@@ -1,0 +1,532 @@
+//! The tracer proper: sampling histogram, per-pc miss attribution, and
+//! windowed metric snapshots, all driven by the simulated core.
+
+use std::collections::BTreeMap;
+
+use crate::config::TraceConfig;
+use crate::ring::{EventRing, TraceEvent, TraceEventKind};
+
+/// Hot-PC entries retained in a [`TraceSummary`] (the full histogram
+/// stays available on the live [`Tracer`]).
+pub const MAX_HOT_PCS: usize = 32;
+
+/// Metric-window cap: when a run accumulates more windows than this,
+/// adjacent pairs are merged and the window length doubles.
+pub const MAX_WINDOWS: usize = 256;
+
+/// Cache/TLB misses attributed to one guest pc.
+///
+/// Fetch-side misses carry their exact pc; data-side misses are
+/// attributed to the pc the tracer last saw (exact under the stepwise
+/// engine, block-entry granularity under the block engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcMisses {
+    /// Instruction-cache misses fetching this pc.
+    pub icache: u64,
+    /// Data-cache misses attributed to this pc.
+    pub dcache: u64,
+    /// Instruction-TLB misses fetching this pc.
+    pub itlb: u64,
+    /// Data-TLB misses attributed to this pc.
+    pub dtlb: u64,
+}
+
+impl PcMisses {
+    /// Whether any miss was attributed here.
+    pub fn any(&self) -> bool {
+        self.icache + self.dcache + self.itlb + self.dtlb != 0
+    }
+}
+
+/// One row of the sampling profile: a guest pc, how many samples landed
+/// on it, and the misses attributed to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotPc {
+    /// Guest pc (block-entry granularity under the block engine).
+    pub pc: u64,
+    /// Samples recorded at this pc.
+    pub samples: u64,
+    /// Misses attributed to this pc.
+    pub misses: PcMisses,
+}
+
+/// Cumulative counter values the core hands the tracer at each window
+/// boundary. The tracer differences successive snapshots itself, so the
+/// core just copies its live counters — no delta bookkeeping on the hot
+/// path. Defined here (not in terms of the core's `PerfCounters`)
+/// because this crate sits *below* the core in the dependency order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired guest instructions.
+    pub instructions: u64,
+    /// Instruction-cache accesses.
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache accesses.
+    pub dcache_accesses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Instruction-TLB misses.
+    pub itlb_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub mispredicts: u64,
+}
+
+impl WindowStats {
+    fn delta(&self, prev: &WindowStats) -> WindowStats {
+        WindowStats {
+            cycles: self.cycles - prev.cycles,
+            instructions: self.instructions - prev.instructions,
+            icache_accesses: self.icache_accesses - prev.icache_accesses,
+            icache_misses: self.icache_misses - prev.icache_misses,
+            dcache_accesses: self.dcache_accesses - prev.dcache_accesses,
+            dcache_misses: self.dcache_misses - prev.dcache_misses,
+            itlb_misses: self.itlb_misses - prev.itlb_misses,
+            dtlb_misses: self.dtlb_misses - prev.dtlb_misses,
+            branches: self.branches - prev.branches,
+            mispredicts: self.mispredicts - prev.mispredicts,
+        }
+    }
+
+    fn add(&mut self, other: &WindowStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.icache_accesses += other.icache_accesses;
+        self.icache_misses += other.icache_misses;
+        self.dcache_accesses += other.dcache_accesses;
+        self.dcache_misses += other.dcache_misses;
+        self.itlb_misses += other.itlb_misses;
+        self.dtlb_misses += other.dtlb_misses;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+    }
+
+    /// Misses per thousand instructions for `misses` within this window
+    /// (0.0 when no instructions retired).
+    pub fn mpki(&self, misses: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Structure-occupancy snapshot taken at a window boundary: how many
+/// entries of each hardware structure are live right now.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Valid instruction-cache lines.
+    pub icache_lines: u64,
+    /// Valid data-cache lines.
+    pub dcache_lines: u64,
+    /// Valid instruction-TLB entries.
+    pub itlb_entries: u64,
+    /// Valid data-TLB entries.
+    pub dtlb_entries: u64,
+    /// Rules resident in the Type Rule Table.
+    pub trt_rules: u64,
+    /// Basic blocks resident in the block engine's table.
+    pub blocks: u64,
+}
+
+/// One closed metric window: counter deltas over `[start, end)` plus the
+/// occupancy snapshot taken at `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricWindow {
+    /// First cycle covered.
+    pub start: u64,
+    /// One past the last cycle covered.
+    pub end: u64,
+    /// Counter deltas accumulated inside the window.
+    pub stats: WindowStats,
+    /// Occupancies observed when the window closed.
+    pub occupancy: Occupancy,
+}
+
+/// Everything a finished run keeps: the compact, serializable residue of
+/// a [`Tracer`], sized to travel inside a `CellResult` and the BENCH
+/// artifact without bloating either (hot pcs capped at [`MAX_HOT_PCS`],
+/// windows at [`MAX_WINDOWS`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Sampling period the profile was taken at.
+    pub sample_period: u64,
+    /// Total samples recorded.
+    pub total_samples: u64,
+    /// Top pcs by sample count (ties broken by ascending pc), at most
+    /// [`MAX_HOT_PCS`] entries.
+    pub hot_pcs: Vec<HotPc>,
+    /// Events ever recorded (including ones the ring overwrote).
+    pub events_recorded: u64,
+    /// Events lost to ring overwriting.
+    pub events_dropped: u64,
+    /// Closed metric windows, oldest first.
+    pub windows: Vec<MetricWindow>,
+}
+
+/// The live observer. The core owns one (boxed, behind
+/// `Option`) when tracing is enabled and drives it from sites it
+/// already visits; with tracing off none of this exists and the hooks
+/// cost one predictable branch each.
+///
+/// All bookkeeping is keyed to simulated cycles, so a trace is a pure
+/// function of (program, configuration) — deterministic across hosts.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    cfg: TraceConfig,
+    /// Last guest pc announced via [`Tracer::tick`]; data-side misses
+    /// are attributed here.
+    cur_pc: u64,
+    next_sample: u64,
+    samples: BTreeMap<u64, u64>,
+    misses: BTreeMap<u64, PcMisses>,
+    total_samples: u64,
+    ring: EventRing,
+    windows: Vec<MetricWindow>,
+    window_start: u64,
+    next_window: u64,
+    /// Current window length; doubles when the window list coalesces.
+    window_cycles: u64,
+    prev_stats: WindowStats,
+}
+
+impl Tracer {
+    /// Creates a tracer; sampling and windowing start at cycle 0.
+    pub fn new(cfg: TraceConfig) -> Tracer {
+        let sample_period = cfg.sample_period.max(1);
+        let window_cycles = cfg.window_cycles.max(1);
+        Tracer {
+            cfg,
+            cur_pc: 0,
+            next_sample: sample_period,
+            samples: BTreeMap::new(),
+            misses: BTreeMap::new(),
+            total_samples: 0,
+            ring: EventRing::new(cfg.ring_capacity),
+            windows: Vec::new(),
+            window_start: 0,
+            next_window: window_cycles,
+            window_cycles,
+            prev_stats: WindowStats::default(),
+        }
+    }
+
+    /// The configuration this tracer was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Announces that execution is at guest `pc` with the cycle counter
+    /// at `now`. Records one sample per elapsed sampling period (all
+    /// attributed to `pc` — under the block engine that is the entry pc
+    /// of the block that consumed those cycles, which is exactly the
+    /// attribution we want). Returns `true` when a metric window is due,
+    /// in which case the caller should gather its counters and call
+    /// [`Tracer::close_windows`].
+    #[inline]
+    pub fn tick(&mut self, pc: u64, now: u64) -> bool {
+        self.cur_pc = pc;
+        if now >= self.next_sample {
+            let period = self.cfg.sample_period.max(1);
+            let n = (now - self.next_sample) / period + 1;
+            *self.samples.entry(pc).or_insert(0) += n;
+            self.total_samples += n;
+            self.next_sample += n * period;
+        }
+        now >= self.next_window
+    }
+
+    /// Last pc announced via [`Tracer::tick`].
+    pub fn cur_pc(&self) -> u64 {
+        self.cur_pc
+    }
+
+    /// Closes every window due at `now`. `cumulative` is the core's
+    /// *live* counter snapshot (the tracer differences it against the
+    /// previous close), `occupancy` the structure occupancies right now.
+    /// One call may close a span covering several nominal window lengths
+    /// if the core batched a long stretch of cycles; the window records
+    /// its true `[start, end)` extent either way.
+    pub fn close_windows(&mut self, now: u64, cumulative: WindowStats, occupancy: Occupancy) {
+        if now < self.next_window {
+            return;
+        }
+        let delta = cumulative.delta(&self.prev_stats);
+        self.prev_stats = cumulative;
+        self.windows.push(MetricWindow {
+            start: self.window_start,
+            end: now,
+            stats: delta,
+            occupancy,
+        });
+        self.window_start = now;
+        let skip = (now - self.next_window) / self.window_cycles + 1;
+        self.next_window += skip * self.window_cycles;
+        self.coalesce();
+    }
+
+    /// Flushes the final partial window at end of run (no-op if nothing
+    /// accumulated since the last close).
+    pub fn finish(&mut self, now: u64, cumulative: WindowStats, occupancy: Occupancy) {
+        let delta = cumulative.delta(&self.prev_stats);
+        if delta == WindowStats::default() && now <= self.window_start {
+            return;
+        }
+        self.prev_stats = cumulative;
+        self.windows.push(MetricWindow {
+            start: self.window_start,
+            end: now.max(self.window_start),
+            stats: delta,
+            occupancy,
+        });
+        self.window_start = self.windows.last().unwrap().end;
+        self.coalesce();
+    }
+
+    /// Merges adjacent window pairs once the list exceeds
+    /// [`MAX_WINDOWS`], doubling the effective window length: long runs
+    /// keep complete coverage at geometrically coarsening resolution
+    /// instead of growing without bound.
+    fn coalesce(&mut self) {
+        if self.windows.len() <= MAX_WINDOWS {
+            return;
+        }
+        let old = std::mem::take(&mut self.windows);
+        let mut merged = Vec::with_capacity(old.len() / 2 + 1);
+        for pair in old.chunks(2) {
+            if let [first, second] = pair {
+                let mut stats = first.stats;
+                stats.add(&second.stats);
+                merged.push(MetricWindow {
+                    start: first.start,
+                    end: second.end,
+                    stats,
+                    // Occupancy is a point sample; keep the later one.
+                    occupancy: second.occupancy,
+                });
+            } else {
+                merged.push(pair[0]);
+            }
+        }
+        self.windows = merged;
+        self.window_cycles *= 2;
+    }
+
+    /// Records a structured event.
+    #[inline]
+    pub fn event(&mut self, cycle: u64, kind: TraceEventKind) {
+        self.ring.push(TraceEvent { cycle, kind });
+    }
+
+    /// Attributes an instruction-cache miss to the fetch pc.
+    pub fn icache_miss(&mut self, pc: u64, cycle: u64) {
+        self.misses.entry(pc).or_default().icache += 1;
+        self.ring.push(TraceEvent { cycle, kind: TraceEventKind::ICacheMiss { pc } });
+    }
+
+    /// Attributes an instruction-TLB miss to the fetch pc.
+    pub fn itlb_miss(&mut self, pc: u64, cycle: u64) {
+        self.misses.entry(pc).or_default().itlb += 1;
+        self.ring.push(TraceEvent { cycle, kind: TraceEventKind::ITlbMiss { pc } });
+    }
+
+    /// Attributes a data-cache miss at `addr` to the current pc.
+    pub fn dcache_miss(&mut self, addr: u64, cycle: u64) {
+        let pc = self.cur_pc;
+        self.misses.entry(pc).or_default().dcache += 1;
+        self.ring.push(TraceEvent { cycle, kind: TraceEventKind::DCacheMiss { pc, addr } });
+    }
+
+    /// Attributes a data-TLB miss at `addr` to the current pc.
+    pub fn dtlb_miss(&mut self, addr: u64, cycle: u64) {
+        let pc = self.cur_pc;
+        self.misses.entry(pc).or_default().dtlb += 1;
+        self.ring.push(TraceEvent { cycle, kind: TraceEventKind::DTlbMiss { pc, addr } });
+    }
+
+    /// Total samples recorded so far.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// The full pc → sample-count histogram (not capped).
+    pub fn samples(&self) -> &BTreeMap<u64, u64> {
+        &self.samples
+    }
+
+    /// Misses attributed to `pc` so far.
+    pub fn misses_at(&self, pc: u64) -> PcMisses {
+        self.misses.get(&pc).copied().unwrap_or_default()
+    }
+
+    /// The structured-event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Closed metric windows, oldest first.
+    pub fn windows(&self) -> &[MetricWindow] {
+        &self.windows
+    }
+
+    /// The top `n` pcs by sample count, ties broken by ascending pc, with
+    /// their attributed misses. Pcs that only took misses (never a
+    /// sample) are included with `samples == 0` so heavy miss sites
+    /// can't hide below the sampling floor.
+    pub fn hot_pcs(&self, n: usize) -> Vec<HotPc> {
+        let mut rows: Vec<HotPc> = self
+            .samples
+            .iter()
+            .map(|(&pc, &samples)| HotPc { pc, samples, misses: self.misses_at(pc) })
+            .collect();
+        for (&pc, &misses) in &self.misses {
+            if !self.samples.contains_key(&pc) && misses.any() {
+                rows.push(HotPc { pc, samples: 0, misses });
+            }
+        }
+        rows.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.pc.cmp(&b.pc)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Extracts the serializable summary of everything observed so far.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            sample_period: self.cfg.sample_period.max(1),
+            total_samples: self.total_samples,
+            hot_pcs: self.hot_pcs(MAX_HOT_PCS),
+            events_recorded: self.ring.total(),
+            events_dropped: self.ring.dropped(),
+            windows: self.windows.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(period: u64, window: u64) -> TraceConfig {
+        TraceConfig { sample_period: period, window_cycles: window, ring_capacity: 16 }
+    }
+
+    #[test]
+    fn sampling_counts_every_period_crossing() {
+        let mut t = Tracer::new(cfg(100, 1_000_000));
+        // Cycle 0..99: no sample yet.
+        assert!(!t.tick(0x10, 99));
+        assert_eq!(t.total_samples(), 0);
+        // Crossing 100 exactly once.
+        t.tick(0x10, 100);
+        assert_eq!(t.total_samples(), 1);
+        // A long block consumes 1000 cycles: 10 crossings, all on its pc.
+        t.tick(0x20, 1100);
+        assert_eq!(t.total_samples(), 11);
+        assert_eq!(t.samples()[&0x20], 10);
+        // No double counting on a stationary clock.
+        t.tick(0x30, 1100);
+        assert_eq!(t.total_samples(), 11);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let run = || {
+            let mut t = Tracer::new(cfg(7, 1_000));
+            for i in 0..500u64 {
+                let pc = 0x1000 + (i % 13) * 4;
+                if t.tick(pc, i * 3) {
+                    t.close_windows(i * 3, WindowStats::default(), Occupancy::default());
+                }
+            }
+            t.summary()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn windows_difference_cumulative_counters() {
+        let mut t = Tracer::new(cfg(1_000_000, 100));
+        let cum = |instructions: u64| WindowStats { instructions, ..WindowStats::default() };
+        assert!(t.tick(0x10, 150));
+        t.close_windows(150, cum(40), Occupancy::default());
+        assert!(t.tick(0x10, 250));
+        t.close_windows(250, cum(100), Occupancy::default());
+        let w = t.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].start, w[0].end, w[0].stats.instructions), (0, 150, 40));
+        assert_eq!((w[1].start, w[1].end, w[1].stats.instructions), (150, 250, 60));
+    }
+
+    #[test]
+    fn finish_flushes_partial_window() {
+        let mut t = Tracer::new(cfg(1_000_000, 1_000));
+        let cum = WindowStats { cycles: 500, instructions: 123, ..WindowStats::default() };
+        t.finish(500, cum, Occupancy::default());
+        assert_eq!(t.windows().len(), 1);
+        assert_eq!(t.windows()[0].stats.instructions, 123);
+        // A second finish with nothing new is a no-op.
+        t.finish(500, cum, Occupancy::default());
+        assert_eq!(t.windows().len(), 1);
+    }
+
+    #[test]
+    fn window_list_coalesces_and_stays_bounded() {
+        let mut t = Tracer::new(cfg(u64::MAX, 10));
+        let mut now = 0;
+        let mut cum = WindowStats::default();
+        for i in 0..(MAX_WINDOWS as u64 * 4) {
+            now += 10;
+            t.tick(0x10, now);
+            cum.instructions = (i + 1) * 5;
+            t.close_windows(now, cum, Occupancy::default());
+        }
+        // After coalescing doubled the window length, the tail no longer
+        // lines up with a close; `finish` flushes the partial window.
+        t.finish(now, cum, Occupancy::default());
+        assert!(t.windows().len() <= MAX_WINDOWS);
+        // Coverage is complete: windows tile [0, now) and deltas sum to
+        // the cumulative total.
+        let total: u64 = t.windows().iter().map(|w| w.stats.instructions).sum();
+        assert_eq!(total, MAX_WINDOWS as u64 * 4 * 5);
+        let mut expect_start = 0;
+        for w in t.windows() {
+            assert_eq!(w.start, expect_start);
+            expect_start = w.end;
+        }
+        assert_eq!(expect_start, now);
+    }
+
+    #[test]
+    fn miss_attribution_follows_cur_pc() {
+        let mut t = Tracer::new(cfg(1_000_000, 1_000_000));
+        t.tick(0x40, 10);
+        t.dcache_miss(0xbeef, 12);
+        t.dtlb_miss(0xbeef, 12);
+        t.icache_miss(0x80, 20);
+        let m = t.misses_at(0x40);
+        assert_eq!((m.dcache, m.dtlb), (1, 1));
+        assert_eq!(t.misses_at(0x80).icache, 1);
+        // Miss-only pcs surface in hot_pcs with zero samples.
+        let hot = t.hot_pcs(10);
+        assert!(hot.iter().any(|h| h.pc == 0x80 && h.samples == 0 && h.misses.icache == 1));
+    }
+
+    #[test]
+    fn summary_caps_hot_pcs() {
+        let mut t = Tracer::new(cfg(1, 1_000_000_000));
+        for i in 0..100u64 {
+            t.tick(0x1000 + i * 4, i + 1);
+        }
+        let s = t.summary();
+        assert_eq!(s.hot_pcs.len(), MAX_HOT_PCS);
+        assert_eq!(s.total_samples, 100);
+    }
+}

@@ -1,8 +1,9 @@
 //! Counter-equivalence golden tests for the host-side fast paths.
 //!
 //! The predecoded-instruction table, the basic-block engine (with its
-//! chaining and macro-op-fusion layers), and the MRU cache/TLB memos are
-//! pure host-side optimisations: the architectural model — every `PerfCounters` field, the branch-predictor statistics,
+//! chaining and macro-op-fusion layers), the MRU cache/TLB memos, and
+//! the tarch-trace observability layer are
+//! pure host-side mechanisms: the architectural model — every `PerfCounters` field, the branch-predictor statistics,
 //! the final register state, program output — must be bit-identical with
 //! any combination of them enabled or disabled. These tests run the
 //! *same* program under each fast-path configuration and diff everything
@@ -37,11 +38,23 @@ struct Variant {
     chain: bool,
     /// Macro-op fusion at block-build time (only meaningful with `blocks`).
     fuse: bool,
+    /// The tarch-trace observability layer (sampler + event ring +
+    /// metric windows); purely host-side, so it must not perturb any
+    /// architectural counter either.
+    trace: bool,
 }
 
 impl Variant {
     const fn bare(name: &'static str, predecode: bool, blocks: bool, mem: bool) -> Variant {
-        Variant { name, predecode, blocks, mem_fast_paths: mem, chain: false, fuse: false }
+        Variant {
+            name,
+            predecode,
+            blocks,
+            mem_fast_paths: mem,
+            chain: false,
+            fuse: false,
+            trace: false,
+        }
     }
 }
 
@@ -50,9 +63,10 @@ const REFERENCE: Variant = Variant::bare("naive", false, false, false);
 
 /// Each fast path alone (the block engine both with and without the
 /// predecode table under it — the block builder has a decode path for
-/// each), the four chain×fuse combinations of the block engine, plus
-/// everything together (the shipping default).
-const VARIANTS: [Variant; 8] = [
+/// each), the four chain×fuse combinations of the block engine,
+/// everything together (the shipping default), and the observability
+/// layer on both the stepwise and the fully-optimised hot loop.
+const VARIANTS: [Variant; 10] = [
     Variant::bare("predecode", true, false, false),
     Variant::bare("blocks", false, true, false),
     Variant::bare("blocks+predecode", true, true, false),
@@ -65,6 +79,13 @@ const VARIANTS: [Variant; 8] = [
         ..Variant::bare("blocks+chain+fuse", false, true, false)
     },
     Variant { chain: true, fuse: true, ..Variant::bare("all", true, true, true) },
+    Variant { trace: true, ..Variant::bare("naive+trace", false, false, false) },
+    Variant {
+        chain: true,
+        fuse: true,
+        trace: true,
+        ..Variant::bare("all+trace", true, true, true)
+    },
 ];
 
 fn config(v: Variant) -> CoreConfig {
@@ -74,6 +95,14 @@ fn config(v: Variant) -> CoreConfig {
         mem_fast_paths: v.mem_fast_paths,
         chain_blocks: v.chain,
         fuse: v.fuse,
+        // Dense sampling, short windows and a tiny ring, so a traced run
+        // exercises every tracer path (including overflow) while the
+        // architectural state must stay bit-identical.
+        trace: v.trace.then_some(tarch_core::TraceConfig {
+            sample_period: 1_000,
+            window_cycles: 50_000,
+            ring_capacity: 64,
+        }),
         ..CoreConfig::paper()
     }
 }

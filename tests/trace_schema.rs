@@ -1,0 +1,76 @@
+//! Schema round-trip for the tarch-trace Chrome `trace_event` export.
+//!
+//! `trace::chrome::chrome_trace` hand-rolls its JSON (the workspace has
+//! no serde), so this test closes the loop with the other hand-rolled
+//! side: the output of a real traced engine run must parse with
+//! `tarch_runner::Json` and carry exactly the trace_event shapes
+//! Perfetto/`chrome://tracing` accept — metadata (`"ph":"M"`), instants
+//! (`"ph":"i"` with a scope), and counters (`"ph":"C"` with numeric
+//! args) — with monotonically usable timestamps.
+
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{CoreConfig, IsaLevel, TraceConfig};
+use tarch_runner::Json;
+
+#[test]
+fn chrome_trace_of_a_real_run_parses_and_keeps_the_event_schema() {
+    let src = workloads::by_name("fibo").expect("known workload").source(Scale::Test);
+    let core = CoreConfig {
+        trace: Some(TraceConfig {
+            sample_period: 200,
+            window_cycles: 10_000,
+            ring_capacity: 256,
+        }),
+        ..CoreConfig::paper()
+    };
+    let mut vm = luart::LuaVm::from_source(&src, IsaLevel::Typed, core).expect("builds");
+    vm.run(1_000_000_000).expect("runs");
+    let summary = vm.cpu_mut().finish_trace().expect("tracing was enabled");
+    assert!(summary.total_samples > 0, "sampler never fired");
+    assert!(summary.events_recorded > 0, "no events recorded");
+    assert!(!summary.windows.is_empty(), "no metric windows");
+
+    let text = tarch_core::trace::chrome::chrome_trace(vm.cpu().tracer().expect("tracer"));
+    let doc = Json::parse(&text).expect("chrome trace is valid JSON");
+
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut metadata = 0usize;
+    let mut instants = 0usize;
+    let mut counters = 0usize;
+    for e in events {
+        let ph = e.req_str("ph").expect("every event has a phase");
+        e.req_str("name").expect("every event has a name");
+        match ph {
+            "M" => metadata += 1,
+            "i" => {
+                // Instants must carry a scope and a timestamp, and our
+                // pc-bearing args are hex strings.
+                assert_eq!(e.req_str("s").unwrap(), "t");
+                e.req_u64("ts").expect("instant has integer ts");
+                if let Some(pc) = e.get("args").and_then(|a| a.get("pc")) {
+                    let pc = pc.as_str().expect("pc rendered as string");
+                    assert!(pc.starts_with("0x"), "pc `{pc}` not hex");
+                }
+                instants += 1;
+            }
+            "C" => {
+                e.req_u64("ts").expect("counter has integer ts");
+                let args = e.get("args").expect("counter args");
+                let Json::Obj(fields) = args else { panic!("counter args not an object") };
+                assert!(!fields.is_empty());
+                for (k, v) in fields {
+                    assert!(v.as_f64().is_some(), "counter series `{k}` not numeric");
+                }
+                counters += 1;
+            }
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+    assert!(metadata >= 2, "process/thread metadata missing");
+    assert_eq!(instants as u64, summary.events_recorded - summary.events_dropped);
+    // One mpki + one occupancy counter sample per metric window.
+    assert_eq!(counters, 2 * summary.windows.len());
+}
