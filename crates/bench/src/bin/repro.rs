@@ -15,6 +15,11 @@
 //!   trace CELL       run one cell serially with the observability layer
 //!                    on and print its hot-PC attribution table; CELL is
 //!                    workload/engine/level, e.g. k-nucleotide/lua/typed
+//!   fleet MIX        multi-tenant serving run: stamp tenants from VM
+//!                    snapshots and schedule them across shards under
+//!                    per-tenant cycle budgets; MIX is a comma-separated
+//!                    list of workload[/engine[/level]] entries, e.g.
+//!                    fibo,ackermann/js,n-sieve/lua/baseline
 //!
 //! options:
 //!   --full | --test-scale   input scale (default: the paper's scale)
@@ -27,6 +32,18 @@
 //!                           instead of throughput measurement
 //!   --no-fuse               disable macro-op fusion in the simulated core
 //!   --no-chain              disable basic-block chaining in the core
+//!   --tenants N             (fleet) concurrent tenant count (default 16)
+//!   --shards N              (fleet) scheduler shard count (default 4)
+//!   --budget N              (fleet) per-tenant cycle budget per slice
+//!                           (default 50000)
+//!   --seed N                (fleet) arrival-order / work-stealing seed
+//!                           (default 0)
+//!   --fresh                 (fleet) construct every tenant from scratch
+//!                           instead of snapshot cloning (the baseline
+//!                           the snapshot path is measured against)
+//!   --validate              (fleet) additionally run every tenant
+//!                           serially on a fresh VM and require
+//!                           bit-identical per-tenant counters
 //!   --sample-period N       (trace) sampling-profiler period in simulated
 //!                           cycles (default 10000)
 //!   --trace-out PATH        (trace) write a Chrome trace_event JSON to
@@ -72,6 +89,12 @@ struct Opts {
     profile_pairs: bool,
     no_fuse: bool,
     no_chain: bool,
+    tenants: usize,
+    shards: usize,
+    budget: u64,
+    seed: u64,
+    fresh: bool,
+    validate: bool,
     sample_period: Option<u64>,
     trace_out: Option<PathBuf>,
     emit_json: Option<PathBuf>,
@@ -95,9 +118,10 @@ impl Opts {
 }
 
 const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench\
-                     |trace CELL> \
+                     |trace CELL|fleet MIX> \
                      [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
                      [--profile-pairs] [--no-fuse] [--no-chain] \
+                     [--tenants N] [--shards N] [--budget N] [--seed N] [--fresh] [--validate] \
                      [--sample-period N] [--trace-out PATH] \
                      [--emit-json PATH] [--out DIR] [--from-json PATH] [--compare PATH] \
                      [--min-ratio R] [--verbose]";
@@ -114,6 +138,12 @@ fn main() -> ExitCode {
         profile_pairs: false,
         no_fuse: false,
         no_chain: false,
+        tenants: 16,
+        shards: 4,
+        budget: 50_000,
+        seed: 0,
+        fresh: false,
+        validate: false,
         sample_period: None,
         trace_out: None,
         emit_json: None,
@@ -151,6 +181,27 @@ fn main() -> ExitCode {
                 "--profile-pairs" => opts.profile_pairs = true,
                 "--no-fuse" => opts.no_fuse = true,
                 "--no-chain" => opts.no_chain = true,
+                "--tenants" => {
+                    opts.tenants = value(a)?
+                        .parse()
+                        .map_err(|_| format!("{a} needs a tenant count"))?;
+                }
+                "--shards" => {
+                    opts.shards = value(a)?
+                        .parse()
+                        .map_err(|_| format!("{a} needs a shard count"))?;
+                }
+                "--budget" => {
+                    opts.budget = value(a)?
+                        .parse()
+                        .map_err(|_| format!("{a} needs a cycle count"))?;
+                }
+                "--seed" => {
+                    opts.seed =
+                        value(a)?.parse().map_err(|_| format!("{a} needs a number"))?;
+                }
+                "--fresh" => opts.fresh = true,
+                "--validate" => opts.validate = true,
                 "--sample-period" => {
                     opts.sample_period = Some(
                         value(a)?
@@ -169,7 +220,7 @@ fn main() -> ExitCode {
                     );
                 }
                 c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
-                c if command.as_deref() == Some("trace")
+                c if matches!(command.as_deref(), Some("trace" | "fleet"))
                     && cell.is_none()
                     && !c.starts_with('-') =>
                 {
@@ -209,6 +260,14 @@ fn main() -> ExitCode {
         eprintln!(
             "error: trace needs a cell, e.g. `repro trace k-nucleotide/lua/typed`\n{USAGE}"
         );
+        return ExitCode::FAILURE;
+    }
+    if (opts.fresh || opts.validate) && command != "fleet" {
+        eprintln!("error: --fresh/--validate only apply to `fleet`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if command == "fleet" && cell.is_none() {
+        eprintln!("error: fleet needs a workload mix, e.g. `repro fleet fibo,ackermann/js`\n{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -260,12 +319,12 @@ fn matrix(opts: &Opts, profiled: bool) -> Result<(Matrix, Option<BenchArtifact>)
 
 fn emit(opts: &Opts, command: &str, artifact: Option<&BenchArtifact>) -> Result<(), String> {
     let Some(artifact) = artifact else { return Ok(()) };
-    // Explicit --emit-json always wins; `all` and `bench` also auto-emit
-    // a timestamped artifact next to the working directory unless the
-    // matrix itself came from an artifact.
+    // Explicit --emit-json always wins; `all`, `bench` and `fleet` also
+    // auto-emit a timestamped artifact next to the working directory
+    // unless the matrix itself came from an artifact.
     let path = match (&opts.emit_json, command) {
         (Some(p), _) => Some(p.clone()),
-        (None, "all" | "bench") if opts.from_json.is_none() => {
+        (None, "all" | "bench" | "fleet") if opts.from_json.is_none() => {
             let dir =
                 opts.out_dir.clone().unwrap_or_else(|| PathBuf::from("bench-artifacts"));
             std::fs::create_dir_all(&dir)
@@ -348,6 +407,7 @@ fn run(command: &str, opts: &Opts, cell: Option<&str>) -> Result<(), String> {
         "selftest" => return selftest(opts),
         "bench" => return bench(opts),
         "trace" => return trace_cell(opts, cell.expect("checked in main")),
+        "fleet" => return fleet(opts, cell.expect("checked in main")),
         other => return Err(format!("unknown subcommand `{other}`")),
     }
     Ok(())
@@ -526,6 +586,104 @@ fn render_trace(
         );
     }
     Ok(())
+}
+
+/// `repro fleet MIX`: the multi-tenant serving benchmark. Builds one VM
+/// template per mix entry, stamps `--tenants` tenants (snapshot clones
+/// by default, fresh construction with `--fresh`), schedules them over
+/// `--shards` shards under per-slice `--budget` cycle quanta, and
+/// reports per-shard throughput plus deterministic completion-latency
+/// percentiles. The run artifact carries the summary in its `fleet`
+/// block.
+fn fleet(opts: &Opts, mix: &str) -> Result<(), String> {
+    let entries = tarch_fleet::parse_mix(mix).map_err(|e| e.to_string())?;
+    let specs: Vec<tarch_fleet::TemplateSpec> = entries
+        .iter()
+        .map(|e| {
+            let w = workloads::by_name(&e.workload)
+                .ok_or_else(|| format!("unknown workload `{}`", e.workload))?;
+            Ok(tarch_fleet::TemplateSpec {
+                label: format!("{}/{}/{}", e.workload, e.engine.id(), e.level.name()),
+                source: w.source(opts.scale),
+                engine: e.engine,
+                level: e.level,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let cfg = tarch_fleet::FleetConfig {
+        tenants: opts.tenants,
+        shards: opts.shards,
+        budget: opts.budget,
+        seed: opts.seed,
+        workers: opts.jobs,
+        snapshot_clone: !opts.fresh,
+        step_budget: opts.step_budget,
+        core: opts.core(),
+    };
+    if opts.verbose {
+        eprintln!(
+            "serving {} tenant(s) over {} template(s) on {} shard(s), {}-cycle slices ({})...",
+            cfg.tenants,
+            specs.len(),
+            cfg.shards,
+            cfg.budget,
+            if cfg.snapshot_clone { "snapshot clones" } else { "fresh construction" },
+        );
+    }
+    let report = tarch_fleet::run_fleet(&specs, &cfg).map_err(|e| e.to_string())?;
+    let s = &report.summary;
+
+    println!(
+        "fleet: {} tenants / {} shards / {}-cycle slices / seed {} ({})",
+        s.tenants,
+        s.shards,
+        s.budget,
+        s.seed,
+        if s.snapshot_clone { "snapshot clones" } else { "fresh construction" },
+    );
+    println!(
+        "setup {:.2} ms ({:.1} us/tenant), run {:.2} ms, {} round(s), {} steal(s)",
+        s.setup_nanos as f64 / 1e6,
+        s.setup_nanos as f64 / 1e3 / s.tenants as f64,
+        s.run_nanos as f64 / 1e6,
+        report.rounds,
+        report.steals,
+    );
+    println!(
+        "{:<6} {:>8} {:>14} {:>14} {:>10} {:>8}",
+        "shard", "tenants", "instructions", "virt cycles", "wall ms", "MIPS"
+    );
+    for row in &s.shard_rows {
+        println!(
+            "{:<6} {:>8} {:>14} {:>14} {:>10.1} {:>8.1}",
+            row.shard,
+            row.tenants_completed,
+            row.instructions,
+            row.virtual_cycles,
+            row.wall_nanos as f64 / 1e6,
+            row.mips(),
+        );
+    }
+    println!(
+        "latency (virtual cycles): p50 {}  p95 {}  p99 {}",
+        s.latency.p50, s.latency.p95, s.latency.p99
+    );
+    println!("aggregate: {:.1} MIPS across shards", s.total_mips());
+
+    if opts.validate {
+        if opts.verbose {
+            eprintln!("validating against the serial reference execution...");
+        }
+        tarch_fleet::validate_against_serial(&report, &specs, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "validation ok: {} tenants bit-identical to serial fresh-VM execution",
+            s.tenants
+        );
+    }
+
+    let mut artifact = BenchArtifact::new(opts.scale, opts.step_budget, Vec::new());
+    artifact.fleet = Some(report.summary.clone());
+    emit(opts, "fleet", Some(&artifact))
 }
 
 /// Renders the per-cell and aggregate host-throughput diff of `current`

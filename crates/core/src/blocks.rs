@@ -367,7 +367,7 @@ impl Default for ChainLink {
 /// One cached basic block: the raw words it was decoded from (for
 /// revalidation), the (possibly fused) run, its entry pc, and its chain
 /// links.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Block {
     gen: u64,
     pc: u64,
@@ -425,7 +425,7 @@ pub struct BlockStats {
 }
 
 /// Lazily filled basic-block cache for the text segment.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BlockTable {
     base: u64,
     limit: u64,

@@ -44,7 +44,7 @@ impl BranchStats {
 /// }
 /// assert!(!last_miss);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BranchPredictor {
     config: BranchConfig,
     counters: Vec<u8>,

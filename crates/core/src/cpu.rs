@@ -137,7 +137,7 @@ impl Error for Trap {}
 /// assert_eq!(cpu.regs().read(tarch_isa::Reg::A0).v, 42);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cpu {
     config: CoreConfig,
     regs: RegFile,
@@ -533,10 +533,34 @@ impl Cpu {
     ///
     /// Propagates traps from [`Cpu::step`].
     pub fn run(&mut self, max_steps: u64) -> Result<StepEvent, Trap> {
+        self.run_until(max_steps, u64::MAX)
+    }
+
+    /// Runs like [`Cpu::run`], additionally yielding once the cycle
+    /// scoreboard reaches `cycle_deadline` — the preemption primitive for
+    /// time-sliced tenant scheduling (`tarch-fleet`).
+    ///
+    /// The deadline is checked at the stepwise loop head and at basic-
+    /// block boundaries, so a slice overshoots by at most one block
+    /// (≤ [`MAX_BLOCK_LEN`] instructions) past the deadline.
+    /// Returns [`StepEvent::Retired`] with the core *not* halted when the
+    /// deadline fires; the caller distinguishes preemption from budget
+    /// exhaustion by comparing `counters().cycles` against the deadline.
+    /// Preemption is architecturally invisible: resuming with another
+    /// `run_until` call continues bit-identically to an undivided run
+    /// (pinned by `tests/predecode_equiv.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from [`Cpu::step`].
+    pub fn run_until(&mut self, max_steps: u64, cycle_deadline: u64) -> Result<StepEvent, Trap> {
         if self.config.blocks {
-            return self.run_blocks(max_steps);
+            return self.run_blocks_until(max_steps, cycle_deadline);
         }
         for _ in 0..max_steps {
+            if self.now >= cycle_deadline {
+                return Ok(StepEvent::Retired);
+            }
             match self.step()? {
                 StepEvent::Retired => {}
                 other => return Ok(other),
@@ -603,6 +627,13 @@ impl Cpu {
     ///
     /// Propagates traps from [`Cpu::step`].
     pub fn run_blocks(&mut self, max_steps: u64) -> Result<StepEvent, Trap> {
+        self.run_blocks_until(max_steps, u64::MAX)
+    }
+
+    /// [`Cpu::run_blocks`] with a cycle deadline checked at block
+    /// boundaries (see [`Cpu::run_until`]). `u64::MAX` disables the
+    /// check — `now` is a cycle count and can never reach it.
+    fn run_blocks_until(&mut self, max_steps: u64, cycle_deadline: u64) -> Result<StepEvent, Trap> {
         let line_shift = self.config.icache.line_bytes.trailing_zeros();
         let chain = self.config.chain_blocks;
         let mut remaining = max_steps;
@@ -639,6 +670,14 @@ impl Cpu {
             if self.halted {
                 flush_pending!(last);
                 return Ok(StepEvent::Halted);
+            }
+            // Preemption point: `now` and `counters.cycles` are in sync
+            // here (synced at the previous block boundary or before
+            // entry), so yielding leaves exactly the state an undivided
+            // run would have mid-flight — resumable bit-identically.
+            if self.now >= cycle_deadline {
+                flush_pending!(last);
+                return Ok(StepEvent::Retired);
             }
             let pc = self.pc;
             // Sampling/window tick at block-entry granularity: `now` is

@@ -74,6 +74,7 @@ mod ctxsw;
 mod pairprof;
 mod predecode;
 mod regfile;
+mod snapshot;
 mod tagio;
 mod trt;
 
@@ -86,6 +87,7 @@ pub use ctxsw::TypedState;
 pub use pairprof::PairProfile;
 pub use predecode::{PredecodeStats, PredecodeTable};
 pub use regfile::{RegFile, TaggedValue, UNTYPED_TAG};
+pub use snapshot::Snapshot;
 pub use tagio::{is_nan_boxed, Inserted, SprState, TagDword, NANBOX_FP_TAG};
 pub use trt::TypeRuleTable;
 

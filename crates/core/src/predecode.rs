@@ -53,7 +53,7 @@ pub struct PredecodeStats {
 }
 
 /// Lazily filled decode cache for the text segment.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PredecodeTable {
     base: u64,
     limit: u64,

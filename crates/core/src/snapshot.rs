@@ -1,0 +1,198 @@
+//! Fork-server-style snapshots of a constructed core.
+//!
+//! VM construction plus guest compilation dominates short runs (~40% of
+//! a default-scale cell, measured in PR 4), and a serving fleet wants
+//! thousands of tenants running the *same* compiled image. A [`Snapshot`]
+//! freezes a fully constructed [`Cpu`] — memory pages, register file,
+//! predecode/block tables, TRT state — and stamps out runnable instances
+//! with [`Snapshot::clone_vm`]. The expensive part, simulated memory, is
+//! shared copy-on-write: `tarch_mem::MainMemory`'s pages sit behind
+//! `Arc`, so a clone is O(resident pages) refcount bumps and a page is
+//! physically copied only on the first write through any instance
+//! (`MainMemory::cow_copies` counts them). The decode caches clone warm:
+//! a tenant starts with the snapshot's predecoded slots, built basic
+//! blocks, and trained branch predictor, exactly as if it had executed
+//! the prefix itself.
+//!
+//! Clones are architecturally indistinguishable from the snapshotted
+//! core: every counter, register, and table is carried over, so a clone
+//! run is bit-identical to continuing the original
+//! (`tests/predecode_equiv.rs` pins this against fresh construction).
+
+use crate::cpu::Cpu;
+
+/// A frozen, cloneable image of a fully constructed core.
+///
+/// Capturing is one deep-ish copy (pages stay shared); every
+/// [`Snapshot::clone_vm`] after that is cheap. The snapshot itself never
+/// runs, so its pages stay shared for the lifetime of the fleet and each
+/// clone copies only the pages *it* dirties.
+///
+/// `Snapshot` is `Send` (hand one to each worker thread and clone
+/// locally) but — like [`Cpu`], whose interior MRU memos use [`Cell`] —
+/// not `Sync`.
+///
+/// [`Cell`]: std::cell::Cell
+///
+/// # Examples
+///
+/// ```
+/// use tarch_core::{CoreConfig, Cpu, Snapshot, StepEvent};
+/// use tarch_isa::text::assemble;
+///
+/// let program = assemble("li a0, 6\n li a1, 7\n mul a0, a0, a1\n halt\n", 0x1000, 0x20000)?;
+/// let mut cpu = Cpu::new(CoreConfig::paper());
+/// cpu.load_program(&program);
+///
+/// let snap = Snapshot::capture(&cpu);
+/// let mut clone = snap.clone_vm();
+/// while clone.step()? != StepEvent::Halted {}
+/// assert_eq!(clone.regs().read(tarch_isa::Reg::A0).v, 42);
+/// // The snapshot (and the original) are untouched.
+/// assert!(!snap.image().is_halted());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    image: Cpu,
+}
+
+impl Snapshot {
+    /// Freezes the current state of `cpu` (pc, registers, SPRs, TRT,
+    /// memory pages, decode caches, predictor, counters — everything).
+    pub fn capture(cpu: &Cpu) -> Snapshot {
+        Snapshot { image: cpu.clone() }
+    }
+
+    /// Stamps out a runnable core from the frozen image.
+    ///
+    /// Cost is dominated by refcount bumps over the resident pages plus
+    /// clones of the (small) decode/predictor tables — microseconds,
+    /// versus the milliseconds of fresh construction and guest
+    /// compilation the snapshot amortizes.
+    pub fn clone_vm(&self) -> Cpu {
+        self.image.clone()
+    }
+
+    /// Read access to the frozen image (for asserting on the captured
+    /// state; the image itself never executes).
+    pub fn image(&self) -> &Cpu {
+        &self.image
+    }
+
+    /// Pages of the frozen image still shared with at least one other
+    /// memory image (host-side CoW metric).
+    pub fn shared_pages(&self) -> usize {
+        self.image.mem().shared_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::cpu::StepEvent;
+    use tarch_isa::text::assemble;
+    use tarch_isa::Reg;
+
+    fn counting_cpu() -> Cpu {
+        let src = "
+            li a0, 0
+            li a1, 100
+            loop:
+            addi a0, a0, 1
+            blt a0, a1, loop
+            sd a0, 0(zero)
+            halt
+        ";
+        let program = assemble(src, 0x1000, 0x2_0000).expect("assembles");
+        let mut cpu = Cpu::new(CoreConfig::paper());
+        cpu.load_program(&program);
+        // Make the store target resident before capture, so the guest
+        // store in a clone dirties a *shared* page (a CoW copy) rather
+        // than allocating a fresh private one.
+        cpu.mem_mut().write_u64(0, 0);
+        cpu
+    }
+
+    fn run_to_halt(cpu: &mut Cpu) {
+        while cpu.run(1_000_000).expect("no trap") != StepEvent::Halted {}
+    }
+
+    #[test]
+    fn clone_runs_bit_identical_to_original() {
+        let cpu = counting_cpu();
+        let snap = Snapshot::capture(&cpu);
+
+        let mut fresh = counting_cpu();
+        run_to_halt(&mut fresh);
+
+        let mut clone = snap.clone_vm();
+        run_to_halt(&mut clone);
+
+        assert_eq!(clone.counters(), fresh.counters());
+        assert_eq!(clone.branch_stats(), fresh.branch_stats());
+        assert_eq!(clone.pc(), fresh.pc());
+        assert_eq!(clone.regs().read(Reg::A0).v, fresh.regs().read(Reg::A0).v);
+    }
+
+    #[test]
+    fn clones_are_isolated_from_each_other_and_the_image() {
+        let cpu = counting_cpu();
+        let snap = Snapshot::capture(&cpu);
+
+        let mut a = snap.clone_vm();
+        let mut b = snap.clone_vm();
+        run_to_halt(&mut a);
+        // `a` ran to completion and stored to address 0; `b` and the
+        // frozen image must not see any of it.
+        assert_eq!(a.mem().read_u64(0), 100);
+        assert_eq!(b.mem().read_u64(0), 0);
+        assert_eq!(snap.image().mem().read_u64(0), 0);
+        assert!(!b.is_halted());
+
+        run_to_halt(&mut b);
+        assert_eq!(b.counters(), a.counters());
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let cpu = counting_cpu();
+        let snap = Snapshot::capture(&cpu);
+        let resident = snap.image().mem().resident_pages();
+        assert!(resident > 0);
+        // Capture + clone share everything; nothing has been copied.
+        let clone = snap.clone_vm();
+        assert_eq!(clone.mem().shared_pages(), resident);
+        assert_eq!(clone.mem().cow_copies(), 0);
+
+        let mut clone = clone;
+        run_to_halt(&mut clone);
+        // The run dirtied at most a couple of pages (the store target);
+        // text pages it only *read* stay shared.
+        assert!(clone.mem().cow_copies() >= 1);
+        assert!(clone.mem().shared_pages() > 0, "read-only pages stay shared");
+    }
+
+    #[test]
+    fn preempted_clone_resumes_bit_identically() {
+        let cpu = counting_cpu();
+        let snap = Snapshot::capture(&cpu);
+
+        let mut undivided = snap.clone_vm();
+        run_to_halt(&mut undivided);
+
+        // Same image, sliced into many tiny cycle quanta.
+        let mut sliced = snap.clone_vm();
+        let mut deadline = 0u64;
+        loop {
+            deadline += 50;
+            match sliced.run_until(u64::MAX, deadline).expect("no trap") {
+                StepEvent::Halted => break,
+                _ => continue,
+            }
+        }
+        assert_eq!(sliced.counters(), undivided.counters());
+        assert_eq!(sliced.branch_stats(), undivided.branch_stats());
+    }
+}

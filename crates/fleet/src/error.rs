@@ -1,0 +1,90 @@
+//! Fleet error types.
+
+use std::error::Error;
+use std::fmt;
+use tarch_core::Trap;
+use tarch_sim::HostError;
+
+/// Why one tenant's execution failed.
+#[derive(Debug)]
+pub enum SliceError {
+    /// The simulated program trapped.
+    Trap(Trap),
+    /// A native helper failed during `ecall` service.
+    Host(HostError),
+    /// The tenant's total instruction budget ran out before it halted.
+    StepBudget {
+        /// The exhausted per-tenant budget.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::Trap(t) => write!(f, "simulated program trapped: {t}"),
+            SliceError::Host(h) => h.fmt(f),
+            SliceError::StepBudget { max_steps } => {
+                write!(f, "tenant did not halt within {max_steps} simulated instructions")
+            }
+        }
+    }
+}
+
+impl Error for SliceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SliceError::Trap(t) => Some(t),
+            SliceError::Host(h) => Some(h),
+            SliceError::StepBudget { .. } => None,
+        }
+    }
+}
+
+/// Error from configuring or running a fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Invalid fleet configuration (zero tenants/shards/budget, …).
+    Config(String),
+    /// Malformed workload-mix specification.
+    Mix(String),
+    /// A tenant template failed to build (parse/compile/codegen).
+    Build {
+        /// The template's label.
+        label: String,
+        /// The underlying engine error, rendered.
+        message: String,
+    },
+    /// A tenant failed mid-execution.
+    Tenant {
+        /// The tenant's arrival-independent id.
+        tenant: usize,
+        /// What went wrong.
+        error: SliceError,
+    },
+    /// A fleet run diverged from its serial reference execution.
+    Validation(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(m) => write!(f, "invalid fleet configuration: {m}"),
+            FleetError::Mix(m) => write!(f, "invalid workload mix: {m}"),
+            FleetError::Build { label, message } => {
+                write!(f, "building template `{label}` failed: {message}")
+            }
+            FleetError::Tenant { tenant, error } => write!(f, "tenant {tenant}: {error}"),
+            FleetError::Validation(m) => write!(f, "fleet/serial divergence: {m}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Tenant { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # tarch-fleet — multi-tenant serving on the Typed Architecture
+//!
+//! The paper's motivation (Section 1) is *lightweight scripting*: many
+//! short scripts, each spending a meaningful fraction of its life in VM
+//! construction and guest compilation rather than useful work. This
+//! crate scales that story from one VM to a fleet of them, reproducing
+//! the serving shape of a multi-tenant scripting platform on top of the
+//! existing simulator stack:
+//!
+//! * [`TenantTemplate`] — builds a workload's VM once (parse → compile →
+//!   codegen → image load), captures it with [`tarch_core::Snapshot`],
+//!   and stamps out runnable tenants in microseconds via copy-on-write
+//!   page sharing in `tarch-mem`. The `--fresh` baseline re-runs the
+//!   whole construction pipeline per tenant instead, which is what the
+//!   snapshot path amortizes.
+//! * [`run_fleet`] — a sharded, deterministic round-based scheduler.
+//!   Tenants arrive in a seeded shuffle order, are dealt round-robin
+//!   onto shard run queues, and execute one preemption slice per round
+//!   (a per-tenant cycle budget enforced by [`tarch_core::Cpu::run_until`]).
+//!   Slices run in parallel on the `tarch-runner` work-stealing pool;
+//!   between rounds, drained shards steal half of the longest queue
+//!   (seeded tie-break), so the schedule is a pure function of
+//!   `(mix, tenants, shards, budget, seed)` — worker count and host
+//!   timing never change it.
+//!
+//! ## The invariant that makes this trustworthy
+//!
+//! Preemption is architecturally invisible: a tenant sliced into
+//! hundreds of quanta retires the same instructions, the same cycles,
+//! and the same type-check hits as the same program run undivided on a
+//! freshly constructed VM. [`run_serial`] recomputes that reference
+//! execution and [`validate_against_serial`] asserts bit-identical
+//! per-tenant counters — the fleet-scale analogue of the engine
+//! equivalence matrix in `tests/predecode_equiv.rs`.
+//!
+//! Completion latencies are measured in *simulated* cycles of shard
+//! virtual time (deterministic), while per-shard throughput is measured
+//! in host wall-clock (reported, but never fed back into scheduling).
+//!
+//! ## Example
+//!
+//! ```
+//! use tarch_fleet::{FleetConfig, TemplateSpec, run_fleet};
+//! use tarch_core::{CoreConfig, IsaLevel};
+//! use tarch_runner::EngineKind;
+//!
+//! let spec = TemplateSpec {
+//!     label: "fib".into(),
+//!     source: "function fib(n) if n < 2 then return n end \
+//!              return fib(n - 1) + fib(n - 2) end print(fib(8))".into(),
+//!     engine: EngineKind::Lua,
+//!     level: IsaLevel::Typed,
+//! };
+//! let mut cfg = FleetConfig::new(4, 2, 20_000);
+//! cfg.seed = 7;
+//! let report = run_fleet(&[spec], &cfg)?;
+//! assert_eq!(report.outcomes.len(), 4);
+//! assert!(report.summary.latency.p99 >= report.summary.latency.p50);
+//! # Ok::<(), tarch_fleet::FleetError>(())
+//! ```
+
+mod error;
+mod mix;
+mod sched;
+mod tenant;
+
+pub use error::{FleetError, SliceError};
+pub use mix::{parse_mix, MixEntry};
+pub use sched::{
+    run_fleet, run_serial, validate_against_serial, FleetConfig, FleetReport, TenantOutcome,
+};
+pub use tenant::{SliceOutcome, TemplateSpec, TenantTemplate, TenantVm};

@@ -1,0 +1,103 @@
+//! Workload-mix parsing for `repro fleet`.
+//!
+//! A mix is a comma-separated list of `workload[/engine[/level]]`
+//! entries, e.g. `fibo,ackermann/js,n-sieve/lua/baseline`. Engine
+//! defaults to `lua`, level to `typed`. Tenants are dealt round-robin
+//! over the entries, so a two-entry mix with 9 tenants runs 5 of the
+//! first and 4 of the second.
+
+use crate::error::FleetError;
+use tarch_core::IsaLevel;
+use tarch_runner::EngineKind;
+
+/// One parsed `workload[/engine[/level]]` entry. Resolving the workload
+/// name to MiniScript source is the caller's job (the `repro` CLI looks
+/// it up in `tarch-bench`'s Table 7 set), keeping this crate free of a
+/// workload-catalogue dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixEntry {
+    /// Workload name (not validated here).
+    pub workload: String,
+    /// Engine that runs this entry's tenants.
+    pub engine: EngineKind,
+    /// ISA level this entry's tenants run at.
+    pub level: IsaLevel,
+}
+
+/// Parses a comma-separated workload mix.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Mix`] on empty entries, unknown engines or
+/// levels, or trailing fields.
+pub fn parse_mix(mix: &str) -> Result<Vec<MixEntry>, FleetError> {
+    let mut entries = Vec::new();
+    for part in mix.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(FleetError::Mix(format!("empty entry in `{mix}`")));
+        }
+        let mut fields = part.split('/');
+        let workload = fields.next().expect("split yields at least one field").trim();
+        if workload.is_empty() {
+            return Err(FleetError::Mix(format!("missing workload name in `{part}`")));
+        }
+        let engine = match fields.next() {
+            None => EngineKind::Lua,
+            Some(e) => EngineKind::parse(e.trim()).ok_or_else(|| {
+                FleetError::Mix(format!("unknown engine `{e}` in `{part}` (want `lua` or `js`)"))
+            })?,
+        };
+        let level = match fields.next() {
+            None => IsaLevel::Typed,
+            Some(l) => IsaLevel::parse(l.trim()).ok_or_else(|| {
+                FleetError::Mix(format!(
+                    "unknown ISA level `{l}` in `{part}` (want `baseline`, `checked-load` or \
+                     `typed`)"
+                ))
+            })?,
+        };
+        if let Some(extra) = fields.next() {
+            return Err(FleetError::Mix(format!("trailing field `{extra}` in `{part}`")));
+        }
+        entries.push(MixEntry { workload: workload.to_string(), engine, level });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fill_in_engine_and_level() {
+        let entries = parse_mix("fibo").unwrap();
+        assert_eq!(
+            entries,
+            vec![MixEntry {
+                workload: "fibo".into(),
+                engine: EngineKind::Lua,
+                level: IsaLevel::Typed,
+            }]
+        );
+    }
+
+    #[test]
+    fn full_three_field_entries_parse() {
+        let entries = parse_mix("fibo, ackermann/js, n-sieve/lua/baseline").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].engine, EngineKind::Js);
+        assert_eq!(entries[1].level, IsaLevel::Typed);
+        assert_eq!(entries[2].level, IsaLevel::Baseline);
+    }
+
+    #[test]
+    fn malformed_mixes_are_rejected() {
+        assert!(matches!(parse_mix(""), Err(FleetError::Mix(_))));
+        assert!(matches!(parse_mix("fibo,,ackermann"), Err(FleetError::Mix(_))));
+        assert!(matches!(parse_mix("fibo/quickjs"), Err(FleetError::Mix(_))));
+        assert!(matches!(parse_mix("fibo/lua/turbo"), Err(FleetError::Mix(_))));
+        assert!(matches!(parse_mix("fibo/lua/typed/extra"), Err(FleetError::Mix(_))));
+        assert!(matches!(parse_mix("/js"), Err(FleetError::Mix(_))));
+    }
+}

@@ -1,0 +1,573 @@
+//! The sharded, deterministic round-based fleet scheduler.
+//!
+//! Scheduling is bulk-synchronous: every resident tenant runs exactly
+//! one preemption slice per round, all slices of a round execute in
+//! parallel on the `tarch-runner` task pool, and all bookkeeping —
+//! virtual clocks, completions, work stealing — happens serially at the
+//! round barrier in a fixed order. The schedule is therefore a pure
+//! function of `(mix, tenants, shards, budget, seed)`: worker count,
+//! host load and wall-clock jitter never influence which tenant runs
+//! where, and per-tenant architectural counters are bit-identical to a
+//! serial reference execution ([`run_serial`]).
+//!
+//! Time has two independent axes:
+//!
+//! * **virtual cycles** — each shard carries a virtual clock advanced by
+//!   the simulated cycles its tenants consume, as if the shard executed
+//!   its round's slices back to back on one core. Tenant completion
+//!   latency is the shard clock at the moment its final slice retires;
+//!   the reported p50/p95/p99 are over these deterministic values.
+//! * **host wall-clock** — per-shard slice execution time, summed into
+//!   [`ShardSummary::wall_nanos`] for throughput (MIPS) reporting only.
+
+use crate::error::FleetError;
+use crate::tenant::{SliceOutcome, TemplateSpec, TenantTemplate, TenantVm};
+use std::collections::VecDeque;
+use std::time::Instant;
+use tarch_core::{BranchStats, CoreConfig, PerfCounters};
+use tarch_runner::{run_tasks, FleetSummary, LatencyPercentiles, ShardSummary};
+use tarch_testkit::Rng;
+
+/// Shape of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of concurrent tenants (dealt round-robin over the mix).
+    pub tenants: usize,
+    /// Number of scheduler shards.
+    pub shards: usize,
+    /// Per-tenant cycle budget per preemption slice.
+    pub budget: u64,
+    /// Seed for arrival-order shuffling and work-stealing tie-breaks.
+    pub seed: u64,
+    /// Host worker threads executing slices (`0` = all cores).
+    pub workers: usize,
+    /// `true`: stamp tenants from a snapshot (the fast path); `false`:
+    /// fresh-construct every tenant (the `--fresh` baseline).
+    pub snapshot_clone: bool,
+    /// Total instruction budget per tenant (runaway-guest guard).
+    pub step_budget: u64,
+    /// Simulated core configuration shared by every tenant.
+    pub core: CoreConfig,
+}
+
+impl FleetConfig {
+    /// A config with the given shape and library defaults elsewhere:
+    /// seed 0, auto workers, snapshot stamping, the `tarch-runner`
+    /// default step budget, and the paper's core.
+    pub fn new(tenants: usize, shards: usize, budget: u64) -> FleetConfig {
+        FleetConfig {
+            tenants,
+            shards,
+            budget,
+            seed: 0,
+            workers: 0,
+            snapshot_clone: true,
+            step_budget: tarch_runner::DEFAULT_STEP_BUDGET,
+            core: CoreConfig::paper(),
+        }
+    }
+
+    fn validate(&self, specs: &[TemplateSpec]) -> Result<(), FleetError> {
+        if specs.is_empty() {
+            return Err(FleetError::Config("workload mix is empty".into()));
+        }
+        if self.tenants == 0 {
+            return Err(FleetError::Config("need at least one tenant".into()));
+        }
+        if self.shards == 0 {
+            return Err(FleetError::Config("need at least one shard".into()));
+        }
+        if self.budget == 0 {
+            return Err(FleetError::Config(
+                "slice budget must be at least one cycle (zero-cycle slices make no progress)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One tenant's final state after a fleet or serial run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// Tenant id (stable across seeds; `id % mix.len()` names its
+    /// template).
+    pub tenant: usize,
+    /// Index into the template specs.
+    pub template: usize,
+    /// Shard the tenant completed on (0 in serial runs).
+    pub shard: usize,
+    /// Preemption slices the tenant ran (1 in serial runs).
+    pub slices: u64,
+    /// Shard virtual time at completion, in simulated cycles (the
+    /// tenant's own cycle count in serial runs).
+    pub completion_cycles: u64,
+    /// Architectural counters — schedule-independent by construction.
+    pub counters: PerfCounters,
+    /// Branch-predictor statistics — also schedule-independent.
+    pub branch: BranchStats,
+    /// Everything the tenant printed.
+    pub output: String,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, sorted by tenant id.
+    pub outcomes: Vec<TenantOutcome>,
+    /// The artifact-schema summary (throughput + latency percentiles).
+    pub summary: FleetSummary,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Tenants migrated between shards by work stealing.
+    pub steals: u64,
+}
+
+struct Tenant {
+    id: usize,
+    template: usize,
+    vm: TenantVm,
+    steps_left: u64,
+    slices: u64,
+}
+
+struct ShardState {
+    clock: u64,
+    wall_nanos: u64,
+    instructions: u64,
+    completed: u64,
+}
+
+/// Runs `cfg.tenants` tenants over the template mix on a sharded
+/// scheduler. See the [crate docs](crate) for the scheduling model and
+/// determinism guarantees.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] on invalid configuration, template build
+/// failure, or any tenant trapping / exhausting its step budget.
+pub fn run_fleet(specs: &[TemplateSpec], cfg: &FleetConfig) -> Result<FleetReport, FleetError> {
+    cfg.validate(specs)?;
+
+    // ---- Setup: build templates, materialize tenants. -----------------
+    let setup_start = Instant::now();
+    let templates: Vec<TenantTemplate> = specs
+        .iter()
+        .map(|s| TenantTemplate::build(s.clone(), cfg.core))
+        .collect::<Result<_, _>>()?;
+
+    // Seeded arrival order (Fisher–Yates); the rng then lives on for
+    // work-stealing tie-breaks.
+    let mut rng = Rng::new(cfg.seed);
+    let mut order: Vec<usize> = (0..cfg.tenants).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.range_usize(0, i + 1);
+        order.swap(i, j);
+    }
+
+    let mut arrivals: Vec<Tenant> = Vec::with_capacity(cfg.tenants);
+    for &id in &order {
+        let template = id % templates.len();
+        let vm = if cfg.snapshot_clone {
+            templates[template].clone_tenant()
+        } else {
+            templates[template].fresh_tenant()?
+        };
+        arrivals.push(Tenant { id, template, vm, steps_left: cfg.step_budget, slices: 0 });
+    }
+    let setup_nanos = setup_start.elapsed().as_nanos() as u64;
+
+    // ---- Rounds: slice in parallel, settle at the barrier. ------------
+    let run_start = Instant::now();
+    let mut queues: Vec<VecDeque<Tenant>> = (0..cfg.shards).map(|_| VecDeque::new()).collect();
+    for (pos, t) in arrivals.into_iter().enumerate() {
+        queues[pos % cfg.shards].push_back(t);
+    }
+
+    let mut shards: Vec<ShardState> = (0..cfg.shards)
+        .map(|_| ShardState { clock: 0, wall_nanos: 0, instructions: 0, completed: 0 })
+        .collect();
+    let mut outcomes: Vec<TenantOutcome> = Vec::with_capacity(cfg.tenants);
+    let mut rounds = 0u64;
+    let mut steals = 0u64;
+    let budget = cfg.budget;
+
+    while queues.iter().any(|q| !q.is_empty()) {
+        rounds += 1;
+        let mut tasks: Vec<(usize, Tenant)> = Vec::with_capacity(cfg.tenants);
+        for (shard, q) in queues.iter_mut().enumerate() {
+            for t in q.drain(..) {
+                tasks.push((shard, t));
+            }
+        }
+
+        let results = run_tasks(tasks, cfg.workers, |_, (shard, mut t)| {
+            let wall = Instant::now();
+            let before = t.vm.counters();
+            let status = t.vm.run_slice(budget, &mut t.steps_left);
+            t.slices += 1;
+            let after = t.vm.counters();
+            let nanos = wall.elapsed().as_nanos() as u64;
+            (shard, t, status, after.cycles - before.cycles, after.instructions
+                - before.instructions, nanos)
+        });
+
+        // Barrier bookkeeping, in (shard, queue-position) order: shard
+        // clocks advance as if the round's slices ran back to back.
+        for (shard, t, status, cycles, instructions, nanos) in results {
+            let st = &mut shards[shard];
+            st.wall_nanos += nanos;
+            st.clock += cycles;
+            st.instructions += instructions;
+            match status {
+                Ok(SliceOutcome::Done) => {
+                    st.completed += 1;
+                    outcomes.push(TenantOutcome {
+                        tenant: t.id,
+                        template: t.template,
+                        shard,
+                        slices: t.slices,
+                        completion_cycles: st.clock,
+                        counters: t.vm.counters(),
+                        branch: t.vm.branch_stats(),
+                        output: t.vm.output().to_string(),
+                    });
+                }
+                Ok(SliceOutcome::Preempted) => queues[shard].push_back(t),
+                Err(error) => return Err(FleetError::Tenant { tenant: t.id, error }),
+            }
+        }
+
+        // Work stealing: each drained shard takes half of the longest
+        // queue (seeded tie-break among equals). Runs at the barrier, so
+        // it is deterministic and migration cannot tear a slice.
+        while let Some(dst) = queues.iter().position(|q| q.is_empty()) {
+            let longest = queues.iter().map(|q| q.len()).max().unwrap_or(0);
+            if longest < 2 {
+                break;
+            }
+            let ties: Vec<usize> = (0..queues.len()).filter(|&i| queues[i].len() == longest).collect();
+            let src = ties[rng.range_usize(0, ties.len())];
+            for _ in 0..longest / 2 {
+                let t = queues[src].pop_back().expect("source queue shorter than measured");
+                queues[dst].push_back(t);
+                steals += 1;
+            }
+        }
+    }
+    let run_nanos = run_start.elapsed().as_nanos() as u64;
+
+    // ---- Report. ------------------------------------------------------
+    let latency = percentiles(outcomes.iter().map(|o| o.completion_cycles).collect());
+    let shard_rows = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ShardSummary {
+            shard: i as u64,
+            tenants_completed: s.completed,
+            instructions: s.instructions,
+            virtual_cycles: s.clock,
+            wall_nanos: s.wall_nanos,
+        })
+        .collect();
+    let summary = FleetSummary {
+        tenants: cfg.tenants as u64,
+        shards: cfg.shards as u64,
+        budget: cfg.budget,
+        seed: cfg.seed,
+        snapshot_clone: cfg.snapshot_clone,
+        setup_nanos,
+        run_nanos,
+        latency,
+        shard_rows,
+    };
+    outcomes.sort_by_key(|o| o.tenant);
+    Ok(FleetReport { outcomes, summary, rounds, steals })
+}
+
+/// The reference execution: every tenant fresh-constructed and run to
+/// completion undivided, in tenant-id order. Fleet runs must match this
+/// bit-for-bit on per-tenant counters, branch statistics and output.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_fleet`].
+pub fn run_serial(
+    specs: &[TemplateSpec],
+    cfg: &FleetConfig,
+) -> Result<Vec<TenantOutcome>, FleetError> {
+    cfg.validate(specs)?;
+    let templates: Vec<TenantTemplate> = specs
+        .iter()
+        .map(|s| TenantTemplate::build(s.clone(), cfg.core))
+        .collect::<Result<_, _>>()?;
+    let mut outcomes = Vec::with_capacity(cfg.tenants);
+    for id in 0..cfg.tenants {
+        let template = id % templates.len();
+        let mut vm = templates[template].fresh_tenant()?;
+        let mut steps_left = cfg.step_budget;
+        vm.run_to_completion(&mut steps_left)
+            .map_err(|error| FleetError::Tenant { tenant: id, error })?;
+        outcomes.push(TenantOutcome {
+            tenant: id,
+            template,
+            shard: 0,
+            slices: 1,
+            completion_cycles: vm.counters().cycles,
+            counters: vm.counters(),
+            branch: vm.branch_stats(),
+            output: vm.output().to_string(),
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Asserts that a fleet run's per-tenant architectural results are
+/// bit-identical to the serial reference execution.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Validation`] naming the first diverging tenant
+/// and field.
+pub fn validate_against_serial(
+    report: &FleetReport,
+    specs: &[TemplateSpec],
+    cfg: &FleetConfig,
+) -> Result<(), FleetError> {
+    let reference = run_serial(specs, cfg)?;
+    if report.outcomes.len() != reference.len() {
+        return Err(FleetError::Validation(format!(
+            "fleet completed {} tenants, serial reference {}",
+            report.outcomes.len(),
+            reference.len()
+        )));
+    }
+    for (fleet, serial) in report.outcomes.iter().zip(&reference) {
+        if fleet.tenant != serial.tenant {
+            return Err(FleetError::Validation(format!(
+                "tenant id mismatch: fleet {} vs serial {}",
+                fleet.tenant, serial.tenant
+            )));
+        }
+        if fleet.counters != serial.counters {
+            return Err(FleetError::Validation(format!(
+                "tenant {}: counters diverge\n fleet:  {:?}\n serial: {:?}",
+                fleet.tenant, fleet.counters, serial.counters
+            )));
+        }
+        if fleet.branch != serial.branch {
+            return Err(FleetError::Validation(format!(
+                "tenant {}: branch statistics diverge",
+                fleet.tenant
+            )));
+        }
+        if fleet.output != serial.output {
+            return Err(FleetError::Validation(format!(
+                "tenant {}: output diverges\n fleet:  {:?}\n serial: {:?}",
+                fleet.tenant, fleet.output, serial.output
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentiles over completion latencies (empty input
+/// yields all-zero percentiles).
+fn percentiles(mut latencies: Vec<u64>) -> LatencyPercentiles {
+    latencies.sort_unstable();
+    let pick = |p: u64| {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let n = latencies.len() as u64;
+        let rank = (p * n).div_ceil(100).max(1);
+        latencies[(rank - 1) as usize]
+    };
+    LatencyPercentiles { p50: pick(50), p95: pick(95), p99: pick(99) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarch_core::IsaLevel;
+    use tarch_runner::EngineKind;
+
+    const FIB: &str = "function fib(n) if n < 2 then return n end \
+                       return fib(n - 1) + fib(n - 2) end print(fib(10))";
+    const LOOP: &str = "local s = 0 for i = 1, 400 do s = s + i * i end print(s)";
+
+    fn mix() -> Vec<TemplateSpec> {
+        vec![
+            TemplateSpec {
+                label: "fib".into(),
+                source: FIB.into(),
+                engine: EngineKind::Lua,
+                level: IsaLevel::Typed,
+            },
+            TemplateSpec {
+                label: "loop".into(),
+                source: LOOP.into(),
+                engine: EngineKind::Js,
+                level: IsaLevel::Baseline,
+            },
+        ]
+    }
+
+    fn small_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::new(9, 3, 4_000);
+        cfg.seed = 42;
+        cfg
+    }
+
+    /// Everything deterministic about a report (i.e. not wall-clock).
+    fn deterministic_view(r: &FleetReport) -> impl PartialEq + std::fmt::Debug {
+        let rows: Vec<(u64, u64, u64)> = r
+            .summary
+            .shard_rows
+            .iter()
+            .map(|s| (s.tenants_completed, s.instructions, s.virtual_cycles))
+            .collect();
+        (r.outcomes.clone(), r.summary.latency, rows, r.rounds, r.steals)
+    }
+
+    #[test]
+    fn fleet_matches_serial_reference_bit_for_bit() {
+        let specs = mix();
+        let cfg = small_cfg();
+        let report = run_fleet(&specs, &cfg).unwrap();
+        assert_eq!(report.outcomes.len(), cfg.tenants);
+        assert!(report.rounds > 1, "budget too large to exercise preemption");
+        validate_against_serial(&report, &specs, &cfg).unwrap();
+    }
+
+    #[test]
+    fn schedule_is_independent_of_worker_count() {
+        let specs = mix();
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        let serial = run_fleet(&specs, &cfg).unwrap();
+        cfg.workers = 7;
+        let parallel = run_fleet(&specs, &cfg).unwrap();
+        assert_eq!(deterministic_view(&serial), deterministic_view(&parallel));
+    }
+
+    #[test]
+    fn fresh_and_snapshot_tenants_agree() {
+        let specs = mix();
+        let mut cfg = small_cfg();
+        let snapshot = run_fleet(&specs, &cfg).unwrap();
+        cfg.snapshot_clone = false;
+        let fresh = run_fleet(&specs, &cfg).unwrap();
+        assert_eq!(deterministic_view(&snapshot), deterministic_view(&fresh));
+        assert!(snapshot.summary.snapshot_clone);
+        assert!(!fresh.summary.snapshot_clone);
+    }
+
+    #[test]
+    fn seed_moves_tenants_but_not_their_counters() {
+        let specs = mix();
+        let mut cfg = small_cfg();
+        let a = run_fleet(&specs, &cfg).unwrap();
+        cfg.seed = 1234;
+        let b = run_fleet(&specs, &cfg).unwrap();
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.counters, y.counters, "tenant {}", x.tenant);
+            assert_eq!(x.output, y.output, "tenant {}", x.tenant);
+        }
+        // Different arrival order: at least one tenant should land on a
+        // different shard or a different virtual completion time.
+        assert_ne!(
+            a.outcomes.iter().map(|o| (o.shard, o.completion_cycles)).collect::<Vec<_>>(),
+            b.outcomes.iter().map(|o| (o.shard, o.completion_cycles)).collect::<Vec<_>>(),
+            "seeds 42 and 1234 produced the exact same placement"
+        );
+    }
+
+    #[test]
+    fn work_stealing_migrates_tenants_on_skewed_shards() {
+        // A mix of a near-instant workload and a long one: whenever the
+        // arrival shuffle deals a shard only short tenants, it drains
+        // early and must steal from a shard still holding two long
+        // ones. Whether a given seed produces that skew is fixed by the
+        // deterministic schedule, so scan a few seeds for one that does
+        // and validate that run end to end.
+        let specs = vec![
+            TemplateSpec {
+                label: "short".into(),
+                source: "print(1)".into(),
+                engine: EngineKind::Lua,
+                level: IsaLevel::Typed,
+            },
+            TemplateSpec {
+                label: "long".into(),
+                source: LOOP.into(),
+                engine: EngineKind::Lua,
+                level: IsaLevel::Typed,
+            },
+        ];
+        let mut cfg = FleetConfig::new(6, 3, 2_000);
+        let stealing_run = (0..20).find_map(|seed| {
+            cfg.seed = seed;
+            let report = run_fleet(&specs, &cfg).unwrap();
+            (report.steals > 0).then_some((seed, report))
+        });
+        let (seed, report) = stealing_run.expect("no seed in 0..20 produced a steal");
+        cfg.seed = seed;
+        validate_against_serial(&report, &specs, &cfg).unwrap();
+    }
+
+    #[test]
+    fn summary_shape_matches_config() {
+        let specs = mix();
+        let cfg = small_cfg();
+        let report = run_fleet(&specs, &cfg).unwrap();
+        let s = &report.summary;
+        assert_eq!(s.tenants, cfg.tenants as u64);
+        assert_eq!(s.shards, cfg.shards as u64);
+        assert_eq!(s.shard_rows.len(), cfg.shards);
+        assert_eq!(
+            s.shard_rows.iter().map(|r| r.tenants_completed).sum::<u64>(),
+            cfg.tenants as u64
+        );
+        assert!(s.shard_rows.iter().all(|r| r.instructions > 0));
+        assert!(s.latency.p50 > 0);
+        assert!(s.latency.p50 <= s.latency.p95 && s.latency.p95 <= s.latency.p99);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_shapes() {
+        let specs = mix();
+        let assert_rejects = |cfg: FleetConfig| {
+            assert!(matches!(run_fleet(&specs, &cfg), Err(FleetError::Config(_))));
+        };
+        assert_rejects(FleetConfig::new(0, 1, 1000));
+        assert_rejects(FleetConfig::new(1, 0, 1000));
+        assert_rejects(FleetConfig::new(1, 1, 0));
+        assert!(matches!(
+            run_fleet(&[], &FleetConfig::new(1, 1, 1000)),
+            Err(FleetError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(
+            percentiles(vec![]),
+            LatencyPercentiles { p50: 0, p95: 0, p99: 0 }
+        );
+        assert_eq!(
+            percentiles(vec![10]),
+            LatencyPercentiles { p50: 10, p95: 10, p99: 10 }
+        );
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(
+            percentiles(hundred),
+            LatencyPercentiles { p50: 50, p95: 95, p99: 99 }
+        );
+        assert_eq!(
+            percentiles(vec![40, 10, 30, 20]),
+            LatencyPercentiles { p50: 20, p95: 40, p99: 40 }
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Tenant templates and the per-tenant slice driver.
+//!
+//! A [`TenantTemplate`] pays the expensive part of serving a workload —
+//! parse → bytecode compile → interpreter codegen → image load — exactly
+//! once, then captures the constructed machine with
+//! [`tarch_core::Snapshot`]. Stamping a tenant from the template is a
+//! copy-on-write clone: page refcount bumps plus a host-state copy,
+//! orders of magnitude cheaper than re-running the pipeline
+//! ([`TenantTemplate::fresh_tenant`], the `--fresh` baseline).
+//!
+//! A [`TenantVm`] is driven in preemption slices: each slice runs until
+//! the tenant's cycle budget for the quantum is spent, yielding at the
+//! boundaries [`tarch_core::Cpu::run_until`] honours (stepwise
+//! instructions, basic-block edges) plus `ecall` returns. Slicing is
+//! architecturally invisible — the counters a tenant retires are
+//! independent of where the scheduler cut it.
+
+use crate::error::{FleetError, SliceError};
+use jsrt::{JsHost, JsVm};
+use luart::{LuaHost, LuaVm};
+use tarch_core::{BranchStats, CoreConfig, Cpu, IsaLevel, PerfCounters, Snapshot, StepEvent};
+use tarch_runner::EngineKind;
+use tarch_sim::NativeHost;
+
+/// Everything needed to build one workload's VM: which engine compiles
+/// which source at which ISA level.
+#[derive(Debug, Clone)]
+pub struct TemplateSpec {
+    /// Display label (workload name in `repro fleet` mixes).
+    pub label: String,
+    /// MiniScript source text.
+    pub source: String,
+    /// Engine that compiles and hosts the program.
+    pub engine: EngineKind,
+    /// ISA level the generated interpreter targets.
+    pub level: IsaLevel,
+}
+
+/// Engine-specific native-host state, cloned alongside the core
+/// snapshot when stamping a tenant.
+#[derive(Debug, Clone)]
+enum HostState {
+    Lua(LuaHost),
+    Js(JsHost),
+}
+
+/// A workload's VM built once and frozen for cheap tenant stamping.
+#[derive(Debug)]
+pub struct TenantTemplate {
+    spec: TemplateSpec,
+    core: CoreConfig,
+    snapshot: Snapshot,
+    host: HostState,
+}
+
+impl TenantTemplate {
+    /// Builds the workload's VM (full parse → compile → codegen → load
+    /// pipeline) and captures it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Build`] if any pipeline stage fails.
+    pub fn build(spec: TemplateSpec, core: CoreConfig) -> Result<TenantTemplate, FleetError> {
+        let build_err = |e: &dyn std::fmt::Display| FleetError::Build {
+            label: spec.label.clone(),
+            message: e.to_string(),
+        };
+        let (cpu, host) = match spec.engine {
+            EngineKind::Lua => {
+                let vm = LuaVm::from_source(&spec.source, spec.level, core)
+                    .map_err(|e| build_err(&e))?;
+                let (cpu, host) = vm.into_parts();
+                (cpu, HostState::Lua(host))
+            }
+            EngineKind::Js => {
+                let vm = JsVm::from_source(&spec.source, spec.level, core)
+                    .map_err(|e| build_err(&e))?;
+                let (cpu, host) = vm.into_parts();
+                (cpu, HostState::Js(host))
+            }
+        };
+        let snapshot = Snapshot::capture(&cpu);
+        Ok(TenantTemplate { spec, core, snapshot, host })
+    }
+
+    /// The spec this template was built from.
+    pub fn spec(&self) -> &TemplateSpec {
+        &self.spec
+    }
+
+    /// Stamps a runnable tenant from the snapshot: a copy-on-write core
+    /// clone plus a host-state copy. This is the fast path the fleet
+    /// benchmark measures against [`TenantTemplate::fresh_tenant`].
+    pub fn clone_tenant(&self) -> TenantVm {
+        TenantVm { cpu: self.snapshot.clone_vm(), host: self.host.clone() }
+    }
+
+    /// Constructs a tenant from scratch, re-running the whole
+    /// parse → compile → codegen → load pipeline (the `--fresh`
+    /// baseline that snapshot stamping amortizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Build`] if any pipeline stage fails.
+    pub fn fresh_tenant(&self) -> Result<TenantVm, FleetError> {
+        let fresh = TenantTemplate::build(self.spec.clone(), self.core)?;
+        Ok(TenantVm { cpu: fresh.snapshot.clone_vm(), host: fresh.host })
+    }
+}
+
+/// How a preemption slice ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The tenant's program halted.
+    Done,
+    /// The cycle budget for this quantum was spent; the tenant is
+    /// resumable from exactly where it yielded.
+    Preempted,
+}
+
+/// One runnable tenant: a core plus its engine's native host.
+#[derive(Debug)]
+pub struct TenantVm {
+    cpu: Cpu,
+    host: HostState,
+}
+
+impl TenantVm {
+    /// The tenant's core (read access for counter collection).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Architectural counters retired so far.
+    pub fn counters(&self) -> PerfCounters {
+        *self.cpu.counters()
+    }
+
+    /// Branch-predictor statistics so far.
+    pub fn branch_stats(&self) -> BranchStats {
+        self.cpu.branch_stats()
+    }
+
+    /// Everything the tenant's program has printed so far.
+    pub fn output(&self) -> &str {
+        match &self.host {
+            HostState::Lua(h) => h.output(),
+            HostState::Js(h) => h.output(),
+        }
+    }
+
+    /// Runs one preemption slice: up to `cycle_budget` more simulated
+    /// cycles (including native-helper cycles charged during `ecall`
+    /// service), debiting retired instructions from `steps_left`.
+    ///
+    /// The slice may overshoot the budget by a bounded amount — at most
+    /// one basic block or one `ecall` helper — exactly the yield
+    /// granularity of [`Cpu::run_until`]. The overshoot is *charged*
+    /// (the next deadline is computed from the actual cycle counter), so
+    /// budgets stay fair across slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceError`] on traps, host failures, or `steps_left`
+    /// exhaustion.
+    pub fn run_slice(
+        &mut self,
+        cycle_budget: u64,
+        steps_left: &mut u64,
+    ) -> Result<SliceOutcome, SliceError> {
+        let deadline = self.cpu.counters().cycles.saturating_add(cycle_budget);
+        let budget_start = *steps_left;
+        loop {
+            let before = self.cpu.counters().instructions;
+            let event = match &mut self.host {
+                HostState::Lua(h) => drive(&mut self.cpu, h, *steps_left, deadline)?,
+                HostState::Js(h) => drive(&mut self.cpu, h, *steps_left, deadline)?,
+            };
+            *steps_left =
+                steps_left.saturating_sub(self.cpu.counters().instructions - before);
+            match event {
+                StepEvent::Halted => return Ok(SliceOutcome::Done),
+                StepEvent::Ecall => unreachable!("drive services ecalls internally"),
+                StepEvent::Retired => {
+                    if self.cpu.counters().cycles >= deadline {
+                        return Ok(SliceOutcome::Preempted);
+                    }
+                    if *steps_left == 0 {
+                        return Err(SliceError::StepBudget { max_steps: budget_start });
+                    }
+                    // `run_until` returned early without hitting either
+                    // limit; loop and continue the slice.
+                }
+            }
+        }
+    }
+
+    /// Runs the tenant to completion without preemption (the serial
+    /// reference execution used by fleet validation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TenantVm::run_slice`].
+    pub fn run_to_completion(&mut self, steps_left: &mut u64) -> Result<(), SliceError> {
+        match self.run_slice(u64::MAX, steps_left)? {
+            SliceOutcome::Done => Ok(()),
+            SliceOutcome::Preempted => {
+                unreachable!("an unbounded cycle budget cannot preempt")
+            }
+        }
+    }
+}
+
+/// Runs the core until the deadline, halt, or step exhaustion,
+/// servicing `ecall`s through the host. Returns `Halted` or `Retired`
+/// (never `Ecall`). An `ecall` return is itself a yield point: helper
+/// cycles count against the deadline before the next dispatch.
+fn drive<H: NativeHost>(
+    cpu: &mut Cpu,
+    host: &mut H,
+    max_steps: u64,
+    deadline: u64,
+) -> Result<StepEvent, SliceError> {
+    let start = cpu.counters().instructions;
+    loop {
+        let used = cpu.counters().instructions - start;
+        let event = cpu
+            .run_until(max_steps.saturating_sub(used), deadline)
+            .map_err(SliceError::Trap)?;
+        match event {
+            StepEvent::Ecall => {
+                host.ecall(cpu).map_err(SliceError::Host)?;
+                if cpu.counters().cycles >= deadline {
+                    return Ok(StepEvent::Retired);
+                }
+            }
+            other => return Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIB: &str = "function fib(n) if n < 2 then return n end \
+                       return fib(n - 1) + fib(n - 2) end print(fib(10))";
+
+    fn spec(engine: EngineKind) -> TemplateSpec {
+        TemplateSpec {
+            label: "fib".into(),
+            source: FIB.into(),
+            engine,
+            level: IsaLevel::Typed,
+        }
+    }
+
+    #[test]
+    fn sliced_run_matches_undivided_run() {
+        for engine in EngineKind::ALL {
+            let template = TenantTemplate::build(spec(engine), CoreConfig::paper()).unwrap();
+
+            let mut undivided = template.clone_tenant();
+            let mut steps = u64::MAX;
+            undivided.run_to_completion(&mut steps).unwrap();
+
+            let mut sliced = template.clone_tenant();
+            let mut steps = u64::MAX;
+            let mut slices = 0;
+            while sliced.run_slice(5_000, &mut steps).unwrap() == SliceOutcome::Preempted {
+                slices += 1;
+            }
+            assert!(slices > 1, "{engine:?}: budget too large to exercise preemption");
+            assert_eq!(sliced.counters(), undivided.counters(), "{engine:?}");
+            assert_eq!(sliced.branch_stats(), undivided.branch_stats(), "{engine:?}");
+            assert_eq!(sliced.output(), undivided.output(), "{engine:?}");
+            assert_eq!(sliced.output(), "55\n", "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn clone_and_fresh_tenants_are_bit_identical() {
+        let template = TenantTemplate::build(spec(EngineKind::Lua), CoreConfig::paper()).unwrap();
+        let mut cloned = template.clone_tenant();
+        let mut fresh = template.fresh_tenant().unwrap();
+        let (mut s1, mut s2) = (u64::MAX, u64::MAX);
+        cloned.run_to_completion(&mut s1).unwrap();
+        fresh.run_to_completion(&mut s2).unwrap();
+        assert_eq!(cloned.counters(), fresh.counters());
+        assert_eq!(cloned.output(), fresh.output());
+    }
+
+    #[test]
+    fn step_budget_exhaustion_is_an_error() {
+        let template = TenantTemplate::build(spec(EngineKind::Lua), CoreConfig::paper()).unwrap();
+        let mut vm = template.clone_tenant();
+        let mut steps = 100;
+        let err = vm.run_slice(u64::MAX, &mut steps).unwrap_err();
+        assert!(matches!(err, SliceError::StepBudget { max_steps: 100 }));
+    }
+
+    #[test]
+    fn build_error_names_the_template() {
+        let bad = TemplateSpec {
+            label: "broken".into(),
+            source: "function (".into(),
+            engine: EngineKind::Lua,
+            level: IsaLevel::Typed,
+        };
+        match TenantTemplate::build(bad, CoreConfig::paper()) {
+            Err(FleetError::Build { label, .. }) => assert_eq!(label, "broken"),
+            other => panic!("expected build error, got {other:?}"),
+        }
+    }
+}

@@ -172,6 +172,20 @@ impl JsVm {
         self.machine.cpu()
     }
 
+    /// The native host (read access; `tarch-fleet` clones it alongside a
+    /// core snapshot to stamp out tenant instances).
+    pub fn host(&self) -> &JsHost {
+        self.machine.host()
+    }
+
+    /// Decomposes the constructed VM into its core and host, discarding
+    /// the image metadata (the program is already loaded into the core's
+    /// memory). `tarch-fleet`'s fresh-construction baseline uses this to
+    /// drive the pair directly.
+    pub fn into_parts(self) -> (tarch_core::Cpu, JsHost) {
+        self.machine.into_parts()
+    }
+
     /// The simulated core, mutably (measurement tooling, e.g. enabling
     /// the opcode-pair profile behind `repro bench --profile-pairs`).
     pub fn cpu_mut(&mut self) -> &mut tarch_core::Cpu {

@@ -35,7 +35,11 @@ enum Hv {
 }
 
 /// The native host for the `jsrt` engine.
-#[derive(Debug)]
+///
+/// `Clone` pairs with `tarch_core::Snapshot`: the host is plain owned
+/// data (interned strings, object hash parts, output buffer), so cloning
+/// it alongside a snapshot clone yields a fully isolated tenant VM.
+#[derive(Debug, Clone)]
 pub struct JsHost {
     strings: Vec<String>,
     string_ids: HashMap<String, u32>,

@@ -61,7 +61,11 @@ enum Hv {
 }
 
 /// The native host for the `luart` engine.
-#[derive(Debug)]
+///
+/// `Clone` pairs with `tarch_core::Snapshot`: the host is plain owned
+/// data (interned strings, table hash parts, output buffer), so cloning
+/// it alongside a snapshot clone yields a fully isolated tenant VM.
+#[derive(Debug, Clone)]
 pub struct LuaHost {
     strings: Vec<String>,
     string_ids: HashMap<String, u32>,

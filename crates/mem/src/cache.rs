@@ -82,7 +82,7 @@ impl CacheStats {
 /// assert!(c.access(0x1000, false).hit);  // now resident
 /// assert!(c.access(0x1038, false).hit);  // same 64-byte line
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     lines: Vec<Line>,

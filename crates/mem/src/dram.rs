@@ -94,7 +94,7 @@ pub struct DramStats {
 /// let second = dram.access(0x4040);         // row-buffer hit: cheaper
 /// assert!(second < first);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DramModel {
     config: DramConfig,
     open_rows: Vec<Option<u64>>,

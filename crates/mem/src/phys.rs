@@ -3,10 +3,17 @@
 //! Backing store for the simulated machine: a page-granular sparse array of
 //! bytes. All accesses are little-endian. Reads of untouched memory return
 //! zeroes, like zero-initialised DRAM after loader scrubbing.
+//!
+//! Pages are reference-counted so a `MainMemory` clone is a copy-on-write
+//! fork: the clone shares every resident page with its parent and a page is
+//! physically copied only on the first write through either image (the
+//! fork-server trick `tarch-fleet` uses to stamp out tenant VMs from one
+//! snapshot).
 
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// Log2 of the page size.
 pub const PAGE_SHIFT: u32 = 12;
@@ -56,6 +63,12 @@ const MRU_NONE: u64 = u64::MAX;
 /// common same-page access — sequential data, stack traffic — skips the
 /// directory probe entirely, on the read path too.
 ///
+/// Each slot holds an [`Arc`]'d page, making `Clone` a copy-on-write
+/// fork: the clone shares every page, and [`Arc::make_mut`] in the write
+/// path copies a page the first time either image dirties it. The MRU
+/// memo caches the *slot*, never a page pointer, so the memoized fast
+/// path still funnels through the sharing check.
+///
 /// # Examples
 ///
 /// ```
@@ -64,23 +77,45 @@ const MRU_NONE: u64 = u64::MAX;
 /// mem.write_u64(0x1000, 0xdead_beef);
 /// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(mem.read_u8(0x1_0000), 0); // untouched memory reads zero
+///
+/// let mut fork = mem.clone();          // O(resident pages) refcount bumps
+/// fork.write_u64(0x1000, 7);           // copies just that one page
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(fork.cow_copies(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MainMemory {
     index: PageIndex,
-    pages: Vec<Box<Page>>,
+    pages: Vec<Arc<Page>>,
     mru: Cell<(u64, u32)>,
+    cow_copies: u64,
 }
 
 impl MainMemory {
     /// Creates an empty memory.
     pub fn new() -> MainMemory {
-        MainMemory { index: PageIndex::default(), pages: Vec::new(), mru: Cell::new((MRU_NONE, 0)) }
+        MainMemory {
+            index: PageIndex::default(),
+            pages: Vec::new(),
+            mru: Cell::new((MRU_NONE, 0)),
+            cow_copies: 0,
+        }
     }
 
     /// Number of distinct pages touched so far.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Pages physically copied by writes to pages shared with a clone
+    /// (host-side CoW metric; not an architectural counter).
+    pub fn cow_copies(&self) -> u64 {
+        self.cow_copies
+    }
+
+    /// Pages still shared with at least one other `MainMemory` image.
+    pub fn shared_pages(&self) -> usize {
+        self.pages.iter().filter(|p| Arc::strong_count(p) > 1).count()
     }
 
     #[inline]
@@ -99,20 +134,28 @@ impl MainMemory {
     fn page_mut(&mut self, addr: u64) -> &mut Page {
         let page_no = addr >> PAGE_SHIFT;
         let (mru_no, mru_slot) = self.mru.get();
-        if page_no == mru_no {
-            return &mut self.pages[mru_slot as usize];
-        }
-        let slot = match self.index.get(&page_no) {
-            Some(&slot) => slot,
-            None => {
-                let slot = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
-                self.pages.push(Box::new([0; PAGE_SIZE as usize]));
-                self.index.insert(page_no, slot);
-                slot
+        let slot = if page_no == mru_no {
+            mru_slot
+        } else {
+            match self.index.get(&page_no) {
+                Some(&slot) => {
+                    self.mru.set((page_no, slot));
+                    slot
+                }
+                None => {
+                    let slot = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+                    self.pages.push(Arc::new([0; PAGE_SIZE as usize]));
+                    self.index.insert(page_no, slot);
+                    self.mru.set((page_no, slot));
+                    slot
+                }
             }
         };
-        self.mru.set((page_no, slot));
-        &mut self.pages[slot as usize]
+        let page = &mut self.pages[slot as usize];
+        if Arc::strong_count(page) > 1 {
+            self.cow_copies += 1;
+        }
+        Arc::make_mut(page)
     }
 
     /// Reads one byte.
@@ -317,6 +360,66 @@ mod tests {
             m.write_u64(addr, value);
             assert_eq!(m.read_u64(addr), value, "addr {addr:#x}");
         }
+    }
+
+    #[test]
+    fn clone_shares_pages_until_first_write() {
+        let mut m = MainMemory::new();
+        m.write_u64(0, 1);
+        m.write_u64(PAGE_SIZE, 2);
+        m.write_u64(2 * PAGE_SIZE, 3);
+        let fork = m.clone();
+        assert_eq!(m.shared_pages(), 3);
+        assert_eq!(fork.shared_pages(), 3);
+        assert_eq!(fork.cow_copies(), 0);
+
+        let mut fork = fork;
+        fork.write_u8(PAGE_SIZE + 8, 0xaa);
+        assert_eq!(fork.cow_copies(), 1);
+        assert_eq!(fork.shared_pages(), 2);
+        assert_eq!(m.shared_pages(), 2);
+        // Reads never copy.
+        assert_eq!(fork.read_u64(2 * PAGE_SIZE), 3);
+        assert_eq!(fork.cow_copies(), 1);
+    }
+
+    #[test]
+    fn clone_images_diverge_independently() {
+        let mut m = MainMemory::new();
+        m.write_u64(100, 0x1111);
+        let mut fork = m.clone();
+        fork.write_u64(100, 0x2222);
+        m.write_u64(100, 0x3333);
+        assert_eq!(fork.read_u64(100), 0x2222);
+        assert_eq!(m.read_u64(100), 0x3333);
+        // The fork's write copied the page, leaving the parent sole
+        // owner — its own write then lands in place, no second copy.
+        assert_eq!(fork.cow_copies(), 1);
+        assert_eq!(m.cow_copies(), 0);
+    }
+
+    #[test]
+    fn mru_memo_does_not_bypass_cow() {
+        let mut m = MainMemory::new();
+        // Prime the MRU memo on the page, then fork: the memoized write
+        // path must still notice the page became shared.
+        m.write_u64(0x4000, 7);
+        let fork = m.clone();
+        m.write_u64(0x4000, 8);
+        assert_eq!(m.cow_copies(), 1);
+        assert_eq!(fork.read_u64(0x4000), 7);
+        assert_eq!(m.read_u64(0x4000), 8);
+    }
+
+    #[test]
+    fn dropping_the_parent_unshares_the_fork() {
+        let mut m = MainMemory::new();
+        m.write_u64(0, 42);
+        let mut fork = m.clone();
+        drop(m);
+        assert_eq!(fork.shared_pages(), 0);
+        fork.write_u64(0, 43);
+        assert_eq!(fork.cow_copies(), 0, "sole owner writes in place");
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub struct TlbStats {
 /// assert!(!tlb.access(0x1000)); // cold miss
 /// assert!(tlb.access(0x1fff)); // same page
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<(u64, u64)>, // (page number, last use)
     capacity: usize,

@@ -17,7 +17,175 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use tarch_core::IsaLevel;
 
 /// Artifact format identifier; bump on any breaking schema change.
+/// (The fleet extension is *additive* — an optional `fleet` block —
+/// so it did not bump this: pre-fleet readers that ignore unknown keys
+/// still load fleet artifacts, and this reader loads pre-fleet files.)
 pub const ARTIFACT_SCHEMA: &str = "tarch-bench/v1";
+
+/// Tenant-completion latency percentiles of a fleet run, in *simulated*
+/// cycles of shard virtual time — deterministic for a given seed, unlike
+/// wall-clock latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median completion latency.
+    pub p50: u64,
+    /// 95th-percentile completion latency.
+    pub p95: u64,
+    /// 99th-percentile (tail) completion latency.
+    pub p99: u64,
+}
+
+/// Per-shard throughput row of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u64,
+    /// Tenants that ran to completion on this shard.
+    pub tenants_completed: u64,
+    /// Simulated instructions retired across the shard's tenants.
+    pub instructions: u64,
+    /// Simulated cycles of shard virtual time consumed.
+    pub virtual_cycles: u64,
+    /// Host wall-clock nanoseconds spent executing this shard's slices.
+    pub wall_nanos: u64,
+}
+
+impl ShardSummary {
+    /// Host throughput of this shard in MIPS (simulated instructions per
+    /// host microsecond); zero when no wall time was recorded.
+    pub fn mips(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 1e3 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// Summary of one `repro fleet` serving run: the scheduling shape,
+/// per-shard throughput, and tenant-completion latency percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Concurrent tenant count.
+    pub tenants: u64,
+    /// Scheduler shard count.
+    pub shards: u64,
+    /// Per-tenant cycle budget per scheduling slice.
+    pub budget: u64,
+    /// Arrival-order / work-stealing PRNG seed.
+    pub seed: u64,
+    /// Whether tenants were stamped from a snapshot (`false`: each was
+    /// freshly constructed, the `--fresh` baseline).
+    pub snapshot_clone: bool,
+    /// Wall nanoseconds to materialize all tenant VMs (clone or fresh
+    /// construction — the cost the snapshot path amortizes).
+    pub setup_nanos: u64,
+    /// Wall nanoseconds spent in the scheduling rounds.
+    pub run_nanos: u64,
+    /// Completion-latency percentiles in simulated cycles.
+    pub latency: LatencyPercentiles,
+    /// One row per shard.
+    pub shard_rows: Vec<ShardSummary>,
+}
+
+impl FleetSummary {
+    /// Aggregate host throughput across shards, in MIPS.
+    pub fn total_mips(&self) -> f64 {
+        let instructions: u64 = self.shard_rows.iter().map(|s| s.instructions).sum();
+        if self.run_nanos == 0 {
+            0.0
+        } else {
+            instructions as f64 * 1e3 / self.run_nanos as f64
+        }
+    }
+
+    /// Serializes the summary block.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tenants".into(), Json::num(self.tenants)),
+            ("shards".into(), Json::num(self.shards)),
+            ("budget".into(), Json::num(self.budget)),
+            ("seed".into(), Json::num(self.seed)),
+            ("snapshot_clone".into(), Json::Bool(self.snapshot_clone)),
+            ("setup_nanos".into(), Json::num(self.setup_nanos)),
+            ("run_nanos".into(), Json::num(self.run_nanos)),
+            (
+                "latency_cycles".into(),
+                Json::Obj(vec![
+                    ("p50".into(), Json::num(self.latency.p50)),
+                    ("p95".into(), Json::num(self.latency.p95)),
+                    ("p99".into(), Json::num(self.latency.p99)),
+                ]),
+            ),
+            (
+                "shards_detail".into(),
+                Json::Arr(
+                    self.shard_rows
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("shard".into(), Json::num(s.shard)),
+                                ("tenants_completed".into(), Json::num(s.tenants_completed)),
+                                ("instructions".into(), Json::num(s.instructions)),
+                                ("virtual_cycles".into(), Json::num(s.virtual_cycles)),
+                                ("wall_nanos".into(), Json::num(s.wall_nanos)),
+                                ("host_mips".into(), Json::num(s.mips())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a summary block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for any missing/mistyped field.
+    pub fn from_json(v: &Json) -> Result<FleetSummary, String> {
+        let latency = v.get("latency_cycles").ok_or("missing `latency_cycles`")?;
+        let latency = LatencyPercentiles {
+            p50: latency.req_u64("p50")?,
+            p95: latency.req_u64("p95")?,
+            p99: latency.req_u64("p99")?,
+        };
+        let rows = v
+            .get("shards_detail")
+            .and_then(Json::as_arr)
+            .ok_or("missing `shards_detail` array")?;
+        let mut shard_rows = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            shard_rows.push(ShardSummary {
+                shard: row.req_u64("shard").map_err(|e| format!("shard {i}: {e}"))?,
+                tenants_completed: row
+                    .req_u64("tenants_completed")
+                    .map_err(|e| format!("shard {i}: {e}"))?,
+                instructions: row
+                    .req_u64("instructions")
+                    .map_err(|e| format!("shard {i}: {e}"))?,
+                virtual_cycles: row
+                    .req_u64("virtual_cycles")
+                    .map_err(|e| format!("shard {i}: {e}"))?,
+                wall_nanos: row.req_u64("wall_nanos").map_err(|e| format!("shard {i}: {e}"))?,
+            });
+        }
+        Ok(FleetSummary {
+            tenants: v.req_u64("tenants")?,
+            shards: v.req_u64("shards")?,
+            budget: v.req_u64("budget")?,
+            seed: v.req_u64("seed")?,
+            snapshot_clone: v
+                .get("snapshot_clone")
+                .and_then(Json::as_bool)
+                .ok_or("missing or non-boolean `snapshot_clone`")?,
+            setup_nanos: v.req_u64("setup_nanos")?,
+            run_nanos: v.req_u64("run_nanos")?,
+            latency,
+            shard_rows,
+        })
+    }
+}
 
 /// One serialized run: scale, budget, and every job outcome.
 #[derive(Debug)]
@@ -35,6 +203,10 @@ pub struct BenchArtifact {
     pub host_mips: f64,
     /// Every job outcome, in matrix order.
     pub outcomes: Vec<JobOutcome>,
+    /// Fleet-serving summary when the artifact came from `repro fleet`;
+    /// `None` for matrix runs and for pre-fleet artifacts (the field is
+    /// tolerated-absent on read, so old baselines keep loading).
+    pub fleet: Option<FleetSummary>,
 }
 
 /// Aggregate host throughput in MIPS over the non-cached outcomes.
@@ -55,7 +227,7 @@ impl BenchArtifact {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let host_mips = aggregate_mips(&outcomes);
-        BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes }
+        BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes, fleet: None }
     }
 
     /// Default artifact filename, `BENCH_<unix-seconds>.json`.
@@ -121,7 +293,7 @@ impl BenchArtifact {
 
     /// Full JSON document, including volatile timing fields.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::str(ARTIFACT_SCHEMA)),
             ("created_unix".into(), Json::num(self.created_unix)),
             ("scale".into(), Json::str(self.scale.id())),
@@ -131,7 +303,11 @@ impl BenchArtifact {
                 "jobs".into(),
                 Json::Arr(self.outcomes.iter().map(Self::job_to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(fleet) = &self.fleet {
+            fields.push(("fleet".into(), fleet.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// The result-identity portion of the artifact: everything except
@@ -168,14 +344,26 @@ impl BenchArtifact {
         .to_pretty_string()
     }
 
-    /// Writes the artifact to `path`.
+    /// Writes the artifact to `path` via a sibling temp file + atomic
+    /// rename, so a reader (CI gates polling `bench-artifacts/`, a
+    /// concurrent `--compare`) never observes a torn document — the same
+    /// discipline as [`ResultCache::store`](crate::ResultCache::store).
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error message.
     pub fn write(&self, path: &Path) -> Result<(), String> {
-        std::fs::write(path, self.to_json().to_pretty_string())
-            .map_err(|e| format!("write {}: {e}", path.display()))
+        // Process id + per-process counter: unique even across threads
+        // of one process racing the same destination.
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, self.to_json().to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
     }
 
     /// Reads and validates an artifact.
@@ -211,7 +399,16 @@ impl BenchArtifact {
                 Self::job_from_json(j).map_err(|e| format!("{} job {i}: {e}", path.display()))?,
             );
         }
-        Ok(BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes })
+        // Absent in matrix runs and every pre-fleet artifact.
+        let fleet = match doc.get("fleet") {
+            Some(block) => {
+                Some(FleetSummary::from_json(block).map_err(|e| {
+                    format!("{} fleet block: {e}", path.display())
+                })?)
+            }
+            None => None,
+        };
+        Ok(BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes, fleet })
     }
 }
 
@@ -336,6 +533,117 @@ mod tests {
         let back = BenchArtifact::read(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert_eq!(back.host_mips, 0.0);
+    }
+
+    fn fleet_summary(tenants: u64) -> FleetSummary {
+        FleetSummary {
+            tenants,
+            shards: 2,
+            budget: 50_000,
+            seed: 42,
+            snapshot_clone: true,
+            setup_nanos: 1_000,
+            run_nanos: 9_000,
+            latency: LatencyPercentiles { p50: 100, p95: 200, p99: 300 },
+            shard_rows: vec![
+                ShardSummary {
+                    shard: 0,
+                    tenants_completed: tenants / 2,
+                    instructions: 5_000,
+                    virtual_cycles: 7_000,
+                    wall_nanos: 4_000,
+                },
+                ShardSummary {
+                    shard: 1,
+                    tenants_completed: tenants - tenants / 2,
+                    instructions: 6_000,
+                    virtual_cycles: 8_000,
+                    wall_nanos: 5_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fleet_block_roundtrips() {
+        let mut a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        a.fleet = Some(fleet_summary(16));
+        let back = write_read(&a, "fleet");
+        assert_eq!(back.fleet, a.fleet);
+        let f = back.fleet.unwrap();
+        assert_eq!(f.latency.p99, 300);
+        assert!(f.total_mips() > 0.0);
+        assert!(f.shard_rows[0].mips() > 0.0);
+    }
+
+    #[test]
+    fn fleet_block_is_tolerated_absent() {
+        // Matrix artifacts (and every pre-fleet baseline) carry no
+        // `fleet` key; they must keep loading unchanged.
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        let back = write_read(&a, "nofleet");
+        assert!(back.fleet.is_none());
+    }
+
+    #[test]
+    fn unknown_extra_fields_are_ignored() {
+        // A future artifact with additional top-level, per-job, and
+        // fleet-block fields must load on this reader (forward
+        // tolerance, mirroring the pre-fleet readers this PR must not
+        // break backward).
+        let mut a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        a.fleet = Some(fleet_summary(4));
+        let text = a.to_json().to_pretty_string();
+        // Splice unknown keys into each object by piggybacking on
+        // distinctive existing lines.
+        let text = text
+            .replacen("\"schema\"", "\"future_field\": [1, 2], \"schema\"", 1)
+            .replacen("\"workload\"", "\"job_extra\": {\"x\": true}, \"workload\"", 1)
+            .replacen("\"tenants\"", "\"fleet_extra\": \"y\", \"tenants\"", 1);
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-extra.json", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let back = BenchArtifact::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.outcomes.len(), 1);
+        assert_eq!(back.fleet, a.fleet);
+    }
+
+    #[test]
+    fn fleet_block_does_not_perturb_fingerprint() {
+        // The fingerprint compares matrix results; two runs differing
+        // only in an attached fleet summary stay equal.
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        let mut b = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        b.created_unix = a.created_unix;
+        b.fleet = Some(fleet_summary(8));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn write_is_atomic_under_racing_writers() {
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-atomic.json", std::process::id()));
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        let mut b = BenchArtifact::new(Scale::Test, 100, (0..4).map(|n| outcome(n, false)).collect());
+        b.created_unix = a.created_unix;
+        a.write(&path).unwrap();
+        let path = &path;
+        let (a, b) = (&a, &b);
+        std::thread::scope(|scope| {
+            for art in [a, b] {
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        art.write(path).unwrap();
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let seen = BenchArtifact::read(path).expect("never torn");
+                assert!(seen.outcomes.len() == 1 || seen.outcomes.len() == 4);
+            }
+        });
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

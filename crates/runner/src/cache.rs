@@ -154,6 +154,36 @@ mod tests {
     }
 
     #[test]
+    fn racing_writers_on_one_key_never_tear() {
+        // Two threads hammer the same key with *different* payloads
+        // while a reader polls. Temp-file + atomic rename means every
+        // observation is a complete entry — one of the two payloads in
+        // full — never a miss from a torn write. (A plain `fs::write`
+        // to the final path fails this test under load.)
+        let dir = tmpdir("race");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = JobKey(0xaa, 0xbb);
+        cache.store(&key, &cell(2)).unwrap();
+        let a = cell(2);
+        let b = cell(4096);
+        let cache = &cache;
+        std::thread::scope(|scope| {
+            for payload in [&a, &b] {
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        cache.store(&key, payload).unwrap();
+                    }
+                });
+            }
+            for _ in 0..400 {
+                let seen = cache.load(&key).expect("entry must never tear to a miss");
+                assert!(seen == a || seen == b, "torn entry: {seen:?}");
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn distinct_keys_do_not_collide() {
         let dir = tmpdir("distinct");
         let cache = ResultCache::open(&dir).unwrap();

@@ -280,4 +280,45 @@ mod tests {
         assert!(c.aggregate_ratio().is_infinite());
         assert!(c.passes(0.7));
     }
+
+    #[test]
+    fn content_key_drift_does_not_break_matching() {
+        // KEY_SCHEMA bumps (2 → 3 with the fleet subsystem) change every
+        // cell's content key; cross-run matching is by cell *name*, so a
+        // pre-fleet baseline still matches the same cells.
+        let base = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        let mut cur = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        cur.outcomes[0].spec.key = crate::job::JobKey(0xdead, 0xbeef);
+        assert_ne!(base.outcomes[0].spec.key, cur.outcomes[0].spec.key);
+        let c = compare(&base, &cur);
+        assert_eq!(c.cells.len(), 1, "cell must match despite the key drift");
+        assert!(c.only_base.is_empty() && c.only_current.is_empty());
+        assert!((c.aggregate_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_block_is_inert_in_comparison() {
+        // `--compare` of a fleet-era artifact against a pre-fleet
+        // baseline (or vice versa): the optional fleet block never
+        // participates in cell matching or the aggregate gate.
+        use crate::artifact::{FleetSummary, LatencyPercentiles};
+        let base = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        let mut cur = artifact(vec![outcome("fibo", 1000, 1000, false)]);
+        cur.fleet = Some(FleetSummary {
+            tenants: 16,
+            shards: 2,
+            budget: 50_000,
+            seed: 0,
+            snapshot_clone: true,
+            setup_nanos: 1,
+            run_nanos: 1,
+            latency: LatencyPercentiles { p50: 1, p95: 2, p99: 3 },
+            shard_rows: Vec::new(),
+        });
+        let with_fleet = compare(&base, &cur);
+        cur.fleet = None;
+        let without = compare(&base, &cur);
+        assert_eq!(with_fleet, without);
+        assert!(with_fleet.passes(0.99));
+    }
 }

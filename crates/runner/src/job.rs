@@ -10,7 +10,11 @@ use tarch_core::{CoreConfig, IsaLevel};
 /// History: `1` → `2` when [`CellResult`](crate::CellResult) grew the
 /// optional `trace` summary and `CoreConfig` the `trace` field (the
 /// config's `Debug` rendering — and with it every key — changed shape).
-pub const KEY_SCHEMA: u32 = 2;
+/// `2` → `3` with the fleet subsystem: the cache write path was hardened
+/// for concurrent writers and the artifact schema grew fleet summaries,
+/// so pre-fleet entries are retired wholesale rather than trusted to
+/// have been written race-free.
+pub const KEY_SCHEMA: u32 = 3;
 
 /// Which scripting engine runs the cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

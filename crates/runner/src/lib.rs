@@ -34,13 +34,15 @@ pub mod pairs;
 pub mod pool;
 pub mod result;
 
-pub use artifact::{BenchArtifact, ARTIFACT_SCHEMA};
+pub use artifact::{
+    BenchArtifact, FleetSummary, LatencyPercentiles, ShardSummary, ARTIFACT_SCHEMA,
+};
 pub use cache::ResultCache;
 pub use compare::{compare, CellDelta, Comparison};
 pub use job::{EngineKind, JobKey, JobSpec, Scale};
 pub use json::Json;
 pub use pool::{
-    run_jobs, ExecError, JobOutcome, RunConfig, RunReport, RunStats, RunnerError,
+    run_jobs, run_tasks, ExecError, JobOutcome, RunConfig, RunReport, RunStats, RunnerError,
     DEFAULT_STEP_BUDGET,
 };
 pub use result::CellResult;

@@ -325,6 +325,74 @@ where
     Ok(RunReport { outcomes, stats })
 }
 
+/// Runs `items` through `exec` on a worker pool and returns the results
+/// in item order.
+///
+/// The generic sibling of [`run_jobs`] — no cache, no step budgets, no
+/// error channel — used by `tarch-fleet` to execute one scheduling
+/// round's tenant slices in parallel. Workers claim item indices from a
+/// shared atomic counter, so a worker that drains its share immediately
+/// steals the next pending index (work stealing at the host level);
+/// results are reassembled by index, so the output is independent of
+/// which worker ran what, and — because each item is handed to `exec`
+/// by value, exactly once — `exec` may freely mutate its item (a tenant
+/// VM advancing by one slice) and hand it back as the result.
+///
+/// `workers == 0` resolves to one per available core, as in
+/// [`RunConfig::effective_workers`]; a single worker degenerates to an
+/// in-place serial loop with no threads spawned.
+pub fn run_tasks<T, R, F>(items: Vec<T>, workers: usize, exec: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Send + Sync,
+{
+    let total = items.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(total)
+    .max(1);
+    if workers == 1 {
+        return items.into_iter().enumerate().map(|(i, t)| exec(i, t)).collect();
+    }
+
+    // Hand each item to exactly one worker: slot `i` is locked once, by
+    // the worker that claimed index `i` from the counter.
+    let items: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let items = &items;
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let exec = &exec;
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(total, || None);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let item = items[i].lock().expect("task slot poisoned").take();
+                let item = item.expect("each index claimed exactly once");
+                if tx.send((i, exec(i, item))).is_err() {
+                    break; // collector gone; nothing left to do
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every task reports exactly once")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,5 +546,43 @@ mod tests {
         assert!(report.outcomes.is_empty());
         assert_eq!(report.stats.jobs, 0);
         assert!(!report.stats.summary().is_empty());
+    }
+
+    #[test]
+    fn run_tasks_preserves_order_and_moves_items() {
+        // Items are mutated in place and handed back; results must line
+        // up with submission order at any worker count.
+        let items: Vec<u64> = (0..64).collect();
+        let serial = run_tasks(items.clone(), 1, |i, v| (i as u64, v * 2));
+        let parallel = run_tasks(items, 7, |i, v| (i as u64, v * 2));
+        assert_eq!(serial, parallel);
+        for (i, (idx, doubled)) in serial.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*doubled, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn run_tasks_workers_run_concurrently() {
+        let started = Mutex::new(0usize);
+        let results = run_tasks(vec![(); 4], 4, |i, ()| {
+            *started.lock().unwrap() += 1;
+            let deadline = Instant::now() + std::time::Duration::from_secs(10);
+            while *started.lock().unwrap() < 4 {
+                assert!(Instant::now() < deadline, "workers not concurrent");
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_tasks_empty_and_oversubscribed() {
+        let empty: Vec<u32> = run_tasks(Vec::<u32>::new(), 8, |_, v| v);
+        assert!(empty.is_empty());
+        // More workers than items clamps to the item count.
+        let one = run_tasks(vec![9u32], 16, |_, v| v + 1);
+        assert_eq!(one, vec![10]);
     }
 }

@@ -108,6 +108,13 @@ impl<H: NativeHost> Machine<H> {
         &mut self.host
     }
 
+    /// Decomposes the machine into its core and host (tenant
+    /// construction in `tarch-fleet`, which drives the pair directly so
+    /// it can preempt at cycle deadlines).
+    pub fn into_parts(self) -> (Cpu, H) {
+        (self.cpu, self.host)
+    }
+
     /// Executes one instruction, servicing `ecall`s through the host.
     ///
     /// # Errors

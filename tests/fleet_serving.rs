@@ -1,0 +1,99 @@
+//! End-to-end fleet-serving tests over real Table 7 workloads: the
+//! sharded scheduler must be deterministic in everything but wall-clock,
+//! per-tenant counters must be bit-identical to serial fresh-VM
+//! execution regardless of slicing/stealing, and the fleet summary must
+//! round-trip through the `BENCH_*.json` artifact.
+
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::IsaLevel;
+use tarch_fleet::{
+    run_fleet, validate_against_serial, FleetConfig, FleetReport, TemplateSpec,
+};
+use tarch_runner::{BenchArtifact, EngineKind};
+
+fn specs() -> Vec<TemplateSpec> {
+    let spec = |name: &str, engine, level| TemplateSpec {
+        label: name.to_string(),
+        source: workloads::by_name(name).expect("known workload").source(Scale::Test),
+        engine,
+        level,
+    };
+    vec![
+        spec("fibo", EngineKind::Lua, IsaLevel::Typed),
+        spec("ackermann", EngineKind::Js, IsaLevel::Typed),
+        spec("n-sieve", EngineKind::Lua, IsaLevel::Baseline),
+    ]
+}
+
+fn cfg(tenants: usize, shards: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(tenants, shards, 25_000);
+    cfg.seed = 42;
+    cfg
+}
+
+/// Everything a fleet report must reproduce bit-for-bit across reruns
+/// and worker counts (i.e. all of it except host wall-clock).
+fn deterministic_view(r: &FleetReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.outcomes.clone(),
+        r.summary.latency,
+        r.summary
+            .shard_rows
+            .iter()
+            .map(|s| (s.shard, s.tenants_completed, s.instructions, s.virtual_cycles))
+            .collect::<Vec<_>>(),
+        r.rounds,
+        r.steals,
+    )
+}
+
+#[test]
+fn fleet_matches_serial_execution_over_real_workloads() {
+    let specs = specs();
+    let cfg = cfg(24, 4);
+    let report = run_fleet(&specs, &cfg).expect("fleet runs");
+    assert_eq!(report.outcomes.len(), 24);
+    assert!(report.rounds > 1, "budget too large to exercise preemption");
+    validate_against_serial(&report, &specs, &cfg).expect("bit-identical to serial");
+}
+
+#[test]
+fn schedule_is_a_pure_function_of_seed_not_workers() {
+    let specs = specs();
+    let mut cfg = cfg(18, 3);
+    cfg.workers = 1;
+    let one = run_fleet(&specs, &cfg).expect("fleet runs");
+    cfg.workers = 8;
+    let eight = run_fleet(&specs, &cfg).expect("fleet runs");
+    assert_eq!(deterministic_view(&one), deterministic_view(&eight));
+}
+
+#[test]
+fn snapshot_and_fresh_tenants_retire_identical_counters() {
+    let specs = specs();
+    let mut cfg = cfg(12, 2);
+    let snapshot = run_fleet(&specs, &cfg).expect("fleet runs");
+    cfg.snapshot_clone = false;
+    let fresh = run_fleet(&specs, &cfg).expect("fleet runs");
+    assert_eq!(deterministic_view(&snapshot), deterministic_view(&fresh));
+}
+
+#[test]
+fn fleet_summary_round_trips_through_the_artifact() {
+    let specs = specs();
+    let cfg = cfg(6, 2);
+    let report = run_fleet(&specs, &cfg).expect("fleet runs");
+
+    let mut artifact = BenchArtifact::new(Scale::Test, 1_000_000, Vec::new());
+    artifact.fleet = Some(report.summary.clone());
+    let path = std::env::temp_dir()
+        .join(format!("tarch-fleet-serving-{}.json", std::process::id()));
+    artifact.write(&path).expect("artifact writes");
+    let back = BenchArtifact::read(&path).expect("artifact reads");
+    std::fs::remove_file(&path).ok();
+
+    let fleet = back.fleet.expect("fleet block survives the round trip");
+    assert_eq!(fleet, report.summary);
+    assert_eq!(fleet.latency, report.summary.latency);
+    assert!(fleet.shard_rows.iter().all(|s| s.instructions > 0));
+}

@@ -208,6 +208,68 @@ fn lua_and_js_workload_counters_identical() {
     check_vm_equivalence("fibo");
 }
 
+/// Snapshot-clone leg of the matrix: for every fast-path configuration,
+/// a tenant stamped from a [`tarch_core::Snapshot`] — run undivided *and*
+/// run sliced into small preemption quanta — must retire exactly the
+/// counters of a freshly constructed VM running the same program. This
+/// is what makes `tarch-fleet`'s copy-on-write tenant stamping and
+/// cycle-budget scheduling architecturally invisible.
+#[test]
+fn snapshot_clone_runs_are_counter_identical() {
+    use tarch_fleet::{SliceOutcome, TemplateSpec, TenantTemplate};
+    use tarch_runner::EngineKind;
+
+    let src = workloads::by_name("fibo").expect("known workload").source(Scale::Test);
+    let level = tarch_core::IsaLevel::Typed;
+    for engine in EngineKind::ALL {
+        for variant in std::iter::once(REFERENCE).chain(VARIANTS) {
+            let core = config(variant);
+            let tag = format!("fibo: {} snapshot [{}]", engine.id(), variant.name);
+
+            // Fresh construction + undivided run through the engine driver.
+            let reference = match engine {
+                EngineKind::Lua => luart::LuaVm::from_source(&src, level, core)
+                    .and_then(|mut vm| vm.run(VM_STEPS))
+                    .map(|r| (r.counters, r.branch, r.output))
+                    .unwrap_or_else(|e| panic!("{tag}: {e}")),
+                EngineKind::Js => jsrt::JsVm::from_source(&src, level, core)
+                    .and_then(|mut vm| vm.run(VM_STEPS))
+                    .map(|r| (r.counters, r.branch, r.output))
+                    .unwrap_or_else(|e| panic!("{tag}: {e}")),
+            };
+
+            let spec = TemplateSpec {
+                label: tag.clone(),
+                source: src.clone(),
+                engine,
+                level,
+            };
+            let template = TenantTemplate::build(spec, core)
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+
+            // Snapshot clone, run undivided.
+            let mut clone = template.clone_tenant();
+            let mut steps = VM_STEPS;
+            clone.run_to_completion(&mut steps).unwrap_or_else(|e| panic!("{tag}: {e}"));
+            let undivided = (clone.counters(), clone.branch_stats(), clone.output().to_string());
+            assert_eq!(undivided, reference, "{tag}: undivided clone diverged");
+
+            // Snapshot clone, preempted into small cycle quanta.
+            let mut sliced = template.clone_tenant();
+            let mut steps = VM_STEPS;
+            let mut slices = 0u64;
+            while sliced.run_slice(10_000, &mut steps).unwrap_or_else(|e| panic!("{tag}: {e}"))
+                == SliceOutcome::Preempted
+            {
+                slices += 1;
+            }
+            assert!(slices > 1, "{tag}: budget too large to exercise preemption");
+            let resliced = (sliced.counters(), sliced.branch_stats(), sliced.output().to_string());
+            assert_eq!(resliced, reference, "{tag}: sliced clone diverged after {slices} slices");
+        }
+    }
+}
+
 #[test]
 fn helper_heavy_workload_counters_identical() {
     // string/table helpers go through `ecall`, whose native implementations
