@@ -1,0 +1,134 @@
+//! Host-performance A/B harness for tier-2 template compilation.
+//!
+//! Runs every default-matrix cell (11 workloads x 2 engines x 3 ISA
+//! levels) twice — tier 2 off and tier 2 on, everything else at the
+//! shipping default — interleaved round-robin so host load drift affects
+//! both arms equally. Per cell it reports the max-of-rounds simulated
+//! MIPS of each arm and their ratio, verifies the architectural counters
+//! are bit-identical between arms (tier 2 is a host-side fast path and
+//! must be invisible), and exits nonzero if the aggregate ratio shows a
+//! regression.
+//!
+//! Usage: tier2_ab [rounds] [--test-scale]
+
+use std::time::Instant;
+use tarch_bench::workloads::{self, Scale};
+use tarch_core::{BranchStats, CoreConfig, IsaLevel, PerfCounters};
+use tarch_runner::EngineKind;
+
+fn config(tier2: bool) -> CoreConfig {
+    CoreConfig { tier2, ..CoreConfig::paper() }
+}
+
+/// One cell of the matrix, with its per-arm best observed MIPS.
+struct Cell {
+    label: String,
+    mips: [f64; 2], // [tier2 off, tier2 on]
+}
+
+fn run_cell(
+    src: &str,
+    engine: EngineKind,
+    level: IsaLevel,
+    cfg: CoreConfig,
+    label: &str,
+) -> (f64, PerfCounters, BranchStats) {
+    let (counters, branch, secs) = match engine {
+        EngineKind::Lua => {
+            let mut vm = luart::LuaVm::from_source(src, level, cfg)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let start = Instant::now();
+            let r = vm.run(u64::MAX).unwrap_or_else(|e| panic!("{label}: {e}"));
+            (r.counters, r.branch, start.elapsed().as_secs_f64())
+        }
+        EngineKind::Js => {
+            let mut vm = jsrt::JsVm::from_source(src, level, cfg)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let start = Instant::now();
+            let r = vm.run(u64::MAX).unwrap_or_else(|e| panic!("{label}: {e}"));
+            (r.counters, r.branch, start.elapsed().as_secs_f64())
+        }
+    };
+    let mips = counters.instructions as f64 / secs / 1e6;
+    (mips, counters, branch)
+}
+
+fn main() {
+    let mut rounds = 3usize;
+    let mut scale = Scale::Default;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--test-scale" => scale = Scale::Test,
+            n => rounds = n.parse().expect("rounds"),
+        }
+    }
+
+    let specs: Vec<(String, String, EngineKind, IsaLevel)> = workloads::all()
+        .iter()
+        .flat_map(|w| {
+            let src = w.source(scale);
+            EngineKind::ALL.into_iter().flat_map(move |engine| {
+                let src = src.clone();
+                let name = w.name.to_string();
+                IsaLevel::ALL.into_iter().map(move |level| {
+                    (format!("{}/{}/{}", name, engine.id(), level.name()), src.clone(), engine, level)
+                })
+            })
+        })
+        .collect();
+    eprintln!("{} cells x 2 arms x {rounds} round(s) at scale {}", specs.len(), scale.id());
+
+    let mut cells: Vec<Cell> = specs
+        .iter()
+        .map(|(label, ..)| Cell { label: label.clone(), mips: [0.0; 2] })
+        .collect();
+
+    for round in 0..rounds {
+        eprintln!("round {round}...");
+        for (i, (label, src, engine, level)) in specs.iter().enumerate() {
+            let (off_mips, off_counters, off_branch) =
+                run_cell(src, *engine, *level, config(false), label);
+            let (on_mips, on_counters, on_branch) =
+                run_cell(src, *engine, *level, config(true), label);
+            assert_eq!(
+                on_counters, off_counters,
+                "{label}: tier-2 arm diverged architecturally"
+            );
+            assert_eq!(on_branch, off_branch, "{label}: branch stats diverged");
+            cells[i].mips[0] = cells[i].mips[0].max(off_mips);
+            cells[i].mips[1] = cells[i].mips[1].max(on_mips);
+        }
+    }
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>7}",
+        "cell", "tier1 MIPS", "tier2 MIPS", "ratio"
+    );
+    let mut regressions = 0usize;
+    let (mut sum_off, mut sum_on) = (0.0f64, 0.0f64);
+    for c in &cells {
+        let ratio = c.mips[1] / c.mips[0];
+        sum_off += c.mips[0];
+        sum_on += c.mips[1];
+        let marker = if ratio < 1.0 { "  <-- regression" } else { "" };
+        if ratio < 1.0 {
+            regressions += 1;
+        }
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>6.2}x{marker}",
+            c.label, c.mips[0], c.mips[1], ratio
+        );
+    }
+    let n = cells.len() as f64;
+    println!(
+        "\naggregate (mean per-cell MIPS): {:.1} -> {:.1} ({:.2}x), {} cell(s) below 1.0x",
+        sum_off / n,
+        sum_on / n,
+        sum_on / sum_off,
+        regressions,
+    );
+    if sum_on <= sum_off {
+        eprintln!("tier-2 aggregate regression");
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,8 @@
 //!                           instead of throughput measurement
 //!   --no-fuse               disable macro-op fusion in the simulated core
 //!   --no-chain              disable basic-block chaining in the core
+//!   --no-tier2              disable tier-2 template compilation of hot
+//!                           blocks (the tier-1 interpreter runs everything)
 //!   --tenants N             (fleet) concurrent tenant count (default 16)
 //!   --shards N              (fleet) scheduler shard count (default 4)
 //!   --budget N              (fleet) per-tenant cycle budget per slice
@@ -89,6 +91,7 @@ struct Opts {
     profile_pairs: bool,
     no_fuse: bool,
     no_chain: bool,
+    no_tier2: bool,
     tenants: usize,
     shards: usize,
     budget: u64,
@@ -112,6 +115,7 @@ impl Opts {
         CoreConfig {
             fuse: !self.no_fuse,
             chain_blocks: !self.no_chain,
+            tier2: !self.no_tier2,
             ..CoreConfig::paper()
         }
     }
@@ -120,7 +124,7 @@ impl Opts {
 const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench\
                      |trace CELL|fleet MIX> \
                      [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
-                     [--profile-pairs] [--no-fuse] [--no-chain] \
+                     [--profile-pairs] [--no-fuse] [--no-chain] [--no-tier2] \
                      [--tenants N] [--shards N] [--budget N] [--seed N] [--fresh] [--validate] \
                      [--sample-period N] [--trace-out PATH] \
                      [--emit-json PATH] [--out DIR] [--from-json PATH] [--compare PATH] \
@@ -138,6 +142,7 @@ fn main() -> ExitCode {
         profile_pairs: false,
         no_fuse: false,
         no_chain: false,
+        no_tier2: false,
         tenants: 16,
         shards: 4,
         budget: 50_000,
@@ -181,6 +186,7 @@ fn main() -> ExitCode {
                 "--profile-pairs" => opts.profile_pairs = true,
                 "--no-fuse" => opts.no_fuse = true,
                 "--no-chain" => opts.no_chain = true,
+                "--no-tier2" => opts.no_tier2 = true,
                 "--tenants" => {
                     opts.tenants = value(a)?
                         .parse()
@@ -571,6 +577,10 @@ fn render_trace(
     let syms = report::SymbolTable::new(symbols.iter().map(|(n, a)| (n.clone(), *a)));
     println!("trace of {label}:");
     print!("{}", report::hot_pc_table(&summary, &syms));
+    if !summary.hot_blocks.is_empty() {
+        println!();
+        print!("{}", report::hot_block_table(&summary, &syms));
+    }
     println!("{} metric window(s) captured", summary.windows.len());
     if let Some(path) = out {
         let tracer = cpu.tracer().expect("tracer present after finish_trace");

@@ -1,0 +1,1284 @@
+//! Tier-2 code generation: the emitter-trait split and the template
+//! backend that compiles hot blocks into host-side specialized closures.
+//!
+//! The basic-block engine (PRs 3–4) executes a cached `[BlockOp]` run
+//! through a per-op `match` in `Cpu::run_blocks` — tier 1. This module
+//! is the next rung of the tiering ladder: the per-op walk over a block
+//! is factored behind the [`CodeGenerator`] trait (one emit method per
+//! `BlockOp` shape, in the style of aivm's `CodeGeneratorImpl`, with an
+//! interpreter backend and a compiled backend co-existing), and hot
+//! blocks are *compiled* — once per block, off the hot path — into a
+//! single nested closure per block:
+//!
+//! * **constants folded**: each op's guest pc, fall-through pc,
+//!   destructured instruction fields (register indices, immediates,
+//!   widths), and retired-instruction count are captured constants —
+//!   the per-execution `match op`, the `else { unreachable!() }`
+//!   destructuring, and the running `ipc`/`executed` bookkeeping are
+//!   all gone;
+//! * **statically-dead checks dropped**: the same legality analysis
+//!   that justifies macro-op fusion (`fuse_pair`/`safe_one` in
+//!   `blocks.rs`) justifies dropping the trap checkpoint, stop, and
+//!   fall-through checks where an op provably cannot need them, and
+//!   the budget-clip test disappears entirely (a clipped entry never
+//!   tiers up — it takes the tier-1 loop, which can stop mid-block);
+//! * **fetch spans resolved at compile time**: whether an op's fetch
+//!   lands in the same I-cache line as the previous fetch is a static
+//!   property of the block's pcs, so the per-fetch span compare
+//!   ([`Fetch::Same`]/[`Fetch::New`]) is decided once at compile time;
+//!   only a block's *first* fetch keeps the runtime compare
+//!   ([`Fetch::Dynamic`]), because the span batch persists across
+//!   block boundaries.
+//!
+//! Everything architectural is unchanged: the templates call the same
+//! `exec_*` helpers and apply the same charges in the same order as the
+//! tier-1 arms, so counters stay bit-identical (pinned by
+//! `tests/predecode_equiv.rs` across the tier-2 legs of the matrix).
+//!
+//! ## Deoptimization contract (DESIGN.md invariant 8)
+//!
+//! A compiled body is valid exactly as long as the `[BlockOp]` run it
+//! was generated from. It lives in the block-table entry next to that
+//! run and dies with it: dropped on rebuild ([`Block::default`] after a
+//! changed-word revalidation), on reinstall, and on flush; it
+//! *survives* an in-place revalidation, because unchanged words mean
+//! unchanged ops mean the templates still describe the text. Mid-block
+//! invalidation (a store out of the running block, SMC or host-precise)
+//! is handled like tier 1 handles it — the generation re-check after
+//! every storing component — except the compiled body cannot fall back
+//! to interpreting its own tail: it exits with [`Tier2Exit::Deopt`] at
+//! the next instruction boundary and the tier-1 driver re-enters
+//! through a fresh lookup, which revalidates or rebuilds.
+
+use crate::blocks::BlockOp;
+use crate::cpu::{Cpu, StepEvent, Trap};
+use std::fmt;
+use std::sync::Arc;
+use tarch_isa::Instruction;
+
+/// Span-batch state shared between the tier-1 block loop and compiled
+/// tier-2 bodies, plus the generation snapshot the current block entered
+/// with. Lives in `Cpu::run_blocks_until`'s frame — the deferred
+/// same-line fetch batch persists *across* block boundaries, so both
+/// tiers must read and write the same instance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tier2Ctx {
+    /// I-cache line (pc >> line_shift) the last real fetch charge
+    /// opened; `u64::MAX` forces the next fetch to charge.
+    pub(crate) cur_span: u64,
+    /// Address of that real fetch (the batched hits are applied at it).
+    pub(crate) span_addr: u64,
+    /// Deferred same-line fetch hits accumulated since.
+    pub(crate) pending: u64,
+    /// Block-table generation snapshotted at block entry; a moved
+    /// generation mid-block means the text under the block may have
+    /// changed.
+    pub(crate) entry_gen: u64,
+}
+
+impl Tier2Ctx {
+    /// Fresh state: no line open, nothing pending.
+    pub(crate) fn new() -> Tier2Ctx {
+        Tier2Ctx { cur_span: u64::MAX, span_addr: 0, pending: 0, entry_gen: 0 }
+    }
+}
+
+/// How a compiled block handed control back to the tier-1 driver loop.
+///
+/// Kept two-registers small (the trap payload is boxed): this value is
+/// returned through every frame of a block's closure chain, and a
+/// memory-returned aggregate would put a hidden out-pointer store on
+/// the per-instruction hot path. The box costs one allocation on the
+/// trap path only — at most once per `run`.
+#[derive(Debug, Clone)]
+pub(crate) enum Tier2Exit {
+    /// The block exited normally (ran to its end, or redirected through
+    /// a conditional handler/`tchk` miss). `executed` retired
+    /// instructions; `pc` points at the successor.
+    Done {
+        /// Instructions retired before the exit.
+        executed: u64,
+    },
+    /// An `ecall`/`halt` retired: the driver must return the event.
+    /// Counters are already fully up to date (the stopping instruction's
+    /// charges landed before the body returned), so no retire count
+    /// rides along.
+    Stop {
+        /// The stopping event.
+        event: StepEvent,
+    },
+    /// An instruction trapped.
+    Trap(Box<TrapExit>),
+    /// The block-table generation moved mid-block (SMC or a precise
+    /// host store): the compiled body abandoned its cached decode at
+    /// the instruction boundary, exactly where tier 1 would, and the
+    /// driver re-enters through a fresh lookup.
+    Deopt {
+        /// Instructions retired before deoptimizing.
+        executed: u64,
+    },
+}
+
+/// Payload of [`Tier2Exit::Trap`].
+#[derive(Debug, Clone)]
+pub(crate) struct TrapExit {
+    /// The architectural trap.
+    pub(crate) trap: Trap,
+    /// `counters.cycles` value the stepwise path would have left (the
+    /// `now` before the faulting instruction's charges).
+    pub(crate) checkpoint: u64,
+}
+
+/// Builds the (cold, boxing) trap exit.
+#[cold]
+fn trap_exit(trap: Trap, checkpoint: u64) -> Tier2Exit {
+    Tier2Exit::Trap(Box::new(TrapExit { trap, checkpoint }))
+}
+
+/// A block compiled to a host closure: the tier-2 execution unit.
+/// Cheap to clone (shared body); stored in the block-table entry it was
+/// compiled from and handed out on [`BlockRun`](crate::blocks::BlockRun).
+#[derive(Clone)]
+pub(crate) struct CompiledBlock {
+    body: Arc<BlockBody>,
+}
+
+/// The closure type a block compiles to (unsized; always behind the
+/// body's `Arc` or a template's [`Cont`] box).
+type BlockBody = dyn Fn(&mut Cpu, &mut Tier2Ctx) -> Tier2Exit + Send + Sync;
+
+impl CompiledBlock {
+    /// Executes the block body.
+    #[inline]
+    pub(crate) fn run(&self, cpu: &mut Cpu, ctx: &mut Tier2Ctx) -> Tier2Exit {
+        (self.body)(cpu, ctx)
+    }
+}
+
+impl fmt::Debug for CompiledBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CompiledBlock")
+    }
+}
+
+mod private {
+    use super::Instruction;
+
+    /// The emitter interface proper: one method per [`BlockOp`] shape,
+    /// called by [`generate`](super::generate) in block order with each
+    /// op's entry pc. Lives in a private module so the set of backends
+    /// is closed (the aivm-style seal): downstream crates can name
+    /// [`CodeGenerator`](super::CodeGenerator) but not implement it.
+    pub trait CodeGeneratorImpl {
+        /// What the backend produces for a whole block.
+        type Output;
+
+        /// Called once before the first emit with the block's entry pc.
+        fn begin(&mut self, entry_pc: u64) {
+            let _ = entry_pc;
+        }
+
+        /// Generic single instruction (full inter-instruction checks).
+        fn emit_one(&mut self, pc: u64, instr: Instruction);
+        /// Single instruction that cannot trap, redirect, store, or stop.
+        fn emit_one_safe(&mut self, pc: u64, instr: Instruction);
+        /// Single integer load (may trap; never redirects/stores/stops).
+        fn emit_one_load(&mut self, pc: u64, instr: Instruction);
+        /// Single integer store (may trap; may invalidate blocks).
+        fn emit_one_store(&mut self, pc: u64, instr: Instruction);
+        /// Single conditional branch (block-final).
+        fn emit_one_branch(&mut self, pc: u64, instr: Instruction);
+        /// Single direct jump (block-final).
+        fn emit_one_jal(&mut self, pc: u64, instr: Instruction);
+        /// Single indirect jump (block-final).
+        fn emit_one_jalr(&mut self, pc: u64, instr: Instruction);
+        /// Fused ALU-class + ALU-class pair.
+        fn emit_alu_pair(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused ALU-class + load pair.
+        fn emit_alu_load(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused load + ALU-class pair.
+        fn emit_load_alu(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused ALU-class + branch pair (block-final).
+        fn emit_alu_branch(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused ALU-class + `jal` pair (block-final).
+        fn emit_alu_jal(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused load + `jalr` dispatch pair (block-final).
+        fn emit_load_jalr(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused ALU-class + store pair.
+        fn emit_alu_store(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused load + store pair.
+        fn emit_load_store(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused load + load pair.
+        fn emit_load_load(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused store + ALU-class pair (inter-component generation
+        /// re-check).
+        fn emit_store_alu(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused store + `jal` pair (block-final; inter-component
+        /// generation re-check).
+        fn emit_store_jal(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused `tld` + `tchk` pair (the check may redirect).
+        fn emit_tld_tchk(&mut self, pc: u64, a: Instruction, b: Instruction);
+        /// Fused `tget` + branch pair (block-final).
+        fn emit_tget_branch(&mut self, pc: u64, a: Instruction, b: Instruction);
+
+        /// Consumes the generator and returns the block's compiled form.
+        fn finish(self) -> Self::Output;
+    }
+}
+
+/// A backend that lowers one basic block, emit call by emit call.
+///
+/// Two backends co-exist (the tiering split this trait carries; both
+/// are crate-private, like the trait's emit surface):
+///
+/// * `InterpreterGen` — tier 1: its "code" is the `Arc<[BlockOp]>`
+///   run the block engine's per-op `match` loop walks;
+/// * `TemplateGen` — tier 2: per-op closure templates with constants
+///   folded in, composed into one `CompiledBlock` body.
+///
+/// Sealed (the emit surface lives on a private supertrait), so the
+/// backend set — and with it the bit-identical-counters obligation —
+/// stays inside this crate.
+pub trait CodeGenerator: private::CodeGeneratorImpl {}
+
+impl<G: private::CodeGeneratorImpl> CodeGenerator for G {}
+
+/// Drives a backend over a block's (possibly fused) op run: walks the
+/// ops in order, dispatching each to its emit method with the op's
+/// guest pc, then finishes the backend. This is the *only* place the
+/// per-op shape dispatch happens for a compiled block — at build time,
+/// never at execution time.
+pub(crate) fn generate<G: CodeGenerator>(mut g: G, entry_pc: u64, ops: &[BlockOp]) -> G::Output {
+    g.begin(entry_pc);
+    let mut pc = entry_pc;
+    for &op in ops {
+        match op {
+            BlockOp::One(i) => g.emit_one(pc, i),
+            BlockOp::OneSafe(i) => g.emit_one_safe(pc, i),
+            BlockOp::OneLoad(i) => g.emit_one_load(pc, i),
+            BlockOp::OneStore(i) => g.emit_one_store(pc, i),
+            BlockOp::OneBranch(i) => g.emit_one_branch(pc, i),
+            BlockOp::OneJal(i) => g.emit_one_jal(pc, i),
+            BlockOp::OneJalr(i) => g.emit_one_jalr(pc, i),
+            BlockOp::AluPair(a, b) => g.emit_alu_pair(pc, a, b),
+            BlockOp::AluLoad(a, b) => g.emit_alu_load(pc, a, b),
+            BlockOp::LoadAlu(a, b) => g.emit_load_alu(pc, a, b),
+            BlockOp::AluBranch(a, b) => g.emit_alu_branch(pc, a, b),
+            BlockOp::AluJal(a, b) => g.emit_alu_jal(pc, a, b),
+            BlockOp::LoadJalr(a, b) => g.emit_load_jalr(pc, a, b),
+            BlockOp::AluStore(a, b) => g.emit_alu_store(pc, a, b),
+            BlockOp::LoadStore(a, b) => g.emit_load_store(pc, a, b),
+            BlockOp::LoadLoad(a, b) => g.emit_load_load(pc, a, b),
+            BlockOp::StoreAlu(a, b) => g.emit_store_alu(pc, a, b),
+            BlockOp::StoreJal(a, b) => g.emit_store_jal(pc, a, b),
+            BlockOp::TldTchk(a, b) => g.emit_tld_tchk(pc, a, b),
+            BlockOp::TgetBranch(a, b) => g.emit_tget_branch(pc, a, b),
+        }
+        pc = pc.wrapping_add(4 * op.width());
+    }
+    g.finish()
+}
+
+/// Tier-1 backend: collects the ops verbatim into the `Arc<[BlockOp]>`
+/// run that `BlockTable::install` caches and the block engine's per-op
+/// loop executes. Exists so *every* block, both tiers, flows through
+/// the same [`CodeGenerator`] surface — the interpreter is just the
+/// backend whose generated code is its own input.
+#[derive(Debug, Default)]
+pub(crate) struct InterpreterGen {
+    ops: Vec<BlockOp>,
+}
+
+macro_rules! collect_one {
+    ($method:ident, $variant:ident) => {
+        fn $method(&mut self, _pc: u64, instr: Instruction) {
+            self.ops.push(BlockOp::$variant(instr));
+        }
+    };
+}
+
+macro_rules! collect_pair {
+    ($method:ident, $variant:ident) => {
+        fn $method(&mut self, _pc: u64, a: Instruction, b: Instruction) {
+            self.ops.push(BlockOp::$variant(a, b));
+        }
+    };
+}
+
+impl private::CodeGeneratorImpl for InterpreterGen {
+    type Output = Arc<[BlockOp]>;
+
+    collect_one!(emit_one, One);
+    collect_one!(emit_one_safe, OneSafe);
+    collect_one!(emit_one_load, OneLoad);
+    collect_one!(emit_one_store, OneStore);
+    collect_one!(emit_one_branch, OneBranch);
+    collect_one!(emit_one_jal, OneJal);
+    collect_one!(emit_one_jalr, OneJalr);
+    collect_pair!(emit_alu_pair, AluPair);
+    collect_pair!(emit_alu_load, AluLoad);
+    collect_pair!(emit_load_alu, LoadAlu);
+    collect_pair!(emit_alu_branch, AluBranch);
+    collect_pair!(emit_alu_jal, AluJal);
+    collect_pair!(emit_load_jalr, LoadJalr);
+    collect_pair!(emit_alu_store, AluStore);
+    collect_pair!(emit_load_store, LoadStore);
+    collect_pair!(emit_load_load, LoadLoad);
+    collect_pair!(emit_store_alu, StoreAlu);
+    collect_pair!(emit_store_jal, StoreJal);
+    collect_pair!(emit_tld_tchk, TldTchk);
+    collect_pair!(emit_tget_branch, TgetBranch);
+
+    fn finish(self) -> Arc<[BlockOp]> {
+        Arc::from(self.ops)
+    }
+}
+
+/// One instruction fetch as the templates see it, classified at compile
+/// time against the previous fetch in the same block.
+#[derive(Debug, Clone, Copy)]
+enum Fetch {
+    /// First fetch of the block: the open span is whatever the previous
+    /// block left behind, so the compare stays dynamic (exactly the
+    /// tier-1 `span_charge!`).
+    Dynamic {
+        /// Fetch address.
+        addr: u64,
+        /// Its I-cache-line span.
+        span: u64,
+    },
+    /// Statically the same line as the previous fetch: the compare is
+    /// statically true, the fetch is a guaranteed deferred hit.
+    ///
+    /// Sound inductively: only fetch charges touch the span state
+    /// inside a block, and after *any* fetch (all three kinds) the open
+    /// span equals that fetch's span — so "same line as the previous
+    /// fetch" implies "same line as the open span" at run time.
+    Same,
+    /// Statically a new line: the compare is statically false — flush
+    /// the batch and charge the real fetch unconditionally.
+    New {
+        /// Fetch address.
+        addr: u64,
+        /// Its I-cache-line span.
+        span: u64,
+    },
+}
+
+/// Applies one planned fetch. The `plan` is a captured constant per
+/// template, so the kind match is a per-site fixed branch.
+#[inline(always)]
+fn fetch(cpu: &mut Cpu, ctx: &mut Tier2Ctx, plan: Fetch) {
+    match plan {
+        Fetch::Same => ctx.pending += 1,
+        Fetch::New { addr, span } => open_line(cpu, ctx, addr, span),
+        Fetch::Dynamic { addr, span } => {
+            if span == ctx.cur_span {
+                ctx.pending += 1;
+            } else {
+                open_line(cpu, ctx, addr, span);
+            }
+        }
+    }
+}
+
+/// Flushes the deferred batch and charges a real fetch at `addr`,
+/// opening its line as the new span.
+#[inline]
+fn open_line(cpu: &mut Cpu, ctx: &mut Tier2Ctx, addr: u64, span: u64) {
+    if ctx.pending > 0 {
+        cpu.apply_fetch_hits(ctx.span_addr, ctx.pending);
+        ctx.pending = 0;
+    }
+    cpu.charge_fetch(addr);
+    ctx.cur_span = span;
+    ctx.span_addr = addr;
+}
+
+/// A compiled block body under construction: each template wraps the
+/// continuation that runs the rest of the block.
+type Cont = Box<BlockBody>;
+
+/// One op's template factory: given the rest of the block, produce the
+/// closure that runs this op and then (on fall-through) the rest.
+type Template = Box<dyn FnOnce(Cont) -> Cont>;
+
+/// Tier-2 backend: compiles a block into one [`CompiledBlock`] closure
+/// chain. Each emit call captures that op's constants (pcs, fields,
+/// retired counts, fetch plans) into a template; [`finish`] composes
+/// the templates back to front so op *k*'s closure tail-calls op
+/// *k*+1's directly — no loop, no dispatch, no shared bookkeeping.
+///
+/// Two per-op costs the tier-1 loop cannot avoid are *deferred to the
+/// block's exits* here, because the exits are the only points the
+/// driver (or anything architectural) can observe them:
+///
+/// * **`counters.instructions`** — each exit path adds the exact
+///   retired-so-far count as one captured constant instead of a
+///   read-modify-write per instruction. The deferral is flushed before
+///   anything that could read the counter mid-block: the generic
+///   `execute` templates charge their cumulative constant *before*
+///   executing (`csrr instret` and `ecall` helper accounting observe an
+///   exact count, and a faulting instruction is counted, exactly like
+///   the stepwise path).
+/// * **`cpu.pc`** — the `exec_*` helpers never read the pc (they take
+///   it as a parameter), so the per-op fall-through store is dead
+///   between templates. Only exits write it: traps set the faulting pc,
+///   deopts the resume pc, redirects the target, and the fall-off-the-
+///   end tail writes the block's end pc once.
+///
+/// [`finish`]: private::CodeGeneratorImpl::finish
+pub(crate) struct TemplateGen {
+    /// `log2(icache line bytes)` — fetch spans are static per config.
+    line_shift: u32,
+    /// Span of the previous fetch emitted in this block, for the static
+    /// same-line classification (`None` before the first fetch).
+    prev_span: Option<u64>,
+    /// Block entry pc (for the end-pc the tail template writes).
+    entry: u64,
+    /// Instructions retired once all emitted ops have run.
+    executed: u64,
+    /// Retired instructions not yet flushed into
+    /// `counters.instructions` when the *next* template begins.
+    deferred: u64,
+    parts: Vec<Template>,
+}
+
+impl TemplateGen {
+    /// A generator for a core whose I-cache lines are
+    /// `1 << line_shift` bytes.
+    pub(crate) fn new(line_shift: u32) -> TemplateGen {
+        TemplateGen {
+            line_shift,
+            prev_span: None,
+            entry: 0,
+            executed: 0,
+            deferred: 0,
+            parts: Vec::new(),
+        }
+    }
+
+    /// Classifies the fetch at `addr` against the previous fetch.
+    fn plan(&mut self, addr: u64) -> Fetch {
+        let span = addr >> self.line_shift;
+        let plan = match self.prev_span {
+            None => Fetch::Dynamic { addr, span },
+            Some(prev) if prev == span => Fetch::Same,
+            Some(_) => Fetch::New { addr, span },
+        };
+        self.prev_span = Some(span);
+        plan
+    }
+}
+
+impl private::CodeGeneratorImpl for TemplateGen {
+    type Output = CompiledBlock;
+
+    fn begin(&mut self, entry_pc: u64) {
+        self.entry = entry_pc;
+    }
+
+    fn emit_one(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        let done = self.executed;
+        let fall = pc.wrapping_add(4);
+        match instr {
+            // The typed-ISA hot ops redirect (type/overflow miss →
+            // `R_hdl`) but never trap, store, or stop: only the
+            // fall-through compare survives.
+            Instruction::Typed { op, rd, rs1, rs2 } => {
+                let flush = self.deferred + 1;
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        let next = cpu.exec_typed(pc, op, rd, rs1, rs2);
+                        if next != fall {
+                            cpu.pc = next;
+                            cpu.counters.instructions += flush;
+                            return Tier2Exit::Done { executed: done };
+                        }
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Chklb { rd, rs1, imm } => {
+                let flush = self.deferred + 1;
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        let next = cpu.exec_chklb(pc, rd, rs1, imm);
+                        if next != fall {
+                            cpu.pc = next;
+                            cpu.counters.instructions += flush;
+                            return Tier2Exit::Done { executed: done };
+                        }
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            // FP load: may trap, never redirects or stores.
+            Instruction::FpLoad { rd, rs1, imm } => {
+                let flush = self.deferred + 1;
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        let checkpoint = cpu.now;
+                        fetch(cpu, ctx, f);
+                        if let Err(trap) = cpu.exec_fp_load(pc, rd, rs1, imm) {
+                            cpu.pc = pc;
+                            cpu.counters.instructions += flush;
+                            return trap_exit(trap, checkpoint);
+                        }
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            // FP / tagged stores: may trap, and may invalidate blocks —
+            // same shape as the integer-store template.
+            Instruction::FpStore { rs2, rs1, imm } => {
+                let flush = self.deferred + 1;
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        let checkpoint = cpu.now;
+                        fetch(cpu, ctx, f);
+                        if let Err(trap) = cpu.exec_fp_store(pc, rs2, rs1, imm) {
+                            cpu.pc = pc;
+                            cpu.counters.instructions += flush;
+                            return trap_exit(trap, checkpoint);
+                        }
+                        if cpu.blocks.generation() != ctx.entry_gen {
+                            cpu.pc = fall;
+                            cpu.counters.instructions += flush;
+                            return Tier2Exit::Deopt { executed: done };
+                        }
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Tsd { rs2, rs1, imm } => {
+                let flush = self.deferred + 1;
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        let checkpoint = cpu.now;
+                        fetch(cpu, ctx, f);
+                        if let Err(trap) = cpu.exec_tsd(pc, rs2, rs1, imm) {
+                            cpu.pc = pc;
+                            cpu.counters.instructions += flush;
+                            return trap_exit(trap, checkpoint);
+                        }
+                        if cpu.blocks.generation() != ctx.entry_gen {
+                            cpu.pc = fall;
+                            cpu.counters.instructions += flush;
+                            return Tier2Exit::Deopt { executed: done };
+                        }
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            // Everything else (`ecall`, `setspr`, `csrr`, `flushtrt`,
+            // `tchk`…) goes through `execute`, which can reach anything
+            // — `csrr instret`, an `ecall` helper — so the deferred
+            // instruction charges (including this op's own) land before
+            // it runs, exactly like stepwise.
+            _ => {
+                let flush = self.deferred + 1;
+                self.deferred = 0;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        let checkpoint = cpu.now;
+                        fetch(cpu, ctx, f);
+                        cpu.counters.instructions += flush;
+                        let event = match cpu.execute(pc, instr) {
+                            Ok(event) => event,
+                            Err(trap) => return trap_exit(trap, checkpoint),
+                        };
+                        if event != StepEvent::Retired {
+                            return Tier2Exit::Stop { event };
+                        }
+                        if cpu.blocks.generation() != ctx.entry_gen {
+                            return Tier2Exit::Deopt { executed: done };
+                        }
+                        if cpu.pc != fall {
+                            return Tier2Exit::Done { executed: done };
+                        }
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+        }
+    }
+
+    fn emit_one_safe(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        match instr {
+            // The common safe class gets fully folded, variant-resolved
+            // templates: no dispatch, no pc store, no counter traffic.
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_alu(op, rd, rs1, rs2);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_alu_imm(op, rd, rs1, imm);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Lui { rd, imm } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_lui(rd, imm);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Fpu { op, rd, rs1, rs2 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_fpu(op, rd, rs1, rs2);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::FpCmp { op, rd, rs1, rs2 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_fp_cmp(op, rd, rs1, rs2);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::FcvtDL { rd, rs1 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_fcvt_dl(rd, rs1);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::FcvtLD { rd, rs1 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_fcvt_ld(rd, rs1);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::FmvXD { rd, rs1 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_fmv_xd(rd, rs1);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::FmvDX { rd, rs1 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_fmv_dx(rd, rs1);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Tget { rd, rs1 } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_tget(rd, rs1);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Tset { rs1, rd } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_tset(rs1, rd);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            Instruction::Thdl { offset } => {
+                self.deferred += 1;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.exec_thdl(pc, offset);
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+            // The rest (`csrr`, `flushtrt`) go through `execute`, which
+            // sets the pc itself and may *read* the instruction counter
+            // (`csrr instret`) — flush first.
+            _ => {
+                let flush = self.deferred + 1;
+                self.deferred = 0;
+                self.parts.push(Box::new(move |cont| {
+                    Box::new(move |cpu, ctx| {
+                        fetch(cpu, ctx, f);
+                        cpu.counters.instructions += flush;
+                        let result = cpu.execute(pc, instr);
+                        debug_assert!(
+                            matches!(result, Ok(StepEvent::Retired)),
+                            "safe_one misclassification"
+                        );
+                        let _ = result;
+                        cont(cpu, ctx)
+                    })
+                }));
+            }
+        }
+    }
+
+    fn emit_one_load(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        let flush = self.deferred + 1; // trap path: faulting op counted
+        self.deferred += 1;
+        let Instruction::Load { width, signed, rd, rs1, imm } = instr else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, f);
+                if let Err(trap) = cpu.exec_load(pc, width, signed, rd, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush;
+                    return trap_exit(trap, checkpoint);
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_one_store(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        let done = self.executed;
+        let flush = self.deferred + 1;
+        self.deferred += 1;
+        let next = pc.wrapping_add(4);
+        let Instruction::Store { width, rs2, rs1, imm } = instr else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, f);
+                if let Err(trap) = cpu.exec_store(pc, width, rs2, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush;
+                    return trap_exit(trap, checkpoint);
+                }
+                if cpu.blocks.generation() != ctx.entry_gen {
+                    cpu.pc = next;
+                    cpu.counters.instructions += flush;
+                    return Tier2Exit::Deopt { executed: done };
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_one_branch(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        let done = self.executed;
+        let flush = self.deferred + 1;
+        self.deferred = 0;
+        let Instruction::Branch { cond, rs1, rs2, offset } = instr else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, f);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_branch(pc, cond, rs1, rs2, offset);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_one_jal(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        let done = self.executed;
+        let flush = self.deferred + 1;
+        self.deferred = 0;
+        let Instruction::Jal { rd, offset } = instr else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, f);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_jal(pc, rd, offset);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_one_jalr(&mut self, pc: u64, instr: Instruction) {
+        let f = self.plan(pc);
+        self.executed += 1;
+        let done = self.executed;
+        let flush = self.deferred + 1;
+        self.deferred = 0;
+        let Instruction::Jalr { rd, rs1, imm } = instr else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, f);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_jalr(pc, rd, rs1, imm);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_alu_pair(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        self.deferred += 2;
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, fa);
+                cpu.exec_alu_class(a);
+                fetch(cpu, ctx, fb);
+                cpu.exec_alu_class(b);
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_alu_load(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let flush2 = self.deferred + 2; // trap at b: a retired, b counted
+        self.deferred += 2;
+        let Instruction::Load { width, signed, rd, rs1, imm } = b else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, fa);
+                cpu.exec_alu_class(a);
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fb);
+                if let Err(trap) = cpu.exec_load(bpc, width, signed, rd, rs1, imm) {
+                    cpu.pc = bpc; // stepwise leaves pc at the faulting load
+                    cpu.counters.instructions += flush2;
+                    return trap_exit(trap, checkpoint);
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_load_alu(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let flush1 = self.deferred + 1; // trap at a: only a counted
+        self.deferred += 2;
+        let Instruction::Load { width, signed, rd, rs1, imm } = a else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_load(pc, width, signed, rd, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                fetch(cpu, ctx, fb);
+                cpu.exec_alu_class(b);
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_alu_branch(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush = self.deferred + 2;
+        self.deferred = 0;
+        let Instruction::Branch { cond, rs1, rs2, offset } = b else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, fa);
+                cpu.exec_alu_class(a);
+                fetch(cpu, ctx, fb);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_branch(bpc, cond, rs1, rs2, offset);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_alu_jal(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush = self.deferred + 2;
+        self.deferred = 0;
+        let Instruction::Jal { rd, offset } = b else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, fa);
+                cpu.exec_alu_class(a);
+                fetch(cpu, ctx, fb);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_jal(bpc, rd, offset);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_load_jalr(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush1 = self.deferred + 1;
+        let flush = self.deferred + 2;
+        self.deferred = 0;
+        let Instruction::Load { width, signed, rd, rs1, imm } = a else { unreachable!() };
+        let Instruction::Jalr { rd: jrd, rs1: jrs1, imm: jimm } = b else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_load(pc, width, signed, rd, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                fetch(cpu, ctx, fb);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_jalr(bpc, jrd, jrs1, jimm);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_alu_store(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush2 = self.deferred + 2;
+        self.deferred += 2;
+        let next = bpc.wrapping_add(4);
+        let Instruction::Store { width, rs2, rs1, imm } = b else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, fa);
+                cpu.exec_alu_class(a);
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fb);
+                if let Err(trap) = cpu.exec_store(bpc, width, rs2, rs1, imm) {
+                    cpu.pc = bpc;
+                    cpu.counters.instructions += flush2;
+                    return trap_exit(trap, checkpoint);
+                }
+                // The store may have hit text (even this block).
+                if cpu.blocks.generation() != ctx.entry_gen {
+                    cpu.pc = next;
+                    cpu.counters.instructions += flush2;
+                    return Tier2Exit::Deopt { executed: done };
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_load_store(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush1 = self.deferred + 1;
+        let flush2 = self.deferred + 2;
+        self.deferred += 2;
+        let next = bpc.wrapping_add(4);
+        let Instruction::Load { width, signed, rd, rs1, imm } = a else { unreachable!() };
+        let Instruction::Store { width: sw, rs2: srs2, rs1: srs1, imm: simm } = b else {
+            unreachable!()
+        };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_load(pc, width, signed, rd, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fb);
+                if let Err(trap) = cpu.exec_store(bpc, sw, srs2, srs1, simm) {
+                    cpu.pc = bpc;
+                    cpu.counters.instructions += flush2;
+                    return trap_exit(trap, checkpoint);
+                }
+                if cpu.blocks.generation() != ctx.entry_gen {
+                    cpu.pc = next;
+                    cpu.counters.instructions += flush2;
+                    return Tier2Exit::Deopt { executed: done };
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_load_load(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let flush1 = self.deferred + 1;
+        let flush2 = self.deferred + 2;
+        self.deferred += 2;
+        let Instruction::Load { width, signed, rd, rs1, imm } = a else { unreachable!() };
+        let Instruction::Load { width: w2, signed: s2, rd: rd2, rs1: rs12, imm: imm2 } = b
+        else {
+            unreachable!()
+        };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_load(pc, width, signed, rd, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fb);
+                if let Err(trap) = cpu.exec_load(bpc, w2, s2, rd2, rs12, imm2) {
+                    cpu.pc = bpc; // stepwise leaves pc at the faulting load
+                    cpu.counters.instructions += flush2;
+                    return trap_exit(trap, checkpoint);
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_store_alu(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush1 = self.deferred + 1;
+        self.deferred += 2;
+        let Instruction::Store { width, rs2, rs1, imm } = a else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_store(pc, width, rs2, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                // The leading store may have hit text (even this
+                // block): abandon the cached decode before the second
+                // component, exactly like tier 1's inter-component
+                // generation re-check.
+                if cpu.blocks.generation() != ctx.entry_gen {
+                    cpu.pc = bpc;
+                    cpu.counters.instructions += flush1;
+                    return Tier2Exit::Deopt { executed: done - 1 };
+                }
+                fetch(cpu, ctx, fb);
+                cpu.exec_alu_class(b);
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_store_jal(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush1 = self.deferred + 1;
+        let flush = self.deferred + 2;
+        self.deferred = 0;
+        let Instruction::Store { width, rs2, rs1, imm } = a else { unreachable!() };
+        let Instruction::Jal { rd, offset } = b else { unreachable!() };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_store(pc, width, rs2, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                if cpu.blocks.generation() != ctx.entry_gen {
+                    cpu.pc = bpc;
+                    cpu.counters.instructions += flush1;
+                    return Tier2Exit::Deopt { executed: done - 1 };
+                }
+                fetch(cpu, ctx, fb);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_jal(bpc, rd, offset);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn emit_tld_tchk(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush1 = self.deferred + 1;
+        let flush2 = self.deferred + 2;
+        self.deferred += 2;
+        let next = bpc.wrapping_add(4);
+        let Instruction::Tld { rd, rs1, imm } = a else { unreachable!() };
+        let Instruction::Tchk { rs1: crs1, rs2: crs2 } = b else { unreachable!() };
+        self.parts.push(Box::new(move |cont| {
+            Box::new(move |cpu, ctx| {
+                let checkpoint = cpu.now;
+                fetch(cpu, ctx, fa);
+                if let Err(trap) = cpu.exec_tld(pc, rd, rs1, imm) {
+                    cpu.pc = pc;
+                    cpu.counters.instructions += flush1;
+                    return trap_exit(trap, checkpoint);
+                }
+                fetch(cpu, ctx, fb);
+                let target = cpu.exec_tchk(bpc, crs1, crs2);
+                if target != next {
+                    cpu.pc = target;
+                    cpu.counters.instructions += flush2;
+                    return Tier2Exit::Done { executed: done }; // type miss: R_hdl
+                }
+                cont(cpu, ctx)
+            })
+        }));
+    }
+
+    fn emit_tget_branch(&mut self, pc: u64, a: Instruction, b: Instruction) {
+        let fa = self.plan(pc);
+        let bpc = pc.wrapping_add(4);
+        let fb = self.plan(bpc);
+        self.executed += 2;
+        let done = self.executed;
+        let flush = self.deferred + 2;
+        self.deferred = 0;
+        let Instruction::Tget { rd, rs1 } = a else { unreachable!() };
+        let Instruction::Branch { cond, rs1: brs1, rs2: brs2, offset } = b else {
+            unreachable!()
+        };
+        self.parts.push(Box::new(move |_cont| {
+            Box::new(move |cpu, ctx| {
+                fetch(cpu, ctx, fa);
+                cpu.exec_tget(rd, rs1);
+                fetch(cpu, ctx, fb);
+                cpu.counters.instructions += flush;
+                cpu.pc = cpu.exec_branch(bpc, cond, brs1, brs2, offset);
+                Tier2Exit::Done { executed: done }
+            })
+        }));
+    }
+
+    fn finish(self) -> CompiledBlock {
+        let total = self.executed;
+        let flush = self.deferred;
+        // A block whose last op falls through (no final branch: text
+        // ended or MAX_BLOCK_LEN) completes with all instructions
+        // retired; the tail settles the deferred pc/instruction charges
+        // in one store each.
+        let end = self.entry.wrapping_add(4 * total);
+        let mut cont: Cont = Box::new(move |cpu, _ctx| {
+            cpu.counters.instructions += flush;
+            cpu.pc = end;
+            Tier2Exit::Done { executed: total }
+        });
+        for part in self.parts.into_iter().rev() {
+            cont = part(cont);
+        }
+        CompiledBlock { body: Arc::from(cont) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarch_isa::{AluImmOp, Reg};
+
+    fn addi(imm: i32) -> Instruction {
+        Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm }
+    }
+
+    #[test]
+    fn interpreter_backend_reproduces_the_op_run() {
+        let ops = vec![
+            BlockOp::AluPair(addi(1), addi(2)),
+            BlockOp::OneSafe(addi(3)),
+            BlockOp::OneBranch(Instruction::Branch {
+                cond: tarch_isa::BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -12,
+            }),
+        ];
+        let out = generate(InterpreterGen::default(), 0x1000, &ops);
+        assert_eq!(&out[..], &ops[..]);
+    }
+
+    #[test]
+    fn template_backend_counts_and_classifies_fetches() {
+        // Two ops spanning a 64-byte line boundary: entry fetch is
+        // dynamic, same-line fetch static, the line-crossing fetch a
+        // static new-line charge.
+        let mut g = TemplateGen::new(6);
+        assert!(matches!(g.plan(0x1038), Fetch::Dynamic { addr: 0x1038, span: 0x40 }));
+        assert!(matches!(g.plan(0x103c), Fetch::Same));
+        assert!(matches!(g.plan(0x1040), Fetch::New { addr: 0x1040, span: 0x41 }));
+        assert!(matches!(g.plan(0x1044), Fetch::Same));
+    }
+}

@@ -155,6 +155,21 @@ pub struct CoreConfig {
     /// accesses skip the way/entry scan (host-side fast path; simulated
     /// counters are identical either way).
     pub mem_fast_paths: bool,
+    /// Tier-2 execution: template-compile hot blocks into host-side
+    /// specialized closures (immediates and register indices folded in
+    /// as captured constants, per-instruction dispatch gone). Tier-up
+    /// is driven by per-block heat (see [`CoreConfig::tier2_threshold`])
+    /// and deoptimizes back to the tier-1 interpreter on the same
+    /// generation-counter contract that invalidates blocks, so SMC and
+    /// host stores stay correct (host-side fast path; simulated
+    /// counters are identical either way). Only meaningful with
+    /// `blocks`.
+    pub tier2: bool,
+    /// Number of tier-1 executions a block must retire before it is
+    /// template-compiled. Low enough that steady-state loops tier up
+    /// almost immediately; high enough that cold helper blocks never
+    /// pay the compile.
+    pub tier2_threshold: u32,
     /// Observability: `Some` attaches a `tarch_trace::Tracer` to the
     /// core — simulated-time PC sampling, a structured event ring, and
     /// windowed metric snapshots. `None` (the default) allocates
@@ -183,6 +198,8 @@ impl CoreConfig {
             chain_blocks: true,
             fuse: true,
             mem_fast_paths: true,
+            tier2: true,
+            tier2_threshold: 16,
             trace: None,
         }
     }

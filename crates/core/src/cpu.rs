@@ -20,6 +20,7 @@
 
 use crate::blocks::{BlockOp, BlockRun, BlockStats, BlockTable, MAX_BLOCK_LEN};
 use crate::bpred::BranchPredictor;
+use crate::codegen::{self, TemplateGen, Tier2Ctx, Tier2Exit};
 use crate::config::CoreConfig;
 use crate::counters::PerfCounters;
 use crate::pairprof::PairProfile;
@@ -31,7 +32,8 @@ use std::error::Error;
 use std::fmt;
 use tarch_isa::asm::Program;
 use tarch_isa::{
-    AluImmOp, AluOp, Csr, FpCmpOp, FpuOp, Instruction, MemWidth, Reg, Spr, TrtClass, TrtRule,
+    AluImmOp, AluOp, Csr, FReg, FpCmpOp, FpuOp, Instruction, MemWidth, Reg, Spr, TrtClass,
+    TrtRule,
 };
 use tarch_mem::{Cache, DramModel, MainMemory, Tlb};
 use tarch_trace::{Occupancy, TraceEventKind, TraceSummary, Tracer, WindowStats};
@@ -141,7 +143,10 @@ impl Error for Trap {}
 pub struct Cpu {
     config: CoreConfig,
     regs: RegFile,
-    pc: u64,
+    // `pc`, `counters`, `now`, and `blocks` are crate-visible so the
+    // tier-2 templates in `codegen` can touch exactly the state the
+    // interpreter arms touch; everything else stays private.
+    pub(crate) pc: u64,
     spr: SprState,
     trt: TypeRuleTable,
     bpred: BranchPredictor,
@@ -151,13 +156,13 @@ pub struct Cpu {
     dtlb: Tlb,
     dram: DramModel,
     mem: MainMemory,
-    counters: PerfCounters,
-    now: u64,
+    pub(crate) counters: PerfCounters,
+    pub(crate) now: u64,
     ready: [u64; 32],
     ready_f: [u64; 32],
     halted: bool,
     predecode: PredecodeTable,
-    blocks: BlockTable,
+    pub(crate) blocks: BlockTable,
     pair_profile: Option<Box<PairProfile>>,
     /// Attached observer when `CoreConfig::trace` is set; `None` costs
     /// one predictable branch per hook site and changes nothing
@@ -224,9 +229,14 @@ impl Cpu {
         let now = self.now;
         let stats = self.window_stats();
         let occ = self.occupancy();
+        let hot_blocks = self.blocks.hot_blocks(tarch_trace::MAX_HOT_PCS);
         let t = self.tracer.as_deref_mut().expect("checked above");
         t.finish(now, stats, occ);
-        Some(t.summary())
+        let mut summary = t.summary();
+        // The tracer can't see the block table; the hot-block ranking
+        // (heat counters, tier-2 status) is filled in here.
+        summary.hot_blocks = hot_blocks;
+        Some(summary)
     }
 
     /// Cumulative counter snapshot in the tracer's vocabulary (the
@@ -641,28 +651,27 @@ impl Cpu {
         // branch/jump — eligible to follow (or form) a link to the block
         // at the current pc.
         let mut chain_from: Option<u32> = None;
-        // Deferred same-line fetch-hit batch: `cur_span` is the line the
-        // last *real* fetch charge opened, `pending` the hits accumulated
-        // in it since. The batch persists across block boundaries — only
-        // fetch charges touch the I-cache/I-TLB inside this loop, so a
-        // line stays resident until the next real charge (the stepwise
-        // fallback resets the span: `step` makes its own accesses, which
-        // can evict).
-        let mut cur_span = u64::MAX;
-        let mut span_addr = 0u64;
-        let mut pending = 0u64;
+        // Deferred same-line fetch-hit batch: `ctx.cur_span` is the line
+        // the last *real* fetch charge opened, `ctx.pending` the hits
+        // accumulated in it since. The batch persists across block
+        // boundaries — only fetch charges touch the I-cache/I-TLB inside
+        // this loop, so a line stays resident until the next real charge
+        // (the stepwise fallback resets the span: `step` makes its own
+        // accesses, which can evict). The state lives in a `Tier2Ctx`
+        // because compiled tier-2 bodies continue the same batch.
+        let mut ctx = Tier2Ctx::new();
         macro_rules! flush_pending {
             // `last` flushes without resetting `pending` — for paths that
             // return immediately (the reset would never be read).
             (last) => {
-                if pending > 0 {
-                    self.apply_fetch_hits(span_addr, pending);
+                if ctx.pending > 0 {
+                    self.apply_fetch_hits(ctx.span_addr, ctx.pending);
                 }
             };
             () => {
-                if pending > 0 {
-                    self.apply_fetch_hits(span_addr, pending);
-                    pending = 0;
+                if ctx.pending > 0 {
+                    self.apply_fetch_hits(ctx.span_addr, ctx.pending);
+                    ctx.pending = 0;
                 }
             };
         }
@@ -694,7 +703,7 @@ impl Cpu {
                 Some(from) => self.blocks.follow(from, pc),
                 None => None,
             };
-            let run = match followed {
+            let mut run = match followed {
                 Some(found) => found,
                 None => {
                     if !pc.is_multiple_of(4) {
@@ -708,7 +717,7 @@ impl Cpu {
                         // placed code): stepwise fallback.
                         chain_from = None;
                         flush_pending!();
-                        cur_span = u64::MAX;
+                        ctx.cur_span = u64::MAX;
                         match self.step()? {
                             StepEvent::Retired => {
                                 remaining -= 1;
@@ -750,7 +759,64 @@ impl Cpu {
             // budget); hoisting the test keeps the per-op checks off the
             // hot path as a loop-invariant, always-false branch.
             let clipped = remaining < run.width as u64;
-            let entry_gen = self.blocks.generation();
+            ctx.entry_gen = self.blocks.generation();
+
+            // Tier-2 dispatch: a block that already carries a compiled
+            // body runs it; one whose heat just crossed the threshold is
+            // template-compiled first (once — the body is cached in the
+            // table entry and dies with the run it was built from).
+            // Budget-clipped entries always take the tier-1 loop (the
+            // templates drop the per-op budget check as statically dead),
+            // as do pair-profiling runs (the histogram hooks live only in
+            // the interpreter's generic path).
+            if !clipped && self.pair_profile.is_none() {
+                if run.compiled.is_none()
+                    && self.config.tier2
+                    && run.heat >= u64::from(self.config.tier2_threshold)
+                {
+                    let compiled = codegen::generate(TemplateGen::new(line_shift), pc, &run.ops);
+                    self.blocks.set_compiled(run.bid, compiled.clone());
+                    self.trace_event(TraceEventKind::TierUp { pc, len: run.width });
+                    run.compiled = Some(compiled);
+                }
+                // Borrow the body out of the run snapshot rather than
+                // cloning it: the snapshot already detached it from the
+                // table, and an extra `Arc` round-trip per dispatch is
+                // two atomic RMWs on the per-block hot path.
+                if let Some(body) = run.compiled.as_ref() {
+                    match body.run(self, &mut ctx) {
+                        Tier2Exit::Done { executed } => {
+                            remaining -= executed;
+                            self.counters.cycles = self.now;
+                            if chain && run.chainable && executed == u64::from(run.width) {
+                                chain_from = Some(run.bid);
+                            }
+                        }
+                        Tier2Exit::Stop { event } => {
+                            self.counters.cycles = self.now;
+                            flush_pending!(last);
+                            return Ok(event);
+                        }
+                        Tier2Exit::Trap(exit) => {
+                            flush_pending!(last);
+                            self.counters.cycles = exit.checkpoint;
+                            self.trace_trap(&exit.trap);
+                            return Err(exit.trap);
+                        }
+                        Tier2Exit::Deopt { executed } => {
+                            // Mid-block invalidation: fall back to tier 1
+                            // through a fresh lookup at the current pc,
+                            // which revalidates or rebuilds the text.
+                            remaining -= executed;
+                            self.counters.cycles = self.now;
+                            self.blocks.note_deopt();
+                            self.trace_event(TraceEventKind::Deopt { pc });
+                        }
+                    }
+                    continue;
+                }
+            }
+
             let mut executed = 0u64;
             let mut ipc = pc;
             let mut stop = None;
@@ -760,13 +826,13 @@ impl Cpu {
             macro_rules! span_charge {
                 ($addr:expr) => {{
                     let span = $addr >> line_shift;
-                    if span == cur_span {
-                        pending += 1;
+                    if span == ctx.cur_span {
+                        ctx.pending += 1;
                     } else {
                         flush_pending!();
                         self.charge_fetch($addr);
-                        cur_span = span;
-                        span_addr = $addr;
+                        ctx.cur_span = span;
+                        ctx.span_addr = $addr;
                     }
                 }};
             }
@@ -813,7 +879,7 @@ impl Cpu {
                         break $ops;
                     }
                     let fall_through = ipc.wrapping_add(4);
-                    if self.pc != fall_through || self.blocks.generation() != entry_gen {
+                    if self.pc != fall_through || self.blocks.generation() != ctx.entry_gen {
                         break $ops;
                     }
                     ipc = fall_through;
@@ -873,7 +939,7 @@ impl Cpu {
                         executed += 1;
                         let next = ipc.wrapping_add(4);
                         self.pc = next;
-                        if self.blocks.generation() != entry_gen {
+                        if self.blocks.generation() != ctx.entry_gen {
                             break 'ops;
                         }
                         ipc = next;
@@ -1051,7 +1117,7 @@ impl Cpu {
                         let next = bpc.wrapping_add(4);
                         self.pc = next;
                         // The store may have hit text (even this block).
-                        if self.blocks.generation() != entry_gen {
+                        if self.blocks.generation() != ctx.entry_gen {
                             break 'ops;
                         }
                         ipc = next;
@@ -1084,7 +1150,7 @@ impl Cpu {
                         executed += 2;
                         let next = bpc.wrapping_add(4);
                         self.pc = next;
-                        if self.blocks.generation() != entry_gen {
+                        if self.blocks.generation() != ctx.entry_gen {
                             break 'ops;
                         }
                         ipc = next;
@@ -1138,7 +1204,7 @@ impl Cpu {
                         // block): abandon the cached decode before the
                         // second component, exactly like the generic
                         // path's post-store generation check.
-                        if self.blocks.generation() != entry_gen {
+                        if self.blocks.generation() != ctx.entry_gen {
                             self.pc = bpc;
                             executed += 1;
                             break 'ops;
@@ -1166,7 +1232,7 @@ impl Cpu {
                             trap_exit!(checkpoint, trap);
                         }
                         let bpc = ipc.wrapping_add(4);
-                        if self.blocks.generation() != entry_gen {
+                        if self.blocks.generation() != ctx.entry_gen {
                             self.pc = bpc;
                             executed += 1;
                             break 'ops;
@@ -1296,7 +1362,7 @@ impl Cpu {
     /// fresh, served from the predecode table, or executed from a basic
     /// block — only host-side decode work differs between those paths.
     #[inline]
-    fn charge_fetch(&mut self, pc: u64) {
+    pub(crate) fn charge_fetch(&mut self, pc: u64) {
         self.counters.icache_accesses += 1;
         if !self.itlb.access(pc) {
             self.counters.itlb_misses += 1;
@@ -1320,7 +1386,7 @@ impl Cpu {
     /// hit both the I-TLB and the I-cache (zero latency, no miss
     /// counters, no DRAM). See [`Cpu::run_blocks`].
     #[inline]
-    fn apply_fetch_hits(&mut self, addr: u64, count: u64) {
+    pub(crate) fn apply_fetch_hits(&mut self, addr: u64, count: u64) {
         self.counters.icache_accesses += count;
         self.itlb.repeat_hits(addr, count);
         self.icache.repeat_hits(addr, count);
@@ -1375,53 +1441,67 @@ impl Cpu {
     // into its `next_pc`, the fused handlers set `pc` once per pair.
 
     /// `alu`/`alu-imm`/`lui`: never traps, redirects, stores, or stops.
+    /// Dispatches to the per-variant cores below; tier-2 templates that
+    /// know the variant at compile time call those directly.
     #[inline]
-    fn exec_alu_class(&mut self, instr: Instruction) {
+    pub(crate) fn exec_alu_class(&mut self, instr: Instruction) {
         match instr {
-            Instruction::Alu { op, rd, rs1, rs2 } => {
-                let lat = self.config.latency;
-                let t = self.stall2(rs1, rs2);
-                let a = self.regs.read(rs1).v;
-                let b = self.regs.read(rs2).v;
-                let v = alu_op(op, a, b);
-                self.regs.write_untyped(rd, v);
-                match op {
-                    AluOp::Mul | AluOp::Mulh | AluOp::Mulw => {
-                        self.now = t + 1;
-                        self.set_ready(rd, t + lat.mul);
-                    }
-                    AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu | AluOp::Divw
-                    | AluOp::Remw => {
-                        self.now = t + lat.div;
-                        self.set_ready(rd, self.now);
-                    }
-                    _ => {
-                        self.now = t + 1;
-                        self.set_ready(rd, t + 1);
-                    }
-                }
-            }
-            Instruction::AluImm { op, rd, rs1, imm } => {
-                let t = self.stall1(rs1);
-                let a = self.regs.read(rs1).v;
-                let v = alu_imm_op(op, a, imm);
-                self.regs.write_untyped(rd, v);
-                self.now = t + 1;
-                self.set_ready(rd, t + 1);
-            }
-            Instruction::Lui { rd, imm } => {
-                let t = self.now;
-                self.regs.write_untyped(rd, ((imm as i64) << 12) as u64);
-                self.now = t + 1;
-                self.set_ready(rd, t + 1);
-            }
+            Instruction::Alu { op, rd, rs1, rs2 } => self.exec_alu(op, rd, rs1, rs2),
+            Instruction::AluImm { op, rd, rs1, imm } => self.exec_alu_imm(op, rd, rs1, imm),
+            Instruction::Lui { rd, imm } => self.exec_lui(rd, imm),
             _ => unreachable!("non-ALU-class instruction in exec_alu_class"),
         }
     }
 
+    /// Register-register ALU core (`alu`), including the long-latency
+    /// multiply/divide classes.
+    #[inline]
+    pub(crate) fn exec_alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        let lat = self.config.latency;
+        let t = self.stall2(rs1, rs2);
+        let a = self.regs.read(rs1).v;
+        let b = self.regs.read(rs2).v;
+        let v = alu_op(op, a, b);
+        self.regs.write_untyped(rd, v);
+        match op {
+            AluOp::Mul | AluOp::Mulh | AluOp::Mulw => {
+                self.now = t + 1;
+                self.set_ready(rd, t + lat.mul);
+            }
+            AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu | AluOp::Divw | AluOp::Remw => {
+                self.now = t + lat.div;
+                self.set_ready(rd, self.now);
+            }
+            _ => {
+                self.now = t + 1;
+                self.set_ready(rd, t + 1);
+            }
+        }
+    }
+
+    /// Register-immediate ALU core (`alu-imm`).
+    #[inline]
+    pub(crate) fn exec_alu_imm(&mut self, op: AluImmOp, rd: Reg, rs1: Reg, imm: i32) {
+        let t = self.stall1(rs1);
+        let a = self.regs.read(rs1).v;
+        let v = alu_imm_op(op, a, imm);
+        self.regs.write_untyped(rd, v);
+        self.now = t + 1;
+        self.set_ready(rd, t + 1);
+    }
+
+    /// `lui` core.
+    #[inline]
+    pub(crate) fn exec_lui(&mut self, rd: Reg, imm: i32) {
+        let t = self.now;
+        self.regs.write_untyped(rd, ((imm as i64) << 12) as u64);
+        self.now = t + 1;
+        self.set_ready(rd, t + 1);
+    }
+
     /// Integer load; may trap on misalignment, never redirects.
     #[inline]
-    fn exec_load(
+    pub(crate) fn exec_load(
         &mut self,
         pc: u64,
         width: MemWidth,
@@ -1457,7 +1537,7 @@ impl Cpu {
     /// Integer store; may trap on misalignment and may invalidate
     /// decoded-code caches (text store).
     #[inline]
-    fn exec_store(
+    pub(crate) fn exec_store(
         &mut self,
         pc: u64,
         width: MemWidth,
@@ -1484,7 +1564,7 @@ impl Cpu {
 
     /// Conditional branch; returns the next pc. Never traps.
     #[inline]
-    fn exec_branch(
+    pub(crate) fn exec_branch(
         &mut self,
         pc: u64,
         cond: tarch_isa::BranchCond,
@@ -1504,7 +1584,7 @@ impl Cpu {
 
     /// Direct jump-and-link; returns the target. Never traps.
     #[inline]
-    fn exec_jal(&mut self, pc: u64, rd: Reg, offset: i32) -> u64 {
+    pub(crate) fn exec_jal(&mut self, pc: u64, rd: Reg, offset: i32) -> u64 {
         let t = self.now;
         let target = pc.wrapping_add(offset as i64 as u64);
         self.regs.write_untyped(rd, pc + 4);
@@ -1516,7 +1596,7 @@ impl Cpu {
 
     /// Indirect jump-and-link; returns the target. Never traps.
     #[inline]
-    fn exec_jalr(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> u64 {
+    pub(crate) fn exec_jalr(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> u64 {
         let t = self.stall1(rs1);
         let target = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64) & !1;
         let is_return = rd.is_zero() && rs1 == Reg::RA;
@@ -1530,7 +1610,7 @@ impl Cpu {
 
     /// Tagged load; may trap on misalignment, never redirects or stores.
     #[inline]
-    fn exec_tld(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> Result<(), Trap> {
+    pub(crate) fn exec_tld(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> Result<(), Trap> {
         let lat = self.config.latency;
         let t = self.stall1(rs1);
         let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
@@ -1561,7 +1641,7 @@ impl Cpu {
     /// Type check; returns the next pc (fall-through on hit, `R_hdl` on
     /// miss). Never traps.
     #[inline]
-    fn exec_tchk(&mut self, pc: u64, rs1: Reg, rs2: Reg) -> u64 {
+    pub(crate) fn exec_tchk(&mut self, pc: u64, rs1: Reg, rs2: Reg) -> u64 {
         let lat = self.config.latency;
         let t = self.stall2(rs1, rs2);
         let a = self.regs.read(rs1);
@@ -1581,7 +1661,7 @@ impl Cpu {
     /// Tag read into an integer register. Never traps, redirects, or
     /// stores.
     #[inline]
-    fn exec_tget(&mut self, rd: Reg, rs1: Reg) {
+    pub(crate) fn exec_tget(&mut self, rd: Reg, rs1: Reg) {
         let t = self.stall1(rs1);
         let tag = self.regs.read(rs1).t;
         self.regs.write_untyped(rd, tag as u64);
@@ -1589,8 +1669,276 @@ impl Cpu {
         self.set_ready(rd, t + 1);
     }
 
-    fn execute(&mut self, pc: u64, instr: Instruction) -> Result<StepEvent, Trap> {
+    /// FP register-register arithmetic core. Never traps, redirects,
+    /// stores, or stops.
+    #[inline]
+    pub(crate) fn exec_fpu(&mut self, op: FpuOp, rd: FReg, rs1: FReg, rs2: FReg) {
         let lat = self.config.latency;
+        let t = self
+            .now
+            .max(self.ready_f[rs1.number() as usize])
+            .max(self.ready_f[rs2.number() as usize]);
+        let a = self.regs.read_f64(rs1);
+        let b = self.regs.read_f64(rs2);
+        let v = fpu_op(op, a, b, self.regs.read_f(rs1), self.regs.read_f(rs2));
+        self.regs.write_f(rd, v);
+        self.counters.fp_ops += 1;
+        match op {
+            FpuOp::Fdiv | FpuOp::Fsqrt => {
+                self.now = t + lat.fp_div;
+                self.ready_f[rd.number() as usize] = self.now;
+            }
+            _ => {
+                self.now = t + 1;
+                self.ready_f[rd.number() as usize] = t + lat.fp;
+            }
+        }
+    }
+
+    /// FP compare into an integer register. Never traps, redirects,
+    /// stores, or stops.
+    #[inline]
+    pub(crate) fn exec_fp_cmp(&mut self, op: FpCmpOp, rd: Reg, rs1: FReg, rs2: FReg) {
+        let lat = self.config.latency;
+        let t = self
+            .now
+            .max(self.ready_f[rs1.number() as usize])
+            .max(self.ready_f[rs2.number() as usize]);
+        let a = self.regs.read_f64(rs1);
+        let b = self.regs.read_f64(rs2);
+        let v = match op {
+            FpCmpOp::Feq => a == b,
+            FpCmpOp::Flt => a < b,
+            FpCmpOp::Fle => a <= b,
+        } as u64;
+        self.regs.write_untyped(rd, v);
+        self.counters.fp_ops += 1;
+        self.now = t + 1;
+        self.set_ready(rd, t + lat.fp_mv);
+    }
+
+    /// FP load; may trap on misalignment, never redirects or stores.
+    #[inline]
+    pub(crate) fn exec_fp_load(&mut self, pc: u64, rd: FReg, rs1: Reg, imm: i32) -> Result<(), Trap> {
+        let lat = self.config.latency;
+        let t = self.stall1(rs1);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        self.check_align(pc, addr, 8)?;
+        let v = self.mem.read_u64(addr);
+        self.regs.write_f(rd, v);
+        self.counters.loads += 1;
+        let extra = self.dmem_access(addr, false);
+        if extra == 0 {
+            self.now = t + 1;
+            self.ready_f[rd.number() as usize] = t + 1 + lat.load_use;
+        } else {
+            self.now = t + 1 + extra;
+            self.ready_f[rd.number() as usize] = self.now;
+        }
+        Ok(())
+    }
+
+    /// FP store; may trap on misalignment and may invalidate decoded-code
+    /// caches (text store).
+    #[inline]
+    pub(crate) fn exec_fp_store(&mut self, pc: u64, rs2: FReg, rs1: Reg, imm: i32) -> Result<(), Trap> {
+        let t = self.stall1(rs1).max(self.ready_f[rs2.number() as usize]);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        self.check_align(pc, addr, 8)?;
+        self.mem.write_u64(addr, self.regs.read_f(rs2));
+        self.note_code_store(addr, 8);
+        self.counters.stores += 1;
+        let extra = self.dmem_access(addr, true);
+        self.now = t + 1 + extra;
+        Ok(())
+    }
+
+    /// `fcvt.d.l` core. Never traps, redirects, stores, or stops.
+    #[inline]
+    pub(crate) fn exec_fcvt_dl(&mut self, rd: FReg, rs1: Reg) {
+        let lat = self.config.latency;
+        let t = self.stall1(rs1);
+        let v = self.regs.read(rs1).v as i64 as f64;
+        self.regs.write_f64(rd, v);
+        self.counters.fp_ops += 1;
+        self.now = t + 1;
+        self.ready_f[rd.number() as usize] = t + lat.fp_mv;
+    }
+
+    /// `fcvt.l.d` core. Never traps, redirects, stores, or stops.
+    #[inline]
+    pub(crate) fn exec_fcvt_ld(&mut self, rd: Reg, rs1: FReg) {
+        let lat = self.config.latency;
+        let t = self.now.max(self.ready_f[rs1.number() as usize]);
+        let f = self.regs.read_f64(rs1);
+        self.regs.write_untyped(rd, f64_to_i64_rtz(f) as u64);
+        self.counters.fp_ops += 1;
+        self.now = t + 1;
+        self.set_ready(rd, t + lat.fp_mv);
+    }
+
+    /// `fmv.x.d` core. Never traps, redirects, stores, or stops.
+    #[inline]
+    pub(crate) fn exec_fmv_xd(&mut self, rd: Reg, rs1: FReg) {
+        let lat = self.config.latency;
+        let t = self.now.max(self.ready_f[rs1.number() as usize]);
+        self.regs.write_untyped(rd, self.regs.read_f(rs1));
+        self.now = t + 1;
+        self.set_ready(rd, t + lat.fp_mv);
+    }
+
+    /// `fmv.d.x` core. Never traps, redirects, stores, or stops.
+    #[inline]
+    pub(crate) fn exec_fmv_dx(&mut self, rd: FReg, rs1: Reg) {
+        let lat = self.config.latency;
+        let t = self.stall1(rs1);
+        self.regs.write_f(rd, self.regs.read(rs1).v);
+        self.now = t + 1;
+        self.ready_f[rd.number() as usize] = t + lat.fp_mv;
+    }
+
+    /// Tagged store; may trap on misalignment and may invalidate
+    /// decoded-code caches (value and tag-dword stores).
+    #[inline]
+    pub(crate) fn exec_tsd(&mut self, pc: u64, rs2: Reg, rs1: Reg, imm: i32) -> Result<(), Trap> {
+        let t = self.stall2(rs1, rs2);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        self.check_align(pc, addr, 8)?;
+        let entry = self.regs.read(rs2);
+        let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
+        let old_tag_dword = if self.spr.nan_detect() { 0 } else { self.mem.read_u64(tag_addr) };
+        match self.spr.insert(entry, old_tag_dword) {
+            Inserted::ValueOnly { value } => self.mem.write_u64(addr, value),
+            Inserted::WithTagDword { value, tag_dword } => {
+                self.mem.write_u64(addr, value);
+                self.mem.write_u64(tag_addr, tag_dword);
+                self.note_code_store(tag_addr, 8);
+            }
+        }
+        self.note_code_store(addr, 8);
+        self.counters.stores += 1;
+        self.counters.tagged_mem += 1;
+        let mut extra = self.dmem_access(addr, true);
+        extra += self.tag_line_cost(addr, true);
+        self.now = t + 1 + extra;
+        Ok(())
+    }
+
+    /// Typed ALU (`xadd`/`xsub`/`xmul`); returns the next pc (fall-through
+    /// on a type hit, `R_hdl` on a miss or detected overflow). Never traps
+    /// or stores.
+    #[inline]
+    pub(crate) fn exec_typed(
+        &mut self,
+        pc: u64,
+        op: tarch_isa::TypedAluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    ) -> u64 {
+        let lat = self.config.latency;
+        let mut next_pc = pc.wrapping_add(4);
+        let t = self.stall2(rs1, rs2);
+        let a = self.regs.read(rs1);
+        let b = self.regs.read(rs2);
+        self.counters.typed_alu += 1;
+        self.counters.type_checks += 1;
+        let rule = self.trt.lookup(op.trt_class(), a.t, b.t);
+        match rule {
+            Some(out) if a.f == b.f => {
+                if a.f {
+                    // Bound to the FP ALU.
+                    let r = match op {
+                        tarch_isa::TypedAluOp::Xadd => a.as_f64() + b.as_f64(),
+                        tarch_isa::TypedAluOp::Xsub => a.as_f64() - b.as_f64(),
+                        tarch_isa::TypedAluOp::Xmul => a.as_f64() * b.as_f64(),
+                    };
+                    self.counters.type_hits += 1;
+                    self.regs.write(rd, TaggedValue { v: canonical_f64_bits(r), t: out, f: true });
+                    self.now = t + 1;
+                    self.set_ready(rd, t + lat.fp);
+                } else {
+                    // Bound to the integer ALU.
+                    let (av, bv) = (a.v as i64, b.v as i64);
+                    let r = match op {
+                        tarch_isa::TypedAluOp::Xadd => av.wrapping_add(bv),
+                        tarch_isa::TypedAluOp::Xsub => av.wrapping_sub(bv),
+                        tarch_isa::TypedAluOp::Xmul => av.wrapping_mul(bv),
+                    };
+                    let overflow = self.spr.overflow_detect()
+                        && (r != (r as i32) as i64 || mul_overflows_i64(op, av, bv));
+                    if overflow {
+                        // Section 7.1: overflow would corrupt a
+                        // co-located tag, so redirect to the slow
+                        // path. The destination is not written.
+                        self.counters.overflow_misses += 1;
+                        next_pc = self.spr.hdl;
+                        self.now = t + 1 + lat.type_miss_penalty;
+                    } else {
+                        self.counters.type_hits += 1;
+                        self.regs.write(rd, TaggedValue { v: r as u64, t: out, f: false });
+                        let is_mul = op == tarch_isa::TypedAluOp::Xmul;
+                        self.now = t + 1;
+                        self.set_ready(rd, if is_mul { t + lat.mul } else { t + 1 });
+                    }
+                }
+            }
+            _ => {
+                // Type misprediction: redirect to R_hdl; no
+                // architectural writeback, no retry (Section 3.2).
+                self.counters.type_misses += 1;
+                next_pc = self.spr.hdl;
+                self.now = t + 1 + lat.type_miss_penalty;
+            }
+        }
+        next_pc
+    }
+
+    /// `chklb`; returns the next pc (fall-through on the expected type
+    /// byte, `R_hdl` otherwise). Never traps or stores.
+    #[inline]
+    pub(crate) fn exec_chklb(&mut self, pc: u64, rd: Reg, rs1: Reg, imm: i32) -> u64 {
+        let lat = self.config.latency;
+        let mut next_pc = pc.wrapping_add(4);
+        let t = self.stall1(rs1);
+        let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
+        let byte = self.mem.read_u8(addr);
+        self.regs.write_untyped(rd, byte as u64);
+        self.counters.loads += 1;
+        self.counters.chklb_checks += 1;
+        let extra = self.dmem_access(addr, false);
+        if byte != self.spr.exptype {
+            self.counters.chklb_misses += 1;
+            next_pc = self.spr.hdl;
+            self.now = t + 1 + extra + lat.type_miss_penalty;
+        } else if extra == 0 {
+            self.now = t + 1;
+            self.set_ready(rd, t + 1 + lat.load_use);
+        } else {
+            self.now = t + 1 + extra;
+            self.set_ready(rd, self.now);
+        }
+        next_pc
+    }
+
+    /// `tset` core. Never traps, redirects, stores, or stops.
+    #[inline]
+    pub(crate) fn exec_tset(&mut self, rs1: Reg, rd: Reg) {
+        let t = self.stall2(rs1, rd);
+        let tag = self.regs.read(rs1).v as u8;
+        self.regs.write_tag(rd, tag);
+        self.now = t + 1;
+        self.set_ready(rd, t + 1);
+    }
+
+    /// `thdl` core. Never traps, redirects, stores, or stops.
+    #[inline]
+    pub(crate) fn exec_thdl(&mut self, pc: u64, offset: i32) {
+        self.spr.hdl = pc.wrapping_add(4).wrapping_add(offset as i64 as u64);
+        self.now += 1;
+    }
+
+    pub(crate) fn execute(&mut self, pc: u64, instr: Instruction) -> Result<StepEvent, Trap> {
         let mut next_pc = pc.wrapping_add(4);
         let mut event = StepEvent::Retired;
 
@@ -1614,184 +1962,37 @@ impl Cpu {
                 next_pc = self.exec_jalr(pc, rd, rs1, imm);
             }
             Instruction::Fpu { op, rd, rs1, rs2 } => {
-                let t = self
-                    .now
-                    .max(self.ready_f[rs1.number() as usize])
-                    .max(self.ready_f[rs2.number() as usize]);
-                let a = self.regs.read_f64(rs1);
-                let b = self.regs.read_f64(rs2);
-                let v = fpu_op(op, a, b, self.regs.read_f(rs1), self.regs.read_f(rs2));
-                self.regs.write_f(rd, v);
-                self.counters.fp_ops += 1;
-                match op {
-                    FpuOp::Fdiv | FpuOp::Fsqrt => {
-                        self.now = t + lat.fp_div;
-                        self.ready_f[rd.number() as usize] = self.now;
-                    }
-                    _ => {
-                        self.now = t + 1;
-                        self.ready_f[rd.number() as usize] = t + lat.fp;
-                    }
-                }
+                self.exec_fpu(op, rd, rs1, rs2);
             }
             Instruction::FpCmp { op, rd, rs1, rs2 } => {
-                let t = self
-                    .now
-                    .max(self.ready_f[rs1.number() as usize])
-                    .max(self.ready_f[rs2.number() as usize]);
-                let a = self.regs.read_f64(rs1);
-                let b = self.regs.read_f64(rs2);
-                let v = match op {
-                    FpCmpOp::Feq => a == b,
-                    FpCmpOp::Flt => a < b,
-                    FpCmpOp::Fle => a <= b,
-                } as u64;
-                self.regs.write_untyped(rd, v);
-                self.counters.fp_ops += 1;
-                self.now = t + 1;
-                self.set_ready(rd, t + lat.fp_mv);
+                self.exec_fp_cmp(op, rd, rs1, rs2);
             }
             Instruction::FpLoad { rd, rs1, imm } => {
-                let t = self.stall1(rs1);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                self.check_align(pc, addr, 8)?;
-                let v = self.mem.read_u64(addr);
-                self.regs.write_f(rd, v);
-                self.counters.loads += 1;
-                let extra = self.dmem_access(addr, false);
-                if extra == 0 {
-                    self.now = t + 1;
-                    self.ready_f[rd.number() as usize] = t + 1 + lat.load_use;
-                } else {
-                    self.now = t + 1 + extra;
-                    self.ready_f[rd.number() as usize] = self.now;
-                }
+                self.exec_fp_load(pc, rd, rs1, imm)?;
             }
             Instruction::FpStore { rs2, rs1, imm } => {
-                let t = self.stall1(rs1).max(self.ready_f[rs2.number() as usize]);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                self.check_align(pc, addr, 8)?;
-                self.mem.write_u64(addr, self.regs.read_f(rs2));
-                self.note_code_store(addr, 8);
-                self.counters.stores += 1;
-                let extra = self.dmem_access(addr, true);
-                self.now = t + 1 + extra;
+                self.exec_fp_store(pc, rs2, rs1, imm)?;
             }
             Instruction::FcvtDL { rd, rs1 } => {
-                let t = self.stall1(rs1);
-                let v = self.regs.read(rs1).v as i64 as f64;
-                self.regs.write_f64(rd, v);
-                self.counters.fp_ops += 1;
-                self.now = t + 1;
-                self.ready_f[rd.number() as usize] = t + lat.fp_mv;
+                self.exec_fcvt_dl(rd, rs1);
             }
             Instruction::FcvtLD { rd, rs1 } => {
-                let t = self.now.max(self.ready_f[rs1.number() as usize]);
-                let f = self.regs.read_f64(rs1);
-                self.regs.write_untyped(rd, f64_to_i64_rtz(f) as u64);
-                self.counters.fp_ops += 1;
-                self.now = t + 1;
-                self.set_ready(rd, t + lat.fp_mv);
+                self.exec_fcvt_ld(rd, rs1);
             }
             Instruction::FmvXD { rd, rs1 } => {
-                let t = self.now.max(self.ready_f[rs1.number() as usize]);
-                self.regs.write_untyped(rd, self.regs.read_f(rs1));
-                self.now = t + 1;
-                self.set_ready(rd, t + lat.fp_mv);
+                self.exec_fmv_xd(rd, rs1);
             }
             Instruction::FmvDX { rd, rs1 } => {
-                let t = self.stall1(rs1);
-                self.regs.write_f(rd, self.regs.read(rs1).v);
-                self.now = t + 1;
-                self.ready_f[rd.number() as usize] = t + lat.fp_mv;
+                self.exec_fmv_dx(rd, rs1);
             }
             Instruction::Tld { rd, rs1, imm } => {
                 self.exec_tld(pc, rd, rs1, imm)?;
             }
             Instruction::Tsd { rs2, rs1, imm } => {
-                let t = self.stall2(rs1, rs2);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                self.check_align(pc, addr, 8)?;
-                let entry = self.regs.read(rs2);
-                let tag_addr = addr.wrapping_add(self.spr.tag_dword().byte_offset() as u64);
-                let old_tag_dword =
-                    if self.spr.nan_detect() { 0 } else { self.mem.read_u64(tag_addr) };
-                match self.spr.insert(entry, old_tag_dword) {
-                    Inserted::ValueOnly { value } => self.mem.write_u64(addr, value),
-                    Inserted::WithTagDword { value, tag_dword } => {
-                        self.mem.write_u64(addr, value);
-                        self.mem.write_u64(tag_addr, tag_dword);
-                        self.note_code_store(tag_addr, 8);
-                    }
-                }
-                self.note_code_store(addr, 8);
-                self.counters.stores += 1;
-                self.counters.tagged_mem += 1;
-                let mut extra = self.dmem_access(addr, true);
-                extra += self.tag_line_cost(addr, true);
-                self.now = t + 1 + extra;
+                self.exec_tsd(pc, rs2, rs1, imm)?;
             }
             Instruction::Typed { op, rd, rs1, rs2 } => {
-                let t = self.stall2(rs1, rs2);
-                let a = self.regs.read(rs1);
-                let b = self.regs.read(rs2);
-                self.counters.typed_alu += 1;
-                self.counters.type_checks += 1;
-                let rule = self.trt.lookup(op.trt_class(), a.t, b.t);
-                match rule {
-                    Some(out) if a.f == b.f => {
-                        if a.f {
-                            // Bound to the FP ALU.
-                            let r = match op {
-                                tarch_isa::TypedAluOp::Xadd => a.as_f64() + b.as_f64(),
-                                tarch_isa::TypedAluOp::Xsub => a.as_f64() - b.as_f64(),
-                                tarch_isa::TypedAluOp::Xmul => a.as_f64() * b.as_f64(),
-                            };
-                            self.counters.type_hits += 1;
-                            self.regs.write(
-                                rd,
-                                TaggedValue { v: canonical_f64_bits(r), t: out, f: true },
-                            );
-                            self.now = t + 1;
-                            self.set_ready(rd, t + lat.fp);
-                        } else {
-                            // Bound to the integer ALU.
-                            let (av, bv) = (a.v as i64, b.v as i64);
-                            let r = match op {
-                                tarch_isa::TypedAluOp::Xadd => av.wrapping_add(bv),
-                                tarch_isa::TypedAluOp::Xsub => av.wrapping_sub(bv),
-                                tarch_isa::TypedAluOp::Xmul => av.wrapping_mul(bv),
-                            };
-                            let overflow = self.spr.overflow_detect()
-                                && (r != (r as i32) as i64
-                                    || mul_overflows_i64(op, av, bv));
-                            if overflow {
-                                // Section 7.1: overflow would corrupt a
-                                // co-located tag, so redirect to the slow
-                                // path. The destination is not written.
-                                self.counters.overflow_misses += 1;
-                                next_pc = self.spr.hdl;
-                                self.now = t + 1 + lat.type_miss_penalty;
-                            } else {
-                                self.counters.type_hits += 1;
-                                self.regs.write(
-                                    rd,
-                                    TaggedValue { v: r as u64, t: out, f: false },
-                                );
-                                let is_mul = op == tarch_isa::TypedAluOp::Xmul;
-                                self.now = t + 1;
-                                self.set_ready(rd, if is_mul { t + lat.mul } else { t + 1 });
-                            }
-                        }
-                    }
-                    _ => {
-                        // Type misprediction: redirect to R_hdl; no
-                        // architectural writeback, no retry (Section 3.2).
-                        self.counters.type_misses += 1;
-                        next_pc = self.spr.hdl;
-                        self.now = t + 1 + lat.type_miss_penalty;
-                    }
-                }
+                next_pc = self.exec_typed(pc, op, rd, rs1, rs2);
             }
             Instruction::SetSpr { spr, rs1 } => {
                 let t = self.stall1(rs1);
@@ -1817,8 +2018,7 @@ impl Cpu {
                 self.now += 1;
             }
             Instruction::Thdl { offset } => {
-                self.spr.hdl = pc.wrapping_add(4).wrapping_add(offset as i64 as u64);
-                self.now += 1;
+                self.exec_thdl(pc, offset);
             }
             Instruction::Tchk { rs1, rs2 } => {
                 next_pc = self.exec_tchk(pc, rs1, rs2);
@@ -1827,31 +2027,10 @@ impl Cpu {
                 self.exec_tget(rd, rs1);
             }
             Instruction::Tset { rs1, rd } => {
-                let t = self.stall2(rs1, rd);
-                let tag = self.regs.read(rs1).v as u8;
-                self.regs.write_tag(rd, tag);
-                self.now = t + 1;
-                self.set_ready(rd, t + 1);
+                self.exec_tset(rs1, rd);
             }
             Instruction::Chklb { rd, rs1, imm } => {
-                let t = self.stall1(rs1);
-                let addr = self.regs.read(rs1).v.wrapping_add(imm as i64 as u64);
-                let byte = self.mem.read_u8(addr);
-                self.regs.write_untyped(rd, byte as u64);
-                self.counters.loads += 1;
-                self.counters.chklb_checks += 1;
-                let extra = self.dmem_access(addr, false);
-                if byte != self.spr.exptype {
-                    self.counters.chklb_misses += 1;
-                    next_pc = self.spr.hdl;
-                    self.now = t + 1 + extra + lat.type_miss_penalty;
-                } else if extra == 0 {
-                    self.now = t + 1;
-                    self.set_ready(rd, t + 1 + lat.load_use);
-                } else {
-                    self.now = t + 1 + extra;
-                    self.set_ready(rd, self.now);
-                }
+                next_pc = self.exec_chklb(pc, rd, rs1, imm);
             }
             Instruction::Csrr { rd, csr } => {
                 let t = self.now;

@@ -67,6 +67,7 @@
 
 mod blocks;
 mod bpred;
+mod codegen;
 mod config;
 mod counters;
 mod cpu;
@@ -80,6 +81,7 @@ mod trt;
 
 pub use blocks::{BlockStats, BlockTable, MAX_BLOCK_LEN};
 pub use bpred::{BranchPredictor, BranchStats};
+pub use codegen::CodeGenerator;
 pub use config::{BranchConfig, CoreConfig, IsaLevel, LatencyConfig};
 pub use counters::PerfCounters;
 pub use cpu::{canonical_f64_bits, Cpu, StepEvent, Trap};

@@ -116,6 +116,31 @@ fn guest_store_mid_block_invalidates_the_running_block() {
     assert!(stats.builds >= 2, "initial build plus the rebuild after the patch");
 }
 
+/// The tier-2 flavour of the mid-block case: drive the threshold to 1 so
+/// the patching block is template-compiled before it runs, then prove the
+/// compiled body notices the generation bump at the instruction boundary
+/// — deoptimizing back to tier 1 instead of retiring its captured stale
+/// decode — and that the whole run stays counter-identical to stepwise.
+#[test]
+fn guest_store_mid_hot_block_deoptimizes_the_compiled_body() {
+    let mut program = assemble(MID_BLOCK_SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    program.data = addi_a0(100).to_le_bytes().to_vec();
+    let mut cpu = Cpu::new(CoreConfig { tier2_threshold: 1, ..CoreConfig::paper() });
+    cpu.load_program(&program);
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    // Same architectural outcome as the interpreted runs above: a stale
+    // compiled body would retire the original addi 7 for 9 per pass.
+    assert_eq!(cpu.regs().read(Reg::A0).v, 204);
+    let stats = cpu.block_stats();
+    assert!(stats.compiles > 0, "threshold 1 must tier the block up before it runs");
+    assert!(stats.deopts > 0, "the mid-block store must deoptimize the compiled body");
+    assert!(stats.rebuilds > 0, "the patched block must be dropped and rebuilt");
+
+    let off = run_mid_block(false, false);
+    assert_eq!(cpu.counters(), off.counters(), "deopt path must stay counter-identical");
+    assert_eq!(cpu.branch_stats(), off.branch_stats());
+}
+
 #[test]
 fn mid_block_smc_counters_match_stepwise_decode() {
     let on = run_mid_block(true, true);

@@ -14,7 +14,10 @@ use tarch_core::{CoreConfig, IsaLevel};
 /// for concurrent writers and the artifact schema grew fleet summaries,
 /// so pre-fleet entries are retired wholesale rather than trusted to
 /// have been written race-free.
-pub const KEY_SCHEMA: u32 = 3;
+/// `3` → `4` with tier-2 execution: `CoreConfig` grew `tier2` and
+/// `tier2_threshold` (changing every key's `Debug` rendering) and trace
+/// summaries grew the hot-block table, which the decoder requires.
+pub const KEY_SCHEMA: u32 = 4;
 
 /// Which scripting engine runs the cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

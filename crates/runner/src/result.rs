@@ -2,7 +2,7 @@
 //! the on-disk cache and the `BENCH_*.json` artifacts).
 
 use crate::json::Json;
-use tarch_core::trace::{HotPc, MetricWindow, Occupancy, PcMisses, WindowStats};
+use tarch_core::trace::{HotBlock, HotPc, MetricWindow, Occupancy, PcMisses, WindowStats};
 use tarch_core::{BranchStats, PerfCounters, TraceSummary};
 
 /// Result of one simulated run.
@@ -161,6 +161,18 @@ fn trace_to_json(t: &TraceSummary) -> Json {
             ])
         })
         .collect();
+    let hot_blocks = t
+        .hot_blocks
+        .iter()
+        .map(|b| {
+            Json::Obj(vec![
+                ("pc".into(), Json::num(b.pc)),
+                ("heat".into(), Json::num(b.heat)),
+                ("len".into(), Json::num(u64::from(b.len))),
+                ("compiled".into(), Json::Bool(b.compiled)),
+            ])
+        })
+        .collect();
     let windows = t
         .windows
         .iter()
@@ -195,6 +207,7 @@ fn trace_to_json(t: &TraceSummary) -> Json {
         ("events_recorded".into(), Json::num(t.events_recorded)),
         ("events_dropped".into(), Json::num(t.events_dropped)),
         ("hot_pcs".into(), Json::Arr(hot_pcs)),
+        ("hot_blocks".into(), Json::Arr(hot_blocks)),
         ("windows".into(), Json::Arr(windows)),
     ])
 }
@@ -216,6 +229,23 @@ fn trace_from_json(v: &Json) -> Result<TraceSummary, String> {
                     itlb: h.req_u64("itlb_misses")?,
                     dtlb: h.req_u64("dtlb_misses")?,
                 },
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let hot_blocks = v
+        .get("hot_blocks")
+        .and_then(Json::as_arr)
+        .ok_or("missing `trace.hot_blocks`")?
+        .iter()
+        .map(|b| {
+            Ok(HotBlock {
+                pc: b.req_u64("pc")?,
+                heat: b.req_u64("heat")?,
+                len: u32::try_from(b.req_u64("len")?).map_err(|_| "oversized `len`")?,
+                compiled: b
+                    .get("compiled")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `trace.hot_blocks.compiled`")?,
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -255,6 +285,7 @@ fn trace_from_json(v: &Json) -> Result<TraceSummary, String> {
         sample_period: v.req_u64("sample_period")?,
         total_samples: v.req_u64("total_samples")?,
         hot_pcs,
+        hot_blocks,
         events_recorded: v.req_u64("events_recorded")?,
         events_dropped: v.req_u64("events_dropped")?,
         windows,
@@ -294,6 +325,12 @@ mod tests {
                         pc: 0x1000 + seed,
                         samples: 40 + seed,
                         misses: PcMisses { icache: 1, dcache: 2, itlb: 0, dtlb: seed },
+                    }],
+                    hot_blocks: vec![HotBlock {
+                        pc: 0x1000 + seed,
+                        heat: 99 + seed,
+                        len: 6,
+                        compiled: seed.is_multiple_of(3),
                     }],
                     events_recorded: 9,
                     events_dropped: 3,

@@ -97,6 +97,10 @@ fn args_json(kind: &TraceEventKind) -> String {
             format!("\"cause\":\"{cause}\",\"pc\":\"{pc:#x}\"")
         }
         TraceEventKind::Ecall { n } => format!("\"n\":{n}"),
+        TraceEventKind::TierUp { pc, len } => {
+            format!("\"pc\":\"{pc:#x}\",\"len\":{len}")
+        }
+        TraceEventKind::Deopt { pc } => format!("\"pc\":\"{pc:#x}\""),
     }
 }
 

@@ -64,6 +64,6 @@ pub mod report;
 pub use config::TraceConfig;
 pub use ring::{EventRing, TraceEvent, TraceEventKind};
 pub use tracer::{
-    HotPc, MetricWindow, Occupancy, PcMisses, TraceSummary, Tracer, WindowStats, MAX_HOT_PCS,
-    MAX_WINDOWS,
+    HotBlock, HotPc, MetricWindow, Occupancy, PcMisses, TraceSummary, Tracer, WindowStats,
+    MAX_HOT_PCS, MAX_WINDOWS,
 };

@@ -85,6 +85,37 @@ pub fn hot_pc_table(summary: &TraceSummary, syms: &SymbolTable) -> String {
     out
 }
 
+/// Renders the block-engine heat table: the hottest basic blocks by
+/// entry count, with their (possibly fused) op counts and tier-2
+/// compile status, symbolised through `syms`. Empty when the run had no
+/// block engine (summaries off a live tracer carry no blocks).
+pub fn hot_block_table(summary: &TraceSummary, syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    if summary.hot_blocks.is_empty() {
+        return out;
+    }
+    let total: u64 = summary.hot_blocks.iter().map(|b| b.heat).sum();
+    let _ = writeln!(out, "{} hot blocks ({} entries recorded)", summary.hot_blocks.len(), total);
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<12} {:>10} {:>5} {:>6}  symbol",
+        "#", "pc", "heat", "ops", "tier"
+    );
+    for (rank, block) in summary.hot_blocks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<12} {:>10} {:>5} {:>6}  {}",
+            rank + 1,
+            format!("{:#x}", block.pc),
+            block.heat,
+            block.len,
+            if block.compiled { "2" } else { "1" },
+            syms.label(block.pc),
+        );
+    }
+    out
+}
+
 /// Renders the sample histogram in flamegraph *folded* format — one
 /// `frames count` line per hot pc, frames separated by `;` — ready for
 /// `flamegraph.pl` or speedscope. The simulator records no call stacks,
@@ -108,7 +139,7 @@ pub fn folded_stacks(summary: &TraceSummary, syms: &SymbolTable) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tracer::{HotPc, PcMisses};
+    use crate::tracer::{HotBlock, HotPc, PcMisses};
 
     fn table() -> SymbolTable {
         SymbolTable::new([
@@ -143,6 +174,10 @@ mod tests {
                 },
                 HotPc { pc: 0x1000, samples: 3, misses: PcMisses::default() },
             ],
+            hot_blocks: vec![
+                HotBlock { pc: 0x1080, heat: 42, len: 5, compiled: true },
+                HotBlock { pc: 0x1000, heat: 9, len: 12, compiled: false },
+            ],
             events_recorded: 5,
             events_dropped: 0,
             windows: Vec::new(),
@@ -153,5 +188,25 @@ mod tests {
         assert!(table.contains("70.0%"));
         let folded = folded_stacks(&summary, &syms);
         assert_eq!(folded, "op_add;0x1084 7\ndispatch;0x1000 3\n");
+        let blocks = hot_block_table(&summary, &syms);
+        assert!(blocks.contains("2 hot blocks (51 entries recorded)"));
+        assert!(blocks.contains("op_add"));
+        // Tier column distinguishes compiled from interpreted blocks.
+        assert!(blocks.lines().nth(2).unwrap().contains(" 2  "));
+        assert!(blocks.lines().nth(3).unwrap().contains(" 1  "));
+    }
+
+    #[test]
+    fn hot_block_table_is_empty_without_blocks() {
+        let summary = TraceSummary {
+            sample_period: 100,
+            total_samples: 0,
+            hot_pcs: Vec::new(),
+            hot_blocks: Vec::new(),
+            events_recorded: 0,
+            events_dropped: 0,
+            windows: Vec::new(),
+        };
+        assert!(hot_block_table(&summary, &SymbolTable::default()).is_empty());
     }
 }

@@ -73,6 +73,20 @@ pub enum TraceEventKind {
         /// Helper number in `a7`.
         n: u64,
     },
+    /// The block engine template-compiled a hot block into a tier-2
+    /// specialized closure.
+    TierUp {
+        /// Guest entry pc of the block that tiered up.
+        pc: u64,
+        /// Number of (possibly fused) operations compiled.
+        len: u32,
+    },
+    /// A compiled block observed a generation move mid-run and fell
+    /// back to the tier-1 interpreter at an instruction boundary.
+    Deopt {
+        /// Guest entry pc of the deoptimized block.
+        pc: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -89,6 +103,8 @@ impl TraceEventKind {
             TraceEventKind::TrtFlush => "trt_flush",
             TraceEventKind::Trap { .. } => "trap",
             TraceEventKind::Ecall { .. } => "ecall",
+            TraceEventKind::TierUp { .. } => "tier_up",
+            TraceEventKind::Deopt { .. } => "deopt",
         }
     }
 }

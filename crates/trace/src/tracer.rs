@@ -38,6 +38,24 @@ impl PcMisses {
     }
 }
 
+/// One row of the block-engine heat table: a basic block, how many
+/// times tier-1 execution entered it, and whether it has been
+/// template-compiled to tier 2. Populated by the core (this crate sits
+/// below the block engine in the dependency order), carried here so it
+/// travels with the rest of the summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotBlock {
+    /// Guest entry pc of the block.
+    pub pc: u64,
+    /// Times execution entered this block (lookup hits, chained
+    /// transfers, and the install itself).
+    pub heat: u64,
+    /// Number of (possibly fused) operations in the block.
+    pub len: u32,
+    /// Whether the block has been template-compiled to tier 2.
+    pub compiled: bool,
+}
+
 /// One row of the sampling profile: a guest pc, how many samples landed
 /// on it, and the misses attributed to it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +182,11 @@ pub struct TraceSummary {
     /// Top pcs by sample count (ties broken by ascending pc), at most
     /// [`MAX_HOT_PCS`] entries.
     pub hot_pcs: Vec<HotPc>,
+    /// Top basic blocks by execution heat (ties broken by ascending
+    /// pc). The tracer itself cannot see the block table; the core
+    /// fills this in after calling [`Tracer::summary`], so it is empty
+    /// on a summary taken straight off a live tracer.
+    pub hot_blocks: Vec<HotBlock>,
     /// Events ever recorded (including ones the ring overwrote).
     pub events_recorded: u64,
     /// Events lost to ring overwriting.
@@ -403,6 +426,7 @@ impl Tracer {
             sample_period: self.cfg.sample_period.max(1),
             total_samples: self.total_samples,
             hot_pcs: self.hot_pcs(MAX_HOT_PCS),
+            hot_blocks: Vec::new(),
             events_recorded: self.ring.total(),
             events_dropped: self.ring.dropped(),
             windows: self.windows.clone(),

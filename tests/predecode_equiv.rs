@@ -38,6 +38,11 @@ struct Variant {
     chain: bool,
     /// Macro-op fusion at block-build time (only meaningful with `blocks`).
     fuse: bool,
+    /// Tier-2 template compilation of hot blocks (only meaningful with
+    /// `blocks`). Compiled bodies fold decode into host closures, so
+    /// this is the variant axis most likely to drift — every counter
+    /// must still match the naive interpreter bit for bit.
+    tier2: bool,
     /// The tarch-trace observability layer (sampler + event ring +
     /// metric windows); purely host-side, so it must not perturb any
     /// architectural counter either.
@@ -53,6 +58,7 @@ impl Variant {
             mem_fast_paths: mem,
             chain: false,
             fuse: false,
+            tier2: false,
             trace: false,
         }
     }
@@ -64,9 +70,12 @@ const REFERENCE: Variant = Variant::bare("naive", false, false, false);
 /// Each fast path alone (the block engine both with and without the
 /// predecode table under it — the block builder has a decode path for
 /// each), the four chain×fuse combinations of the block engine,
-/// everything together (the shipping default), and the observability
-/// layer on both the stepwise and the fully-optimised hot loop.
-const VARIANTS: [Variant; 10] = [
+/// tier-2 compilation against each of those (plain, chained, fused,
+/// both — the templates must match the interpreter op for op in every
+/// combination), everything together (the shipping default), and the
+/// observability layer on both the stepwise and the fully-optimised hot
+/// loop.
+const VARIANTS: [Variant; 15] = [
     Variant::bare("predecode", true, false, false),
     Variant::bare("blocks", false, true, false),
     Variant::bare("blocks+predecode", true, true, false),
@@ -78,13 +87,42 @@ const VARIANTS: [Variant; 10] = [
         fuse: true,
         ..Variant::bare("blocks+chain+fuse", false, true, false)
     },
-    Variant { chain: true, fuse: true, ..Variant::bare("all", true, true, true) },
+    Variant { tier2: true, ..Variant::bare("blocks+tier2", false, true, false) },
+    Variant {
+        chain: true,
+        tier2: true,
+        ..Variant::bare("blocks+chain+tier2", false, true, false)
+    },
+    Variant {
+        fuse: true,
+        tier2: true,
+        ..Variant::bare("blocks+fuse+tier2", false, true, false)
+    },
+    Variant {
+        chain: true,
+        fuse: true,
+        tier2: true,
+        ..Variant::bare("blocks+chain+fuse+tier2", false, true, false)
+    },
+    Variant {
+        chain: true,
+        fuse: true,
+        tier2: true,
+        ..Variant::bare("all", true, true, true)
+    },
     Variant { trace: true, ..Variant::bare("naive+trace", false, false, false) },
     Variant {
         chain: true,
         fuse: true,
         trace: true,
         ..Variant::bare("all+trace", true, true, true)
+    },
+    Variant {
+        chain: true,
+        fuse: true,
+        tier2: true,
+        trace: true,
+        ..Variant::bare("all+tier2+trace", true, true, true)
     },
 ];
 
@@ -95,6 +133,11 @@ fn config(v: Variant) -> CoreConfig {
         mem_fast_paths: v.mem_fast_paths,
         chain_blocks: v.chain,
         fuse: v.fuse,
+        tier2: v.tier2,
+        // Tier up on the second execution of every block, so even the
+        // 200-step standalone-form programs exercise compiled bodies and
+        // the deopt/revalidation edges, not just the tier-up counter.
+        tier2_threshold: 1,
         // Dense sampling, short windows and a tiny ring, so a traced run
         // exercises every tracer path (including overflow) while the
         // architectural state must stay bit-identical.
