@@ -20,6 +20,14 @@
 //!                    per-tenant cycle budgets; MIX is a comma-separated
 //!                    list of workload[/engine[/level]] entries, e.g.
 //!                    fibo,ackermann/js,n-sieve/lua/baseline
+//!   pgo [WORKLOADS]  two-phase profile-guided optimization: an
+//!                    instrumented profile run (pair histogram + hot-PC
+//!                    sampling), then an optimized run with the derived
+//!                    per-workload fusion table, sample-triggered tier-2
+//!                    promotion and trace-driven superblocks, then a
+//!                    per-workload A/B report with a bit-identical
+//!                    counter check; WORKLOADS is a comma-separated
+//!                    list (default: every workload)
 //!
 //! options:
 //!   --full | --test-scale   input scale (default: the paper's scale)
@@ -46,8 +54,13 @@
 //!   --validate              (fleet) additionally run every tenant
 //!                           serially on a fresh VM and require
 //!                           bit-identical per-tenant counters
-//!   --sample-period N       (trace) sampling-profiler period in simulated
-//!                           cycles (default 10000)
+//!   --sample-period N       (trace, pgo) sampling-profiler period in
+//!                           simulated cycles (default 10000)
+//!   --profile-out PATH      (bench --profile-pairs, pgo) write the
+//!                           recorded profile as tarch-pgo/v1 JSON
+//!   --profile-in PATH       (pgo) reuse a previously recorded profile
+//!                           file for the optimization inputs instead of
+//!                           this run's own measurements
 //!   --trace-out PATH        (trace) write a Chrome trace_event JSON to
 //!                           PATH (open in ui.perfetto.dev) and folded
 //!                           flamegraph stacks to PATH with a .folded
@@ -78,8 +91,9 @@ use tarch_bench::figures;
 use tarch_bench::harness::{default_cache_dir, Matrix, MatrixOptions, MAX_STEPS};
 use tarch_bench::paper_tables as tables;
 use tarch_bench::workloads::{self, Scale};
-use tarch_core::{CoreConfig, IsaLevel, PairProfile, TraceConfig};
-use tarch_runner::{BenchArtifact, EngineKind};
+use tarch_core::trace::PcProfile;
+use tarch_core::{CoreConfig, FusionTable, IsaLevel, PairProfile, TraceConfig};
+use tarch_runner::{BenchArtifact, EngineKind, PgoProfile, PgoSummary, PgoWorkload};
 
 struct Opts {
     scale: Scale,
@@ -100,6 +114,8 @@ struct Opts {
     validate: bool,
     sample_period: Option<u64>,
     trace_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
+    profile_in: Option<PathBuf>,
     emit_json: Option<PathBuf>,
     out_dir: Option<PathBuf>,
     from_json: Option<PathBuf>,
@@ -122,11 +138,12 @@ impl Opts {
 }
 
 const USAGE: &str = "usage: repro <table1..table8|fig1|fig2a|fig2b|fig5..fig9|all|selftest|bench\
-                     |trace CELL|fleet MIX> \
+                     |trace CELL|fleet MIX|pgo [WORKLOADS]> \
                      [--full|--test-scale] [-j N] [--no-cache] [--steps N] [--workload NAME] \
                      [--profile-pairs] [--no-fuse] [--no-chain] [--no-tier2] \
                      [--tenants N] [--shards N] [--budget N] [--seed N] [--fresh] [--validate] \
                      [--sample-period N] [--trace-out PATH] \
+                     [--profile-out PATH] [--profile-in PATH] \
                      [--emit-json PATH] [--out DIR] [--from-json PATH] [--compare PATH] \
                      [--min-ratio R] [--verbose]";
 
@@ -151,6 +168,8 @@ fn main() -> ExitCode {
         validate: false,
         sample_period: None,
         trace_out: None,
+        profile_out: None,
+        profile_in: None,
         emit_json: None,
         out_dir: None,
         from_json: None,
@@ -216,6 +235,8 @@ fn main() -> ExitCode {
                     );
                 }
                 "--trace-out" => opts.trace_out = Some(PathBuf::from(value(a)?)),
+                "--profile-out" => opts.profile_out = Some(PathBuf::from(value(a)?)),
+                "--profile-in" => opts.profile_in = Some(PathBuf::from(value(a)?)),
                 "--emit-json" => opts.emit_json = Some(PathBuf::from(value(a)?)),
                 "--out" => opts.out_dir = Some(PathBuf::from(value(a)?)),
                 "--from-json" => opts.from_json = Some(PathBuf::from(value(a)?)),
@@ -226,7 +247,7 @@ fn main() -> ExitCode {
                     );
                 }
                 c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
-                c if matches!(command.as_deref(), Some("trace" | "fleet"))
+                c if matches!(command.as_deref(), Some("trace" | "fleet" | "pgo"))
                     && cell.is_none()
                     && !c.starts_with('-') =>
                 {
@@ -258,8 +279,21 @@ fn main() -> ExitCode {
         eprintln!("error: --profile-pairs only applies to `bench`\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    if (opts.sample_period.is_some() || opts.trace_out.is_some()) && command != "trace" {
-        eprintln!("error: --sample-period/--trace-out only apply to `trace`\n{USAGE}");
+    if opts.sample_period.is_some() && command != "trace" && command != "pgo" {
+        eprintln!("error: --sample-period only applies to `trace` and `pgo`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if opts.trace_out.is_some() && command != "trace" {
+        eprintln!("error: --trace-out only applies to `trace`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if opts.profile_out.is_some() && command != "pgo" && !(command == "bench" && opts.profile_pairs)
+    {
+        eprintln!("error: --profile-out only applies to `pgo` and `bench --profile-pairs`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if opts.profile_in.is_some() && command != "pgo" {
+        eprintln!("error: --profile-in only applies to `pgo`\n{USAGE}");
         return ExitCode::FAILURE;
     }
     if command == "trace" && cell.is_none() {
@@ -325,12 +359,12 @@ fn matrix(opts: &Opts, profiled: bool) -> Result<(Matrix, Option<BenchArtifact>)
 
 fn emit(opts: &Opts, command: &str, artifact: Option<&BenchArtifact>) -> Result<(), String> {
     let Some(artifact) = artifact else { return Ok(()) };
-    // Explicit --emit-json always wins; `all`, `bench` and `fleet` also
-    // auto-emit a timestamped artifact next to the working directory
-    // unless the matrix itself came from an artifact.
+    // Explicit --emit-json always wins; `all`, `bench`, `fleet` and
+    // `pgo` also auto-emit a timestamped artifact next to the working
+    // directory unless the matrix itself came from an artifact.
     let path = match (&opts.emit_json, command) {
         (Some(p), _) => Some(p.clone()),
-        (None, "all" | "bench" | "fleet") if opts.from_json.is_none() => {
+        (None, "all" | "bench" | "fleet" | "pgo") if opts.from_json.is_none() => {
             let dir =
                 opts.out_dir.clone().unwrap_or_else(|| PathBuf::from("bench-artifacts"));
             std::fs::create_dir_all(&dir)
@@ -414,6 +448,7 @@ fn run(command: &str, opts: &Opts, cell: Option<&str>) -> Result<(), String> {
         "bench" => return bench(opts),
         "trace" => return trace_cell(opts, cell.expect("checked in main")),
         "fleet" => return fleet(opts, cell.expect("checked in main")),
+        "pgo" => return pgo(opts, cell),
         other => return Err(format!("unknown subcommand `{other}`")),
     }
     Ok(())
@@ -476,13 +511,18 @@ fn bench(opts: &Opts) -> Result<(), String> {
 /// adjacent-pair profile enabled, aggregates every cell's profile and
 /// prints the histogram the macro-op fusion set is justified from.
 /// Serial because the profile lives inside each `Cpu`; throughput is not
-/// the point of this mode.
+/// the point of this mode. With `--profile-out` the per-workload
+/// histograms are additionally written as a `tarch-pgo/v1` profile file
+/// (pair records only — no hot-pc sampling in this mode), which
+/// `repro pgo --profile-in` loads back.
 fn profile_pairs(opts: &Opts, ws: &[workloads::Workload]) -> Result<(), String> {
     let core = opts.core();
     let mut total = PairProfile::new();
+    let mut recorded = PgoProfile { sample_period: 0, workloads: Vec::new() };
     let mut cells = 0usize;
     for w in ws {
         let src = w.source(opts.scale);
+        let mut per_workload = PairProfile::new();
         for engine in EngineKind::ALL {
             for level in IsaLevel::ALL {
                 let label = format!("{}/{}/{}", w.name, engine.id(), level.name());
@@ -506,15 +546,276 @@ fn profile_pairs(opts: &Opts, ws: &[workloads::Workload]) -> Result<(), String> 
                     }
                 };
                 if let Some(p) = profile {
-                    total.merge(&p);
+                    per_workload.merge(&p);
                 }
                 cells += 1;
             }
         }
+        total.merge(&per_workload);
+        recorded.workloads.push(tarch_runner::pgo::WorkloadProfile {
+            workload: w.name.to_string(),
+            pairs: pair_records(&per_workload),
+            cells: Vec::new(),
+        });
     }
     eprintln!("profiled {cells} cell(s) at scale {}", opts.scale.id());
     print!("{}", tarch_runner::pairs::render_histogram(&total, 30));
+    if let Some(path) = &opts.profile_out {
+        recorded.write(path)?;
+        eprintln!("wrote pair profile {}", path.display());
+    }
     Ok(())
+}
+
+/// A `PairProfile`'s sorted rows as owned profile-file records.
+fn pair_records(p: &PairProfile) -> Vec<(String, String, u64)> {
+    p.sorted().into_iter().map(|(a, b, n)| (a.to_string(), b.to_string(), n)).collect()
+}
+
+/// What one in-process cell execution measured (either PGO phase).
+struct CellRun {
+    /// Host wall-clock nanoseconds inside `vm.run`.
+    nanos: u64,
+    /// Architectural counters at the end of the run — the bit-identity
+    /// check compares these across the two phases.
+    counters: tarch_core::PerfCounters,
+    /// Adjacent-pair histogram (profile phase only; empty otherwise).
+    pairs: PairProfile,
+    /// Sampling-profiler `(pc, samples)` records (profile phase only).
+    hot: Vec<(u64, u64)>,
+}
+
+/// Runs one cell serially, in process, for `repro pgo`. `hot` is `None`
+/// for the instrumented profile phase (pair profiling on, tracer per the
+/// core config) and `Some(hot_pcs)` for the optimized phase (the PGO hot
+/// set is loaded into the core before execution).
+fn pgo_cell(
+    src: &str,
+    engine: EngineKind,
+    level: IsaLevel,
+    core: CoreConfig,
+    step_budget: u64,
+    hot: Option<&std::collections::BTreeSet<u64>>,
+    label: &str,
+) -> Result<CellRun, String> {
+    macro_rules! run_vm {
+        ($vm:expr) => {{
+            let mut vm = $vm.map_err(|e| format!("{label}: {e}"))?;
+            match hot {
+                Some(hot) => vm.cpu_mut().set_pgo_hot_pcs(hot.iter().copied()),
+                None => vm.cpu_mut().enable_pair_profile(),
+            }
+            let start = std::time::Instant::now();
+            vm.run(step_budget).map_err(|e| format!("{label}: {e}"))?;
+            let nanos = start.elapsed().as_nanos() as u64;
+            let cpu = vm.cpu();
+            CellRun {
+                nanos,
+                counters: cpu.counters().clone(),
+                pairs: cpu.pair_profile().cloned().unwrap_or_default(),
+                hot: cpu
+                    .tracer()
+                    .map(|t| t.pc_profile().records().collect())
+                    .unwrap_or_default(),
+            }
+        }};
+    }
+    Ok(match engine {
+        EngineKind::Lua => run_vm!(luart::LuaVm::from_source(src, level, core)),
+        EngineKind::Js => run_vm!(jsrt::JsVm::from_source(src, level, core)),
+    })
+}
+
+/// `repro pgo [WORKLOADS]`: the two-phase profile-guided optimization
+/// pipeline. Phase 1 runs every cell of each workload *instrumented* —
+/// adjacent-pair profiling plus the sampling profiler, which also means
+/// unfused and tier-1-only — and records a `tarch-pgo/v1` profile.
+/// Phase 2 re-runs the same cells with the profile fed back in: the
+/// workload's measured pair histogram selects its fusion table,
+/// per-cell hot-pc sets drive sample-triggered tier-2 promotion, and
+/// hot chain-link paths compose into superblocks. The report is the
+/// per-workload A/B; every cell's architectural counters must match the
+/// instrumented run bit for bit or the command fails. Cells run
+/// in-process and never touch the result cache (hot sets live outside
+/// the cache key).
+fn pgo(opts: &Opts, list: Option<&str>) -> Result<(), String> {
+    let ws: Vec<workloads::Workload> = match list {
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                workloads::by_name(n.trim()).ok_or_else(|| format!("unknown workload `{n}`"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => workloads::all(),
+    };
+    let mut tc = TraceConfig::new();
+    if let Some(p) = opts.sample_period {
+        tc.sample_period = p.max(1);
+    }
+    let loaded = match &opts.profile_in {
+        Some(path) => {
+            let p = PgoProfile::read(path)?;
+            eprintln!("reusing profile {} ({} workload(s))", path.display(), p.workloads.len());
+            Some(p)
+        }
+        None => None,
+    };
+    let base = opts.core();
+    let profile_core = CoreConfig { trace: Some(tc), ..base };
+
+    let mut recorded = PgoProfile { sample_period: tc.sample_period, workloads: Vec::new() };
+    let mut rows: Vec<PgoWorkload> = Vec::new();
+    let (mut prof_instr, mut prof_nanos) = (0u64, 0u64);
+    let (mut opt_instr, mut opt_nanos) = (0u64, 0u64);
+    for w in &ws {
+        let src = w.source(opts.scale);
+
+        // Phase 1: instrumented profile run over every cell.
+        let mut pairs = PairProfile::new();
+        let mut cells = Vec::new();
+        let mut phase1 = Vec::new();
+        for engine in EngineKind::ALL {
+            for level in IsaLevel::ALL {
+                let label = format!("{}/{}/{}", w.name, engine.id(), level.name());
+                if opts.verbose {
+                    eprintln!("pgo profile {label}...");
+                }
+                let run =
+                    pgo_cell(&src, engine, level, profile_core, opts.step_budget, None, &label)?;
+                pairs.merge(&run.pairs);
+                cells.push(tarch_runner::pgo::CellProfile {
+                    engine,
+                    level,
+                    hot: run.hot.clone(),
+                });
+                phase1.push((engine, level, run));
+            }
+        }
+        recorded.workloads.push(tarch_runner::pgo::WorkloadProfile {
+            workload: w.name.to_string(),
+            pairs: pair_records(&pairs),
+            cells: cells.clone(),
+        });
+
+        // Optimization inputs: this run's measurements, unless a loaded
+        // profile has a block for the workload (pair-only files keep
+        // this run's hot-pc records).
+        let block = recorded.workloads.last().expect("just pushed");
+        let (use_pairs, use_cells) = match loaded.as_ref().and_then(|p| p.workload(w.name)) {
+            Some(ext) => (
+                &ext.pairs,
+                if ext.cells.is_empty() { &block.cells } else { &ext.cells },
+            ),
+            None => (&block.pairs, &block.cells),
+        };
+        let fusion = FusionTable::from_pair_counts(
+            use_pairs.iter().map(|(a, b, n)| (a.as_str(), b.as_str(), *n)),
+        );
+        let opt_core = CoreConfig { fusion_table: fusion, ..base };
+
+        // Phase 2: optimized run over the same cells, counters checked
+        // bit-for-bit against phase 1.
+        let mut counters_identical = true;
+        let mut hot_pcs = 0u64;
+        let (mut w_prof_instr, mut w_prof_nanos) = (0u64, 0u64);
+        let (mut w_opt_instr, mut w_opt_nanos) = (0u64, 0u64);
+        for (engine, level, p1) in &phase1 {
+            let label = format!("{}/{}/{}", w.name, engine.id(), level.name());
+            if opts.verbose {
+                eprintln!("pgo optimized {label}...");
+            }
+            let hot = use_cells
+                .iter()
+                .find(|c| c.engine == *engine && c.level == *level)
+                .map(|c| PcProfile::from_records(c.hot.iter().copied()).hot_set())
+                .unwrap_or_default();
+            hot_pcs += hot.len() as u64;
+            let p2 =
+                pgo_cell(&src, *engine, *level, opt_core, opts.step_budget, Some(&hot), &label)?;
+            if p2.counters != p1.counters {
+                counters_identical = false;
+                eprintln!("pgo: COUNTER MISMATCH in {label} (optimized vs profile phase)");
+            }
+            w_prof_instr += p1.counters.instructions;
+            w_prof_nanos += p1.nanos;
+            w_opt_instr += p2.counters.instructions;
+            w_opt_nanos += p2.nanos;
+        }
+        prof_instr += w_prof_instr;
+        prof_nanos += w_prof_nanos;
+        opt_instr += w_opt_instr;
+        opt_nanos += w_opt_nanos;
+        rows.push(PgoWorkload {
+            workload: w.name.to_string(),
+            profile_mips: mips(w_prof_instr, w_prof_nanos),
+            optimized_mips: mips(w_opt_instr, w_opt_nanos),
+            fusion_bits: u64::from(fusion.bits()),
+            hot_pcs,
+            counters_identical,
+        });
+    }
+
+    let summary = PgoSummary {
+        profile_mips: mips(prof_instr, prof_nanos),
+        optimized_mips: mips(opt_instr, opt_nanos),
+        workloads: rows,
+    };
+    println!(
+        "pgo A/B at scale {} (profile phase: instrumented, unfused, tier-1; optimized phase: \
+         per-workload fusion table + sample-triggered tier-2 + superblocks):",
+        opts.scale.id()
+    );
+    println!(
+        "{:<16} {:>12} {:>14} {:>8} {:>8} {:>8} {:>10}",
+        "workload", "profile MIPS", "optimized MIPS", "speedup", "fusion", "hot pcs", "counters"
+    );
+    for r in &summary.workloads {
+        println!(
+            "{:<16} {:>12.1} {:>14.1} {:>7.2}x {:>#8x} {:>8} {:>10}",
+            r.workload,
+            r.profile_mips,
+            r.optimized_mips,
+            if r.profile_mips > 0.0 { r.optimized_mips / r.profile_mips } else { 0.0 },
+            r.fusion_bits,
+            r.hot_pcs,
+            if r.counters_identical { "identical" } else { "MISMATCH" },
+        );
+    }
+    println!(
+        "aggregate: {:.1} -> {:.1} MIPS ({:.2}x), {}/{} workload(s) improved",
+        summary.profile_mips,
+        summary.optimized_mips,
+        if summary.profile_mips > 0.0 { summary.optimized_mips / summary.profile_mips } else { 0.0 },
+        summary.improved(),
+        summary.workloads.len(),
+    );
+
+    if let Some(path) = &opts.profile_out {
+        recorded.write(path)?;
+        eprintln!("wrote profile {}", path.display());
+    }
+    let failed: Vec<String> = summary
+        .workloads
+        .iter()
+        .filter(|r| !r.counters_identical)
+        .map(|r| r.workload.clone())
+        .collect();
+    let mut artifact = BenchArtifact::new(opts.scale, opts.step_budget, Vec::new());
+    artifact.pgo = Some(summary);
+    emit(opts, "pgo", Some(&artifact))?;
+    if !failed.is_empty() {
+        return Err(format!(
+            "pgo broke counter bit-identity on: {} (the optimized engine must be \
+             architecturally invisible)",
+            failed.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+/// Simulated instructions per host microsecond; zero without wall time.
+fn mips(instructions: u64, nanos: u64) -> f64 {
+    if nanos == 0 { 0.0 } else { instructions as f64 * 1e3 / nanos as f64 }
 }
 
 /// `repro trace CELL`: runs one cell *serially, in process* with the

@@ -74,12 +74,18 @@ pub(crate) struct Tier2Ctx {
     /// generation mid-block means the text under the block may have
     /// changed.
     pub(crate) entry_gen: u64,
+    /// Instructions the driver still has budget for at this dispatch.
+    /// Plain templates never read it (the driver's clip check already
+    /// guarantees the whole block fits); a composed superblock checks it
+    /// before entering each tail segment, so a multi-block span can
+    /// never overshoot `max_steps`.
+    pub(crate) budget: u64,
 }
 
 impl Tier2Ctx {
     /// Fresh state: no line open, nothing pending.
     pub(crate) fn new() -> Tier2Ctx {
-        Tier2Ctx { cur_span: u64::MAX, span_addr: 0, pending: 0, entry_gen: 0 }
+        Tier2Ctx { cur_span: u64::MAX, span_addr: 0, pending: 0, entry_gen: 0, budget: 0 }
     }
 }
 
@@ -159,6 +165,70 @@ impl fmt::Debug for CompiledBlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("CompiledBlock")
     }
+}
+
+/// One segment of a superblock as handed to [`compose_superblock`]: a
+/// per-segment compiled body plus the entry guard facts.
+pub(crate) struct SuperSegBody {
+    /// Segment entry pc: control must actually land here for the next
+    /// segment body to run.
+    pub(crate) pc: u64,
+    /// Instructions the segment retires when fully executed (budget
+    /// guard).
+    pub(crate) width: u64,
+    /// The segment's own template-compiled body.
+    pub(crate) body: CompiledBlock,
+}
+
+/// Composes per-segment compiled bodies into one superblock body that
+/// straightens the measured hot path across chained blocks.
+///
+/// The first segment runs unconditionally (the driver's dispatch
+/// already guaranteed pc, generation, and budget for the head — the
+/// same facts it guarantees a plain compiled block). Before each *tail*
+/// segment, three guards re-establish exactly what the tier-1 driver
+/// would have established on a chained transfer to that block:
+///
+/// * **pc**: the previous segment's exit must have landed on the
+///   segment's entry (a branch went the unprofiled way otherwise);
+/// * **generation**: unchanged since block entry — and the superblock
+///   is only handed out while the table generation equals its
+///   formation generation (DESIGN.md invariant 9), so "unchanged since
+///   entry" means *no segment's* text has changed since it was
+///   compiled;
+/// * **budget**: the remaining step budget must cover the whole
+///   segment, mirroring the driver's clip check (`Tier2Ctx::budget` is
+///   re-armed at every dispatch).
+///
+/// A failed guard exits with [`Tier2Exit::Done`] at the segment
+/// boundary: pc and counters are exactly what the last completed
+/// segment's exit left, so the driver resumes through a fresh lookup as
+/// if the chain had simply not been followed. Stop/trap exits propagate
+/// unchanged (their counters/checkpoints are already settled); a deopt
+/// accumulates the retire counts of the completed segments.
+pub(crate) fn compose_superblock(segs: Vec<SuperSegBody>) -> CompiledBlock {
+    let body = move |cpu: &mut Cpu, ctx: &mut Tier2Ctx| {
+        let mut total = 0u64;
+        for (i, seg) in segs.iter().enumerate() {
+            if i > 0
+                && (cpu.pc != seg.pc
+                    || cpu.blocks.generation() != ctx.entry_gen
+                    || ctx.budget.saturating_sub(total) < seg.width)
+            {
+                return Tier2Exit::Done { executed: total };
+            }
+            match seg.body.run(cpu, ctx) {
+                Tier2Exit::Done { executed } => total += executed,
+                stop @ Tier2Exit::Stop { .. } => return stop,
+                trap @ Tier2Exit::Trap(_) => return trap,
+                Tier2Exit::Deopt { executed } => {
+                    return Tier2Exit::Deopt { executed: total + executed }
+                }
+            }
+        }
+        Tier2Exit::Done { executed: total }
+    };
+    CompiledBlock { body: Arc::new(body) }
 }
 
 mod private {

@@ -1,5 +1,6 @@
 //! Core configuration: structural parameters and operation latencies.
 
+use crate::blocks::FusionTable;
 use tarch_mem::{CacheConfig, DramConfig};
 use tarch_trace::TraceConfig;
 
@@ -151,6 +152,15 @@ pub struct CoreConfig {
     /// both instructions' architectural charges exactly, so simulated
     /// counters are identical either way). Only meaningful with `blocks`.
     pub fuse: bool,
+    /// Which fused-pair classes block building may emit when `fuse` is
+    /// on. [`FusionTable::full`] (the default) reproduces the static
+    /// hand-picked fusion set; a PGO run loads a per-workload table
+    /// derived from that workload's `--profile-pairs` histogram. Any
+    /// table is architecturally invisible — `fuse_pair` legality still
+    /// gates every rewrite — and, like every config field, the table
+    /// participates in the runner's content-addressed job key through
+    /// this struct's `Debug` form.
+    pub fusion_table: FusionTable,
     /// Memoize the last-hit cache line / TLB page so same-line repeat
     /// accesses skip the way/entry scan (host-side fast path; simulated
     /// counters are identical either way).
@@ -197,6 +207,7 @@ impl CoreConfig {
             blocks: true,
             chain_blocks: true,
             fuse: true,
+            fusion_table: FusionTable::full(),
             mem_fast_paths: true,
             tier2: true,
             tier2_threshold: 16,

@@ -28,8 +28,10 @@ use crate::predecode::{PredecodeStats, PredecodeTable};
 use crate::regfile::{RegFile, TaggedValue};
 use crate::tagio::{Inserted, SprState};
 use crate::trt::TypeRuleTable;
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use tarch_isa::asm::Program;
 use tarch_isa::{
     AluImmOp, AluOp, Csr, FReg, FpCmpOp, FpuOp, Instruction, MemWidth, Reg, Spr, TrtClass,
@@ -49,6 +51,18 @@ pub enum StepEvent {
     /// A `halt` retired; the core is stopped.
     Halted,
 }
+
+/// Heat at which a profiled-hot block tier-compiles when a PGO hot set
+/// is loaded ([`Cpu::set_pgo_hot_pcs`]). The profiler already proved
+/// the block hot, so only a token warm-up remains — enough for the
+/// first execution to have installed the block and primed its text.
+const PGO_TIER2_HEAT: u64 = 2;
+
+/// Heat at which a profiled-hot block attempts superblock formation.
+/// Higher than `PGO_TIER2_HEAT` so the block's chain-link traversal
+/// counts have matured into a meaningful successor histogram before
+/// the walker straightens along them.
+const PGO_SUPER_HEAT: u64 = 32;
 
 /// Architectural trap: the simulated program did something invalid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +178,13 @@ pub struct Cpu {
     predecode: PredecodeTable,
     pub(crate) blocks: BlockTable,
     pair_profile: Option<Box<PairProfile>>,
+    /// Profile-guided hot-pc set: when present, tier-2 promotion is
+    /// sample-triggered (a profiled-hot block compiles almost
+    /// immediately, an unprofiled one never does) and hot block-entry
+    /// pcs may form superblocks along their measured chain-link path.
+    /// Shared, not cloned, across snapshot clones (the set is
+    /// immutable once loaded).
+    pgo_hot: Option<Arc<HashSet<u64>>>,
     /// Attached observer when `CoreConfig::trace` is set; `None` costs
     /// one predictable branch per hook site and changes nothing
     /// architectural (pinned by `tests/predecode_equiv.rs`).
@@ -194,6 +215,7 @@ impl Cpu {
             predecode: PredecodeTable::new(),
             blocks: BlockTable::new(),
             pair_profile: None,
+            pgo_hot: None,
             tracer: config.trace.map(|tc| Box::new(Tracer::new(tc))),
         }
     }
@@ -211,6 +233,24 @@ impl Cpu {
     /// The recorded pair profile, when profiling is enabled.
     pub fn pair_profile(&self) -> Option<&PairProfile> {
         self.pair_profile.as_deref()
+    }
+
+    /// Loads a profile-guided hot-pc set (block-entry pcs a prior
+    /// traced run sampled hot). From now on tier-2 promotion is
+    /// **sample-triggered**: a block whose entry pc is in the set
+    /// compiles after `PGO_TIER2_HEAT` executions regardless of
+    /// `CoreConfig::tier2_threshold`, a block outside it never
+    /// compiles, and hot heads may form superblocks along their
+    /// measured chain-link path. Entirely host-side: architectural
+    /// counters are bit-identical with any (or no) hot set, pinned by
+    /// `tests/predecode_equiv.rs`.
+    pub fn set_pgo_hot_pcs(&mut self, hot: impl IntoIterator<Item = u64>) {
+        self.pgo_hot = Some(Arc::new(hot.into_iter().collect()));
+    }
+
+    /// The loaded PGO hot-pc set, if any.
+    pub fn pgo_hot_pcs(&self) -> Option<&HashSet<u64>> {
+        self.pgo_hot.as_deref()
     }
 
     /// The attached tracer, when [`CoreConfig::trace`](crate::CoreConfig)
@@ -770,26 +810,66 @@ impl Cpu {
             // as do pair-profiling runs (the histogram hooks live only in
             // the interpreter's generic path).
             if !clipped && self.pair_profile.is_none() {
-                if run.compiled.is_none()
-                    && self.config.tier2
-                    && run.heat >= u64::from(self.config.tier2_threshold)
+                if run.compiled.is_none() && self.config.tier2 && self.tier2_promote(pc, run.heat)
                 {
                     let compiled = codegen::generate(TemplateGen::new(line_shift), pc, &run.ops);
                     self.blocks.set_compiled(run.bid, compiled.clone());
                     self.trace_event(TraceEventKind::TierUp { pc, len: run.width });
                     run.compiled = Some(compiled);
                 }
+                // Superblock formation: a profiled-hot head whose
+                // chain-link counts have matured gets one attempt per
+                // generation era to straighten its measured successor
+                // path into a composed tier-2 body. The composed body is
+                // handed out from the *next* dispatch of this head; this
+                // dispatch still runs what it was handed.
+                if self.config.tier2
+                    && chain
+                    && run.heat >= PGO_SUPER_HEAT
+                    && self.pgo_hot.as_ref().is_some_and(|hot| hot.contains(&pc))
+                    && self.blocks.note_superblock_attempt(run.bid)
+                {
+                    if let Some(plan) = self.blocks.superblock_plan(run.bid) {
+                        let span = plan.iter().map(|s| s.width).sum::<u32>();
+                        let tail = plan.last().expect("plan has at least two segments");
+                        let (tail_bid, tail_chainable) = (tail.bid, tail.chainable);
+                        let segs = plan
+                            .iter()
+                            .map(|seg| codegen::SuperSegBody {
+                                pc: seg.pc,
+                                width: u64::from(seg.width),
+                                body: codegen::generate(
+                                    TemplateGen::new(line_shift),
+                                    seg.pc,
+                                    &seg.ops,
+                                ),
+                            })
+                            .collect();
+                        let composed = codegen::compose_superblock(segs);
+                        self.blocks.set_superblock(run.bid, composed, span, tail_bid, tail_chainable);
+                        self.trace_event(TraceEventKind::TierUp { pc, len: span });
+                    }
+                }
                 // Borrow the body out of the run snapshot rather than
                 // cloning it: the snapshot already detached it from the
                 // table, and an extra `Arc` round-trip per dispatch is
                 // two atomic RMWs on the per-block hot path.
                 if let Some(body) = run.compiled.as_ref() {
+                    // Re-arm the budget a composed superblock checks
+                    // before entering each tail segment (plain bodies
+                    // never read it — the clip test above already
+                    // guaranteed the head fits).
+                    ctx.budget = remaining;
                     match body.run(self, &mut ctx) {
                         Tier2Exit::Done { executed } => {
                             remaining -= executed;
                             self.counters.cycles = self.now;
-                            if chain && run.chainable && executed == u64::from(run.width) {
-                                chain_from = Some(run.bid);
+                            // Chain from the *tail* of whatever path
+                            // actually completed: the head itself for a
+                            // plain block, the final segment for a
+                            // full-span superblock execution.
+                            if chain && run.tail_chainable && executed == u64::from(run.span) {
+                                chain_from = Some(run.tail_bid);
                             }
                         }
                         Tier2Exit::Stop { event } => {
@@ -1349,10 +1429,24 @@ impl Cpu {
         if instrs.is_empty() {
             return None;
         }
-        let fuse = self.config.fuse && self.pair_profile.is_none();
+        let fuse =
+            (self.config.fuse && self.pair_profile.is_none()).then_some(self.config.fusion_table);
         let run = self.blocks.install(pc, words, instrs, fuse);
         self.trace_event(TraceEventKind::BlockBuild { pc, len: run.width });
         Some(run)
+    }
+
+    /// Whether a block at `pc` with the given heat should tier-compile.
+    /// Without a PGO hot set this is the fixed heat threshold; with one
+    /// loaded, promotion is sample-triggered — profiled-hot pcs compile
+    /// after `PGO_TIER2_HEAT` executions, everything else never does
+    /// (cold code must not pay compile time or code-cache footprint).
+    #[inline]
+    fn tier2_promote(&self, pc: u64, heat: u64) -> bool {
+        match &self.pgo_hot {
+            None => heat >= u64::from(self.config.tier2_threshold),
+            Some(hot) => hot.contains(&pc) && heat >= PGO_TIER2_HEAT,
+        }
     }
 
     /// Charges one instruction fetch at `pc`: I-cache access always;

@@ -79,7 +79,7 @@ mod snapshot;
 mod tagio;
 mod trt;
 
-pub use blocks::{BlockStats, BlockTable, MAX_BLOCK_LEN};
+pub use blocks::{BlockStats, BlockTable, FuseClass, FusionTable, MAX_BLOCK_LEN};
 pub use bpred::{BranchPredictor, BranchStats};
 pub use codegen::CodeGenerator;
 pub use config::{BranchConfig, CoreConfig, IsaLevel, LatencyConfig};

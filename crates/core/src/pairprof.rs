@@ -61,6 +61,15 @@ impl PairProfile {
         v
     }
 
+    /// Derives the per-workload fusion table this profile justifies: the
+    /// set of fused-pair classes whose measured dynamic share clears the
+    /// [`crate::blocks::FusionTable::from_pair_counts`] threshold. An
+    /// empty profile yields the full (static) table — no data must never
+    /// pessimize the engine.
+    pub fn fusion_table(&self) -> crate::blocks::FusionTable {
+        crate::blocks::FusionTable::from_pair_counts(self.sorted())
+    }
+
     /// Count for one specific pair.
     pub fn count(&self, prev: &str, cur: &str) -> u64 {
         self.counts

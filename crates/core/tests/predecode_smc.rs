@@ -240,6 +240,72 @@ fn chain_smc_counters_match_blocks_off() {
     assert_eq!(on.branch_stats(), off.branch_stats());
 }
 
+/// The PGO flavour of the chain-severing case: with a hot set loaded,
+/// the hot two-block loop straightens into a trace-driven superblock
+/// (`top` -> `mid`). A guest store that patches `mid` — a *spanned*
+/// block, not the superblock's head — must sever the composed body
+/// exactly like it severs chain links: the head's text is untouched and
+/// revalidates in place, but its superblock carries the formation-time
+/// generation and is never handed out again. A surviving superblock
+/// would keep retiring the stale `addi a0, a0, 10` tail.
+const SUPER_SMC_SRC: &str = "
+top:
+    addi a0, a0, 1      # superblock head: hot and chainable
+    j    mid
+mid:
+    addi a0, a0, 10     # patch target: rewritten to addi a0, a0, 100
+    addi s1, s1, -1
+    bnez s1, top        # hot chained edge back to the head
+    bnez s2, done
+    li   s2, 1
+    li   s1, 64
+    li   s3, 0x20000    # data base: holds the replacement word
+    lw   t0, 0(s3)
+    la   s4, mid
+    sw   t0, 0(s4)      # severs the superblock spanning top -> mid
+    bnez s2, top
+done:
+    halt
+";
+
+fn run_super_smc(engines: bool) -> Cpu {
+    let mut program = assemble(SUPER_SMC_SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    program.data = addi_a0(100).to_le_bytes().to_vec();
+    let mut cpu =
+        Cpu::new(CoreConfig { blocks: engines, predecode: engines, ..CoreConfig::paper() });
+    cpu.load_program(&program);
+    if engines {
+        // The sampling profiler would find the loop's two block-entry
+        // pcs; hand them over directly (`top` is at TEXT_BASE, `mid`
+        // two instructions later).
+        cpu.set_pgo_hot_pcs([TEXT_BASE, TEXT_BASE + 8]);
+    }
+    cpu.regs_mut().write_untyped(Reg::S1, 64);
+    assert_eq!(cpu.run(100_000).expect("no trap"), StepEvent::Halted);
+    cpu
+}
+
+#[test]
+fn guest_store_severs_pgo_superblocks_like_chain_links() {
+    let cpu = run_super_smc(true);
+    // 64 iterations of +1/+10 before the patch, 64 of +1/+100 after it.
+    assert_eq!(cpu.regs().read(Reg::A0).v, 64 * 11 + 64 * 101);
+    let stats = cpu.block_stats();
+    assert!(stats.superblocks >= 1, "the hot loop must form a superblock");
+    assert!(stats.chained_transfers > 0, "the loop must chain before forming");
+    assert!(stats.store_invalidations > 0, "the text store must bump the generation");
+    assert!(stats.rebuilds > 0, "the patched spanned block must be dropped and rebuilt");
+}
+
+#[test]
+fn super_smc_counters_match_engines_off() {
+    let on = run_super_smc(true);
+    let off = run_super_smc(false);
+    assert_eq!(off.regs().read(Reg::A0).v, 64 * 11 + 64 * 101, "reference sees the patch");
+    assert_eq!(on.counters(), off.counters());
+    assert_eq!(on.branch_stats(), off.branch_stats());
+}
+
 #[test]
 fn host_write_through_mem_mut_revalidates_chained_paths() {
     // Same two-block loop as above, patched from the host mid-run. The

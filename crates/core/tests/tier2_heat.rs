@@ -1,0 +1,89 @@
+//! Tier-2 promotion edge cases at the whole-core level.
+//!
+//! The heat counter that drives tier-up is easy to get subtly wrong at
+//! its extremes, so these tests pin the contract end to end on a real
+//! guest loop: a zero threshold promotes a block on its very first
+//! dispatch, a `u32::MAX` threshold keeps everything interpreted, and a
+//! loaded PGO hot set replaces the threshold entirely — hot pcs tier up
+//! almost immediately while cold pcs never compile no matter how hot
+//! they run. Every configuration must retire bit-identical architectural
+//! counters; tiering is a host-side throughput decision only.
+
+use tarch_core::{CoreConfig, Cpu, StepEvent};
+use tarch_isa::text::assemble;
+use tarch_isa::Reg;
+
+const TEXT_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x2_0000;
+
+/// A single hot loop block: 200 iterations of `a0 += s1`.
+const LOOP_SRC: &str = "
+loop:
+    addi a0, a0, 3
+    addi s1, s1, -1
+    bnez s1, loop
+    halt
+";
+
+fn run_loop(config: CoreConfig, hot: Option<&[u64]>) -> Cpu {
+    let program = assemble(LOOP_SRC, TEXT_BASE, DATA_BASE).expect("assembles");
+    let mut cpu = Cpu::new(config);
+    cpu.load_program(&program);
+    if let Some(pcs) = hot {
+        cpu.set_pgo_hot_pcs(pcs.iter().copied());
+    }
+    cpu.regs_mut().write_untyped(Reg::S1, 200);
+    assert_eq!(cpu.run(10_000).expect("no trap"), StepEvent::Halted);
+    assert_eq!(cpu.regs().read(Reg::A0).v, 600);
+    cpu
+}
+
+#[test]
+fn threshold_zero_promotes_on_first_dispatch() {
+    let cpu = run_loop(CoreConfig { tier2_threshold: 0, ..CoreConfig::paper() }, None);
+    let stats = cpu.block_stats();
+    // Heat starts at 1 on install, so a zero threshold is already met
+    // when a block is first built: every build (the loop body and the
+    // halt fall-through) promotes immediately, and nothing recompiles.
+    assert_eq!(stats.builds, 2);
+    assert_eq!(stats.compiles, stats.builds);
+}
+
+#[test]
+fn threshold_max_never_promotes() {
+    let cpu = run_loop(CoreConfig { tier2_threshold: u32::MAX, ..CoreConfig::paper() }, None);
+    let stats = cpu.block_stats();
+    assert_eq!(stats.compiles, 0, "no realistic heat reaches u32::MAX");
+    assert!(
+        stats.hits + stats.chained_transfers > 100,
+        "the loop still runs through the block engine"
+    );
+}
+
+#[test]
+fn pgo_hot_set_overrides_the_threshold() {
+    // An empty hot set means *nothing* is hot: even with the most eager
+    // threshold, cold code never compiles under PGO.
+    let cold = run_loop(CoreConfig { tier2_threshold: 0, ..CoreConfig::paper() }, Some(&[]));
+    assert_eq!(cold.block_stats().compiles, 0);
+
+    // A hot pc tiers up at PGO heat even under a threshold that would
+    // otherwise never promote.
+    let hot =
+        run_loop(CoreConfig { tier2_threshold: u32::MAX, ..CoreConfig::paper() }, Some(&[TEXT_BASE]));
+    assert_eq!(hot.block_stats().compiles, 1);
+}
+
+#[test]
+fn tiering_extremes_retire_identical_counters() {
+    let reference = run_loop(CoreConfig::paper(), None);
+    for cpu in [
+        run_loop(CoreConfig { tier2_threshold: 0, ..CoreConfig::paper() }, None),
+        run_loop(CoreConfig { tier2_threshold: u32::MAX, ..CoreConfig::paper() }, None),
+        run_loop(CoreConfig { tier2_threshold: 0, ..CoreConfig::paper() }, Some(&[])),
+        run_loop(CoreConfig::paper(), Some(&[TEXT_BASE])),
+    ] {
+        assert_eq!(cpu.counters(), reference.counters());
+        assert_eq!(cpu.branch_stats(), reference.branch_stats());
+    }
+}

@@ -187,6 +187,117 @@ impl FleetSummary {
     }
 }
 
+/// One workload's A/B row of a `repro pgo` run: the instrumented profile
+/// phase against the optimized phase it fed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgoWorkload {
+    /// Workload name.
+    pub workload: String,
+    /// Host MIPS of the profile (instrumented) phase, summed over cells.
+    pub profile_mips: f64,
+    /// Host MIPS of the optimized phase over the same cells.
+    pub optimized_mips: f64,
+    /// Bitmask of the fused-pair classes the workload's pair histogram
+    /// selected (`tarch_core::FusionTable::bits`).
+    pub fusion_bits: u64,
+    /// Hot pcs loaded into the optimized phase, summed over cells.
+    pub hot_pcs: u64,
+    /// Whether every cell's architectural counters matched the non-PGO
+    /// engine bit for bit (the correctness gate; `false` fails the run).
+    pub counters_identical: bool,
+}
+
+/// Summary of one `repro pgo` two-phase run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgoSummary {
+    /// Aggregate host MIPS of the profile phase.
+    pub profile_mips: f64,
+    /// Aggregate host MIPS of the optimized phase.
+    pub optimized_mips: f64,
+    /// One A/B row per workload.
+    pub workloads: Vec<PgoWorkload>,
+}
+
+impl PgoSummary {
+    /// Workloads whose optimized phase beat their profile phase.
+    pub fn improved(&self) -> usize {
+        self.workloads.iter().filter(|w| w.optimized_mips > w.profile_mips).count()
+    }
+
+    /// Serializes the summary block.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("profile_mips".into(), Json::num(self.profile_mips)),
+            ("optimized_mips".into(), Json::num(self.optimized_mips)),
+            (
+                "workloads".into(),
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::str(w.workload.clone())),
+                                ("profile_mips".into(), Json::num(w.profile_mips)),
+                                ("optimized_mips".into(), Json::num(w.optimized_mips)),
+                                ("fusion_bits".into(), Json::num(w.fusion_bits)),
+                                ("hot_pcs".into(), Json::num(w.hot_pcs)),
+                                (
+                                    "counters_identical".into(),
+                                    Json::Bool(w.counters_identical),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a summary block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for any missing/mistyped field.
+    pub fn from_json(v: &Json) -> Result<PgoSummary, String> {
+        let rows =
+            v.get("workloads").and_then(Json::as_arr).ok_or("missing `workloads` array")?;
+        let mut workloads = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let err = |e| format!("workload {i}: {e}");
+            workloads.push(PgoWorkload {
+                workload: row.req_str("workload").map_err(err)?.to_string(),
+                profile_mips: row
+                    .get("profile_mips")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing `profile_mips`")
+                    .map_err(|e| format!("workload {i}: {e}"))?,
+                optimized_mips: row
+                    .get("optimized_mips")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing `optimized_mips`")
+                    .map_err(|e| format!("workload {i}: {e}"))?,
+                fusion_bits: row.req_u64("fusion_bits").map_err(|e| format!("workload {i}: {e}"))?,
+                hot_pcs: row.req_u64("hot_pcs").map_err(|e| format!("workload {i}: {e}"))?,
+                counters_identical: row
+                    .get("counters_identical")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| format!("workload {i}: missing `counters_identical`"))?,
+            });
+        }
+        Ok(PgoSummary {
+            profile_mips: v
+                .get("profile_mips")
+                .and_then(Json::as_f64)
+                .ok_or("missing `profile_mips`")?,
+            optimized_mips: v
+                .get("optimized_mips")
+                .and_then(Json::as_f64)
+                .ok_or("missing `optimized_mips`")?,
+            workloads,
+        })
+    }
+}
+
 /// One serialized run: scale, budget, and every job outcome.
 #[derive(Debug)]
 pub struct BenchArtifact {
@@ -207,6 +318,10 @@ pub struct BenchArtifact {
     /// `None` for matrix runs and for pre-fleet artifacts (the field is
     /// tolerated-absent on read, so old baselines keep loading).
     pub fleet: Option<FleetSummary>,
+    /// PGO A/B summary when the artifact came from `repro pgo`; `None`
+    /// otherwise. Additive like `fleet`: tolerated-absent on read and
+    /// excluded from the fingerprint.
+    pub pgo: Option<PgoSummary>,
 }
 
 /// Aggregate host throughput in MIPS over the non-cached outcomes.
@@ -227,7 +342,15 @@ impl BenchArtifact {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let host_mips = aggregate_mips(&outcomes);
-        BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes, fleet: None }
+        BenchArtifact {
+            created_unix,
+            scale,
+            step_budget,
+            host_mips,
+            outcomes,
+            fleet: None,
+            pgo: None,
+        }
     }
 
     /// Default artifact filename, `BENCH_<unix-seconds>.json`.
@@ -306,6 +429,9 @@ impl BenchArtifact {
         ];
         if let Some(fleet) = &self.fleet {
             fields.push(("fleet".into(), fleet.to_json()));
+        }
+        if let Some(pgo) = &self.pgo {
+            fields.push(("pgo".into(), pgo.to_json()));
         }
         Json::Obj(fields)
     }
@@ -408,7 +534,15 @@ impl BenchArtifact {
             }
             None => None,
         };
-        Ok(BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes, fleet })
+        // Absent in everything but `repro pgo` artifacts.
+        let pgo = match doc.get("pgo") {
+            Some(block) => Some(
+                PgoSummary::from_json(block)
+                    .map_err(|e| format!("{} pgo block: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        Ok(BenchArtifact { created_unix, scale, step_budget, host_mips, outcomes, fleet, pgo })
     }
 }
 
@@ -618,6 +752,74 @@ mod tests {
         b.created_unix = a.created_unix;
         b.fleet = Some(fleet_summary(8));
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    fn pgo_summary() -> PgoSummary {
+        PgoSummary {
+            profile_mips: 50.0,
+            optimized_mips: 75.0,
+            workloads: vec![
+                PgoWorkload {
+                    workload: "fibo".into(),
+                    profile_mips: 20.0,
+                    optimized_mips: 35.0,
+                    fusion_bits: 0x1fff,
+                    hot_pcs: 12,
+                    counters_identical: true,
+                },
+                PgoWorkload {
+                    workload: "n-sieve".into(),
+                    profile_mips: 30.0,
+                    optimized_mips: 40.0,
+                    fusion_bits: 0x0003,
+                    hot_pcs: 7,
+                    counters_identical: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pgo_block_roundtrips() {
+        let mut a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        a.pgo = Some(pgo_summary());
+        let back = write_read(&a, "pgo");
+        assert_eq!(back.pgo, a.pgo);
+        assert_eq!(back.pgo.unwrap().improved(), 2);
+    }
+
+    #[test]
+    fn pgo_block_is_tolerated_absent() {
+        // Matrix/fleet artifacts (and every pre-PGO baseline) carry no
+        // `pgo` key; they must keep loading unchanged.
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        let back = write_read(&a, "nopgo");
+        assert!(back.pgo.is_none());
+    }
+
+    #[test]
+    fn pgo_block_does_not_perturb_fingerprint() {
+        let a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        let mut b = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        b.created_unix = a.created_unix;
+        b.pgo = Some(pgo_summary());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn pgo_block_with_unknown_extra_fields_loads() {
+        let mut a = BenchArtifact::new(Scale::Test, 100, vec![outcome(1, false)]);
+        a.pgo = Some(pgo_summary());
+        let text = a
+            .to_json()
+            .to_pretty_string()
+            .replacen("\"profile_mips\"", "\"pgo_extra\": 9, \"profile_mips\"", 1);
+        let path = std::env::temp_dir()
+            .join(format!("tarch-artifact-test-{}-pgoextra.json", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let back = BenchArtifact::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.pgo, a.pgo);
     }
 
     #[test]

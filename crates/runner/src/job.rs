@@ -17,7 +17,12 @@ use tarch_core::{CoreConfig, IsaLevel};
 /// `3` → `4` with tier-2 execution: `CoreConfig` grew `tier2` and
 /// `tier2_threshold` (changing every key's `Debug` rendering) and trace
 /// summaries grew the hot-block table, which the decoder requires.
-pub const KEY_SCHEMA: u32 = 4;
+/// `4` → `5` with profile-guided optimization: `CoreConfig` grew
+/// `fusion_table` (a per-workload fused-pair selection, part of the
+/// key's `Debug` rendering), and PGO runs additionally carry per-cell
+/// hot-pc sets that live *outside* the config — so PGO cells bypass the
+/// cache entirely rather than risk keying two different hot sets alike.
+pub const KEY_SCHEMA: u32 = 5;
 
 /// Which scripting engine runs the cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -31,16 +31,19 @@ pub mod compare;
 pub mod job;
 pub mod json;
 pub mod pairs;
+pub mod pgo;
 pub mod pool;
 pub mod result;
 
 pub use artifact::{
-    BenchArtifact, FleetSummary, LatencyPercentiles, ShardSummary, ARTIFACT_SCHEMA,
+    BenchArtifact, FleetSummary, LatencyPercentiles, PgoSummary, PgoWorkload, ShardSummary,
+    ARTIFACT_SCHEMA,
 };
 pub use cache::ResultCache;
 pub use compare::{compare, CellDelta, Comparison};
 pub use job::{EngineKind, JobKey, JobSpec, Scale};
 pub use json::Json;
+pub use pgo::{CellProfile, PgoProfile, WorkloadProfile, PGO_SCHEMA};
 pub use pool::{
     run_jobs, run_tasks, ExecError, JobOutcome, RunConfig, RunReport, RunStats, RunnerError,
     DEFAULT_STEP_BUDGET,

@@ -1,0 +1,346 @@
+//! The on-disk PGO profile format (`tarch-pgo/v1`): what a profile run
+//! records and an optimized run loads back.
+//!
+//! One file carries everything the engine's three profile consumers
+//! need, per workload:
+//!
+//! * a **pair histogram** — dynamic counts of adjacent same-block
+//!   mnemonic pairs (see `tarch-core`'s `PairProfile`), from which
+//!   `FusionTable::from_pair_counts` derives the workload's fusion
+//!   table. Mnemonics are portable across engines and ISA levels, so
+//!   pairs aggregate per workload;
+//! * per-cell **hot-pc records** — the sampling profiler's histogram,
+//!   kept separate per (engine, ISA level) because each engine lays its
+//!   guest code out at different pcs. These feed sample-triggered
+//!   tier-up and superblock formation.
+//!
+//! The schema is documented for humans in `EXPERIMENTS.md`; this module
+//! is the reference reader/writer. Like the BENCH artifact, files are
+//! written via temp-file + atomic rename and readers tolerate unknown
+//! keys (additive evolution without a version bump).
+
+use crate::job::EngineKind;
+use crate::json::Json;
+use std::path::Path;
+use tarch_core::IsaLevel;
+
+/// Profile format identifier; bump on any breaking schema change.
+pub const PGO_SCHEMA: &str = "tarch-pgo/v1";
+
+/// One cell's hot-pc histogram: (engine, ISA level) plus the sampled
+/// `(pc, samples)` records in ascending pc order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellProfile {
+    /// Engine the samples came from.
+    pub engine: EngineKind,
+    /// ISA level the samples came from.
+    pub level: IsaLevel,
+    /// `(pc, samples)` records, ascending pc.
+    pub hot: Vec<(u64, u64)>,
+}
+
+/// One workload's slice of a profile: the aggregated pair histogram and
+/// the per-cell hot-pc records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    /// Workload name (a `tarch-bench` workload id).
+    pub workload: String,
+    /// `(prev, cur, count)` mnemonic-pair records, hottest first.
+    pub pairs: Vec<(String, String, u64)>,
+    /// Per-cell sampling histograms; empty when the profile came from a
+    /// pair-only run (`repro bench --profile-pairs`).
+    pub cells: Vec<CellProfile>,
+}
+
+impl WorkloadProfile {
+    /// The hot-pc records for one cell, if the profile has them.
+    pub fn cell(&self, engine: EngineKind, level: IsaLevel) -> Option<&CellProfile> {
+        self.cells.iter().find(|c| c.engine == engine && c.level == level)
+    }
+}
+
+/// A full profile file: sampling period plus one block per workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgoProfile {
+    /// Simulated-cycle sampling period the hot-pc records were taken at
+    /// (zero for pair-only profiles, which never sampled).
+    pub sample_period: u64,
+    /// Per-workload profiles, in run order.
+    pub workloads: Vec<WorkloadProfile>,
+}
+
+impl PgoProfile {
+    /// The block for one workload, if present.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadProfile> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+
+    /// Serializes the profile document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(PGO_SCHEMA)),
+            ("sample_period".into(), Json::num(self.sample_period)),
+            (
+                "workloads".into(),
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::str(w.workload.clone())),
+                                (
+                                    "pairs".into(),
+                                    Json::Arr(
+                                        w.pairs
+                                            .iter()
+                                            .map(|(a, b, n)| {
+                                                Json::Obj(vec![
+                                                    ("a".into(), Json::str(a.clone())),
+                                                    ("b".into(), Json::str(b.clone())),
+                                                    ("count".into(), Json::num(*n)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "cells".into(),
+                                    Json::Arr(
+                                        w.cells
+                                            .iter()
+                                            .map(|c| {
+                                                Json::Obj(vec![
+                                                    ("engine".into(), Json::str(c.engine.id())),
+                                                    ("level".into(), Json::str(c.level.name())),
+                                                    (
+                                                        "hot".into(),
+                                                        Json::Arr(
+                                                            c.hot
+                                                                .iter()
+                                                                .map(|&(pc, samples)| {
+                                                                    Json::Obj(vec![
+                                                                        (
+                                                                            "pc".into(),
+                                                                            Json::num(pc),
+                                                                        ),
+                                                                        (
+                                                                            "samples".into(),
+                                                                            Json::num(samples),
+                                                                        ),
+                                                                    ])
+                                                                })
+                                                                .collect(),
+                                                        ),
+                                                    ),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a profile document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on a schema mismatch or any
+    /// missing/mistyped field.
+    pub fn from_json(doc: &Json) -> Result<PgoProfile, String> {
+        let schema = doc.req_str("schema")?;
+        if schema != PGO_SCHEMA {
+            return Err(format!(
+                "unsupported profile schema `{schema}` (expected `{PGO_SCHEMA}`)"
+            ));
+        }
+        let sample_period = doc.req_u64("sample_period")?;
+        let blocks =
+            doc.get("workloads").and_then(Json::as_arr).ok_or("missing `workloads` array")?;
+        let mut workloads = Vec::with_capacity(blocks.len());
+        for (i, block) in blocks.iter().enumerate() {
+            let ctx = |e| format!("workload {i}: {e}");
+            let workload = block.req_str("workload").map_err(ctx)?.to_string();
+            let mut pairs = Vec::new();
+            for (j, p) in block
+                .get("pairs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("workload {i}: missing `pairs` array"))?
+                .iter()
+                .enumerate()
+            {
+                let ctx = |e| format!("workload {i} pair {j}: {e}");
+                pairs.push((
+                    p.req_str("a").map_err(ctx)?.to_string(),
+                    p.req_str("b").map_err(ctx)?.to_string(),
+                    p.req_u64("count").map_err(ctx)?,
+                ));
+            }
+            let mut cells = Vec::new();
+            for (j, c) in block
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("workload {i}: missing `cells` array"))?
+                .iter()
+                .enumerate()
+            {
+                let ctx = |e: String| format!("workload {i} cell {j}: {e}");
+                let engine = EngineKind::parse(c.req_str("engine").map_err(ctx)?)
+                    .ok_or_else(|| format!("workload {i} cell {j}: unknown engine"))?;
+                let level = IsaLevel::parse(c.req_str("level").map_err(ctx)?)
+                    .ok_or_else(|| format!("workload {i} cell {j}: unknown level"))?;
+                let mut hot = Vec::new();
+                for (k, h) in c
+                    .get("hot")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("workload {i} cell {j}: missing `hot` array"))?
+                    .iter()
+                    .enumerate()
+                {
+                    let ctx = |e| format!("workload {i} cell {j} hot {k}: {e}");
+                    hot.push((h.req_u64("pc").map_err(ctx)?, h.req_u64("samples").map_err(ctx)?));
+                }
+                cells.push(CellProfile { engine, level, hot });
+            }
+            workloads.push(WorkloadProfile { workload, pairs, cells });
+        }
+        Ok(PgoProfile { sample_period, workloads })
+    }
+
+    /// Writes the profile to `path` via a sibling temp file + atomic
+    /// rename (the same torn-read discipline as the BENCH artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error message.
+    pub fn write(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json().to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+    }
+
+    /// Reads and validates a profile file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on I/O failure, malformed JSON, a
+    /// schema mismatch, or any missing/mistyped field.
+    pub fn read(path: &Path) -> Result<PgoProfile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> PgoProfile {
+        PgoProfile {
+            sample_period: 1000,
+            workloads: vec![
+                WorkloadProfile {
+                    workload: "fibo".into(),
+                    pairs: vec![
+                        ("addi".into(), "ld".into(), 900),
+                        ("slt".into(), "bne".into(), 100),
+                    ],
+                    cells: vec![
+                        CellProfile {
+                            engine: EngineKind::Lua,
+                            level: IsaLevel::Typed,
+                            hot: vec![(0x1000, 50), (0x1040, 9)],
+                        },
+                        CellProfile {
+                            engine: EngineKind::Js,
+                            level: IsaLevel::Baseline,
+                            hot: vec![(0x8000, 77)],
+                        },
+                    ],
+                },
+                WorkloadProfile {
+                    workload: "n-sieve".into(),
+                    pairs: vec![("sd".into(), "addi".into(), 4)],
+                    cells: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    fn write_read(p: &PgoProfile, tag: &str) -> PgoProfile {
+        let path = std::env::temp_dir()
+            .join(format!("tarch-pgo-test-{}-{tag}.json", std::process::id()));
+        p.write(&path).unwrap();
+        let back = PgoProfile::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        back
+    }
+
+    #[test]
+    fn profile_roundtrips() {
+        let p = sample_profile();
+        let back = write_read(&p, "roundtrip");
+        assert_eq!(back, p);
+        let w = back.workload("fibo").unwrap();
+        assert_eq!(w.pairs[0], ("addi".into(), "ld".into(), 900));
+        let cell = w.cell(EngineKind::Lua, IsaLevel::Typed).unwrap();
+        assert_eq!(cell.hot, vec![(0x1000, 50), (0x1040, 9)]);
+        assert!(w.cell(EngineKind::Js, IsaLevel::Typed).is_none());
+        assert!(back.workload("no-such").is_none());
+    }
+
+    #[test]
+    fn pair_only_profiles_roundtrip_with_empty_cells() {
+        let mut p = sample_profile();
+        p.sample_period = 0;
+        for w in &mut p.workloads {
+            w.cells.clear();
+        }
+        let back = write_read(&p, "pairs-only");
+        assert_eq!(back, p);
+        assert!(back.workload("fibo").unwrap().cells.is_empty());
+    }
+
+    #[test]
+    fn unknown_extra_fields_are_ignored() {
+        let p = sample_profile();
+        let text = p
+            .to_json()
+            .to_pretty_string()
+            .replacen("\"sample_period\"", "\"future\": 1, \"sample_period\"", 1)
+            .replacen("\"pairs\"", "\"w_extra\": [], \"pairs\"", 1);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(PgoProfile::from_json(&doc).unwrap(), p);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample_profile()
+            .to_json()
+            .to_pretty_string()
+            .replace(PGO_SCHEMA, "tarch-pgo/v99");
+        let doc = Json::parse(&text).unwrap();
+        let err = PgoProfile::from_json(&doc).unwrap_err();
+        assert!(err.contains("v99"), "{err}");
+    }
+
+    #[test]
+    fn derived_fusion_table_reads_straight_off_the_pairs() {
+        // The profile's pair records feed `FusionTable::from_pair_counts`
+        // without conversion glue beyond borrowing the strings.
+        let p = sample_profile();
+        let w = p.workload("fibo").unwrap();
+        let table = tarch_core::FusionTable::from_pair_counts(
+            w.pairs.iter().map(|(a, b, n)| (a.as_str(), b.as_str(), *n)),
+        );
+        assert!(table.contains(tarch_core::FuseClass::AluLoad));
+        assert!(table.contains(tarch_core::FuseClass::AluBranch));
+    }
+}

@@ -55,6 +55,7 @@
 //! ```
 
 mod config;
+mod profile;
 mod ring;
 mod tracer;
 
@@ -62,6 +63,7 @@ pub mod chrome;
 pub mod report;
 
 pub use config::TraceConfig;
+pub use profile::{PcProfile, HOT_SHARE_DENOM};
 pub use ring::{EventRing, TraceEvent, TraceEventKind};
 pub use tracer::{
     HotBlock, HotPc, MetricWindow, Occupancy, PcMisses, TraceSummary, Tracer, WindowStats,

@@ -1,0 +1,136 @@
+//! The PGO profile data model: a merge-able pc → sample-count histogram
+//! and the hot-set rule derived from it.
+//!
+//! This is the piece of a profile run that feeds back into the engine
+//! (see `tarch-core`'s sample-triggered tier-up and superblock walker):
+//! a plain histogram of where the sampling profiler found execution,
+//! detached from the live [`Tracer`](crate::Tracer) so it can be merged
+//! across runs, serialized by a higher layer (this crate has no I/O),
+//! and loaded back into a fresh core. The *hot-set rule* lives here too,
+//! so every consumer — the optimized phase of `repro pgo`, tests, ad-hoc
+//! tooling — derives the same hot set from the same profile.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A pc is *hot* when it holds at least `total / HOT_SHARE_DENOM` of all
+/// samples (and at least one): a 1/64 ≈ 1.6% share. Loose enough that a
+/// workload's handful of steady-state loops all qualify, tight enough
+/// that one-off startup code never does.
+pub const HOT_SHARE_DENOM: u64 = 64;
+
+/// A pc → sample-count histogram from one or more profile runs.
+///
+/// Keys are block-entry pcs when the profile came from the block engine
+/// (the granularity the tier-up consumer wants: it gates per-block
+/// decisions). Deterministic by construction — `BTreeMap` iteration
+/// order is pc order, and the tracer it is harvested from is keyed to
+/// simulated time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    samples: BTreeMap<u64, u64>,
+}
+
+impl PcProfile {
+    /// An empty profile.
+    pub fn new() -> PcProfile {
+        PcProfile::default()
+    }
+
+    /// Builds a profile from `(pc, samples)` records (deserialization,
+    /// or harvesting [`Tracer::samples`](crate::Tracer::samples)).
+    /// Duplicate pcs accumulate; zero-count records are dropped.
+    pub fn from_records<I: IntoIterator<Item = (u64, u64)>>(records: I) -> PcProfile {
+        let mut p = PcProfile::new();
+        for (pc, n) in records {
+            p.note(pc, n);
+        }
+        p
+    }
+
+    /// Adds `n` samples at `pc`.
+    pub fn note(&mut self, pc: u64, n: u64) {
+        if n != 0 {
+            *self.samples.entry(pc).or_insert(0) += n;
+        }
+    }
+
+    /// Merges another profile into this one (aggregation across runs of
+    /// the *same* cell — pcs are only comparable within one engine and
+    /// ISA level, since each engine lays its guest code out differently).
+    pub fn merge(&mut self, other: &PcProfile) {
+        for (&pc, &n) in &other.samples {
+            self.note(pc, n);
+        }
+    }
+
+    /// Total samples across all pcs.
+    pub fn total(&self) -> u64 {
+        self.samples.values().sum()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `(pc, samples)` records in ascending pc order — the canonical
+    /// serialized form.
+    pub fn records(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.samples.iter().map(|(&pc, &n)| (pc, n))
+    }
+
+    /// The hot set this profile justifies: every pc holding at least a
+    /// 1/[`HOT_SHARE_DENOM`] share of the samples (minimum one sample).
+    /// An empty profile yields an empty set — a PGO consumer seeing no
+    /// hot pcs treats everything as cold, which is the honest reading of
+    /// "the profiler never caught it executing".
+    pub fn hot_set(&self) -> BTreeSet<u64> {
+        let bar = (self.total() / HOT_SHARE_DENOM).max(1);
+        self.samples.iter().filter(|&(_, &n)| n >= bar).map(|(&pc, _)| pc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_merge_total_roundtrip() {
+        let mut p = PcProfile::new();
+        p.note(0x1000, 10);
+        p.note(0x1010, 5);
+        p.note(0x1000, 2);
+        p.note(0x2000, 0); // zero-count records vanish
+        let mut q = PcProfile::new();
+        q.note(0x1010, 5);
+        p.merge(&q);
+        assert_eq!(p.total(), 22);
+        let records: Vec<_> = p.records().collect();
+        assert_eq!(records, vec![(0x1000, 12), (0x1010, 10)]);
+        assert_eq!(PcProfile::from_records(records), p);
+    }
+
+    #[test]
+    fn hot_set_applies_the_share_rule() {
+        // 6400 samples: the bar is 100.
+        let mut p = PcProfile::new();
+        p.note(0x1000, 6000);
+        p.note(0x1010, 300);
+        p.note(0x1020, 99);
+        p.note(0x1030, 1);
+        let hot = p.hot_set();
+        assert!(hot.contains(&0x1000));
+        assert!(hot.contains(&0x1010));
+        assert!(!hot.contains(&0x1020), "sub-share pc must stay cold");
+        assert!(!hot.contains(&0x1030));
+    }
+
+    #[test]
+    fn tiny_profiles_use_the_one_sample_floor() {
+        // total/64 == 0: the bar floors at one sample, so everything
+        // observed is hot — a short profile shouldn't blind the engine.
+        let p = PcProfile::from_records([(0x1000, 3), (0x1010, 1)]);
+        assert_eq!(p.hot_set().len(), 2);
+        assert!(PcProfile::new().hot_set().is_empty());
+    }
+}

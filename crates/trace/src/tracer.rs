@@ -420,6 +420,14 @@ impl Tracer {
         rows
     }
 
+    /// Harvests the full (uncapped) sampling histogram as a mergeable
+    /// [`PcProfile`](crate::PcProfile) — the input to profile-guided
+    /// optimization (per-pc hot sets for tier-up and superblock
+    /// formation).
+    pub fn pc_profile(&self) -> crate::PcProfile {
+        crate::PcProfile::from_records(self.samples.iter().map(|(&pc, &n)| (pc, n)))
+    }
+
     /// Extracts the serializable summary of everything observed so far.
     pub fn summary(&self) -> TraceSummary {
         TraceSummary {

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 use tarch_bench::workloads::{self, Scale};
-use tarch_core::{BranchStats, CoreConfig, Cpu, PerfCounters, StepEvent, Trap};
+use tarch_core::{BranchStats, CoreConfig, Cpu, FusionTable, PerfCounters, StepEvent, Trap};
 use tarch_isa::asm::Program;
 use tarch_isa::{samples, Instruction, Reg};
 
@@ -47,6 +47,17 @@ struct Variant {
     /// metric windows); purely host-side, so it must not perturb any
     /// architectural counter either.
     trace: bool,
+    /// Explicit fusion-table bits ([`FusionTable::from_bits`]); `None`
+    /// keeps the full table. Profile-guided runs restrict which fusion
+    /// classes fire per workload, and any restriction — down to the
+    /// empty table — must be architecturally invisible.
+    fusion: Option<u16>,
+    /// Run under a PGO hot set: tier-2 promotion and superblock
+    /// formation are driven by sampled hot pcs instead of the heat
+    /// threshold. Cold code never compiles, hot code compiles early and
+    /// straightens across chain links — none of which may perturb a
+    /// single architectural counter.
+    pgo_hot: bool,
 }
 
 impl Variant {
@@ -60,6 +71,8 @@ impl Variant {
             fuse: false,
             tier2: false,
             trace: false,
+            fusion: None,
+            pgo_hot: false,
         }
     }
 }
@@ -74,8 +87,10 @@ const REFERENCE: Variant = Variant::bare("naive", false, false, false);
 /// both — the templates must match the interpreter op for op in every
 /// combination), everything together (the shipping default), and the
 /// observability layer on both the stepwise and the fully-optimised hot
-/// loop.
-const VARIANTS: [Variant; 15] = [
+/// loop, and the profile-guided configurations: a restricted and an empty
+/// fusion table, and a sampled hot set driving tier-up and superblock
+/// formation.
+const VARIANTS: [Variant; 18] = [
     Variant::bare("predecode", true, false, false),
     Variant::bare("blocks", false, true, false),
     Variant::bare("blocks+predecode", true, true, false),
@@ -124,6 +139,28 @@ const VARIANTS: [Variant; 15] = [
         trace: true,
         ..Variant::bare("all+tier2+trace", true, true, true)
     },
+    Variant {
+        chain: true,
+        fuse: true,
+        tier2: true,
+        fusion: Some(0),
+        ..Variant::bare("fuse-table-empty", true, true, true)
+    },
+    Variant {
+        chain: true,
+        fuse: true,
+        tier2: true,
+        fusion: Some(0x0007), // ALU-only pairs: AluPair | AluLoad | LoadAlu
+        ..Variant::bare("fuse-table-alu-only", true, true, true)
+    },
+    Variant {
+        chain: true,
+        fuse: true,
+        tier2: true,
+        fusion: Some(0x07ff), // a typical derived per-workload table
+        pgo_hot: true,
+        ..Variant::bare("pgo", true, true, true)
+    },
 ];
 
 fn config(v: Variant) -> CoreConfig {
@@ -138,6 +175,10 @@ fn config(v: Variant) -> CoreConfig {
         // 200-step standalone-form programs exercise compiled bodies and
         // the deopt/revalidation edges, not just the tier-up counter.
         tier2_threshold: 1,
+        fusion_table: match v.fusion {
+            Some(bits) => FusionTable::from_bits(bits),
+            None => FusionTable::full(),
+        },
         // Dense sampling, short windows and a tiny ring, so a traced run
         // exercises every tracer path (including overflow) while the
         // architectural state must stay bit-identical.
@@ -178,6 +219,11 @@ fn run_form(instr: Instruction, variant: Variant) -> Observed {
     };
     let mut cpu = Cpu::new(config(variant));
     cpu.load_program(&program);
+    if variant.pgo_hot {
+        // The only block entry a two-instruction program has; the PGO
+        // promotion path must still be architecturally invisible.
+        cpu.set_pgo_hot_pcs([TEXT_BASE]);
+    }
     for n in 1..32 {
         let r = Reg::new(n).expect("valid register");
         cpu.regs_mut().write_untyped(r, DATA_BASE + 64);
@@ -215,8 +261,22 @@ fn check_vm_equivalence(workload: &str) {
 
     for level in tarch_core::IsaLevel::ALL {
         let run_lua = |variant: Variant| {
+            // A PGO leg is a two-phase run: a traced profile pass
+            // harvests the hot set, then a fresh VM runs with it loaded
+            // — exactly what `repro pgo` does.
+            let hot = variant.pgo_hot.then(|| {
+                let profiled = Variant { trace: true, pgo_hot: false, ..variant };
+                let mut vm = luart::LuaVm::new(&module, level, config(profiled))
+                    .unwrap_or_else(|e| panic!("{workload} luart {level} [pgo pre]: {e}"));
+                vm.run(VM_STEPS)
+                    .unwrap_or_else(|e| panic!("{workload} luart {level} [pgo pre]: {e}"));
+                vm.cpu().tracer().map(|t| t.pc_profile().hot_set()).unwrap_or_default()
+            });
             let mut vm = luart::LuaVm::new(&module, level, config(variant))
                 .unwrap_or_else(|e| panic!("{workload} luart {level} [{}]: {e}", variant.name));
+            if let Some(hot) = hot {
+                vm.cpu_mut().set_pgo_hot_pcs(hot);
+            }
             vm.run(VM_STEPS)
                 .unwrap_or_else(|e| panic!("{workload} luart {level} [{}]: {e}", variant.name))
         };
@@ -230,8 +290,19 @@ fn check_vm_equivalence(workload: &str) {
         }
 
         let run_js = |variant: Variant| {
+            let hot = variant.pgo_hot.then(|| {
+                let profiled = Variant { trace: true, pgo_hot: false, ..variant };
+                let mut vm = jsrt::JsVm::from_source(&src, level, config(profiled))
+                    .unwrap_or_else(|e| panic!("{workload} jsrt {level} [pgo pre]: {e}"));
+                vm.run(VM_STEPS)
+                    .unwrap_or_else(|e| panic!("{workload} jsrt {level} [pgo pre]: {e}"));
+                vm.cpu().tracer().map(|t| t.pc_profile().hot_set()).unwrap_or_default()
+            });
             let mut vm = jsrt::JsVm::from_source(&src, level, config(variant))
                 .unwrap_or_else(|e| panic!("{workload} jsrt {level} [{}]: {e}", variant.name));
+            if let Some(hot) = hot {
+                vm.cpu_mut().set_pgo_hot_pcs(hot);
+            }
             vm.run(VM_STEPS)
                 .unwrap_or_else(|e| panic!("{workload} jsrt {level} [{}]: {e}", variant.name))
         };
